@@ -1,0 +1,383 @@
+// Package authtext is a Go implementation of "Authenticating the Query
+// Results of Text Search Engines" (Pang & Mouratidis, PVLDB 1(1), 2008): a
+// similarity-based text search engine over a frequency-ordered inverted
+// index whose every answer carries a cryptographic proof of correctness.
+//
+// Three parties participate (§3.1):
+//
+//   - the data Owner indexes a document collection, builds Merkle-tree
+//     authentication structures over the inverted lists and documents, and
+//     signs their roots;
+//   - the (untrusted) Server answers top-r similarity queries with adapted
+//     threshold algorithms — TRA (threshold with random access) or TNRA
+//     (threshold with no random access) — and returns a verification
+//     object (VO) alongside each result;
+//   - the Client recomputes the Merkle roots from the VO and checks the
+//     result against the owner's signatures: the entries must be the true
+//     top-r, in the right order, with the right scores, and no unseen
+//     document may be able to outscore them.
+//
+// Quickstart:
+//
+//	owner, err := authtext.NewOwner(docs)             // build + sign
+//	server := owner.Server()                          // hand to the host
+//	client := owner.Client()                          // publish to users
+//	res, err := server.Search("merkle trees", 10, authtext.TNRA, authtext.ChainMHT)
+//	err = client.Verify("merkle trees", 10, res)      // nil ⇔ authentic
+//
+// Two authentication schemes are available per algorithm: plain per-list
+// Merkle trees (MHT, §3.3.1) and chained per-block Merkle trees with buddy
+// inclusion (ChainMHT, §3.3.2). TNRA+ChainMHT is the configuration the
+// paper recommends (§4.5).
+package authtext
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"authtext/internal/core"
+	"authtext/internal/engine"
+	"authtext/internal/index"
+	"authtext/internal/okapi"
+	"authtext/internal/sig"
+	"authtext/internal/store"
+	"authtext/internal/textproc"
+)
+
+// Algorithm selects the query processing strategy.
+type Algorithm int
+
+const (
+	// TRA is Threshold with Random Access (§3.3): fewest list entries
+	// read, at the price of one random document access per encountered
+	// document and larger VOs.
+	TRA Algorithm = iota + 1
+	// TNRA is Threshold with No Random Access (§3.4): sorted access only,
+	// sequential I/O, the smallest VOs. The paper's overall winner when
+	// paired with ChainMHT.
+	TNRA
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	if a == TRA {
+		return "TRA"
+	}
+	return "TNRA"
+}
+
+// Scheme selects the authentication structure.
+type Scheme int
+
+const (
+	// MHT authenticates each inverted list with a single Merkle tree
+	// (§3.3.1); the server re-reads whole lists to regenerate digests.
+	MHT Scheme = iota + 1
+	// ChainMHT authenticates each list with a back-to-front chain of
+	// per-block Merkle trees plus buddy inclusion (§3.3.2); the server
+	// never reads past the query's cut-off block.
+	ChainMHT
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	if s == MHT {
+		return "MHT"
+	}
+	return "CMHT"
+}
+
+func (a Algorithm) core() core.Algo {
+	if a == TRA {
+		return core.AlgoTRA
+	}
+	return core.AlgoTNRA
+}
+
+func (s Scheme) core() core.Scheme {
+	if s == MHT {
+		return core.SchemeMHT
+	}
+	return core.SchemeCMHT
+}
+
+// Document is an input document: raw content, optionally pre-tokenised.
+type Document struct {
+	Content []byte
+	// Tokens, when non-nil, bypasses the tokenizer (stopwords are still
+	// removed).
+	Tokens []string
+}
+
+// Hit is one entry of a verified result.
+type Hit struct {
+	DocID   int
+	Score   float64
+	Content []byte
+}
+
+// SearchResult bundles everything the server returns for a query: the
+// ordered hits, the verification object, and the server-side cost report.
+type SearchResult struct {
+	Hits []Hit
+	// VO is the encoded verification object; archive it alongside the
+	// result to build an audit trail (§1).
+	VO    []byte
+	Stats Stats
+}
+
+// Stats reports the per-query costs the paper measures (§4.1).
+type Stats struct {
+	Algorithm      Algorithm
+	Scheme         Scheme
+	QueryTerms     int
+	EntriesRead    int
+	EntriesPerTerm float64
+	PctListRead    float64
+	BlockReads     int64
+	RandomReads    int64
+	// IOTime is simulated disk time under the configured cost model.
+	IOTime StatsDuration
+	// VOBytes is the encoded VO size.
+	VOBytes int
+}
+
+// StatsDuration is a float64 millisecond count (keeps Stats printable
+// without importing time).
+type StatsDuration float64
+
+// String implements fmt.Stringer.
+func (d StatsDuration) String() string { return fmt.Sprintf("%.3fms", float64(d)) }
+
+// options collects construction-time settings.
+type options struct {
+	blockSize        int
+	hashSize         int
+	rsaBits          int
+	fastSignerKey    []byte
+	dictMode         bool
+	vocabProofs      bool
+	keepSingletons   bool
+	k1, b            float64
+	storeParamsSet   bool
+	storeParams      store.Params
+	signerOverridden bool
+	authority        []float64
+	pageRankLinks    [][]int
+	beta             float64
+}
+
+// Option customises NewOwner.
+type Option func(*options)
+
+// WithBlockSize sets the simulated disk block size (default 1024, §4.1).
+func WithBlockSize(n int) Option { return func(o *options) { o.blockSize = n } }
+
+// WithHashSize sets the digest size in bytes (default 16 = 128 bits,
+// Table 1).
+func WithHashSize(n int) Option { return func(o *options) { o.hashSize = n } }
+
+// WithRSABits sets the RSA modulus size (default 1024 bits, Table 1).
+func WithRSABits(n int) Option { return func(o *options) { o.rsaBits = n } }
+
+// WithFastSigner replaces RSA with a keyed-hash signer of identical
+// signature size. Builds become orders of magnitude faster but signatures
+// are only verifiable by holders of the key — benchmarking only.
+func WithFastSigner(key []byte) Option {
+	return func(o *options) { o.fastSignerKey = key; o.signerOverridden = true }
+}
+
+// WithDictionaryMode stores one signature for the whole index via a
+// dictionary-MHT instead of one per inverted list (§3.4 space
+// optimisation), trading VO size for storage.
+func WithDictionaryMode() Option { return func(o *options) { o.dictMode = true } }
+
+// WithVocabularyProofs enables non-membership proofs for out-of-dictionary
+// query terms, closing the dropped-term gap discussed in DESIGN.md §4.
+func WithVocabularyProofs() Option { return func(o *options) { o.vocabProofs = true } }
+
+// WithSingletonTerms keeps terms that occur in only one document (the
+// paper removes them, §4.1).
+func WithSingletonTerms() Option { return func(o *options) { o.keepSingletons = true } }
+
+// WithOkapi overrides the similarity parameters (defaults k1=1.2, b=0.75).
+func WithOkapi(k1, b float64) Option { return func(o *options) { o.k1, o.b = k1, b } }
+
+// WithDiskModel overrides the simulated disk cost parameters.
+func WithDiskModel(p DiskModel) Option {
+	return func(o *options) {
+		o.storeParamsSet = true
+		o.storeParams = store.Params{
+			BlockSize:           p.BlockSize,
+			Seek:                p.Seek,
+			Rotation:            p.Rotation,
+			TransferBytesPerSec: p.TransferBytesPerSec,
+		}
+	}
+}
+
+// DiskModel mirrors the simulated disk parameters (see store.Params).
+type DiskModel struct {
+	BlockSize           int
+	Seek                time.Duration
+	Rotation            time.Duration
+	TransferBytesPerSec float64
+}
+
+// Owner builds and publishes an authenticated collection.
+type Owner struct {
+	col *engine.Collection
+}
+
+// NewOwner indexes the documents and constructs every authentication
+// structure with a freshly generated RSA key (unless WithFastSigner).
+func NewOwner(docs []Document, opts ...Option) (*Owner, error) {
+	if len(docs) == 0 {
+		return nil, errors.New("authtext: empty collection")
+	}
+	o := &options{blockSize: 1024, hashSize: sig.DefaultHashSize, rsaBits: sig.DefaultRSABits,
+		k1: okapi.DefaultK1, b: okapi.DefaultB}
+	for _, opt := range opts {
+		opt(o)
+	}
+	var signer sig.Signer
+	var err error
+	if o.signerOverridden {
+		signer, err = sig.NewHMACSigner(o.fastSignerKey, 128)
+	} else {
+		signer, err = sig.NewRSASigner(o.rsaBits)
+	}
+	if err != nil {
+		return nil, err
+	}
+	params := store.DefaultParams()
+	if o.storeParamsSet {
+		params = o.storeParams
+	}
+	params.BlockSize = o.blockSize
+	authority, err := computeAuthority(o, len(docs))
+	if err != nil {
+		return nil, err
+	}
+	cfg := engine.Config{
+		Store:            params,
+		HashSize:         o.hashSize,
+		Signer:           signer,
+		Okapi:            okapi.Params{K1: o.k1, B: o.b},
+		RemoveSingletons: !o.keepSingletons,
+		DictMode:         o.dictMode,
+		VocabProofs:      o.vocabProofs,
+		Authority:        authority,
+		Beta:             o.beta,
+	}
+	idocs := make([]index.Document, len(docs))
+	for i, d := range docs {
+		idocs[i] = index.Document{Content: d.Content, Tokens: d.Tokens}
+	}
+	col, err := engine.BuildCollection(idocs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Owner{col: col}, nil
+}
+
+// Server returns the query-serving half (hand it, conceptually, to the
+// untrusted host).
+func (o *Owner) Server() *Server { return &Server{col: o.col} }
+
+// Client returns the verification half (publish it to users: it embeds
+// only the signed manifest and the public key).
+func (o *Owner) Client() *Client {
+	m, msig := o.col.Manifest()
+	return &Client{manifest: m, manifestSig: msig, verifier: o.col.Verifier()}
+}
+
+// Stats summarises the owner-side build.
+func (o *Owner) Stats() (buildMillis float64, signatures int, deviceBytes int64) {
+	bs := o.col.BuildStats()
+	return float64(bs.BuildTime.Milliseconds()), bs.Signatures, o.col.Space().DeviceBytes
+}
+
+// Server answers queries with integrity proofs.
+type Server struct {
+	col *engine.Collection
+}
+
+// Search runs a top-r similarity query. The query text goes through the
+// same pipeline as the documents (lowercasing, stopword removal);
+// out-of-dictionary terms are ignored per §3.1.
+func (s *Server) Search(query string, r int, algo Algorithm, scheme Scheme) (*SearchResult, error) {
+	tokens := textproc.Terms(query)
+	res, voBytes, st, err := s.col.Search(tokens, r, algo.core(), scheme.core())
+	if err != nil {
+		return nil, err
+	}
+	out := &SearchResult{VO: voBytes}
+	for _, e := range res.Entries {
+		out.Hits = append(out.Hits, Hit{DocID: int(e.Doc), Score: e.Score, Content: res.Contents[e.Doc]})
+	}
+	out.Stats = Stats{
+		Algorithm:      algo,
+		Scheme:         scheme,
+		QueryTerms:     st.QueryTerms,
+		EntriesRead:    st.EntriesRead,
+		EntriesPerTerm: st.EntriesPerTerm,
+		PctListRead:    st.PctListRead,
+		BlockReads:     st.IO.BlockReads,
+		RandomReads:    st.IO.RandomReads,
+		IOTime:         StatsDuration(float64(st.IO.SimTime.Microseconds()) / 1000),
+		VOBytes:        len(voBytes),
+	}
+	return out, nil
+}
+
+// Client verifies query results against the owner's published manifest and
+// public key. It holds no collection data.
+type Client struct {
+	manifest    *core.Manifest
+	manifestSig []byte
+	verifier    sig.Verifier
+	checked     bool
+}
+
+// Verify checks a search result (including its delivered document
+// contents) against the VO. It returns nil iff the result satisfies the
+// correctness criteria of §3.1; the error explains the first violation
+// found.
+func (c *Client) Verify(query string, r int, res *SearchResult) error {
+	if res == nil {
+		return errors.New("authtext: nil result")
+	}
+	if !c.checked {
+		if err := core.VerifyManifest(c.manifest, c.manifestSig, c.verifier); err != nil {
+			return err
+		}
+		c.checked = true
+	}
+	decoded, err := decodeVO(res.VO)
+	if err != nil {
+		return err
+	}
+	entries := make([]core.ResultEntry, len(res.Hits))
+	contents := make(map[index.DocID][]byte, len(res.Hits))
+	for i, h := range res.Hits {
+		entries[i] = core.ResultEntry{Doc: index.DocID(h.DocID), Score: h.Score}
+		contents[index.DocID(h.DocID)] = h.Content
+	}
+	return core.Verify(&core.VerifyInput{
+		Manifest: c.manifest,
+		Verifier: c.verifier,
+		Tokens:   textproc.Terms(query),
+		R:        r,
+		Result:   entries,
+		Contents: contents,
+		VO:       decoded,
+	})
+}
+
+// IsTampered reports whether an error from Verify indicates tampering (as
+// opposed to a malformed input).
+func IsTampered(err error) bool {
+	return err != nil && core.CodeOf(err) != core.VerifyOK
+}

@@ -1,0 +1,205 @@
+package authtext
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// newsDocs is a small realistic corpus used across the facade tests.
+func newsDocs() []Document {
+	texts := []string{
+		"The patent examiner reviewed the search results from the portal",
+		"A breached server may return incomplete or tampered search results",
+		"Merkle hash trees let anyone verify a subset of signed messages",
+		"The inverted index maps every term to the documents containing it",
+		"Threshold algorithms stop early once the top results have emerged",
+		"Financial and legal users require integrity assurance from paid content services",
+		"The patent portal and the patent examiner signed the integrity report",
+		"Search engines rank documents by similarity to the query keywords",
+		"Signatures generated with the private key verify with the public key",
+		"Digest chains authenticate the leading blocks of every inverted list",
+		"The examiner compared the portal results against the CD-ROM edition",
+		"Verification objects archive into an audit trail for later review",
+	}
+	docs := make([]Document, len(texts))
+	for i, tx := range texts {
+		docs[i] = Document{Content: []byte(tx)}
+	}
+	return docs
+}
+
+// buildOwner builds with real RSA-1024 once per test binary.
+var ownerFixture *Owner
+
+func owner(t *testing.T) *Owner {
+	t.Helper()
+	if ownerFixture == nil {
+		o, err := NewOwner(newsDocs(), WithVocabularyProofs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ownerFixture = o
+	}
+	return ownerFixture
+}
+
+func TestEndToEndAllCombinations(t *testing.T) {
+	o := owner(t)
+	server, client := o.Server(), o.Client()
+	queries := []string{
+		"patent examiner portal",
+		"merkle hash trees",
+		"search results integrity",
+		"inverted index documents",
+		"the of and", // stopwords only
+	}
+	for _, q := range queries {
+		for _, algo := range []Algorithm{TRA, TNRA} {
+			for _, scheme := range []Scheme{MHT, ChainMHT} {
+				res, err := server.Search(q, 3, algo, scheme)
+				if err != nil {
+					t.Fatalf("%v-%v %q: %v", algo, scheme, q, err)
+				}
+				if err := client.Verify(q, 3, res); err != nil {
+					t.Fatalf("%v-%v %q: verify: %v", algo, scheme, q, err)
+				}
+				if res.Stats.VOBytes != len(res.VO) {
+					t.Fatal("stats VO size mismatch")
+				}
+			}
+		}
+	}
+}
+
+func TestResultsAreRelevant(t *testing.T) {
+	o := owner(t)
+	server, client := o.Server(), o.Client()
+	res, err := server.Search("patent examiner", 2, TNRA, ChainMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) == 0 {
+		t.Fatal("no hits")
+	}
+	top := string(res.Hits[0].Content)
+	if !strings.Contains(top, "patent") && !strings.Contains(top, "examiner") {
+		t.Fatalf("top hit irrelevant: %q", top)
+	}
+	if err := client.Verify("patent examiner", 2, res); err != nil {
+		t.Fatal(err)
+	}
+	// Scores ordered.
+	for i := 1; i < len(res.Hits); i++ {
+		if res.Hits[i-1].Score < res.Hits[i].Score {
+			t.Fatal("hits out of order")
+		}
+	}
+}
+
+func TestTamperedContentDetected(t *testing.T) {
+	o := owner(t)
+	server, client := o.Server(), o.Client()
+	res, err := server.Search("patent examiner portal", 2, TRA, ChainMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) == 0 {
+		t.Fatal("no hits")
+	}
+	evil := append([]byte{}, res.Hits[0].Content...)
+	evil[0] ^= 1
+	res.Hits[0].Content = evil
+	err = client.Verify("patent examiner portal", 2, res)
+	if err == nil {
+		t.Fatal("tampered content accepted")
+	}
+	if !IsTampered(err) {
+		t.Fatalf("IsTampered(%v) = false", err)
+	}
+}
+
+func TestDroppedHitDetected(t *testing.T) {
+	o := owner(t)
+	server, client := o.Server(), o.Client()
+	res, err := server.Search("search results", 3, TNRA, ChainMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) < 2 {
+		t.Skip("need at least two hits")
+	}
+	res.Hits = res.Hits[1:]
+	if err := client.Verify("search results", 3, res); err == nil {
+		t.Fatal("dropped hit accepted")
+	}
+}
+
+func TestVerifyWrongQueryFails(t *testing.T) {
+	o := owner(t)
+	server, client := o.Server(), o.Client()
+	res, err := server.Search("patent examiner", 3, TNRA, ChainMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Verify("signatures private key", 3, res); err == nil {
+		t.Fatal("result for a different query accepted")
+	}
+}
+
+func TestNewOwnerValidation(t *testing.T) {
+	if _, err := NewOwner(nil); err == nil {
+		t.Fatal("empty collection accepted")
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	docs := newsDocs()
+	o, err := NewOwner(docs,
+		WithFastSigner([]byte("opt-test")),
+		WithBlockSize(512),
+		WithHashSize(20),
+		WithDictionaryMode(),
+		WithSingletonTerms(),
+		WithOkapi(1.5, 0.6),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := o.Server(), o.Client()
+	res, err := server.Search("merkle trees", 3, TNRA, ChainMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Verify("merkle trees", 3, res); err != nil {
+		t.Fatal(err)
+	}
+	_, sigs, _ := o.Stats()
+	// Dictionary mode: one signature per document plus the manifest only.
+	wantMax := len(docs) + 1
+	if sigs != wantMax {
+		t.Fatalf("dictionary mode signed %d times, want %d", sigs, wantMax)
+	}
+}
+
+func TestStatsPlausible(t *testing.T) {
+	o := owner(t)
+	server := o.Server()
+	res, err := server.Search("patent examiner portal", 3, TNRA, ChainMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.QueryTerms == 0 || st.EntriesRead == 0 || st.BlockReads == 0 || st.IOTime <= 0 {
+		t.Fatalf("degenerate stats: %+v", st)
+	}
+	if st.PctListRead <= 0 || st.PctListRead > 100.01 {
+		t.Fatalf("pct list read: %v", st.PctListRead)
+	}
+}
+
+func TestAlgorithmSchemeStrings(t *testing.T) {
+	if fmt.Sprint(TRA, TNRA, MHT, ChainMHT) != "TRA TNRA MHT CMHT" {
+		t.Fatalf("got %q", fmt.Sprint(TRA, TNRA, MHT, ChainMHT))
+	}
+}

@@ -1,0 +1,429 @@
+package authtext
+
+// One benchmark per table and figure of the paper's evaluation (§4), plus
+// ablations for the design choices DESIGN.md calls out (chain-MHT vs plain
+// MHT, buddy inclusion, dictionary-mode signature consolidation, block
+// size) and per-variant micro-benchmarks. Benchmarks run on the `small`
+// synthetic profile so `go test -bench=.` completes in minutes; the
+// full-scale numbers in EXPERIMENTS.md come from cmd/authbench.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"authtext/internal/core"
+	"authtext/internal/corpus"
+	"authtext/internal/engine"
+	"authtext/internal/experiments"
+	"authtext/internal/index"
+	"authtext/internal/linkgraph"
+	"authtext/internal/okapi"
+	"authtext/internal/sig"
+	"authtext/internal/store"
+	"authtext/internal/workload"
+)
+
+var (
+	benchOnce sync.Once
+	benchFix  *experiments.Fixture
+	benchErr  error
+)
+
+func benchFixture(b *testing.B) *experiments.Fixture {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchFix, benchErr = experiments.NewFixture(corpus.Small(), false)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchFix
+}
+
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		Queries: 10,
+		QSizes:  []int{2, 6, 10, 20},
+		RValues: []int{10, 40, 80},
+		Seed:    42,
+	}
+}
+
+// BenchmarkFig04ListLengthDistribution regenerates Fig 4: index build plus
+// the cumulative list-length distribution.
+func BenchmarkFig04ListLengthDistribution(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		idx, err := experiments.BuildIndexOnly(corpus.Tiny())
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := corpus.Describe(idx.ListLengths(), idx.N)
+		if d.MaxLen == 0 {
+			b.Fatal("degenerate distribution")
+		}
+	}
+}
+
+// BenchmarkFig13SyntheticVaryingQuerySize regenerates Fig 13(a–e): the
+// synthetic workload swept over query sizes at r = 10, across all four
+// variants, with every answer verified.
+func BenchmarkFig13SyntheticVaryingQuerySize(b *testing.B) {
+	f := benchFixture(b)
+	opts := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig13(f, opts, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable02VOBreakdown regenerates Table 2: the data/digest split of
+// the TRA VOs under both schemes.
+func BenchmarkTable02VOBreakdown(b *testing.B) {
+	f := benchFixture(b)
+	opts := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(f, opts, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := res.Points[0][experiments.Variant{Algo: core.AlgoTRA, Scheme: core.SchemeCMHT}]
+		b.ReportMetric(m.VOData/(m.VOData+m.VODigest)*100, "data%")
+	}
+}
+
+// BenchmarkFig14SyntheticVaryingResultSize regenerates Fig 14(a–e).
+func BenchmarkFig14SyntheticVaryingResultSize(b *testing.B) {
+	f := benchFixture(b)
+	opts := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig14(f, opts, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig15TRECVaryingResultSize regenerates Fig 15(a–e) with the
+// TREC-like verbose workload.
+func BenchmarkFig15TRECVaryingResultSize(b *testing.B) {
+	f := benchFixture(b)
+	opts := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig15(f, opts, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpaceOverhead regenerates the §4.1 space claims: a full build of
+// all four authentication structures over the tiny profile, reporting the
+// TRA and TNRA overheads.
+func BenchmarkSpaceOverhead(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fx, err := experiments.NewFixture(corpus.Tiny(), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		over := experiments.SpaceReport(fx, io.Discard)
+		b.ReportMetric(over["TRA-MHT"], "tra-over-%")
+		b.ReportMetric(over["TNRA-MHT"], "tnra-over-%")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Per-variant micro-benchmarks: one authenticated query (search + VO) and
+// its verification, q = 3, r = 10 (the paper's defaults, Table 1).
+
+func benchQueries(b *testing.B, f *experiments.Fixture) [][]string {
+	b.Helper()
+	return workload.Synthetic(f.Col.Index(), 64, 3, 7)
+}
+
+func benchSearchVariant(b *testing.B, algo core.Algo, scheme core.Scheme) {
+	f := benchFixture(b)
+	queries := benchQueries(b, f)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		_, voBytes, st, err := f.Col.Search(q, 10, algo, scheme)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(voBytes) == 0 || st.EntriesRead == 0 {
+			b.Fatal("empty answer")
+		}
+	}
+}
+
+func BenchmarkSearchTRAMHT(b *testing.B)   { benchSearchVariant(b, core.AlgoTRA, core.SchemeMHT) }
+func BenchmarkSearchTRACMHT(b *testing.B)  { benchSearchVariant(b, core.AlgoTRA, core.SchemeCMHT) }
+func BenchmarkSearchTNRAMHT(b *testing.B)  { benchSearchVariant(b, core.AlgoTNRA, core.SchemeMHT) }
+func BenchmarkSearchTNRACMHT(b *testing.B) { benchSearchVariant(b, core.AlgoTNRA, core.SchemeCMHT) }
+
+func benchVerifyVariant(b *testing.B, algo core.Algo, scheme core.Scheme) {
+	f := benchFixture(b)
+	queries := benchQueries(b, f)
+	type prepared struct {
+		tokens []string
+		res    *engine.Result
+		vo     []byte
+	}
+	preps := make([]prepared, 0, len(queries))
+	for _, q := range queries {
+		res, voBytes, _, err := f.Col.Search(q, 10, algo, scheme)
+		if err != nil {
+			b.Fatal(err)
+		}
+		preps = append(preps, prepared{tokens: q, res: res, vo: voBytes})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := preps[i%len(preps)]
+		if _, err := f.Col.VerifyResult(p.tokens, 10, p.res, p.vo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyTRAMHT(b *testing.B)   { benchVerifyVariant(b, core.AlgoTRA, core.SchemeMHT) }
+func BenchmarkVerifyTRACMHT(b *testing.B)  { benchVerifyVariant(b, core.AlgoTRA, core.SchemeCMHT) }
+func BenchmarkVerifyTNRAMHT(b *testing.B)  { benchVerifyVariant(b, core.AlgoTNRA, core.SchemeMHT) }
+func BenchmarkVerifyTNRACMHT(b *testing.B) { benchVerifyVariant(b, core.AlgoTNRA, core.SchemeCMHT) }
+
+// ---------------------------------------------------------------------------
+// Ablations
+
+// BenchmarkAblationChainVsMHT reports the VO size and simulated I/O of the
+// two TNRA schemes side by side (the §3.3.2 motivation for chain-MHT).
+func BenchmarkAblationChainVsMHT(b *testing.B) {
+	f := benchFixture(b)
+	queries := benchQueries(b, f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var mhtVO, cmhtVO, mhtIO, cmhtIO float64
+		for _, q := range queries {
+			_, voM, stM, err := f.Col.Search(q, 10, core.AlgoTNRA, core.SchemeMHT)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, voC, stC, err := f.Col.Search(q, 10, core.AlgoTNRA, core.SchemeCMHT)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mhtVO += float64(len(voM))
+			cmhtVO += float64(len(voC))
+			mhtIO += float64(stM.IO.BlockReads)
+			cmhtIO += float64(stC.IO.BlockReads)
+		}
+		n := float64(len(queries))
+		b.ReportMetric(mhtVO/n, "mht-vo-B")
+		b.ReportMetric(cmhtVO/n, "cmht-vo-B")
+		b.ReportMetric(mhtIO/n, "mht-blocks")
+		b.ReportMetric(cmhtIO/n, "cmht-blocks")
+	}
+}
+
+// BenchmarkAblationDictionaryMode compares per-list signatures against the
+// dictionary-MHT consolidation (§3.4): storage shrinks, VOs grow.
+func BenchmarkAblationDictionaryMode(b *testing.B) {
+	signer, err := sig.NewHMACSigner([]byte("ablation"), 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs := corpus.Generate(corpus.Tiny())
+	for i := 0; i < b.N; i++ {
+		for _, dict := range []bool{false, true} {
+			cfg := engine.DefaultConfig(signer)
+			cfg.DictMode = dict
+			col, err := engine.BuildCollection(docs, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			queries := workload.Synthetic(col.Index(), 8, 3, 11)
+			var voSum float64
+			for _, q := range queries {
+				_, voBytes, _, err := col.Search(q, 10, core.AlgoTNRA, core.SchemeCMHT)
+				if err != nil {
+					b.Fatal(err)
+				}
+				voSum += float64(len(voBytes))
+			}
+			label := "perlist"
+			if dict {
+				label = "dict"
+			}
+			b.ReportMetric(voSum/float64(len(queries)), label+"-vo-B")
+			b.ReportMetric(float64(col.BuildStats().Signatures), label+"-sigs")
+		}
+	}
+}
+
+// BenchmarkAblationBlockSize sweeps the disk block size (the §4.1
+// discussion of why 1 KB blocks fit the skewed list distribution).
+func BenchmarkAblationBlockSize(b *testing.B) {
+	signer, err := sig.NewHMACSigner([]byte("ablation"), 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs := corpus.Generate(corpus.Tiny())
+	for i := 0; i < b.N; i++ {
+		for _, bs := range []int{512, 1024, 4096} {
+			cfg := engine.DefaultConfig(signer)
+			cfg.Store = store.DefaultParams()
+			cfg.Store.BlockSize = bs
+			col, err := engine.BuildCollection(docs, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			queries := workload.Synthetic(col.Index(), 8, 3, 13)
+			var ioMs float64
+			for _, q := range queries {
+				_, _, st, err := col.Search(q, 10, core.AlgoTNRA, core.SchemeCMHT)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ioMs += st.IO.SimTime.Seconds() * 1000
+			}
+			b.ReportMetric(ioMs/float64(len(queries)), "io-ms/"+itoa(bs))
+		}
+	}
+}
+
+// BenchmarkAblationBuddyInclusion isolates the buddy-inclusion effect on
+// TRA document proofs by comparing the data/digest split of TRA-MHT (no
+// buddies) and TRA-CMHT (buddies) VOs, Table 2's mechanism.
+func BenchmarkAblationBuddyInclusion(b *testing.B) {
+	f := benchFixture(b)
+	queries := benchQueries(b, f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var mhtData, mhtDigest, cmhtData, cmhtDigest float64
+		for _, q := range queries {
+			_, _, stM, err := f.Col.Search(q, 10, core.AlgoTRA, core.SchemeMHT)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, _, stC, err := f.Col.Search(q, 10, core.AlgoTRA, core.SchemeCMHT)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mhtData += float64(stM.VO.Data)
+			mhtDigest += float64(stM.VO.Digest)
+			cmhtData += float64(stC.VO.Data)
+			cmhtDigest += float64(stC.VO.Digest)
+		}
+		b.ReportMetric(100*mhtData/(mhtData+mhtDigest), "mht-data%")
+		b.ReportMetric(100*cmhtData/(cmhtData+cmhtDigest), "cmht-data%")
+	}
+}
+
+// BenchmarkOwnerBuild measures full owner-side construction (index, four
+// structures, document records, signatures) on the tiny profile.
+func BenchmarkOwnerBuild(b *testing.B) {
+	signer, err := sig.NewHMACSigner([]byte("build"), 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs := corpus.Generate(corpus.Tiny())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.BuildCollection(docs, engine.DefaultConfig(signer)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPSCANBaseline measures the unauthenticated full-scan baseline
+// (Fig 2), for comparison against the threshold algorithms.
+func BenchmarkPSCANBaseline(b *testing.B) {
+	f := benchFixture(b)
+	idx := f.Col.Index()
+	src := &core.MemSource{Idx: idx}
+	queries := benchQueries(b, f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q, err := core.BuildQuery(idx, queries[i%len(queries)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.PSCAN(q, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Silence unused-import guards for build tags that strip benchmarks.
+var (
+	_ = index.DocID(0)
+	_ = okapi.DefaultK1
+)
+
+// BenchmarkExtensionAuthorityBoost measures an authenticated boosted query
+// (§5 extension): search + authority proof + verification.
+func BenchmarkExtensionAuthorityBoost(b *testing.B) {
+	signer, err := sig.NewHMACSigner([]byte("boost-bench"), 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs := corpus.Generate(corpus.Tiny())
+	links := make([][]int, len(docs))
+	for i := 1; i < len(docs); i++ {
+		links[i] = []int{0, i / 2, i / 3}
+	}
+	g := linkgraph.NewGraph(len(docs))
+	for src, outs := range links {
+		for _, dst := range outs {
+			if err := g.AddLink(src, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	authority, err := g.Normalized(0.85, 100, 1e-10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := engine.DefaultConfig(signer)
+	cfg.Authority = authority
+	cfg.Beta = 2.0
+	col, err := engine.BuildCollection(docs, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := workload.Synthetic(col.Index(), 32, 3, 17)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		res, voBytes, _, err := col.Search(q, 10, core.AlgoTNRA, core.SchemeCMHT)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := col.VerifyResult(q, 10, res, voBytes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package authtext
+
+import (
+	"errors"
+	"fmt"
+
+	"authtext/internal/linkgraph"
+)
+
+// WithAuthority enables the §5 authority-boost extension with explicit
+// per-document scores: result rankings become S(d|Q) + beta·A(d) for
+// matching documents, with scores[d] ∈ [0, 1] certified in an
+// authority-MHT. len(scores) must equal the number of documents.
+func WithAuthority(scores []float64, beta float64) Option {
+	return func(o *options) {
+		o.authority = scores
+		o.beta = beta
+	}
+}
+
+// WithPageRank enables the authority boost with scores computed by
+// PageRank over a hyperlink graph: outlinks[d] lists the documents d links
+// to. Damping 0.85, normalised so the top authority scores 1.
+func WithPageRank(outlinks [][]int, beta float64) Option {
+	return func(o *options) {
+		o.pageRankLinks = outlinks
+		o.beta = beta
+	}
+}
+
+// computeAuthority resolves the authority options against the collection
+// size.
+func computeAuthority(o *options, nDocs int) ([]float64, error) {
+	if o.authority != nil && o.pageRankLinks != nil {
+		return nil, errors.New("authtext: WithAuthority and WithPageRank are mutually exclusive")
+	}
+	if o.authority != nil {
+		if len(o.authority) != nDocs {
+			return nil, fmt.Errorf("authtext: %d authority scores for %d documents", len(o.authority), nDocs)
+		}
+		return o.authority, nil
+	}
+	if o.pageRankLinks != nil {
+		if len(o.pageRankLinks) != nDocs {
+			return nil, fmt.Errorf("authtext: link lists for %d documents, have %d", nDocs, len(o.pageRankLinks))
+		}
+		g := linkgraph.NewGraph(nDocs)
+		for src, outs := range o.pageRankLinks {
+			for _, dst := range outs {
+				if err := g.AddLink(src, dst); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return g.Normalized(0.85, 100, 1e-10)
+	}
+	return nil, nil
+}

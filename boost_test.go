@@ -1,0 +1,71 @@
+package authtext
+
+import "testing"
+
+func TestWithAuthorityEndToEnd(t *testing.T) {
+	docs := newsDocs()
+	scores := make([]float64, len(docs))
+	for i := range scores {
+		scores[i] = float64(i) / float64(len(docs)-1)
+	}
+	o, err := NewOwner(docs, WithAuthority(scores, 2.0), WithFastSigner([]byte("boost")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := o.Server(), o.Client()
+	for _, q := range []string{"patent examiner", "search results", "integrity"} {
+		for _, algo := range []Algorithm{TRA, TNRA} {
+			for _, scheme := range []Scheme{MHT, ChainMHT} {
+				res, err := server.Search(q, 3, algo, scheme)
+				if err != nil {
+					t.Fatalf("%v-%v: %v", algo, scheme, err)
+				}
+				if err := client.Verify(q, 3, res); err != nil {
+					t.Fatalf("%v-%v %q: %v", algo, scheme, q, err)
+				}
+			}
+		}
+	}
+}
+
+func TestWithPageRankEndToEnd(t *testing.T) {
+	docs := newsDocs()
+	links := make([][]int, len(docs))
+	for i := 1; i < len(docs); i++ {
+		links[i] = []int{0, i / 2}
+	}
+	o, err := NewOwner(docs, WithPageRank(links, 1.5), WithFastSigner([]byte("pr")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := o.Server(), o.Client()
+	res, err := server.Search("patent examiner portal", 3, TNRA, ChainMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Verify("patent examiner portal", 3, res); err != nil {
+		t.Fatal(err)
+	}
+	// Tampered hit score must be rejected.
+	if len(res.Hits) > 0 {
+		res.Hits[0].Score += 0.1
+		if err := client.Verify("patent examiner portal", 3, res); err == nil {
+			t.Fatal("tampered boosted score accepted")
+		}
+	}
+}
+
+func TestBoostOptionValidation(t *testing.T) {
+	docs := newsDocs()
+	if _, err := NewOwner(docs, WithAuthority([]float64{1}, 1)); err == nil {
+		t.Fatal("mismatched authority length accepted")
+	}
+	if _, err := NewOwner(docs,
+		WithAuthority(make([]float64, len(docs)), 1),
+		WithPageRank(make([][]int, len(docs)), 1)); err == nil {
+		t.Fatal("conflicting boost options accepted")
+	}
+	if _, err := NewOwner(docs, WithPageRank(make([][]int, 3), 1)); err == nil {
+		t.Fatal("mismatched link-list length accepted")
+	}
+}

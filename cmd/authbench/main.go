@@ -1,0 +1,132 @@
+// Command authbench regenerates the tables and figures of the paper's
+// evaluation (§4) on a synthetic WSJ-like collection.
+//
+// Usage:
+//
+//	authbench [-profile tiny|small|medium|wsj] [-fig all|4|13|14|15|table2|space|headline]
+//	          [-queries N] [-rsa] [-out FILE]
+//
+// The medium profile (20,000 documents) reproduces the shape of every
+// figure in minutes; wsj runs at full paper scale (172,961 documents).
+// With -rsa the owner signs with RSA-1024 exactly as in the paper (slow at
+// scale); the default keyed-hash signer emits RSA-sized signatures so VO
+// sizes and I/O are unaffected (DESIGN.md §3.7).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"authtext/internal/corpus"
+	"authtext/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "authbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	profileName := flag.String("profile", "medium", "corpus profile: tiny, small, medium, wsj")
+	fig := flag.String("fig", "all", "experiment: all, 4, 13, 14, 15, table2, space, headline")
+	queries := flag.Int("queries", 0, "queries per sweep point (0 = profile default)")
+	rsa := flag.Bool("rsa", false, "sign with RSA-1024 instead of the fast keyed-hash signer")
+	outPath := flag.String("out", "", "write output to this file as well as stdout")
+	flag.Parse()
+
+	profile, err := corpus.ProfileByName(*profileName)
+	if err != nil {
+		return err
+	}
+	opts := experiments.DefaultOptions()
+	switch profile.Name {
+	case "tiny":
+		opts.Queries = 20
+	case "small":
+		opts.Queries = 50
+	case "medium":
+		opts.Queries = 100
+	case "wsj":
+		opts.Queries = 100
+	}
+	if *queries > 0 {
+		opts.Queries = *queries
+	}
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	fmt.Fprintf(w, "authbench: profile=%s docs=%d vocab=%d queries/point=%d rsa=%v\n",
+		profile.Name, profile.Docs, profile.Vocab, opts.Queries, *rsa)
+	start := time.Now()
+	fixture, err := experiments.NewFixture(profile, *rsa)
+	if err != nil {
+		return err
+	}
+	bs := fixture.Col.BuildStats()
+	idx := fixture.Col.Index()
+	fmt.Fprintf(w, "built collection: n=%d m=%d signatures=%d build=%v device=%.1f MB\n\n",
+		idx.N, idx.M(), bs.Signatures, bs.BuildTime.Round(time.Millisecond),
+		float64(fixture.Col.Space().DeviceBytes)/(1<<20))
+
+	want := strings.Split(*fig, ",")
+	has := func(name string) bool {
+		for _, x := range want {
+			if x == "all" || x == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	if has("4") {
+		experiments.Fig4(fixture, w)
+		fmt.Fprintln(w)
+	}
+	if has("13") {
+		if _, err := experiments.Fig13(fixture, opts, w); err != nil {
+			return err
+		}
+	}
+	if has("table2") {
+		if _, err := experiments.Table2(fixture, opts, w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if has("14") {
+		if _, err := experiments.Fig14(fixture, opts, w); err != nil {
+			return err
+		}
+	}
+	if has("15") {
+		if _, err := experiments.Fig15(fixture, opts, w); err != nil {
+			return err
+		}
+	}
+	if has("space") {
+		experiments.SpaceReport(fixture, w)
+		fmt.Fprintln(w)
+	}
+	if has("headline") {
+		if _, err := experiments.Headline(fixture, opts, w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "total experiment time: %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSnippet(t *testing.T) {
+	if got := snippet([]byte("hello   world"), 20); got != "hello world" {
+		t.Fatalf("snippet = %q", got)
+	}
+	long := strings.Repeat("word ", 30)
+	got := snippet([]byte(long), 20)
+	if len(got) > 24 || !strings.HasSuffix(got, "…") {
+		t.Fatalf("long snippet = %q", got)
+	}
+}
+
+func TestLoadDocsDemo(t *testing.T) {
+	docs, names, err := loadDocs("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != len(demoCorpus) || len(names) != len(docs) {
+		t.Fatalf("demo corpus: %d docs, %d names", len(docs), len(names))
+	}
+}
+
+func TestLoadDocsDirectory(t *testing.T) {
+	dir := t.TempDir()
+	for _, f := range []struct{ name, body string }{
+		{"b.txt", "second document about braking"},
+		{"a.txt", "first document about patents"},
+		{"ignored.md", "not indexed"},
+	} {
+		if err := os.WriteFile(filepath.Join(dir, f.name), []byte(f.body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	docs, names, err := loadDocs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 {
+		t.Fatalf("%d docs, want 2 (.md skipped)", len(docs))
+	}
+	// Sorted by filename.
+	if names[0] != "a.txt" || names[1] != "b.txt" {
+		t.Fatalf("names = %v", names)
+	}
+	if !strings.Contains(string(docs[0].Content), "patents") {
+		t.Fatal("content mismatch")
+	}
+}
+
+func TestLoadDocsEmptyDirectory(t *testing.T) {
+	if _, _, err := loadDocs(t.TempDir()); err == nil {
+		t.Fatal("empty directory accepted")
+	}
+}

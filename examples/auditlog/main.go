@@ -1,0 +1,141 @@
+// Auditlog: archiving verification objects as an audit trail.
+//
+// §1 notes that "the integrity proof can also be archived to construct an
+// audit trail for any ensuing decision taken by the user." This example
+// plays a compliance officer at a legal firm: every search is archived to
+// disk — query, result, and VO — and re-verified later (e.g. during an
+// audit months after the fact), without contacting the search engine again.
+//
+// Run with: go run ./examples/auditlog
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"authtext"
+)
+
+// archiveEntry is the durable audit record for one search.
+type archiveEntry struct {
+	Query   string             `json:"query"`
+	R       int                `json:"r"`
+	Hits    []archivedHit      `json:"hits"`
+	VO      []byte             `json:"vo"`
+	Stats   map[string]float64 `json:"stats"`
+	Verdict string             `json:"verdict_at_search_time"`
+}
+
+type archivedHit struct {
+	DocID   int     `json:"doc_id"`
+	Score   float64 `json:"score"`
+	Content []byte  `json:"content"`
+}
+
+var filings = []string{
+	"Case 17 concerns breach of a software escrow agreement and source code disclosure",
+	"Case 18 disputes the licensing terms of a standard essential patent portfolio",
+	"Case 19 alleges misappropriation of trade secrets by a departing engineer",
+	"Case 20 reviews indemnification clauses in a cloud services master agreement",
+	"Case 21 concerns patent infringement by an imported braking assembly",
+	"Case 22 challenges the validity of a design patent on a handheld scanner",
+	"Case 23 examines copyright in machine generated documentation and code",
+	"Case 24 settles royalty disputes over audio codec patent licensing",
+	"Case 25 addresses trademark dilution in comparative search advertising",
+	"Case 26 interprets the arbitration clause of a chip supply agreement",
+}
+
+func main() {
+	docs := make([]authtext.Document, len(filings))
+	for i, f := range filings {
+		docs[i] = authtext.Document{Content: []byte(f)}
+	}
+	owner, err := authtext.NewOwner(docs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	server, client := owner.Server(), owner.Client()
+
+	dir, err := os.MkdirTemp("", "authtext-audit-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Phase 1 — research: run searches, verify, archive.
+	queries := []string{"patent licensing", "agreement clause", "trade secrets engineer"}
+	for i, q := range queries {
+		res, err := server.Search(q, 3, authtext.TNRA, authtext.ChainMHT)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "verified"
+		if err := client.Verify(q, 3, res); err != nil {
+			verdict = "rejected: " + err.Error()
+		}
+		entry := archiveEntry{Query: q, R: 3, VO: res.VO, Verdict: verdict,
+			Stats: map[string]float64{"vo_bytes": float64(res.Stats.VOBytes)}}
+		for _, h := range res.Hits {
+			entry.Hits = append(entry.Hits, archivedHit{DocID: h.DocID, Score: h.Score, Content: h.Content})
+		}
+		blob, err := json.MarshalIndent(entry, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("search-%03d.json", i))
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("archived %q → %s (%d bytes, %s)\n", q, filepath.Base(path), len(blob), verdict)
+	}
+
+	// Phase 2 — audit: months later, reload each record and re-verify the
+	// archived proof offline.
+	fmt.Println("\nreplaying the audit trail:")
+	records, err := filepath.Glob(filepath.Join(dir, "search-*.json"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, path := range records {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var entry archiveEntry
+		if err := json.Unmarshal(blob, &entry); err != nil {
+			log.Fatal(err)
+		}
+		res := &authtext.SearchResult{VO: entry.VO}
+		for _, h := range entry.Hits {
+			res.Hits = append(res.Hits, authtext.Hit{DocID: h.DocID, Score: h.Score, Content: h.Content})
+		}
+		if err := client.Verify(entry.Query, entry.R, res); err != nil {
+			log.Fatalf("audit FAILED for %q: %v", entry.Query, err)
+		}
+		fmt.Printf("  %s: %q re-verified against the archived proof\n", filepath.Base(path), entry.Query)
+	}
+
+	// Phase 3 — a forged archive entry does not survive the audit.
+	fmt.Println("\ntampering with an archived record:")
+	blob, err := os.ReadFile(records[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	var entry archiveEntry
+	if err := json.Unmarshal(blob, &entry); err != nil {
+		log.Fatal(err)
+	}
+	entry.Hits[0].Score += 0.5 // doctor the archived score
+	res := &authtext.SearchResult{VO: entry.VO}
+	for _, h := range entry.Hits {
+		res.Hits = append(res.Hits, authtext.Hit{DocID: h.DocID, Score: h.Score, Content: h.Content})
+	}
+	if err := client.Verify(entry.Query, entry.R, res); err != nil {
+		fmt.Printf("  forged record rejected: %v\n", err)
+	} else {
+		log.Fatal("forged archive record passed the audit")
+	}
+}

@@ -1,0 +1,115 @@
+// Newsroom: a subscription news archive compares the two query algorithms
+// on the same collection.
+//
+// A financial-news archive (the kind of paid content service the paper's
+// introduction motivates) serves verified searches. The example runs the
+// same queries under TRA and TNRA with both authentication schemes and
+// prints the cost profile of each — reproducing, at miniature scale, the
+// §4.5 conclusion that TNRA + chain-MHT gives the smallest proofs and the
+// least I/O.
+//
+// Run with: go run ./examples/newsroom
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"authtext"
+)
+
+var articles = []string{
+	"Central bank raises interest rates amid persistent inflation in consumer prices",
+	"Quarterly earnings beat expectations as cloud revenue doubles for the software giant",
+	"Merger talks between the two railway operators stall over regulatory concerns",
+	"Inflation cools for the third straight month easing pressure on the central bank",
+	"Venture funding for climate technology startups reaches a record high this quarter",
+	"The airline restores dividend payments after three years of pandemic losses",
+	"Regulators approve the acquisition of the chip designer despite antitrust objections",
+	"Oil prices slide as production quotas loosen across the exporting countries",
+	"The retailer warns on margins as freight costs climb and inventories swell",
+	"Bond yields surge after the central bank signals further interest rate increases",
+	"Housing starts fall sharply as mortgage rates reach a two decade high",
+	"The carmaker recalls half a million vehicles over a braking software defect",
+	"Earnings season opens with banks reporting stronger than expected trading revenue",
+	"Grain exports resume under the renewed shipping corridor agreement",
+	"The exchange fines a brokerage for reporting failures in derivatives trading",
+	"Semiconductor inventories normalize as data center demand absorbs the surplus",
+	"Consumer confidence rebounds on falling fuel prices and steady employment",
+	"The pension fund shifts allocations toward inflation protected securities",
+	"Streaming subscriptions plateau prompting the studio to bundle its services",
+	"Copper futures rally on electrification demand and constrained mine supply",
+	"The regulator proposes new disclosure rules for climate related financial risk",
+	"Private equity raises a record buyout fund targeting industrial automation",
+	"The startup delays its listing citing volatile market conditions",
+	"Currency intervention steadies the exchange rate after a week of declines",
+}
+
+func main() {
+	docs := make([]authtext.Document, len(articles))
+	for i, a := range articles {
+		docs[i] = authtext.Document{Content: []byte(a)}
+	}
+	owner, err := authtext.NewOwner(docs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buildMs, sigs, _ := owner.Stats()
+	fmt.Printf("archive indexed: %d articles, %d signatures, %.0f ms build\n\n", len(articles), sigs, buildMs)
+	server, client := owner.Server(), owner.Client()
+
+	queries := []string{
+		"central bank interest rates",
+		"earnings revenue trading",
+		"inflation consumer prices",
+	}
+	configs := []struct {
+		algo   authtext.Algorithm
+		scheme authtext.Scheme
+	}{
+		{authtext.TRA, authtext.MHT},
+		{authtext.TRA, authtext.ChainMHT},
+		{authtext.TNRA, authtext.MHT},
+		{authtext.TNRA, authtext.ChainMHT},
+	}
+
+	fmt.Printf("%-12s %-30s %10s %10s %8s\n", "variant", "query", "entries/t", "io", "vo(B)")
+	for _, q := range queries {
+		for _, cfg := range configs {
+			res, err := server.Search(q, 3, cfg.algo, cfg.scheme)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := client.Verify(q, 3, res); err != nil {
+				log.Fatalf("verification failed for %q under %v-%v: %v", q, cfg.algo, cfg.scheme, err)
+			}
+			st := res.Stats
+			fmt.Printf("%-12s %-30s %10.1f %10s %8d\n",
+				cfg.algo.String()+"-"+cfg.scheme.String(), truncate(q, 30),
+				st.EntriesPerTerm, st.IOTime, st.VOBytes)
+		}
+		fmt.Println()
+	}
+
+	// Show the verified answer of the recommended configuration.
+	q := queries[0]
+	res, err := server.Search(q, 3, authtext.TNRA, authtext.ChainMHT)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Verify(q, 3, res); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verified answer for %q:\n", q)
+	for i, h := range res.Hits {
+		fmt.Printf("  %d. (%.4f) %s\n", i+1, h.Score, h.Content)
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return strings.TrimSpace(s[:n-1]) + "…"
+}

@@ -1,0 +1,108 @@
+// Patents: the MicroPatent threat scenario from the paper's introduction.
+//
+// A patent examiner queries a third-party search portal. The portal has
+// been compromised and mounts, in turn, the three attacks of §1:
+//
+//  1. incomplete results — a competitor's patent silently dropped;
+//  2. altered ranking — the order of two results swapped;
+//  3. spurious results — a fake patent spliced into the answer.
+//
+// Each attack is simulated by mutating the answer after the honest search,
+// and each is caught by the client-side verification.
+//
+// Run with: go run ./examples/patents
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"authtext"
+)
+
+var patents = []string{
+	"Patent 4001: method for braking a bicycle with a hydraulic disc and caliper assembly",
+	"Patent 4002: bicycle braking system using regenerative electric motor resistance",
+	"Patent 4003: hydraulic brake fluid reservoir with automatic pressure compensation",
+	"Patent 4004: carbon fiber bicycle frame with integrated cable routing channels",
+	"Patent 4005: disc brake rotor with ventilated cooling fins for bicycles",
+	"Patent 4006: anti lock braking controller for lightweight electric bicycles",
+	"Patent 4007: gear shifting mechanism with electronic derailleur actuation",
+	"Patent 4008: suspension fork with adjustable hydraulic damping circuit",
+	"Patent 4009: braking lever geometry for reduced hand fatigue on long descents",
+	"Patent 4010: quick release wheel hub with safety retention for disc brakes",
+	"Patent 4011: tire compound with silica additive for wet braking performance",
+	"Patent 4012: handlebar mounted display for electric bicycle battery status",
+}
+
+func main() {
+	docs := make([]authtext.Document, len(patents))
+	for i, p := range patents {
+		docs[i] = authtext.Document{Content: []byte(p)}
+	}
+	owner, err := authtext.NewOwner(docs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	server, client := owner.Server(), owner.Client()
+
+	const query = "bicycle hydraulic disc braking"
+	const r = 4
+	honest, err := server.Search(query, r, authtext.TRA, authtext.ChainMHT)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Verify(query, r, honest); err != nil {
+		log.Fatalf("honest answer rejected: %v", err)
+	}
+	fmt.Printf("honest answer for %q VERIFIED:\n", query)
+	for i, h := range honest.Hits {
+		fmt.Printf("  %d. (%.4f) %s\n", i+1, h.Score, h.Content)
+	}
+	fmt.Println()
+
+	attacks := []struct {
+		name  string
+		apply func(*authtext.SearchResult)
+	}{
+		{
+			"incomplete result (competitor's patent dropped)",
+			func(res *authtext.SearchResult) {
+				res.Hits = res.Hits[1:]
+			},
+		},
+		{
+			"altered ranking (top two results swapped)",
+			func(res *authtext.SearchResult) {
+				res.Hits[0], res.Hits[1] = res.Hits[1], res.Hits[0]
+			},
+		},
+		{
+			"spurious result (fake patent spliced in)",
+			func(res *authtext.SearchResult) {
+				fake := authtext.Hit{
+					DocID:   len(patents) + 99,
+					Score:   res.Hits[0].Score + 1,
+					Content: []byte("Patent 9999: perpetual motion braking system"),
+				}
+				res.Hits = append([]authtext.Hit{fake}, res.Hits[1:]...)
+			},
+		},
+	}
+
+	for _, attack := range attacks {
+		// The compromised portal recomputes nothing; it mutates the honest
+		// answer and replays the original proof.
+		tampered, err := server.Search(query, r, authtext.TRA, authtext.ChainMHT)
+		if err != nil {
+			log.Fatal(err)
+		}
+		attack.apply(tampered)
+		err = client.Verify(query, r, tampered)
+		if err == nil {
+			log.Fatalf("ATTACK SUCCEEDED: %s", attack.name)
+		}
+		fmt.Printf("attack %-55s → detected: %v\n", attack.name, err)
+	}
+	fmt.Println("\nall three §1 attacks detected")
+}

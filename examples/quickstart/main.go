@@ -1,0 +1,61 @@
+// Quickstart: the minimal owner → server → client round trip.
+//
+// The owner indexes a handful of documents and signs the authentication
+// structures; the (untrusted) server answers a top-3 query with a
+// verification object; the client checks the result against the owner's
+// public key before trusting it.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"authtext"
+)
+
+func main() {
+	docs := []authtext.Document{
+		{Content: []byte("The old night keeper keeps the keep in the town")},
+		{Content: []byte("In the big old house in the big old gown")},
+		{Content: []byte("The house in the town had the big old keep")},
+		{Content: []byte("Where the old night keeper never did sleep")},
+		{Content: []byte("The night keeper keeps the keep in the night")},
+		{Content: []byte("And this is the big old sleeps dark light house")},
+		{Content: []byte("A merchant sailed along the river at dawn with silk and spice")},
+		{Content: []byte("The market square filled with traders selling copper and grain")},
+		{Content: []byte("Fishermen mended their nets beside the harbor wall at dusk")},
+		{Content: []byte("A stone bridge crossed the river near the old mill and granary")},
+		{Content: []byte("Shepherds drove their flock across the valley before the storm")},
+		{Content: []byte("The library kept maps and grain ledgers and letters under seal")},
+	}
+
+	// 1. The data owner builds the index, the Merkle structures, and signs
+	//    their roots with a fresh RSA-1024 key.
+	owner, err := authtext.NewOwner(docs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := owner.Server() // runs at the (untrusted) search engine
+	client := owner.Client() // holds only the manifest and public key
+
+	// 2. The server answers a similarity query. TNRA + chain-MHT is the
+	//    configuration the paper recommends (§4.5).
+	const query = "night keeper keep"
+	res, err := server.Search(query, 3, authtext.TNRA, authtext.ChainMHT)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. The client verifies the result before using it.
+	if err := client.Verify(query, 3, res); err != nil {
+		log.Fatalf("result REJECTED: %v", err)
+	}
+
+	fmt.Printf("query %q verified (%d-byte proof, %.1f entries/term read)\n\n",
+		query, res.Stats.VOBytes, res.Stats.EntriesPerTerm)
+	for i, h := range res.Hits {
+		fmt.Printf("%d. doc %d (score %.4f): %s\n", i+1, h.DocID, h.Score, h.Content)
+	}
+}

@@ -1,0 +1,90 @@
+// Webgraph: authenticated search with hyperlink-based authority boosting —
+// the paper's §5 future-work direction, implemented as an extension.
+//
+// A small "web" of pages links preferentially to a handful of hubs. The
+// owner computes PageRank over the link graph, commits the authority
+// scores in an authority-MHT, and publishes beta and A_max in the signed
+// manifest. Rankings become S(d|Q) + β·A(d) for matching pages; the VO
+// additionally proves every revealed page's authority, so a compromised
+// engine can neither inflate a page's authority nor hide a hub.
+//
+// Run with: go run ./examples/webgraph
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"authtext"
+)
+
+// pages and links model a tiny tech-news web: page 0 is the front page
+// everyone links to, page 1 a popular reference.
+var pages = []string{
+	"front page linking the best articles about storage engines and verified search",
+	"reference manual for the verified search engine and its storage format",
+	"blog post about storage engines with benchmarks and tuning advice",
+	"opinion column about search ranking and the economics of verified results",
+	"tutorial building a storage engine from scratch in a weekend",
+	"forum thread comparing storage engines for verified workloads",
+	"press release announcing a verified search product for legal archives",
+	"archived mailing list discussion of ranking functions and storage",
+	"personal notes on search ranking experiments with storage backends",
+	"link roundup of storage and ranking articles from this month",
+}
+
+var links = [][]int{
+	1: {0}, 2: {0, 1}, 3: {0}, 4: {1, 0}, 5: {0, 2, 1},
+	6: {0}, 7: {1}, 8: {2, 0}, 9: {0, 1, 2, 3},
+}
+
+func main() {
+	docs := make([]authtext.Document, len(pages))
+	for i, p := range pages {
+		docs[i] = authtext.Document{Content: []byte(p)}
+	}
+	linkLists := make([][]int, len(pages))
+	copy(linkLists, links)
+
+	plainOwner, err := authtext.NewOwner(docs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	boostedOwner, err := authtext.NewOwner(docs, authtext.WithPageRank(linkLists, 3.0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const query = "storage engines verified search"
+	const r = 4
+
+	show := func(label string, owner *authtext.Owner) *authtext.SearchResult {
+		server, client := owner.Server(), owner.Client()
+		res, err := server.Search(query, r, authtext.TNRA, authtext.ChainMHT)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := client.Verify(query, r, res); err != nil {
+			log.Fatalf("%s: verification failed: %v", label, err)
+		}
+		fmt.Printf("%s (VO %d bytes):\n", label, res.Stats.VOBytes)
+		for i, h := range res.Hits {
+			fmt.Printf("  %d. page %d (%.4f) %.60s…\n", i+1, h.DocID, h.Score, h.Content)
+		}
+		fmt.Println()
+		return res
+	}
+
+	show("plain Okapi ranking", plainOwner)
+	res := show("PageRank-boosted ranking (β = 3)", boostedOwner)
+
+	// A compromised engine cannot quietly strip the boost: the claimed
+	// scores would no longer match the certified authorities.
+	client := boostedOwner.Client()
+	res.Hits[0].Score -= 1.0
+	if err := client.Verify(query, r, res); err != nil {
+		fmt.Printf("score-tampering detected: %v\n", err)
+	} else {
+		log.Fatal("tampered boost went undetected")
+	}
+}

@@ -1,0 +1,85 @@
+package authtext
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"authtext/internal/core"
+	"authtext/internal/sig"
+)
+
+// Client export format: everything a user needs to verify results, in one
+// self-contained blob the owner can publish out of band (web page, package
+// registry, smart card): the signed manifest and the RSA public key.
+//
+// Layout: magic "ATCX" | u16 len + manifest bytes | u16 len + manifest
+// signature | u16 len + PKIX public key DER.
+
+const exportMagic = "ATCX"
+
+// ExportClient serialises the verification material for distribution to
+// users. It requires the default RSA signer (the keyed-hash benchmark
+// signer has no public half to export).
+func (o *Owner) ExportClient() ([]byte, error) {
+	m, msig := o.col.Manifest()
+	rsaVerifier, ok := o.col.Verifier().(*sig.RSAVerifier)
+	if !ok {
+		return nil, errors.New("authtext: only RSA-signed collections can be exported")
+	}
+	der, err := rsaVerifier.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	enc := m.Encode()
+	out := make([]byte, 0, len(exportMagic)+6+len(enc)+len(msig)+len(der))
+	out = append(out, exportMagic...)
+	out = appendChunk(out, enc)
+	out = appendChunk(out, msig)
+	out = appendChunk(out, der)
+	return out, nil
+}
+
+func appendChunk(b, chunk []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(chunk)))
+	return append(b, chunk...)
+}
+
+// NewClientFromExport reconstructs a Client from an ExportClient blob. The
+// manifest signature is checked against the embedded public key before the
+// client is returned, so a tampered blob is rejected here rather than at
+// first use.
+func NewClientFromExport(data []byte) (*Client, error) {
+	if len(data) < len(exportMagic) || string(data[:len(exportMagic)]) != exportMagic {
+		return nil, errors.New("authtext: not a client export")
+	}
+	rest := data[len(exportMagic):]
+	chunks := make([][]byte, 3)
+	for i := range chunks {
+		if len(rest) < 2 {
+			return nil, errors.New("authtext: truncated client export")
+		}
+		n := int(binary.BigEndian.Uint16(rest))
+		rest = rest[2:]
+		if len(rest) < n {
+			return nil, errors.New("authtext: truncated client export")
+		}
+		chunks[i] = rest[:n]
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return nil, errors.New("authtext: trailing bytes in client export")
+	}
+	manifest, err := core.DecodeManifest(chunks[0])
+	if err != nil {
+		return nil, fmt.Errorf("authtext: %w", err)
+	}
+	verifier, err := sig.ParseRSAVerifier(chunks[2])
+	if err != nil {
+		return nil, err
+	}
+	if err := core.VerifyManifest(manifest, chunks[1], verifier); err != nil {
+		return nil, err
+	}
+	return &Client{manifest: manifest, manifestSig: chunks[1], verifier: verifier, checked: true}, nil
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"authtext/internal/index"
+	"authtext/internal/okapi"
+)
+
+// randomIndex builds a small random corpus for property tests.
+func randomIndex(r *rand.Rand) *index.Index {
+	nDocs := 3 + r.Intn(40)
+	vocab := 5 + r.Intn(25)
+	docs := make([]index.Document, nDocs)
+	for i := range docs {
+		ln := 2 + r.Intn(40)
+		toks := make([]string, ln)
+		for j := range toks {
+			// Zipf-ish skew: low word ids are much more frequent.
+			w := int(math.Floor(math.Pow(r.Float64(), 2.2) * float64(vocab)))
+			toks[j] = fmt.Sprintf("w%03d", w)
+		}
+		docs[i] = index.Document{Content: []byte(fmt.Sprint(i, toks)), Tokens: toks}
+	}
+	idx, err := index.Build(docs, index.Options{Okapi: okapi.DefaultParams(), RemoveSingletons: false})
+	if err != nil {
+		panic(err)
+	}
+	return idx
+}
+
+func randomQuery(r *rand.Rand, idx *index.Index) *Query {
+	qn := 1 + r.Intn(5)
+	var tokens []string
+	for i := 0; i < qn; i++ {
+		tokens = append(tokens, idx.Name(index.TermID(r.Intn(idx.M()))))
+	}
+	q, err := BuildQuery(idx, tokens)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func TestBuildQuery(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	idx := randomIndex(r)
+	name0 := idx.Name(0)
+	name1 := idx.Name(1)
+	q, err := BuildQuery(idx, []string{name0, "zzz-not-a-term", name1, name0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Terms) != 2 {
+		t.Fatalf("%d terms, want 2", len(q.Terms))
+	}
+	if q.Terms[0].Name != name0 || q.Terms[0].FQ != 2 {
+		t.Fatalf("term 0 = %+v, want %s with fQ=2", q.Terms[0], name0)
+	}
+	if q.Terms[1].Name != name1 || q.Terms[1].FQ != 1 {
+		t.Fatalf("term 1 = %+v", q.Terms[1])
+	}
+	if len(q.Unknown) != 1 || q.Unknown[0] != "zzz-not-a-term" {
+		t.Fatalf("unknown = %v", q.Unknown)
+	}
+	if q.Terms[0].WQ != okapi.QueryWeight(idx.N, q.Terms[0].FT, 2) {
+		t.Fatal("wQ mismatch")
+	}
+}
+
+func TestPSCANMatchesNaiveScoring(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		idx := randomIndex(r)
+		q := randomQuery(r, idx)
+		src := &MemSource{Idx: idx}
+		got, err := PSCAN(q, src)
+		if err != nil {
+			return false
+		}
+		// Naive: score every document directly from its vector.
+		type ds struct {
+			d index.DocID
+			s float64
+		}
+		var want []ds
+		for d := 0; d < idx.N; d++ {
+			w := QueryWeights(q, idx.DocVector(index.DocID(d)))
+			any := false
+			for _, x := range w {
+				if x != 0 {
+					any = true
+				}
+			}
+			if any {
+				want = append(want, ds{index.DocID(d), Score(q, w)})
+			}
+		}
+		sort.Slice(want, func(a, b int) bool {
+			if want[a].s != want[b].s {
+				return want[a].s > want[b].s
+			}
+			return want[a].d < want[b].d
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Doc != want[i].d || got[i].Score != want[i].s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TRA returns exactly the PSCAN top-r (scores identical; doc ids
+// may differ only among tied scores).
+func TestTRAMatchesPSCANProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		idx := randomIndex(r)
+		q := randomQuery(r, idx)
+		rr := 1 + r.Intn(10)
+		src := &MemSource{Idx: idx}
+		oracle, err := PSCAN(q, src)
+		if err != nil {
+			return false
+		}
+		out, err := TRA(q, src, src, rr, nil)
+		if err != nil {
+			return false
+		}
+		return resultsMatchTopK(t, out.Result, oracle, rr, true)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TNRA selects a true top-r set (score multisets match) and its
+// claimed SLB scores never exceed the true scores.
+func TestTNRAMatchesPSCANProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		idx := randomIndex(r)
+		q := randomQuery(r, idx)
+		rr := 1 + r.Intn(10)
+		src := &MemSource{Idx: idx}
+		oracle, err := PSCAN(q, src)
+		if err != nil {
+			return false
+		}
+		out, err := TNRA(q, src, rr, nil)
+		if err != nil {
+			return false
+		}
+		if !resultsMatchTopK(t, out.Result, oracle, rr, false) {
+			return false
+		}
+		// SLB never exceeds the true score.
+		trueScore := make(map[index.DocID]float64, len(oracle))
+		for _, e := range oracle {
+			trueScore[e.Doc] = e.Score
+		}
+		for _, e := range out.Result {
+			if e.Score > trueScore[e.Doc]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// resultsMatchTopK checks got against the first k oracle entries. With
+// exactScores, got's scores must equal the oracle scores of the same docs;
+// either way the score multisets must agree (ties may permute docs).
+func resultsMatchTopK(t *testing.T, got, oracle []ResultEntry, k int, exactScores bool) bool {
+	t.Helper()
+	want := oracle
+	if len(want) > k {
+		want = want[:k]
+	}
+	if len(got) != len(want) {
+		t.Logf("result size %d, want %d", len(got), len(want))
+		return false
+	}
+	trueScore := make(map[index.DocID]float64, len(oracle))
+	for _, e := range oracle {
+		trueScore[e.Doc] = e.Score
+	}
+	for i, e := range got {
+		ts, ok := trueScore[e.Doc]
+		if !ok {
+			t.Logf("doc %d not scored by oracle", e.Doc)
+			return false
+		}
+		if exactScores && e.Score != ts {
+			t.Logf("doc %d score %v, oracle %v", e.Doc, e.Score, ts)
+			return false
+		}
+		// The i-th true score must match the oracle's i-th score.
+		if math.Abs(ts-want[i].Score) > 1e-12 {
+			t.Logf("position %d: true score %v, oracle %v", i, ts, want[i].Score)
+			return false
+		}
+	}
+	return true
+}
+
+func TestTRARevealedPrefixInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		idx := randomIndex(r)
+		q := randomQuery(r, idx)
+		rr := 1 + r.Intn(8)
+		src := &MemSource{Idx: idx}
+		out, err := TRA(q, src, src, rr, nil)
+		if err != nil {
+			return false
+		}
+		for i := range q.Terms {
+			li := len(idx.List(q.Terms[i].ID))
+			k := out.KScore[i]
+			if k < 1 || k > li {
+				return false
+			}
+			if out.Exhausted[i] != (k == li) {
+				return false
+			}
+		}
+		// Every result doc is encountered.
+		enc := make(map[index.DocID]bool)
+		for _, d := range out.Encountered {
+			enc[d] = true
+		}
+		for _, e := range out.Result {
+			if !enc[e.Doc] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTNRAEvalConditionsSound(t *testing.T) {
+	// When EvalTNRA reports OK, the selected set must be a true top-r by
+	// actual scores.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		idx := randomIndex(r)
+		q := randomQuery(r, idx)
+		rr := 1 + r.Intn(8)
+		src := &MemSource{Idx: idx}
+		out, err := TNRA(q, src, rr, nil)
+		if err != nil {
+			return false
+		}
+		ev := EvalTNRA(q, prefixesFromIndex(idx, q, out.KScore), out.Exhausted, rr)
+		if !ev.OK {
+			return false // the algorithm's own outcome must re-verify
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func prefixesFromIndex(idx *index.Index, q *Query, k []int) [][]index.Posting {
+	out := make([][]index.Posting, len(q.Terms))
+	for i := range q.Terms {
+		out[i] = idx.List(q.Terms[i].ID)[:k[i]]
+	}
+	return out
+}
+
+func TestScoreCanonicalOrder(t *testing.T) {
+	q := &Query{Terms: []QueryTerm{{WQ: 0.1}, {WQ: 0.7}, {WQ: 1.3}}}
+	w := []float32{0.5, 0.25, 0.125}
+	want := 0.1*float64(float32(0.5)) + 0.7*float64(float32(0.25)) + 1.3*float64(float32(0.125))
+	if got := Score(q, w); got != want {
+		t.Fatalf("Score = %v, want %v", got, want)
+	}
+}
+
+func TestAlgorithmsRejectEmptyQuery(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	idx := randomIndex(r)
+	src := &MemSource{Idx: idx}
+	q := &Query{}
+	if _, err := TRA(q, src, src, 5, nil); err != ErrNoQueryTerms {
+		t.Fatalf("TRA err = %v", err)
+	}
+	if _, err := TNRA(q, src, 5, nil); err != ErrNoQueryTerms {
+		t.Fatalf("TNRA err = %v", err)
+	}
+}
+
+func TestTRAWithRLargerThanCollection(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	idx := randomIndex(r)
+	src := &MemSource{Idx: idx}
+	q := randomQuery(r, idx)
+	out, err := TRA(q, src, src, idx.N*2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range q.Terms {
+		if !out.Exhausted[i] {
+			t.Fatal("oversized r must exhaust all lists")
+		}
+	}
+	oracle, _ := PSCAN(q, src)
+	if len(out.Result) != len(oracle) {
+		t.Fatalf("result %d, oracle %d", len(out.Result), len(oracle))
+	}
+}
+
+func TestTNRAWithRLargerThanCollection(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	idx := randomIndex(r)
+	src := &MemSource{Idx: idx}
+	q := randomQuery(r, idx)
+	out, err := TNRA(q, src, idx.N*2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, _ := PSCAN(q, src)
+	if len(out.Result) != len(oracle) {
+		t.Fatalf("result %d, oracle %d", len(out.Result), len(oracle))
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+
+	"authtext/internal/index"
+)
+
+// Boost implements the §5 future-work extension: similarity scores of
+// matching documents are raised by a certified static authority score,
+//
+//	S'(d|Q) = S(d|Q) + β·A(d),   A(d) ∈ [0, 1],
+//
+// applied only to documents containing at least one query term (an
+// authority boost reorders matches; it does not make non-matches
+// retrievable). The owner commits the authority vector in an
+// authority-MHT whose root, together with β and max_d A(d), is signed in
+// the manifest; the server proves A(d) for every revealed document and
+// the client bounds unseen matches by thres + β·A_max.
+type Boost struct {
+	// Beta is the boost weight β (query-independent, from the manifest).
+	Beta float64
+	// AMax is max_d A(d), committed in the manifest: the bound for
+	// documents whose authority the VO does not reveal.
+	AMax float64
+	// Authority returns A(d); it must cover every document the caller
+	// scores (the full pinned vector server-side, the verified VO values
+	// client-side).
+	Authority func(index.DocID) float64
+}
+
+// Score returns β·A(d); a nil Boost scores 0 (plain Okapi ranking).
+func (b *Boost) Score(d index.DocID) float64 {
+	if b == nil {
+		return 0
+	}
+	return b.Beta * b.Authority(d)
+}
+
+// Max returns β·A_max, the boost bound for unrevealed documents.
+func (b *Boost) Max() float64 {
+	if b == nil {
+		return 0
+	}
+	return b.Beta * b.AMax
+}
+
+// EncodeAuthorityLeaf encodes one authority-MHT leaf ⟨d, A(d)⟩.
+func EncodeAuthorityLeaf(d index.DocID, a float32) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint32(b, uint32(d))
+	binary.BigEndian.PutUint32(b[4:], math.Float32bits(a))
+	return b
+}

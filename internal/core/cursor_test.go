@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"authtext/internal/index"
+	"authtext/internal/okapi"
+)
+
+func tinyIndex(t *testing.T) *index.Index {
+	t.Helper()
+	docs := []index.Document{
+		{Content: []byte("c0"), Tokens: []string{"apple", "banana", "apple"}},
+		{Content: []byte("c1"), Tokens: []string{"banana", "cherry"}},
+		{Content: []byte("c2"), Tokens: []string{"apple", "cherry", "cherry"}},
+	}
+	idx, err := index.Build(docs, index.Options{Okapi: okapi.DefaultParams(), RemoveSingletons: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func TestMemCursorSemantics(t *testing.T) {
+	idx := tinyIndex(t)
+	src := &MemSource{Idx: idx}
+	tid, _ := idx.Lookup("apple")
+	cur, err := src.OpenList(tid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", cur.Len())
+	}
+	p1, ok := cur.Peek()
+	if !ok {
+		t.Fatal("peek failed")
+	}
+	// Peek is idempotent.
+	p2, _ := cur.Peek()
+	if p1 != p2 {
+		t.Fatal("peek not idempotent")
+	}
+	cur.Advance()
+	if cur.Consumed() != 1 {
+		t.Fatal("consumed != 1")
+	}
+	cur.Advance()
+	if _, ok := cur.Peek(); ok {
+		t.Fatal("exhausted cursor still peeks")
+	}
+}
+
+func TestMemSourceErrors(t *testing.T) {
+	idx := tinyIndex(t)
+	src := &MemSource{Idx: idx}
+	if _, err := src.OpenList(index.TermID(999)); err == nil {
+		t.Fatal("unknown term opened")
+	}
+	if _, err := src.DocVector(index.DocID(999)); err == nil {
+		t.Fatal("unknown doc fetched")
+	}
+}
+
+func TestQueryWeights(t *testing.T) {
+	idx := tinyIndex(t)
+	q, err := BuildQuery(idx, []string{"apple", "cherry", "durian"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := idx.DocVector(2) // c2: apple, cherry
+	w := QueryWeights(q, vec)
+	if len(w) != 2 {
+		t.Fatalf("weights len %d, want 2 (durian is unknown)", len(w))
+	}
+	if w[0] == 0 || w[1] == 0 {
+		t.Fatalf("present terms have zero weight: %v", w)
+	}
+	vec0 := idx.DocVector(0) // c0: apple, banana — no cherry
+	w0 := QueryWeights(q, vec0)
+	if w0[1] != 0 {
+		t.Fatalf("absent term weight %v, want 0", w0[1])
+	}
+}
+
+func TestCursorPrefix(t *testing.T) {
+	idx := tinyIndex(t)
+	src := &MemSource{Idx: idx}
+	tid, _ := idx.Lookup("cherry")
+	cur, _ := src.OpenList(tid)
+	pre := CursorPrefix(cur, 1)
+	if len(pre) != 1 {
+		t.Fatalf("prefix len %d", len(pre))
+	}
+	if got := CursorPrefix(cur, 0); len(got) != 0 {
+		t.Fatal("empty prefix")
+	}
+}

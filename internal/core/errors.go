@@ -1,0 +1,101 @@
+package core
+
+import "fmt"
+
+// VerifyCode classifies verification failures; the failure-injection test
+// suite asserts specific codes for each tampering strategy of the §1 threat
+// model (incomplete results, altered ranking, spurious results).
+type VerifyCode int
+
+const (
+	// VerifyOK is the zero value; VerifyError never carries it.
+	VerifyOK VerifyCode = iota
+	// CodeMalformedVO: structural problems in the VO itself.
+	CodeMalformedVO
+	// CodeBadSignature: an owner signature failed to verify.
+	CodeBadSignature
+	// CodeBadTermProof: a list prefix did not reproduce its signed root.
+	CodeBadTermProof
+	// CodeBadDocProof: a document-MHT proof failed (bad root, missing term
+	// evidence, or broken non-membership adjacency).
+	CodeBadDocProof
+	// CodeBadContent: delivered document content does not match its
+	// committed digest.
+	CodeBadContent
+	// CodeBadScore: a claimed score differs from the recomputed one.
+	CodeBadScore
+	// CodeBadOrdering: result entries are not in non-increasing score order.
+	CodeBadOrdering
+	// CodeThreshold: the cut-off threshold exceeds the last result score, so
+	// unseen documents could outrank the result (incomplete result).
+	CodeThreshold
+	// CodeIncomplete: an encountered non-result document outscores the
+	// result tail, or the result is short without list exhaustion.
+	CodeIncomplete
+	// CodeSpurious: the result contains a document that cannot be accounted
+	// for by the revealed prefixes.
+	CodeSpurious
+	// CodeBadVocabProof: an out-of-dictionary claim lacks a valid
+	// non-membership proof.
+	CodeBadVocabProof
+	// CodeBadConditions: the TNRA termination conditions do not hold over
+	// the revealed prefixes.
+	CodeBadConditions
+)
+
+// String implements fmt.Stringer.
+func (c VerifyCode) String() string {
+	switch c {
+	case VerifyOK:
+		return "ok"
+	case CodeMalformedVO:
+		return "malformed-vo"
+	case CodeBadSignature:
+		return "bad-signature"
+	case CodeBadTermProof:
+		return "bad-term-proof"
+	case CodeBadDocProof:
+		return "bad-doc-proof"
+	case CodeBadContent:
+		return "bad-content"
+	case CodeBadScore:
+		return "bad-score"
+	case CodeBadOrdering:
+		return "bad-ordering"
+	case CodeThreshold:
+		return "threshold-violated"
+	case CodeIncomplete:
+		return "incomplete-result"
+	case CodeSpurious:
+		return "spurious-result"
+	case CodeBadVocabProof:
+		return "bad-vocab-proof"
+	case CodeBadConditions:
+		return "tnra-conditions-violated"
+	}
+	return fmt.Sprintf("VerifyCode(%d)", int(c))
+}
+
+// VerifyError is returned by Verify when a result fails authentication.
+type VerifyError struct {
+	Code   VerifyCode
+	Detail string
+}
+
+// Error implements error.
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("verify: %s: %s", e.Code, e.Detail)
+}
+
+func vErr(code VerifyCode, format string, args ...interface{}) *VerifyError {
+	return &VerifyError{Code: code, Detail: fmt.Sprintf(format, args...)}
+}
+
+// CodeOf extracts the VerifyCode from an error (VerifyOK for nil or foreign
+// errors).
+func CodeOf(err error) VerifyCode {
+	if ve, ok := err.(*VerifyError); ok {
+		return ve.Code
+	}
+	return VerifyOK
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"authtext/internal/index"
+)
+
+// The golden tests replay the paper's worked example: the inverted index of
+// Figure 1 and the query "sleeps in the dark" with r = 2, checking the TRA
+// trace of Figure 6 and the TNRA trace of Figure 11 iteration by iteration.
+
+// figure6Query reproduces the query of Figs 6/11 with the paper's exact
+// w_{Q,t} values and inverted lists.
+func figure6Query() (*Query, *fixedSource) {
+	lists := map[index.TermID][]index.Posting{
+		0: {{Doc: 6, W: 0.079}}, // sleeps
+		1: {{Doc: 6, W: 0.159}, {Doc: 2, W: 0.148}, {Doc: 5, W: 0.142},
+			{Doc: 1, W: 0.058}, {Doc: 7, W: 0.058}, {Doc: 8, W: 0.053}}, // in
+		2: {{Doc: 5, W: 0.265}, {Doc: 3, W: 0.263}, {Doc: 6, W: 0.200},
+			{Doc: 1, W: 0.159}, {Doc: 2, W: 0.148}, {Doc: 4, W: 0.125}}, // the
+		3: {{Doc: 6, W: 0.079}}, // dark
+	}
+	q := &Query{Terms: []QueryTerm{
+		{Name: "sleeps", ID: 0, FQ: 1, FT: 1, WQ: 2.3979},
+		{Name: "in", ID: 1, FQ: 1, FT: 6, WQ: 1.0986},
+		{Name: "the", ID: 2, FQ: 1, FT: 6, WQ: 0.9808},
+		{Name: "dark", ID: 3, FQ: 1, FT: 6, WQ: 2.3979},
+	}}
+	return q, &fixedSource{lists: lists}
+}
+
+// fixedSource serves hand-built lists and derives document vectors from
+// them, using the query-term ids as term ids.
+type fixedSource struct {
+	lists map[index.TermID][]index.Posting
+}
+
+func (f *fixedSource) OpenList(t index.TermID) (Cursor, error) {
+	return &memCursor{list: f.lists[t]}, nil
+}
+
+func (f *fixedSource) DocVector(d index.DocID) ([]index.TermFreq, error) {
+	var vec []index.TermFreq
+	for t := index.TermID(0); int(t) < len(f.lists); t++ {
+		for _, p := range f.lists[t] {
+			if p.Doc == d {
+				vec = append(vec, index.TermFreq{Term: t, W: p.W})
+			}
+		}
+	}
+	return vec, nil
+}
+
+func TestTRAFigure6Trace(t *testing.T) {
+	q, src := figure6Query()
+	var events []TraceEvent
+	out, err := TRA(q, src, src, 2, func(e TraceEvent) { events = append(events, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fig 6: thres per iteration, the popped entry, and termination at
+	// iteration 6.
+	wantThres := []float64{0.8135, 0.8115, 0.7497, 0.7095, 0.5201, 0.3306}
+	wantPops := []struct {
+		term int // query term position: 0 sleeps, 1 in, 2 the, 3 dark
+		doc  index.DocID
+	}{
+		{2, 5}, {2, 3}, {2, 6}, {0, 6}, {3, 6},
+	}
+	if len(events) != 6 {
+		t.Fatalf("%d trace events, want 6", len(events))
+	}
+	for i, e := range events {
+		if math.Abs(e.Thres-wantThres[i]) > 5e-4 {
+			t.Errorf("iteration %d: thres = %.4f, want %.4f", i+1, e.Thres, wantThres[i])
+		}
+		if i < 5 {
+			if e.Terminated {
+				t.Fatalf("iteration %d terminated early", i+1)
+			}
+			if e.Term != wantPops[i].term || e.Entry.Doc != wantPops[i].doc {
+				t.Errorf("iteration %d: popped term %d doc %d, want term %d doc %d",
+					i+1, e.Term, e.Entry.Doc, wantPops[i].term, wantPops[i].doc)
+			}
+		}
+	}
+	if !events[5].Terminated {
+		t.Fatal("iteration 6 did not terminate")
+	}
+
+	// Result: ⟨6, 0.750⟩, ⟨5, 0.416⟩.
+	if len(out.Result) != 2 {
+		t.Fatalf("result size %d, want 2", len(out.Result))
+	}
+	if out.Result[0].Doc != 6 || math.Abs(out.Result[0].Score-0.750) > 5e-4 {
+		t.Errorf("result[0] = %+v, want ⟨6, 0.750⟩", out.Result[0])
+	}
+	if out.Result[1].Doc != 5 || math.Abs(out.Result[1].Score-0.416) > 5e-4 {
+		t.Errorf("result[1] = %+v, want ⟨5, 0.416⟩", out.Result[1])
+	}
+
+	// Revealed prefixes: sleeps and dark exhausted after one pop; 'in' only
+	// its head; 'the' three pops plus the head ⟨1, 0.159⟩.
+	wantK := []int{1, 1, 4, 1}
+	for i, k := range out.KScore {
+		if k != wantK[i] {
+			t.Errorf("KScore[%d] = %d, want %d", i, k, wantK[i])
+		}
+	}
+	if !out.Exhausted[0] || out.Exhausted[1] || out.Exhausted[2] || !out.Exhausted[3] {
+		t.Errorf("exhausted flags %v", out.Exhausted)
+	}
+	// Encountered: popped {5, 3, 6} plus heads {6 (in), 1 (the)}.
+	wantEnc := []index.DocID{1, 3, 5, 6}
+	if len(out.Encountered) != len(wantEnc) {
+		t.Fatalf("encountered %v, want %v", out.Encountered, wantEnc)
+	}
+	for i := range wantEnc {
+		if out.Encountered[i] != wantEnc[i] {
+			t.Fatalf("encountered %v, want %v", out.Encountered, wantEnc)
+		}
+	}
+}
+
+func TestTNRAFigure11Trace(t *testing.T) {
+	q, src := figure6Query()
+	var events []TraceEvent
+	out, err := TNRA(q, src, 2, func(e TraceEvent) { events = append(events, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fig 11: eight pops, termination at iteration 9.
+	// Fig 11 prints thres to three decimals; 1e-3 absorbs its rounding.
+	wantThres := []float64{0.814, 0.812, 0.750, 0.710, 0.520, 0.331, 0.319, 0.312, 0.220}
+	const thresTol = 1e-3
+	wantPops := []struct {
+		term int
+		doc  index.DocID
+	}{
+		{2, 5}, {2, 3}, {2, 6}, {0, 6}, {3, 6}, {1, 6}, {1, 2}, {1, 5},
+	}
+	if len(events) != 9 {
+		t.Fatalf("%d trace events, want 9", len(events))
+	}
+	for i, e := range events {
+		if math.Abs(e.Thres-wantThres[i]) > thresTol {
+			t.Errorf("iteration %d: thres = %.4f, want %.4f", i+1, e.Thres, wantThres[i])
+		}
+		if i < 8 {
+			if e.Terminated {
+				t.Fatalf("iteration %d terminated early", i+1)
+			}
+			if e.Term != wantPops[i].term || e.Entry.Doc != wantPops[i].doc {
+				t.Errorf("iteration %d: popped term %d doc %d, want term %d doc %d",
+					i+1, e.Term, e.Entry.Doc, wantPops[i].term, wantPops[i].doc)
+			}
+		}
+	}
+	if !events[8].Terminated {
+		t.Fatal("iteration 9 did not terminate")
+	}
+
+	// Result: ⟨6, 0.750⟩, ⟨5, 0.416⟩ with converged bounds.
+	if len(out.Result) != 2 {
+		t.Fatalf("result size %d, want 2", len(out.Result))
+	}
+	if out.Result[0].Doc != 6 || math.Abs(out.Result[0].Score-0.750) > 5e-4 {
+		t.Errorf("result[0] = %+v, want ⟨6, 0.750⟩", out.Result[0])
+	}
+	if out.Result[1].Doc != 5 || math.Abs(out.Result[1].Score-0.416) > 5e-4 {
+		t.Errorf("result[1] = %+v, want ⟨5, 0.416⟩", out.Result[1])
+	}
+
+	// Bounds of non-result candidates at termination (iteration 8's row,
+	// tightened by the revealed heads): d3 = ⟨0.258, 0.322⟩.
+	b3 := out.Bounds[3]
+	if math.Abs(b3.SLB-0.258) > 5e-4 || math.Abs(b3.SUB-0.322) > 5e-4 {
+		t.Errorf("bounds(d3) = ⟨%.4f, %.4f⟩, want ⟨0.258, 0.322⟩", b3.SLB, b3.SUB)
+	}
+	// Final threshold 0.220.
+	if math.Abs(out.Thres-0.220) > 5e-4 {
+		t.Errorf("thres = %.4f, want 0.220", out.Thres)
+	}
+}
+
+func TestTNRAFigure11BoundEvolution(t *testing.T) {
+	// Spot-check the SLB/SUB bookkeeping of iterations 4 and 5 (Fig 11):
+	// after popping ⟨6,0.079⟩ from 'sleeps', d6 = ⟨0.386, 0.750⟩ and the
+	// exhausted list's contribution is deducted from other docs' SUB:
+	// d5 = ⟨0.260, 0.624⟩ after iteration 4.
+	q, src := figure6Query()
+	prefixes := [][]index.Posting{
+		{{Doc: 6, W: 0.079}}, // sleeps popped (exhausted)
+		{{Doc: 6, W: 0.159}}, // in: head only
+		{{Doc: 5, W: 0.265}, {Doc: 3, W: 0.263}, {Doc: 6, W: 0.200}}, // the: 3 pops
+		{{Doc: 6, W: 0.079}}, // dark: head only
+	}
+	_ = src
+	ev := EvalTNRA(q, prefixes, []bool{true, false, false, false}, 2)
+	// The canonical evaluation treats heads as known, so d6 has all four
+	// frequencies: SLB = SUB = 0.750.
+	b6 := ev.Bounds[6]
+	if math.Abs(b6.SLB-0.750) > 5e-4 {
+		t.Errorf("SLB(d6) = %.4f, want 0.750", b6.SLB)
+	}
+	// d5 knows only 'the'; bounds from heads: in ≤ 0.159, dark ≤ 0.079.
+	b5 := ev.Bounds[5]
+	if math.Abs(b5.SLB-0.260) > 5e-4 {
+		t.Errorf("SLB(d5) = %.4f, want 0.260", b5.SLB)
+	}
+	wantSUB := 0.265*0.9808 + 0.159*1.0986 + 0.079*2.3979
+	if math.Abs(b5.SUB-wantSUB) > 5e-4 {
+		t.Errorf("SUB(d5) = %.4f, want %.4f", b5.SUB, wantSUB)
+	}
+}

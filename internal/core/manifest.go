@@ -1,0 +1,133 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"authtext/internal/sig"
+)
+
+// Manifest is the owner-published collection metadata the client needs to
+// verify results: the collection size n (for w_{Q,t}), the structural
+// parameters, and the roots of the collection-wide trees. The owner signs
+// the canonical encoding once at publication time; everything else a query
+// needs arrives in the VO.
+type Manifest struct {
+	N         uint32 // number of documents
+	M         uint32 // dictionary size
+	AvgLen    float64
+	K1, B     float64
+	BlockSize uint32
+	HashSize  uint8
+	// DictMode selects the dictionary-MHT space optimisation: lists carry
+	// no individual signatures; DictRoots[kind] commits all roots of that
+	// structure kind.
+	DictMode bool
+	// VocabProofsEnabled selects the vocabulary non-membership extension.
+	VocabProofsEnabled bool
+	// DocHashRoot is the root over h(doc_0..n−1) (content authentication
+	// for TNRA results).
+	DocHashRoot []byte
+	// DictRoots holds, per StructureKind (index kind−1), the dictionary-MHT
+	// root over that kind's term roots. Empty unless DictMode.
+	DictRoots [4][]byte
+	// NameDictRoot is the root of the name-ordered dictionary tree. Empty
+	// unless VocabProofsEnabled.
+	NameDictRoot []byte
+	// Boosted enables the §5 authority-boost extension: result scores are
+	// S(d|Q) + Beta·A(d) with A committed under AuthorityRoot and bounded
+	// by AMax.
+	Boosted       bool
+	Beta          float64
+	AMax          float64
+	AuthorityRoot []byte
+}
+
+// Encode produces the canonical signed encoding of the manifest.
+func (m *Manifest) Encode() []byte {
+	b := make([]byte, 0, 128)
+	b = append(b, "authtext/manifest/v1"...)
+	b = binary.BigEndian.AppendUint32(b, m.N)
+	b = binary.BigEndian.AppendUint32(b, m.M)
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(m.AvgLen))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(m.K1))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(m.B))
+	b = binary.BigEndian.AppendUint32(b, m.BlockSize)
+	b = append(b, m.HashSize)
+	var flags byte
+	if m.DictMode {
+		flags |= 1
+	}
+	if m.VocabProofsEnabled {
+		flags |= 2
+	}
+	if m.Boosted {
+		flags |= 4
+	}
+	b = append(b, flags)
+	b = appendSized(b, m.DocHashRoot)
+	for _, r := range m.DictRoots {
+		b = appendSized(b, r)
+	}
+	b = appendSized(b, m.NameDictRoot)
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(m.Beta))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(m.AMax))
+	b = appendSized(b, m.AuthorityRoot)
+	return b
+}
+
+func appendSized(b, v []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(v)))
+	return append(b, v...)
+}
+
+// Validate checks internal consistency before use.
+func (m *Manifest) Validate() error {
+	if m.N == 0 || m.M == 0 {
+		return errors.New("core: manifest has empty collection")
+	}
+	if m.HashSize < 8 || m.HashSize > 32 {
+		return fmt.Errorf("core: manifest hash size %d", m.HashSize)
+	}
+	if m.BlockSize < 64 {
+		return fmt.Errorf("core: manifest block size %d", m.BlockSize)
+	}
+	if len(m.DocHashRoot) != int(m.HashSize) {
+		return errors.New("core: manifest doc-hash root size mismatch")
+	}
+	if m.DictMode {
+		for k, r := range m.DictRoots {
+			if len(r) != int(m.HashSize) {
+				return fmt.Errorf("core: manifest dict root %d size mismatch", k)
+			}
+		}
+	}
+	if m.VocabProofsEnabled && len(m.NameDictRoot) != int(m.HashSize) {
+		return errors.New("core: manifest name-dict root size mismatch")
+	}
+	if m.Boosted {
+		if len(m.AuthorityRoot) != int(m.HashSize) {
+			return errors.New("core: manifest authority root size mismatch")
+		}
+		if m.Beta < 0 || math.IsNaN(m.Beta) || math.IsInf(m.Beta, 0) {
+			return fmt.Errorf("core: manifest beta %v", m.Beta)
+		}
+		if m.AMax < 0 || m.AMax > 1 || math.IsNaN(m.AMax) {
+			return fmt.Errorf("core: manifest authority max %v", m.AMax)
+		}
+	}
+	return nil
+}
+
+// VerifyManifest checks the owner's signature over the manifest.
+func VerifyManifest(m *Manifest, sigBytes []byte, v sig.Verifier) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if err := v.Verify(m.Encode(), sigBytes); err != nil {
+		return fmt.Errorf("core: manifest signature: %w", err)
+	}
+	return nil
+}

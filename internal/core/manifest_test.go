@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"authtext/internal/sig"
+)
+
+func sampleManifest() *Manifest {
+	root := make([]byte, 16)
+	return &Manifest{
+		N: 100, M: 50, AvgLen: 42.5, K1: 1.2, B: 0.75,
+		BlockSize: 1024, HashSize: 16,
+		DocHashRoot: root,
+	}
+}
+
+func TestManifestEncodeDeterministic(t *testing.T) {
+	m := sampleManifest()
+	a, b := m.Encode(), m.Encode()
+	if string(a) != string(b) {
+		t.Fatal("manifest encoding not deterministic")
+	}
+}
+
+func TestManifestEncodeBindsEveryField(t *testing.T) {
+	base := sampleManifest().Encode()
+	mutations := []func(*Manifest){
+		func(m *Manifest) { m.N++ },
+		func(m *Manifest) { m.M++ },
+		func(m *Manifest) { m.AvgLen += 1 },
+		func(m *Manifest) { m.K1 = 2.0 },
+		func(m *Manifest) { m.B = 0.5 },
+		func(m *Manifest) { m.BlockSize = 2048 },
+		func(m *Manifest) { m.HashSize = 20 },
+		func(m *Manifest) { m.DictMode = true },
+		func(m *Manifest) { m.VocabProofsEnabled = true },
+		func(m *Manifest) { m.DocHashRoot = append([]byte{1}, m.DocHashRoot[1:]...) },
+		func(m *Manifest) { m.DictRoots[0] = make([]byte, 16) },
+		func(m *Manifest) { m.NameDictRoot = make([]byte, 16) },
+		func(m *Manifest) { m.Boosted = true },
+		func(m *Manifest) { m.Beta = 3.5 },
+		func(m *Manifest) { m.AMax = 0.25 },
+		func(m *Manifest) { m.AuthorityRoot = make([]byte, 16) },
+	}
+	for i, mutate := range mutations {
+		m := sampleManifest()
+		mutate(m)
+		if string(m.Encode()) == string(base) {
+			t.Errorf("mutation %d not reflected in encoding", i)
+		}
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	if err := sampleManifest().Validate(); err != nil {
+		t.Fatalf("valid manifest rejected: %v", err)
+	}
+	bad := []func(*Manifest){
+		func(m *Manifest) { m.N = 0 },
+		func(m *Manifest) { m.M = 0 },
+		func(m *Manifest) { m.HashSize = 4 },
+		func(m *Manifest) { m.BlockSize = 16 },
+		func(m *Manifest) { m.DocHashRoot = nil },
+		func(m *Manifest) { m.DictMode = true }, // roots missing
+		func(m *Manifest) { m.VocabProofsEnabled = true },
+		func(m *Manifest) { m.Boosted = true }, // authority root missing
+		func(m *Manifest) {
+			m.Boosted = true
+			m.AuthorityRoot = make([]byte, 16)
+			m.Beta = -1
+		},
+		func(m *Manifest) {
+			m.Boosted = true
+			m.AuthorityRoot = make([]byte, 16)
+			m.AMax = 2
+		},
+	}
+	for i, mutate := range bad {
+		m := sampleManifest()
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestVerifyManifest(t *testing.T) {
+	signer, err := sig.NewHMACSigner([]byte("manifest"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sampleManifest()
+	sb, err := signer.Sign(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyManifest(m, sb, signer.Verifier()); err != nil {
+		t.Fatalf("valid manifest signature rejected: %v", err)
+	}
+	m.N++
+	if err := VerifyManifest(m, sb, signer.Verifier()); err == nil {
+		t.Fatal("tampered manifest accepted")
+	}
+}
+
+func TestTermRootMessageBindsFields(t *testing.T) {
+	root := make([]byte, 16)
+	base := TermRootMessage(KindTRAMHT, "term", 7, 13, root)
+	variants := [][]byte{
+		TermRootMessage(KindTNRAMHT, "term", 7, 13, root),
+		TermRootMessage(KindTRAMHT, "other", 7, 13, root),
+		TermRootMessage(KindTRAMHT, "term", 8, 13, root),
+		TermRootMessage(KindTRAMHT, "term", 7, 14, root),
+		TermRootMessage(KindTRAMHT, "term", 7, 13, append([]byte{1}, root[1:]...)),
+	}
+	for i, v := range variants {
+		if string(v) == string(base) {
+			t.Errorf("variant %d collides with base message", i)
+		}
+	}
+}
+
+func TestDocRootMessageBindsFields(t *testing.T) {
+	h := make([]byte, 16)
+	r := make([]byte, 16)
+	base := DocRootMessage(3, 9, h, r)
+	variants := [][]byte{
+		DocRootMessage(4, 9, h, r),
+		DocRootMessage(3, 10, h, r),
+		DocRootMessage(3, 9, append([]byte{1}, h[1:]...), r),
+		DocRootMessage(3, 9, h, append([]byte{1}, r[1:]...)),
+	}
+	for i, v := range variants {
+		if string(v) == string(base) {
+			t.Errorf("variant %d collides with base message", i)
+		}
+	}
+}
+
+func TestKindForAndLeafSizes(t *testing.T) {
+	cases := []struct {
+		a    Algo
+		s    Scheme
+		kind StructureKind
+		leaf int
+	}{
+		{AlgoTRA, SchemeMHT, KindTRAMHT, 4},
+		{AlgoTRA, SchemeCMHT, KindTRACMHT, 4},
+		{AlgoTNRA, SchemeMHT, KindTNRAMHT, 8},
+		{AlgoTNRA, SchemeCMHT, KindTNRACMHT, 8},
+	}
+	for _, c := range cases {
+		if got := KindFor(c.a, c.s); got != c.kind {
+			t.Errorf("KindFor(%v,%v) = %v", c.a, c.s, got)
+		}
+		if got := c.kind.LeafSize(); got != c.leaf {
+			t.Errorf("LeafSize(%v) = %d, want %d", c.kind, got, c.leaf)
+		}
+	}
+}
+
+func TestAlgoSchemeStrings(t *testing.T) {
+	if AlgoTRA.String() != "TRA" || AlgoTNRA.String() != "TNRA" {
+		t.Fatal("algo strings")
+	}
+	if SchemeMHT.String() != "MHT" || SchemeCMHT.String() != "CMHT" {
+		t.Fatal("scheme strings")
+	}
+	if Algo(9).String() == "" || Scheme(9).String() == "" {
+		t.Fatal("unknown values must still print")
+	}
+}

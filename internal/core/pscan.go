@@ -1,0 +1,46 @@
+package core
+
+import (
+	"sort"
+
+	"authtext/internal/index"
+)
+
+// PSCAN evaluates a query with the Prioritized Scanning algorithm of Fig 2:
+// every inverted list is consumed in full and per-document accumulators are
+// summed. It returns all scored documents in canonical result order; callers
+// take the first r entries. PSCAN is the unauthenticated baseline ("List
+// Length" in Figs 13–15a) and the correctness oracle for TRA/TNRA tests.
+//
+// The accumulators are identical whatever order entries are merged in, so
+// the implementation scans list-by-list; scores are nevertheless finalised
+// with the canonical Score function so they compare exactly against the
+// threshold algorithms' results.
+func PSCAN(q *Query, lists ListSource) ([]ResultEntry, error) {
+	weights := make(map[index.DocID][]float32)
+	for i := range q.Terms {
+		cur, err := lists.OpenList(q.Terms[i].ID)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			p, ok := cur.Peek()
+			if !ok {
+				break
+			}
+			cur.Advance()
+			w := weights[p.Doc]
+			if w == nil {
+				w = make([]float32, len(q.Terms))
+				weights[p.Doc] = w
+			}
+			w[i] = p.W
+		}
+	}
+	out := make([]ResultEntry, 0, len(weights))
+	for d, w := range weights {
+		out = append(out, ResultEntry{Doc: d, Score: Score(q, w)})
+	}
+	sort.Slice(out, func(a, b int) bool { return resultLess(out[a], out[b]) })
+	return out, nil
+}

@@ -1,0 +1,147 @@
+// Package core implements the paper's primary contribution: the adapted
+// threshold algorithms TRA (§3.3, Fig 5) and TNRA (§3.4, Fig 10), the
+// PSCAN baseline (§2.1, Fig 2), the authentication structures built on
+// Merkle hash trees and chained Merkle hash trees (§3.3.1, §3.3.2), and the
+// client-side verification procedure that checks the correctness criteria
+// of §3.1 against the owner's signatures.
+//
+// The package is I/O-free: query algorithms consume abstract list cursors
+// and document-frequency sources, which internal/engine backs with the
+// simulated block device and tests back with in-memory structures.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"authtext/internal/index"
+	"authtext/internal/okapi"
+	"authtext/internal/textproc"
+)
+
+// Algo selects the query processing algorithm.
+type Algo uint8
+
+const (
+	// AlgoTRA is Threshold with Random Access (Fig 5).
+	AlgoTRA Algo = 1
+	// AlgoTNRA is Threshold with No Random Access (Fig 10).
+	AlgoTNRA Algo = 2
+)
+
+// String implements fmt.Stringer.
+func (a Algo) String() string {
+	switch a {
+	case AlgoTRA:
+		return "TRA"
+	case AlgoTNRA:
+		return "TNRA"
+	}
+	return fmt.Sprintf("Algo(%d)", uint8(a))
+}
+
+// Scheme selects the authentication structure.
+type Scheme uint8
+
+const (
+	// SchemeMHT uses one Merkle tree per inverted list (§3.3.1).
+	SchemeMHT Scheme = 1
+	// SchemeCMHT uses the chain of per-block Merkle trees with buddy
+	// inclusion (§3.3.2).
+	SchemeCMHT Scheme = 2
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeMHT:
+		return "MHT"
+	case SchemeCMHT:
+		return "CMHT"
+	}
+	return fmt.Sprintf("Scheme(%d)", uint8(s))
+}
+
+// MaxQueryTerms bounds q; TNRA uses a 64-bit per-document term mask.
+// TREC queries reach 20 terms (§4.1), so the bound is generous.
+const MaxQueryTerms = 64
+
+// QueryTerm is one unique search term of a query, with its statistics.
+type QueryTerm struct {
+	Name string
+	ID   index.TermID
+	FQ   int     // f_{Q,t}: occurrences in the query
+	FT   int     // f_t: documents containing the term
+	WQ   float64 // w_{Q,t}
+}
+
+// Query is a parsed query: the unique in-dictionary terms in first-occurrence
+// order, plus the out-of-dictionary tokens (ignored for scoring, §3.1, but
+// subject to non-membership proofs when the vocabulary-proof extension is
+// enabled).
+type Query struct {
+	Terms   []QueryTerm
+	Unknown []string
+}
+
+// BuildQuery resolves tokens against the dictionary: tokens are deduplicated
+// preserving first-occurrence order, f_{Q,t} counts multiplicity, and
+// w_{Q,t} is computed from the collection statistics. Tokens missing from
+// the dictionary are collected in Unknown.
+func BuildQuery(idx *index.Index, tokens []string) (*Query, error) {
+	counts := textproc.Counts(tokens)
+	q := &Query{}
+	seen := make(map[string]struct{}, len(tokens))
+	for _, tok := range tokens {
+		if _, dup := seen[tok]; dup {
+			continue
+		}
+		seen[tok] = struct{}{}
+		tid, ok := idx.Lookup(tok)
+		if !ok {
+			q.Unknown = append(q.Unknown, tok)
+			continue
+		}
+		ft := idx.FT(tid)
+		q.Terms = append(q.Terms, QueryTerm{
+			Name: tok,
+			ID:   tid,
+			FQ:   counts[tok],
+			FT:   ft,
+			WQ:   okapi.QueryWeight(idx.N, ft, counts[tok]),
+		})
+	}
+	if len(q.Terms) > MaxQueryTerms {
+		return nil, fmt.Errorf("core: query has %d terms, max %d", len(q.Terms), MaxQueryTerms)
+	}
+	return q, nil
+}
+
+// Score computes S(d|Q) = Σ_i w_{Q,ti}·w[i] canonically: float64 accumulation
+// in query-term order over float32 weights. Server and client both use this
+// function, so claimed and recomputed scores are bit-identical.
+func Score(q *Query, w []float32) float64 {
+	var s float64
+	for i := range q.Terms {
+		s += q.Terms[i].WQ * float64(w[i])
+	}
+	return s
+}
+
+// ResultEntry is one entry of the ordered query result R.
+type ResultEntry struct {
+	Doc   index.DocID
+	Score float64
+}
+
+// resultLess is the canonical result order: score descending, doc ascending.
+func resultLess(a, b ResultEntry) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Doc < b.Doc
+}
+
+// ErrNoQueryTerms is returned when none of the query tokens are in the
+// dictionary.
+var ErrNoQueryTerms = errors.New("core: no query terms in dictionary")

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"testing"
+
+	"authtext/internal/index"
+	"authtext/internal/mht"
+	"authtext/internal/sig"
+	"authtext/internal/vo"
+)
+
+// verifyFixture hand-builds a minimal one-term TNRA collection so the
+// verifier's edge cases can be exercised without the engine: a single list
+// of four postings over five documents.
+type verifyFixture struct {
+	manifest *Manifest
+	signer   sig.Signer
+	hasher   mht.Hasher
+	base     sig.Hasher
+	postings []index.Posting
+	contents map[index.DocID][]byte
+	docHash  [][]byte
+}
+
+func newVerifyFixture(t *testing.T) *verifyFixture {
+	t.Helper()
+	signer, err := sig.NewHMACSigner([]byte("verify-fixture"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sig.MustHasher(16)
+	f := &verifyFixture{
+		signer:   signer,
+		base:     base,
+		hasher:   mht.NewHasher(base),
+		postings: []index.Posting{{Doc: 2, W: 0.9}, {Doc: 0, W: 0.7}, {Doc: 4, W: 0.5}, {Doc: 1, W: 0.2}},
+		contents: map[index.DocID][]byte{},
+	}
+	for d := 0; d < 5; d++ {
+		f.contents[index.DocID(d)] = []byte{byte(d), 0xAA}
+		f.docHash = append(f.docHash, base.Sum(f.contents[index.DocID(d)]))
+	}
+	f.manifest = &Manifest{
+		N: 5, M: 1, AvgLen: 3, K1: 1.2, B: 0.75,
+		BlockSize: 1024, HashSize: 16,
+		DocHashRoot: mht.Root(f.hasher, f.docHash),
+	}
+	return f
+}
+
+// answer builds a legitimate TNRA-MHT answer revealing the first k entries.
+func (f *verifyFixture) answer(t *testing.T, k, r int) (*vo.VO, []ResultEntry, map[index.DocID][]byte) {
+	t.Helper()
+	leaves := KindTNRAMHT.ListLeaves(f.postings)
+	want := make([]int, k)
+	wantData := make(map[int][]byte, k)
+	for i := 0; i < k; i++ {
+		want[i] = i
+		wantData[i] = leaves[i]
+	}
+	proof, err := mht.Prove(f.hasher, leaves, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := mht.Root(f.hasher, leaves)
+	sigBytes, err := f.signer.Sign(TermRootMessage(KindTNRAMHT, "alpha", 0, uint32(len(f.postings)), root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := vo.TermProof{
+		TermID: 0, FT: uint32(len(f.postings)), Name: "alpha",
+		KScore: uint32(k), KProof: uint32(k),
+		Docs: make([]uint32, k), Freqs: make([]float32, k),
+		Digests: proof.Digests, Sig: sigBytes,
+	}
+	for i := 0; i < k; i++ {
+		tp.Docs[i] = uint32(f.postings[i].Doc)
+		tp.Freqs[i] = f.postings[i].W
+	}
+
+	// Canonical evaluation for the claimed result.
+	q := f.query(k)
+	prefixes := [][]index.Posting{f.postings[:k]}
+	ev := EvalTNRA(q, prefixes, []bool{k == len(f.postings)}, r)
+	result := ev.Result
+
+	contents := map[index.DocID][]byte{}
+	positions := make([]int, 0, len(result))
+	wantHash := make(map[int][]byte)
+	for _, e := range result {
+		contents[e.Doc] = f.contents[e.Doc]
+		positions = append(positions, int(e.Doc))
+	}
+	sortInts2(positions)
+	for _, p := range positions {
+		wantHash[p] = f.docHash[p]
+	}
+	cproof, err := mht.Prove(f.hasher, f.docHash, positions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &vo.VO{
+		Algo: uint8(AlgoTNRA), Scheme: uint8(SchemeMHT),
+		Terms:        []vo.TermProof{tp},
+		ContentProof: &vo.ContentProof{Digests: cproof.Digests},
+	}
+	return v, result, contents
+}
+
+func sortInts2(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+func (f *verifyFixture) query(k int) *Query {
+	return &Query{Terms: []QueryTerm{{
+		Name: "alpha", ID: 0, FQ: 1, FT: len(f.postings),
+		WQ: 1.0, // any positive weight; the fixture controls scores directly
+	}}}
+}
+
+func (f *verifyFixture) input(v *vo.VO, result []ResultEntry, contents map[index.DocID][]byte, r int) *VerifyInput {
+	return &VerifyInput{
+		Manifest: f.manifest,
+		Verifier: f.signer.Verifier(),
+		Tokens:   []string{"alpha"},
+		R:        r,
+		Result:   result,
+		Contents: contents,
+		VO:       v,
+	}
+}
+
+// The fixture's query weight differs from okapi.QueryWeight(n, ft, fQ), so
+// verification must be run against a query the client would derive. Align
+// the fixture weight with the derived one.
+func TestVerifyFixtureBaseline(t *testing.T) {
+	f := newVerifyFixture(t)
+	v, result, contents := f.answerDerived(t, 3, 2)
+	if err := Verify(f.input(v, result, contents, 2)); err != nil {
+		t.Fatalf("baseline rejected: %v", err)
+	}
+}
+
+// answerDerived is answer() but computes the result with the same w_{Q,t}
+// the verifier will derive from (n, ft, fQ).
+func (f *verifyFixture) answerDerived(t *testing.T, k, r int) (*vo.VO, []ResultEntry, map[index.DocID][]byte) {
+	t.Helper()
+	v, _, _ := f.answer(t, k, r)
+	q := clientQuery(f, 1)
+	prefixes := [][]index.Posting{f.postings[:k]}
+	ev := EvalTNRA(q, prefixes, []bool{k == len(f.postings)}, r)
+	contents := map[index.DocID][]byte{}
+	positions := make([]int, 0, len(ev.Result))
+	for _, e := range ev.Result {
+		contents[e.Doc] = f.contents[e.Doc]
+		positions = append(positions, int(e.Doc))
+	}
+	sortInts2(positions)
+	cproof, err := mht.Prove(f.hasher, f.docHash, positions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.ContentProof = &vo.ContentProof{Digests: cproof.Digests}
+	return v, ev.Result, contents
+}
+
+func clientQuery(f *verifyFixture, fq int) *Query {
+	// Mirror the verifier's derivation.
+	return &Query{Terms: []QueryTerm{{
+		Name: "alpha", ID: 0, FQ: fq, FT: len(f.postings),
+		WQ: queryWeightForTest(int(f.manifest.N), len(f.postings), fq),
+	}}}
+}
+
+func queryWeightForTest(n, ft, fq int) float64 {
+	// Same formula as okapi.QueryWeight; duplicated here to keep the
+	// fixture self-contained and to catch accidental formula drift.
+	if fq <= 0 || ft <= 0 || ft > n {
+		return 0
+	}
+	v := ln((float64(n) - float64(ft) + 0.5) / (float64(ft) + 0.5))
+	if v < 0 {
+		return 0
+	}
+	return v * float64(fq)
+}
+
+func ln(x float64) float64 {
+	// Delegate to the standard library through a tiny indirection so the
+	// test file needs no extra import block churn.
+	return mathLog(x)
+}
+
+func TestVerifyRejectsStructuralProblems(t *testing.T) {
+	f := newVerifyFixture(t)
+	r := 2
+	cases := []struct {
+		name   string
+		mutate func(v *vo.VO, result *[]ResultEntry, contents map[index.DocID][]byte, in *VerifyInput)
+		code   VerifyCode
+	}{
+		{"nil manifest", func(v *vo.VO, res *[]ResultEntry, c map[index.DocID][]byte, in *VerifyInput) {
+			in.Manifest = nil
+		}, CodeMalformedVO},
+		{"bad algo", func(v *vo.VO, res *[]ResultEntry, c map[index.DocID][]byte, in *VerifyInput) {
+			v.Algo = 99
+		}, CodeMalformedVO},
+		{"bad scheme", func(v *vo.VO, res *[]ResultEntry, c map[index.DocID][]byte, in *VerifyInput) {
+			v.Scheme = 99
+		}, CodeMalformedVO},
+		{"r zero", func(v *vo.VO, res *[]ResultEntry, c map[index.DocID][]byte, in *VerifyInput) {
+			in.R = 0
+		}, CodeMalformedVO},
+		{"oversized result", func(v *vo.VO, res *[]ResultEntry, c map[index.DocID][]byte, in *VerifyInput) {
+			*res = append(*res, (*res)[0], (*res)[0], (*res)[0])
+		}, CodeMalformedVO},
+		{"duplicate term proof", func(v *vo.VO, res *[]ResultEntry, c map[index.DocID][]byte, in *VerifyInput) {
+			v.Terms = append(v.Terms, v.Terms[0])
+		}, CodeMalformedVO},
+		{"unqueried term proof", func(v *vo.VO, res *[]ResultEntry, c map[index.DocID][]byte, in *VerifyInput) {
+			extra := v.Terms[0]
+			extra.Name = "beta"
+			v.Terms = append(v.Terms, extra)
+		}, CodeMalformedVO},
+		{"kscore zero", func(v *vo.VO, res *[]ResultEntry, c map[index.DocID][]byte, in *VerifyInput) {
+			v.Terms[0].KScore = 0
+		}, CodeMalformedVO},
+		{"kproof beyond ft", func(v *vo.VO, res *[]ResultEntry, c map[index.DocID][]byte, in *VerifyInput) {
+			v.Terms[0].KProof = v.Terms[0].FT + 1
+		}, CodeMalformedVO},
+		{"missing freqs", func(v *vo.VO, res *[]ResultEntry, c map[index.DocID][]byte, in *VerifyInput) {
+			v.Terms[0].Freqs = nil
+		}, CodeMalformedVO},
+		{"negative frequency", func(v *vo.VO, res *[]ResultEntry, c map[index.DocID][]byte, in *VerifyInput) {
+			v.Terms[0].Freqs[0] = -1
+		}, CodeMalformedVO},
+		{"doc proofs in TNRA", func(v *vo.VO, res *[]ResultEntry, c map[index.DocID][]byte, in *VerifyInput) {
+			v.Docs = []vo.DocProof{{Doc: 0, LeafCount: 1}}
+		}, CodeMalformedVO},
+		{"missing content proof", func(v *vo.VO, res *[]ResultEntry, c map[index.DocID][]byte, in *VerifyInput) {
+			v.ContentProof = nil
+		}, CodeBadContent},
+		{"missing content", func(v *vo.VO, res *[]ResultEntry, c map[index.DocID][]byte, in *VerifyInput) {
+			delete(c, (*res)[0].Doc)
+		}, CodeBadContent},
+		{"tampered content", func(v *vo.VO, res *[]ResultEntry, c map[index.DocID][]byte, in *VerifyInput) {
+			d := (*res)[0].Doc
+			c[d] = append([]byte{0xFF}, c[d]...)
+		}, CodeBadContent},
+		{"inflated claimed score", func(v *vo.VO, res *[]ResultEntry, c map[index.DocID][]byte, in *VerifyInput) {
+			(*res)[0].Score += 1
+		}, CodeBadScore},
+		{"foreign result doc", func(v *vo.VO, res *[]ResultEntry, c map[index.DocID][]byte, in *VerifyInput) {
+			(*res)[0].Doc = 3 // doc 3 never appears in the revealed prefix
+			c[3] = f.contents[3]
+		}, CodeSpurious},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v, result, contents := f.answerDerived(t, 3, r)
+			in := f.input(v, result, contents, r)
+			tc.mutate(v, &in.Result, in.Contents, in)
+			err := Verify(in)
+			if err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+			if CodeOf(err) != tc.code {
+				t.Fatalf("%s: got %v, want code %v", tc.name, err, tc.code)
+			}
+		})
+	}
+}
+
+func TestVerifyEmptyQueryPaths(t *testing.T) {
+	f := newVerifyFixture(t)
+	in := &VerifyInput{
+		Manifest: f.manifest,
+		Verifier: f.signer.Verifier(),
+		Tokens:   []string{"unknown-token"},
+		R:        3,
+		VO:       &vo.VO{Algo: uint8(AlgoTNRA), Scheme: uint8(SchemeMHT)},
+	}
+	if err := Verify(in); err != nil {
+		t.Fatalf("empty-query verification failed: %v", err)
+	}
+	// Results for a no-term query are spurious by definition.
+	in.Result = []ResultEntry{{Doc: 0, Score: 1}}
+	if err := Verify(in); CodeOf(err) != CodeSpurious {
+		t.Fatalf("got %v, want spurious", err)
+	}
+}
+
+func TestExtractWeightEvidence(t *testing.T) {
+	dp := &vo.DocProof{
+		Doc:       7,
+		LeafCount: 6,
+		// Revealed leaves at positions 1,2 with terms 10,20 and position 5
+		// (the last leaf) with term 40.
+		Positions: []uint32{1, 2, 5},
+		Terms:     []uint32{10, 20, 40},
+		Ws:        []float32{0.1, 0.2, 0.4},
+	}
+	// Present term.
+	if w, err := extractWeight(dp, 6, 20); err != nil || w != 0.2 {
+		t.Fatalf("present term: %v %v", w, err)
+	}
+	// Absent between adjacent revealed leaves (positions 1,2).
+	if w, err := extractWeight(dp, 6, 15); err != nil || w != 0 {
+		t.Fatalf("absent between: %v %v", w, err)
+	}
+	// Absent after last leaf (position 5 == n-1).
+	if w, err := extractWeight(dp, 6, 99); err != nil || w != 0 {
+		t.Fatalf("absent after: %v %v", w, err)
+	}
+	// No evidence: term between positions 2 and 5 (not adjacent).
+	if _, err := extractWeight(dp, 6, 30); err == nil {
+		t.Fatal("gap accepted as absence evidence")
+	}
+	// Before first revealed position (position 1 is not position 0).
+	if _, err := extractWeight(dp, 6, 5); err == nil {
+		t.Fatal("non-boundary prefix accepted")
+	}
+	// With position 0 revealed, smaller terms are provably absent.
+	dp2 := &vo.DocProof{Doc: 1, LeafCount: 3, Positions: []uint32{0}, Terms: []uint32{10}, Ws: []float32{0.5}}
+	if w, err := extractWeight(dp2, 3, 5); err != nil || w != 0 {
+		t.Fatalf("absent before first: %v %v", w, err)
+	}
+}

@@ -1,0 +1,101 @@
+package corpus
+
+import (
+	"testing"
+
+	"authtext/internal/index"
+)
+
+func TestWordUniqueness(t *testing.T) {
+	seen := make(map[string]int)
+	for i := 0; i < 50000; i++ {
+		w := word(i)
+		if prev, dup := seen[w]; dup {
+			t.Fatalf("word collision: rank %d and %d both map to %q", prev, i, w)
+		}
+		seen[w] = i
+		if len(w) < 3 {
+			t.Fatalf("word %q too short", w)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Tiny()
+	a := Generate(p)
+	b := Generate(p)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if string(a[i].Content) != string(b[i].Content) {
+			t.Fatalf("doc %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	p := Tiny()
+	docs := Generate(p)
+	if len(docs) != p.Docs {
+		t.Fatalf("%d docs, want %d", len(docs), p.Docs)
+	}
+	var total int
+	for _, d := range docs {
+		if len(d.Tokens) < 8 {
+			t.Fatal("document below minimum length")
+		}
+		total += len(d.Tokens)
+	}
+	avg := float64(total) / float64(len(docs))
+	if avg < p.AvgLen*0.7 || avg > p.AvgLen*1.4 {
+		t.Fatalf("average length %.1f far from target %.1f", avg, p.AvgLen)
+	}
+}
+
+// TestFig4Shape checks the distribution properties of Fig 4 on the small
+// profile: a majority of very short lists and a longest list spanning a
+// large fraction of the collection.
+func TestFig4Shape(t *testing.T) {
+	p := Small()
+	docs := Generate(p)
+	idx, err := index.Build(docs, index.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Describe(idx.ListLengths(), idx.N)
+	if d.ShortShare < 0.35 {
+		t.Fatalf("share of 2-5 entry lists = %.2f, want skewed (≥ 0.35)", d.ShortShare)
+	}
+	if d.MaxLenRatio < 0.3 {
+		t.Fatalf("longest list covers %.2f of docs, want ≥ 0.3", d.MaxLenRatio)
+	}
+	if len(d.Cumulative) < 2 {
+		t.Fatalf("cumulative curve too coarse: %+v", d.Cumulative)
+	}
+	last := d.Cumulative[len(d.Cumulative)-1]
+	if last.Frac < 0.999 {
+		t.Fatalf("cumulative curve does not reach 1: %+v", last)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"tiny", "small", "medium", "wsj", "WSJ"} {
+		if _, err := ProfileByName(name); err != nil {
+			t.Fatalf("profile %q: %v", name, err)
+		}
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestDescribeEdgeCases(t *testing.T) {
+	d := Describe([]int{3, 4, 5, 2}, 10)
+	if d.ShortShare != 1.0 {
+		t.Fatalf("ShortShare = %v, want 1", d.ShortShare)
+	}
+	if d.MaxLen != 5 {
+		t.Fatalf("MaxLen = %d", d.MaxLen)
+	}
+}

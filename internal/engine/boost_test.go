@@ -1,0 +1,237 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"authtext/internal/core"
+	"authtext/internal/index"
+	"authtext/internal/vo"
+)
+
+// boostedCollection builds a collection with a skewed authority vector.
+func boostedCollection(t *testing.T, seed int64, beta float64) *Collection {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	docs := randomDocs(r, 70, 30)
+	authority := make([]float64, len(docs))
+	for d := range authority {
+		authority[d] = math.Pow(r.Float64(), 3) // most docs low, few high
+	}
+	authority[7] = 1.0 // a guaranteed top authority
+	cfg := Config{
+		Store:     smallParams(),
+		HashSize:  16,
+		Signer:    testSigner(t),
+		Authority: authority,
+		Beta:      beta,
+	}
+	col, err := BuildCollection(docs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+func TestBoostedSearchVerifiesAllVariants(t *testing.T) {
+	col := boostedCollection(t, 41, 2.0)
+	idx := col.Index()
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 15; trial++ {
+		tokens := []string{
+			idx.Name(index.TermID(r.Intn(idx.M()))),
+			idx.Name(index.TermID(r.Intn(idx.M()))),
+		}
+		for _, v := range allVariants {
+			res, voBytes, _, err := col.Search(tokens, 5, v.algo, v.scheme)
+			if err != nil {
+				t.Fatalf("%v-%v: %v", v.algo, v.scheme, err)
+			}
+			if _, err := col.VerifyResult(tokens, 5, res, voBytes); err != nil {
+				t.Fatalf("boosted %v-%v %v: %v", v.algo, v.scheme, tokens, err)
+			}
+		}
+	}
+}
+
+// TestBoostedMatchesNaiveOracle checks TRA/TNRA boosted results against a
+// brute-force boosted scoring of all matching documents.
+func TestBoostedMatchesNaiveOracle(t *testing.T) {
+	col := boostedCollection(t, 43, 1.5)
+	idx := col.Index()
+	boost := col.boost
+	r := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 15; trial++ {
+		tokens := []string{
+			idx.Name(index.TermID(r.Intn(idx.M()))),
+			idx.Name(index.TermID(r.Intn(idx.M()))),
+		}
+		q, err := core.BuildQuery(idx, tokens)
+		if err != nil || len(q.Terms) == 0 {
+			continue
+		}
+		// Oracle: boosted score for every matching document.
+		type ds struct {
+			d index.DocID
+			s float64
+		}
+		var oracle []ds
+		for d := 0; d < idx.N; d++ {
+			w := core.QueryWeights(q, idx.DocVector(index.DocID(d)))
+			matching := false
+			for _, x := range w {
+				if x != 0 {
+					matching = true
+				}
+			}
+			if matching {
+				oracle = append(oracle, ds{index.DocID(d), core.Score(q, w) + boost.Score(index.DocID(d))})
+			}
+		}
+		sort.Slice(oracle, func(a, b int) bool {
+			if oracle[a].s != oracle[b].s {
+				return oracle[a].s > oracle[b].s
+			}
+			return oracle[a].d < oracle[b].d
+		})
+		rr := 4
+		want := oracle
+		if len(want) > rr {
+			want = want[:rr]
+		}
+		trueScore := make(map[index.DocID]float64, len(oracle))
+		for _, e := range oracle {
+			trueScore[e.d] = e.s
+		}
+		for _, v := range allVariants {
+			res, _, _, err := col.Search(tokens, rr, v.algo, v.scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Entries) != len(want) {
+				t.Fatalf("%v-%v: %d results, oracle %d", v.algo, v.scheme, len(res.Entries), len(want))
+			}
+			for i, e := range res.Entries {
+				ts, ok := trueScore[e.Doc]
+				if !ok {
+					t.Fatalf("%v-%v: unmatched doc %d in result", v.algo, v.scheme, e.Doc)
+				}
+				if math.Abs(ts-want[i].s) > 1e-9 {
+					t.Fatalf("%v-%v: position %d true score %v, oracle %v", v.algo, v.scheme, i, ts, want[i].s)
+				}
+				if v.algo == core.AlgoTRA && e.Score != ts {
+					t.Fatalf("TRA claimed %v, true %v", e.Score, ts)
+				}
+			}
+		}
+	}
+}
+
+func TestBoostChangesRanking(t *testing.T) {
+	// The same corpus with and without boost must (for some query) produce
+	// different orderings — otherwise the extension is inert.
+	r := rand.New(rand.NewSource(47))
+	docs := randomDocs(r, 70, 30)
+	authority := make([]float64, len(docs))
+	for d := range authority {
+		authority[d] = float64(d%2) * 0.9 // alternate authorities
+	}
+	plain, err := BuildCollection(docs, Config{Store: smallParams(), HashSize: 16, Signer: testSigner(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted, err := BuildCollection(docs, Config{Store: smallParams(), HashSize: 16, Signer: testSigner(t),
+		Authority: authority, Beta: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := plain.Index()
+	changed := false
+	for trial := 0; trial < 30 && !changed; trial++ {
+		tokens := []string{idx.Name(index.TermID(r.Intn(idx.M())))}
+		a, _, _, err := plain.Search(tokens, 5, core.AlgoTNRA, core.SchemeCMHT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, _, err := boosted.Search(tokens, 5, core.AlgoTNRA, core.SchemeCMHT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Entries) != len(b.Entries) {
+			changed = true
+			break
+		}
+		for i := range a.Entries {
+			if a.Entries[i].Doc != b.Entries[i].Doc {
+				changed = true
+				break
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("authority boost never changed any ranking")
+	}
+}
+
+func TestBoostTamperedAuthorityDetected(t *testing.T) {
+	col := boostedCollection(t, 51, 2.0)
+	idx := col.Index()
+	tokens := []string{idx.Name(0), idx.Name(1)}
+	res, voBytes, _, err := col.Search(tokens, 4, core.AlgoTNRA, core.SchemeCMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := vo.Decode(voBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.AuthorityProof == nil || len(decoded.AuthorityProof.Values) == 0 {
+		t.Fatal("no authority proof in boosted VO")
+	}
+	decoded.AuthorityProof.Values[0] += 0.5
+	if err := col.verifyDecoded(tokens, 4, res, decoded); err == nil {
+		t.Fatal("forged authority value accepted")
+	} else if core.CodeOf(err) != core.CodeBadTermProof {
+		t.Fatalf("wrong code: %v", err)
+	}
+}
+
+func TestBoostDroppedAuthorityProofDetected(t *testing.T) {
+	col := boostedCollection(t, 53, 2.0)
+	idx := col.Index()
+	tokens := []string{idx.Name(0)}
+	res, voBytes, _, err := col.Search(tokens, 4, core.AlgoTRA, core.SchemeMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := vo.Decode(voBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded.AuthorityProof = nil
+	if err := col.verifyDecoded(tokens, 4, res, decoded); err == nil {
+		t.Fatal("missing authority proof accepted")
+	}
+}
+
+func TestBoostConfigValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	docs := randomDocs(r, 10, 10)
+	cfg := Config{Store: smallParams(), HashSize: 16, Signer: testSigner(t)}
+	cfg.Authority = []float64{0.5} // wrong length
+	if _, err := BuildCollection(docs, cfg); err == nil {
+		t.Fatal("mismatched authority length accepted")
+	}
+	cfg.Authority = make([]float64, len(docs))
+	cfg.Authority[0] = 1.5 // out of range
+	if _, err := BuildCollection(docs, cfg); err == nil {
+		t.Fatal("out-of-range authority accepted")
+	}
+	cfg.Authority[0] = 0.5
+	cfg.Beta = -1
+	if _, err := BuildCollection(docs, cfg); err == nil {
+		t.Fatal("negative beta accepted")
+	}
+}

@@ -1,0 +1,317 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"authtext/internal/core"
+	"authtext/internal/index"
+	"authtext/internal/mht"
+	"authtext/internal/okapi"
+	"authtext/internal/sig"
+	"authtext/internal/store"
+)
+
+// Config controls collection construction.
+type Config struct {
+	Store    store.Params
+	HashSize int
+	// Signer produces the owner's signatures (RSA-1024 for fidelity; the
+	// experiment harness may substitute the fast keyed-hash signer).
+	Signer           sig.Signer
+	Okapi            okapi.Params
+	RemoveSingletons bool
+	// DictMode enables the dictionary-MHT space optimisation (§3.4): no
+	// per-list signatures; one root per structure kind in the manifest.
+	DictMode bool
+	// VocabProofs enables the out-of-dictionary non-membership extension.
+	VocabProofs bool
+	// Authority enables the §5 authority-boost extension: per-document
+	// static authority scores in [0, 1] (e.g. normalised PageRank), one per
+	// input document. Scores become S(d|Q) + Beta·A(d) for matching
+	// documents.
+	Authority []float64
+	// Beta is the authority weight β (ignored unless Authority is set).
+	Beta float64
+}
+
+// DefaultConfig returns the paper's parameters; the caller must supply a
+// Signer.
+func DefaultConfig(signer sig.Signer) Config {
+	return Config{
+		Store:            store.DefaultParams(),
+		HashSize:         sig.DefaultHashSize,
+		Signer:           signer,
+		Okapi:            okapi.DefaultParams(),
+		RemoveSingletons: true,
+	}
+}
+
+// BuildStats reports owner-side construction costs.
+type BuildStats struct {
+	BuildTime  time.Duration
+	Signatures int
+}
+
+// SpaceReport breaks down storage consumption, for the §4.1 space-overhead
+// claims (TNRA < 1 % over a plain index+corpus, TRA ≈ 25 %).
+type SpaceReport struct {
+	ContentBytes   int64
+	PlainListBytes int64
+	ChainTRABytes  int64
+	ChainTNRABytes int64
+	DocRecordBytes int64
+	TermSigBytes   int64
+	DeviceBytes    int64
+}
+
+// Collection is a published, queryable, authenticated document collection:
+// the in-memory dictionary, the on-device structures, the owner's
+// signatures and the signed manifest.
+type Collection struct {
+	idx *index.Index
+	dev *store.Device
+	cfg Config
+	// mu serialises queries: the cost model emulates one disk whose head
+	// position and statistics are shared state (§4.1 runs queries one at a
+	// time for the same reason).
+	mu sync.Mutex
+
+	baseHasher sig.Hasher
+	hasher     mht.Hasher
+	verifier   sig.Verifier
+
+	layout    Layout
+	termSigs  [4][][]byte // [kind-1][termID]; nil in dict mode
+	termRoots [4][][]byte // retained for dictionary proofs
+	docHash   [][]byte    // h(doc) leaves
+	nameDict  [][]byte    // VocabLeaf(name) leaves (vocab-proof mode)
+	// authority holds the pinned per-document authority scores and the
+	// authority-MHT leaves (boost extension); nil when disabled.
+	authority       []float32
+	authorityLeaves [][]byte
+	boost           *core.Boost
+
+	manifest    *core.Manifest
+	manifestSig []byte
+
+	buildStats BuildStats
+	space      SpaceReport
+}
+
+// BuildCollection indexes the documents and constructs every authentication
+// structure: plain and chained list layouts for all four algorithm/scheme
+// combinations, document records with signed document-MHT roots, the
+// document-hash tree, and the signed manifest.
+func BuildCollection(docs []index.Document, cfg Config) (*Collection, error) {
+	start := time.Now()
+	if cfg.Signer == nil {
+		return nil, errors.New("engine: config needs a signer")
+	}
+	if cfg.HashSize == 0 {
+		cfg.HashSize = sig.DefaultHashSize
+	}
+	if cfg.Store.BlockSize == 0 {
+		cfg.Store = store.DefaultParams()
+	}
+	if cfg.Okapi.K1 == 0 && cfg.Okapi.B == 0 {
+		cfg.Okapi = okapi.DefaultParams()
+	}
+	baseHasher, err := sig.NewHasher(cfg.HashSize)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := index.Build(docs, index.Options{Okapi: cfg.Okapi, RemoveSingletons: cfg.RemoveSingletons})
+	if err != nil {
+		return nil, err
+	}
+	dev, err := store.NewDevice(cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Collection{
+		idx:        idx,
+		dev:        dev,
+		cfg:        cfg,
+		baseHasher: baseHasher,
+		hasher:     mht.NewHasher(baseHasher),
+		verifier:   cfg.Signer.Verifier(),
+	}
+	nSigs := 0
+
+	// Document records: leaves, content hashes, signed document-MHT roots.
+	c.layout.Doc = make([]store.Extent, idx.N)
+	c.docHash = make([][]byte, idx.N)
+	for d := 0; d < idx.N; d++ {
+		vec := idx.DocVector(index.DocID(d))
+		leaves := make([][]byte, len(vec))
+		for i, tf := range vec {
+			leaves[i] = core.EncodeTermFreqLeaf(tf)
+		}
+		ch := baseHasher.Sum(idx.Content[d])
+		c.docHash[d] = ch
+		root := mht.Root(c.hasher, leaves)
+		msg := core.DocRootMessage(index.DocID(d), uint32(len(vec)), ch, root)
+		sigBytes, err := cfg.Signer.Sign(msg)
+		if err != nil {
+			return nil, fmt.Errorf("engine: sign doc %d: %w", d, err)
+		}
+		nSigs++
+		rec := encodeDocRecord(vec, ch, sigBytes)
+		c.layout.Doc[d] = dev.AllocWrite(rec)
+		c.space.DocRecordBytes += int64(len(rec))
+		c.space.ContentBytes += int64(len(idx.Content[d]))
+	}
+
+	// Inverted lists: plain blocks, two chain layouts, four signed roots.
+	m := idx.M()
+	rho := core.ChainRho(cfg.Store.BlockSize, cfg.HashSize)
+	c.layout.Plain = make([]store.Extent, m)
+	c.layout.ChainTRA = make([]store.Extent, m)
+	c.layout.ChainTNRA = make([]store.Extent, m)
+	for k := range c.termRoots {
+		c.termRoots[k] = make([][]byte, m)
+		if !cfg.DictMode {
+			c.termSigs[k] = make([][]byte, m)
+		}
+	}
+	kinds := []core.StructureKind{core.KindTRAMHT, core.KindTRACMHT, core.KindTNRAMHT, core.KindTNRACMHT}
+	for t := 0; t < m; t++ {
+		tid := index.TermID(t)
+		ps := idx.List(tid)
+		ft := uint32(len(ps))
+		name := idx.Name(tid)
+
+		plain := encodePlainList(ps, cfg.Store.BlockSize)
+		c.layout.Plain[t] = dev.AllocWrite(plain)
+		c.space.PlainListBytes += int64(len(plain))
+
+		traLeaves := core.KindTRACMHT.ListLeaves(ps)
+		tnraLeaves := core.KindTNRACMHT.ListLeaves(ps)
+
+		traChain := core.ChainDigests(c.hasher, traLeaves, rho)
+		tnraChain := core.ChainDigests(c.hasher, tnraLeaves, rho)
+		traBytes := encodeChainList(ps, traChain, cfg.Store.BlockSize, cfg.HashSize, rho)
+		tnraBytes := encodeChainList(ps, tnraChain, cfg.Store.BlockSize, cfg.HashSize, rho)
+		c.layout.ChainTRA[t] = dev.AllocWrite(traBytes)
+		c.layout.ChainTNRA[t] = dev.AllocWrite(tnraBytes)
+		c.space.ChainTRABytes += int64(len(traBytes))
+		c.space.ChainTNRABytes += int64(len(tnraBytes))
+
+		roots := [4][]byte{
+			mht.Root(c.hasher, traLeaves),  // KindTRAMHT
+			traChain[0],                    // KindTRACMHT
+			mht.Root(c.hasher, tnraLeaves), // KindTNRAMHT
+			tnraChain[0],                   // KindTNRACMHT
+		}
+		for k, kind := range kinds {
+			c.termRoots[k][t] = roots[k]
+			if cfg.DictMode {
+				continue
+			}
+			msg := core.TermRootMessage(kind, name, tid, ft, roots[k])
+			sb, err := cfg.Signer.Sign(msg)
+			if err != nil {
+				return nil, fmt.Errorf("engine: sign term %q kind %d: %w", name, kind, err)
+			}
+			c.termSigs[k][t] = sb
+			nSigs++
+		}
+	}
+
+	manifest := &core.Manifest{
+		N:                  uint32(idx.N),
+		M:                  uint32(m),
+		AvgLen:             idx.AvgLen,
+		K1:                 cfg.Okapi.K1,
+		B:                  cfg.Okapi.B,
+		BlockSize:          uint32(cfg.Store.BlockSize),
+		HashSize:           uint8(cfg.HashSize),
+		DictMode:           cfg.DictMode,
+		VocabProofsEnabled: cfg.VocabProofs,
+		DocHashRoot:        mht.Root(c.hasher, c.docHash),
+	}
+	if cfg.DictMode {
+		for k := range kinds {
+			manifest.DictRoots[k] = mht.Root(c.hasher, c.termRoots[k])
+		}
+	}
+	if cfg.VocabProofs {
+		c.nameDict = make([][]byte, m)
+		for t := 0; t < m; t++ {
+			c.nameDict[t] = core.VocabLeaf(idx.Name(index.TermID(t)))
+		}
+		manifest.NameDictRoot = mht.Root(c.hasher, c.nameDict)
+	}
+	if cfg.Authority != nil {
+		if len(cfg.Authority) != idx.N {
+			return nil, fmt.Errorf("engine: %d authority scores for %d documents", len(cfg.Authority), idx.N)
+		}
+		if cfg.Beta < 0 {
+			return nil, fmt.Errorf("engine: negative authority weight %v", cfg.Beta)
+		}
+		c.authority = make([]float32, idx.N)
+		c.authorityLeaves = make([][]byte, idx.N)
+		var amax float32
+		for d, a := range cfg.Authority {
+			if a < 0 || a > 1 {
+				return nil, fmt.Errorf("engine: authority[%d] = %v outside [0,1]", d, a)
+			}
+			a32 := float32(a)
+			c.authority[d] = a32
+			c.authorityLeaves[d] = core.EncodeAuthorityLeaf(index.DocID(d), a32)
+			if a32 > amax {
+				amax = a32
+			}
+		}
+		manifest.Boosted = true
+		manifest.Beta = cfg.Beta
+		manifest.AMax = float64(amax)
+		manifest.AuthorityRoot = mht.Root(c.hasher, c.authorityLeaves)
+		auth := c.authority
+		c.boost = &core.Boost{
+			Beta: cfg.Beta,
+			AMax: float64(amax),
+			Authority: func(d index.DocID) float64 {
+				return float64(auth[d])
+			},
+		}
+	}
+	c.manifest = manifest
+	c.manifestSig, err = cfg.Signer.Sign(manifest.Encode())
+	if err != nil {
+		return nil, fmt.Errorf("engine: sign manifest: %w", err)
+	}
+	nSigs++
+
+	if !cfg.DictMode {
+		c.space.TermSigBytes = int64(4 * m * cfg.Signer.Size())
+	}
+	c.space.DeviceBytes = dev.SizeBytes()
+	c.buildStats = BuildStats{BuildTime: time.Since(start), Signatures: nSigs}
+	return c, nil
+}
+
+// Index exposes the underlying inverted index (dictionary pinned in memory).
+func (c *Collection) Index() *index.Index { return c.idx }
+
+// Device exposes the simulated disk (tests use it for failure injection).
+func (c *Collection) Device() *store.Device { return c.dev }
+
+// Manifest returns the signed collection metadata and its signature.
+func (c *Collection) Manifest() (*core.Manifest, []byte) { return c.manifest, c.manifestSig }
+
+// Verifier returns the owner's public verification key.
+func (c *Collection) Verifier() sig.Verifier { return c.verifier }
+
+// BuildStats returns owner-side construction costs.
+func (c *Collection) BuildStats() BuildStats { return c.buildStats }
+
+// Space returns the storage breakdown.
+func (c *Collection) Space() SpaceReport { return c.space }
+
+// Layout exposes extent locations (tests use it for targeted corruption).
+func (c *Collection) Layout() *Layout { return &c.layout }

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"testing"
+
+	"authtext/internal/core"
+	"authtext/internal/index"
+	"authtext/internal/vo"
+)
+
+func TestDictModeTamperedRootRejected(t *testing.T) {
+	col := buildTestCollection(t, 31, 50, 30, func(c *Config) { c.DictMode = true })
+	idx := col.Index()
+	tokens := []string{idx.Name(0), idx.Name(1)}
+	res, voBytes, _, err := col.Search(tokens, 4, core.AlgoTNRA, core.SchemeCMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := vo.Decode(voBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forge a revealed frequency: the recomputed term root changes, the
+	// dictionary root no longer matches the manifest.
+	decoded.Terms[0].Freqs[0] += 1
+	if err := col.verifyDecoded(tokens, 4, res, decoded); err == nil {
+		t.Fatal("dict-mode frequency forgery accepted")
+	} else if core.CodeOf(err) != core.CodeBadTermProof {
+		t.Fatalf("wrong code: %v", err)
+	}
+}
+
+func TestDictModeMissingProofRejected(t *testing.T) {
+	col := buildTestCollection(t, 31, 50, 30, func(c *Config) { c.DictMode = true })
+	idx := col.Index()
+	tokens := []string{idx.Name(0)}
+	res, voBytes, _, err := col.Search(tokens, 4, core.AlgoTNRA, core.SchemeMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := vo.Decode(voBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded.DictProof = nil
+	if err := col.verifyDecoded(tokens, 4, res, decoded); err == nil {
+		t.Fatal("missing dictionary proof accepted")
+	}
+}
+
+func TestDictModeWrongMRejected(t *testing.T) {
+	col := buildTestCollection(t, 31, 50, 30, func(c *Config) { c.DictMode = true })
+	idx := col.Index()
+	tokens := []string{idx.Name(0)}
+	res, voBytes, _, err := col.Search(tokens, 4, core.AlgoTRA, core.SchemeMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := vo.Decode(voBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded.DictProof.M++
+	if err := col.verifyDecoded(tokens, 4, res, decoded); err == nil {
+		t.Fatal("wrong dictionary size accepted")
+	}
+}
+
+func TestDictModeWithVocabProofs(t *testing.T) {
+	col := buildTestCollection(t, 33, 50, 30, func(c *Config) {
+		c.DictMode = true
+		c.VocabProofs = true
+	})
+	idx := col.Index()
+	tokens := []string{idx.Name(0), "zz-out-of-vocab"}
+	for _, v := range allVariants {
+		res, voBytes, _, err := col.Search(tokens, 4, v.algo, v.scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := col.VerifyResult(tokens, 4, res, voBytes); err != nil {
+			t.Fatalf("%v-%v dict+vocab: %v", v.algo, v.scheme, err)
+		}
+	}
+}
+
+// TestChainIOBeatsFullScan asserts the §3.3.2 motivation quantitatively:
+// for a query on a long list that the algorithm prunes, TNRA-CMHT's I/O
+// must come in well below TNRA-MHT's full-list digest regeneration.
+func TestChainIOBeatsFullScan(t *testing.T) {
+	col := buildTestCollection(t, 35, 400, 60, nil)
+	idx := col.Index()
+	// One rare term plus the longest discriminative list: the threshold
+	// algorithm stops partway down the long list, so the chain saves I/O.
+	longest, rare := -1, -1
+	for ti := 0; ti < idx.M(); ti++ {
+		ft := idx.FT(index.TermID(ti))
+		if ft > idx.N/3 {
+			continue
+		}
+		if longest < 0 || ft > idx.FT(index.TermID(longest)) {
+			longest = ti
+		}
+		if ft <= 4 && rare < 0 {
+			rare = ti
+		}
+	}
+	if longest < 0 || rare < 0 {
+		t.Skip("fixture lacks suitable terms")
+	}
+	tokens := []string{idx.Name(index.TermID(rare)), idx.Name(index.TermID(longest))}
+	_, _, mht, err := col.Search(tokens, 3, core.AlgoTNRA, core.SchemeMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, cmht, err := col.Search(tokens, 3, core.AlgoTNRA, core.SchemeCMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The MHT variant reads every list twice (processing + digest
+	// regeneration, no caching); the chain variant reads each block once.
+	if cmht.IO.BlockReads*3 > mht.IO.BlockReads*2 {
+		t.Fatalf("TNRA-CMHT read %d blocks, TNRA-MHT %d: chain should save ≥ a third",
+			cmht.IO.BlockReads, mht.IO.BlockReads)
+	}
+}

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"authtext/internal/core"
+	"authtext/internal/vo"
+)
+
+var (
+	fuzzOnce sync.Once
+	fuzzCol  *Collection
+)
+
+func fuzzCollection(t testing.TB) *Collection {
+	fuzzOnce.Do(func() {
+		var tt *testing.T // buildTestCollection needs testing.TB only
+		_ = tt
+		col, err := buildFuzzCollection()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fuzzCol = col
+	})
+	return fuzzCol
+}
+
+func buildFuzzCollection() (*Collection, error) {
+	signer, err := sigSignerForFuzz()
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{Store: smallParams(), HashSize: 16, Signer: signer}
+	return BuildCollection(fuzzDocs(), cfg)
+}
+
+// FuzzVerifyAgainstArbitraryVO feeds the client verifier VOs decoded from
+// arbitrary bytes: it must never panic and never accept a VO it did not
+// produce (acceptance requires forging a keyed-hash tag, which would be a
+// find in itself).
+func FuzzVerifyAgainstArbitraryVO(f *testing.F) {
+	col := fuzzCollection(f)
+	idx := col.Index()
+	tokens := []string{idx.Name(0), idx.Name(1)}
+	res, honest, _, err := col.Search(tokens, 3, core.AlgoTNRA, core.SchemeCMHT)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(honest)
+	mutated := append([]byte{}, honest...)
+	if len(mutated) > 40 {
+		mutated[40] ^= 0xFF
+	}
+	f.Add(mutated)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := vo.Decode(data)
+		if err != nil {
+			return
+		}
+		verr := core.Verify(&core.VerifyInput{
+			Manifest: col.manifest,
+			Verifier: col.verifier,
+			Tokens:   tokens,
+			R:        3,
+			Result:   res.Entries,
+			Contents: res.Contents,
+			VO:       decoded,
+		})
+		// Only the unmodified honest VO may verify.
+		if verr == nil && string(data) != string(honest) {
+			t.Fatalf("forged VO accepted (%d bytes)", len(data))
+		}
+	})
+}

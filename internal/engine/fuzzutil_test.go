@@ -1,0 +1,26 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"authtext/internal/index"
+	"authtext/internal/sig"
+)
+
+func sigSignerForFuzz() (sig.Signer, error) {
+	return sig.NewHMACSigner([]byte("fuzz"), 64)
+}
+
+func fuzzDocs() []index.Document {
+	r := rand.New(rand.NewSource(99))
+	docs := make([]index.Document, 30)
+	for i := range docs {
+		toks := make([]string, 10+r.Intn(20))
+		for j := range toks {
+			toks[j] = fmt.Sprintf("w%02d", r.Intn(12))
+		}
+		docs[i] = index.Document{Content: []byte(fmt.Sprint("doc", i, toks)), Tokens: toks}
+	}
+	return docs
+}

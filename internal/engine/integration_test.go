@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"authtext/internal/core"
+	"authtext/internal/corpus"
+	"authtext/internal/index"
+	"authtext/internal/workload"
+)
+
+// TestRepeatedQueryTerms exercises f_{Q,t} > 1: repeating a term multiplies
+// its w_{Q,t} (Formula 1), which both sides must derive identically.
+func TestRepeatedQueryTerms(t *testing.T) {
+	col := buildTestCollection(t, 61, 50, 30, nil)
+	idx := col.Index()
+	name := idx.Name(0)
+	other := idx.Name(1)
+	single := []string{name, other}
+	doubled := []string{name, other, name} // f_{Q,name} = 2
+
+	for _, v := range allVariants {
+		resS, voS, _, err := col.Search(single, 4, v.algo, v.scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := col.VerifyResult(single, 4, resS, voS); err != nil {
+			t.Fatalf("%v-%v single: %v", v.algo, v.scheme, err)
+		}
+		resD, voD, _, err := col.Search(doubled, 4, v.algo, v.scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := col.VerifyResult(doubled, 4, resD, voD); err != nil {
+			t.Fatalf("%v-%v doubled: %v", v.algo, v.scheme, err)
+		}
+		// Cross-wiring the token multiplicity must fail: the claimed scores
+		// were computed under a different w_{Q,t}.
+		if len(resD.Entries) > 0 && resD.Entries[0].Score > 0 {
+			if _, err := col.VerifyResult(single, 4, resD, voD); err == nil {
+				t.Fatalf("%v-%v: doubled-term answer verified against single-term query", v.algo, v.scheme)
+			}
+		}
+	}
+}
+
+// TestSingleTermAndManyTermQueries covers the q = 1 and q = 20 extremes of
+// the Fig 13 sweep.
+func TestSingleTermAndManyTermQueries(t *testing.T) {
+	col := buildTestCollection(t, 63, 80, 40, nil)
+	idx := col.Index()
+	one := []string{idx.Name(3)}
+	var many []string
+	for i := 0; i < 20 && i < idx.M(); i++ {
+		many = append(many, idx.Name(index.TermID(i)))
+	}
+	for _, tokens := range [][]string{one, many} {
+		for _, v := range allVariants {
+			res, voBytes, _, err := col.Search(tokens, 5, v.algo, v.scheme)
+			if err != nil {
+				t.Fatalf("%v-%v q=%d: %v", v.algo, v.scheme, len(tokens), err)
+			}
+			if _, err := col.VerifyResult(tokens, 5, res, voBytes); err != nil {
+				t.Fatalf("%v-%v q=%d: %v", v.algo, v.scheme, len(tokens), err)
+			}
+		}
+	}
+}
+
+// TestAllExtensionsTogether runs dictionary mode, vocabulary proofs and the
+// authority boost simultaneously across every variant.
+func TestAllExtensionsTogether(t *testing.T) {
+	r := rand.New(rand.NewSource(67))
+	docs := randomDocs(r, 60, 30)
+	authority := make([]float64, len(docs))
+	for d := range authority {
+		authority[d] = r.Float64()
+	}
+	cfg := Config{
+		Store:       smallParams(),
+		HashSize:    16,
+		Signer:      testSigner(t),
+		DictMode:    true,
+		VocabProofs: true,
+		Authority:   authority,
+		Beta:        1.5,
+	}
+	col, err := BuildCollection(docs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := col.Index()
+	tokens := []string{idx.Name(0), "zz-not-a-term", idx.Name(2)}
+	for _, v := range allVariants {
+		res, voBytes, _, err := col.Search(tokens, 4, v.algo, v.scheme)
+		if err != nil {
+			t.Fatalf("%v-%v: %v", v.algo, v.scheme, err)
+		}
+		if _, err := col.VerifyResult(tokens, 4, res, voBytes); err != nil {
+			t.Fatalf("all-extensions %v-%v: %v", v.algo, v.scheme, err)
+		}
+	}
+}
+
+// TestSmallProfileTRECWorkload is a heavier integration pass: the small
+// synthetic corpus under the TREC-like workload with every variant
+// verified. Skipped with -short.
+func TestSmallProfileTRECWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy integration test")
+	}
+	signer := testSigner(t)
+	col, err := BuildCollection(corpus.Generate(corpus.Tiny()), DefaultConfig(signer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := workload.TRECLike(col.Index(), 15, 5)
+	for _, q := range queries {
+		for _, v := range allVariants {
+			res, voBytes, st, err := col.Search(q, 10, v.algo, v.scheme)
+			if err != nil {
+				t.Fatalf("%v-%v %v: %v", v.algo, v.scheme, q, err)
+			}
+			if _, err := col.VerifyResult(q, 10, res, voBytes); err != nil {
+				t.Fatalf("%v-%v %v: %v", v.algo, v.scheme, strings.Join(q, " "), err)
+			}
+			if st.IO.BlockReads == 0 {
+				t.Fatal("no I/O recorded")
+			}
+		}
+	}
+}
+
+// TestStatsEntriesConsistency cross-checks the per-term stats against the
+// VO's revealed prefixes.
+func TestStatsEntriesConsistency(t *testing.T) {
+	col := buildTestCollection(t, 69, 60, 30, nil)
+	idx := col.Index()
+	tokens := []string{idx.Name(0), idx.Name(5)}
+	res, voBytes, st, err := col.Search(tokens, 4, core.AlgoTNRA, core.SchemeCMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	decoded, err := decodeForTest(voBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, tp := range decoded.Terms {
+		sum += int(tp.KScore)
+	}
+	if sum != st.EntriesRead {
+		t.Fatalf("VO reveals %d scoring entries, stats report %d", sum, st.EntriesRead)
+	}
+}

@@ -1,0 +1,369 @@
+package engine
+
+import (
+	"testing"
+
+	"authtext/internal/core"
+	"authtext/internal/index"
+	"authtext/internal/vo"
+)
+
+// The tamper suite exercises the §1 threat model: a compromised search
+// engine returning incomplete results, altered rankings, or spurious
+// documents. Each strategy modifies a legitimate (result, VO) pair and the
+// verifier must reject it.
+
+type tamperEnv struct {
+	col    *Collection
+	tokens []string
+	r      int
+	res    *Result
+	vo     *vo.VO
+}
+
+// freshEnv produces a legitimate answer whose result is non-trivial: at
+// least three entries with at least two distinct scores (fully tied results
+// make ranking tampering legitimately undetectable).
+func freshEnv(t *testing.T, algo core.Algo, scheme core.Scheme) *tamperEnv {
+	t.Helper()
+	var col *Collection
+	var tokens []string
+	var res *Result
+	var voBytes []byte
+	r := 5
+	found := false
+	for seed := int64(21); seed < 31 && !found; seed++ {
+		col = buildTestCollection(t, seed, 80, 30, nil)
+		idx := col.Index()
+		// Query the two longest lists among discriminative terms: terms in
+		// more than half the collection have w_{Q,t} = 0 (clamped IDF) and
+		// cannot separate scores.
+		best, second := -1, -1
+		for ti := 0; ti < idx.M(); ti++ {
+			ft := idx.FT(index.TermID(ti))
+			if ft > idx.N/3 {
+				continue
+			}
+			if best < 0 || ft > idx.FT(index.TermID(best)) {
+				second, best = best, ti
+			} else if second < 0 || ft > idx.FT(index.TermID(second)) {
+				second = ti
+			}
+		}
+		if best < 0 || second < 0 {
+			continue
+		}
+		tokens = []string{idx.Name(index.TermID(best)), idx.Name(index.TermID(second))}
+		var err error
+		res, voBytes, _, err = col.Search(tokens, r, algo, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Entries) >= 3 && res.Entries[0].Score > res.Entries[len(res.Entries)-1].Score {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no fixture with distinct scores found")
+	}
+	decoded, err := vo.Decode(voBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the untampered answer verifies.
+	if err := col.verifyDecoded(tokens, r, res, decoded); err != nil {
+		t.Fatalf("baseline does not verify: %v", err)
+	}
+	return &tamperEnv{col: col, tokens: tokens, r: r, res: res, vo: decoded}
+}
+
+// verifyDecoded verifies against an already-decoded VO (so tamper tests can
+// mutate structures directly).
+func (c *Collection) verifyDecoded(tokens []string, r int, res *Result, v *vo.VO) error {
+	return core.Verify(&core.VerifyInput{
+		Manifest: c.manifest,
+		Verifier: c.verifier,
+		Tokens:   tokens,
+		R:        r,
+		Result:   res.Entries,
+		Contents: res.Contents,
+		VO:       v,
+	})
+}
+
+func (e *tamperEnv) mustFail(t *testing.T, what string, wantCodes ...core.VerifyCode) {
+	t.Helper()
+	err := e.col.verifyDecoded(e.tokens, e.r, e.res, e.vo)
+	if err == nil {
+		t.Fatalf("%s went undetected", what)
+	}
+	if len(wantCodes) > 0 {
+		got := core.CodeOf(err)
+		for _, c := range wantCodes {
+			if got == c {
+				return
+			}
+		}
+		t.Fatalf("%s: detected with %v, want one of %v", what, err, wantCodes)
+	}
+}
+
+func cloneResult(res *Result) *Result {
+	out := &Result{Entries: append([]core.ResultEntry{}, res.Entries...), Contents: map[index.DocID][]byte{}}
+	for d, c := range res.Contents {
+		out.Contents[d] = c
+	}
+	return out
+}
+
+func TestTamperDropResultDocument(t *testing.T) {
+	for _, v := range allVariants {
+		e := freshEnv(t, v.algo, v.scheme)
+		e.res = cloneResult(e.res)
+		// "Incomplete results that omit some legitimate documents": drop
+		// the top document and promote the rest.
+		e.res.Entries = e.res.Entries[1:]
+		e.mustFail(t, "dropped result document",
+			core.CodeIncomplete, core.CodeThreshold, core.CodeBadOrdering)
+	}
+}
+
+func TestTamperSwapRanking(t *testing.T) {
+	for _, v := range allVariants {
+		e := freshEnv(t, v.algo, v.scheme)
+		e.res = cloneResult(e.res)
+		// "Altered ranking": swap two adjacent entries with strictly
+		// different scores (swapping tied entries is a legitimate
+		// reordering and rightly passes).
+		swapped := false
+		for i := 0; i+1 < len(e.res.Entries); i++ {
+			if e.res.Entries[i].Score > e.res.Entries[i+1].Score {
+				e.res.Entries[i], e.res.Entries[i+1] = e.res.Entries[i+1], e.res.Entries[i]
+				swapped = true
+				break
+			}
+		}
+		if !swapped {
+			t.Fatalf("%v-%v: all result scores tied; fixture too weak", v.algo, v.scheme)
+		}
+		e.mustFail(t, "swapped ranking", core.CodeBadOrdering)
+	}
+}
+
+func TestTamperInflateScore(t *testing.T) {
+	for _, v := range allVariants {
+		e := freshEnv(t, v.algo, v.scheme)
+		e.res = cloneResult(e.res)
+		e.res.Entries[1].Score = e.res.Entries[0].Score + 1
+		e.mustFail(t, "inflated score", core.CodeBadScore, core.CodeBadOrdering)
+	}
+}
+
+func TestTamperSpuriousDocument(t *testing.T) {
+	for _, v := range allVariants {
+		e := freshEnv(t, v.algo, v.scheme)
+		e.res = cloneResult(e.res)
+		// "Spurious results": splice an unrelated document in.
+		var outsider index.DocID
+		seen := map[index.DocID]bool{}
+		for _, en := range e.res.Entries {
+			seen[en.Doc] = true
+		}
+		for d := 0; d < e.col.Index().N; d++ {
+			if !seen[index.DocID(d)] {
+				outsider = index.DocID(d)
+				break
+			}
+		}
+		e.res.Entries[len(e.res.Entries)-1] = core.ResultEntry{Doc: outsider, Score: e.res.Entries[len(e.res.Entries)-1].Score}
+		e.res.Contents[outsider] = e.col.Index().Content[outsider]
+		e.mustFail(t, "spurious document", core.CodeSpurious, core.CodeBadScore, core.CodeIncomplete)
+	}
+}
+
+func TestTamperModifiedFrequency(t *testing.T) {
+	for _, v := range allVariants {
+		if v.algo != core.AlgoTNRA {
+			continue
+		}
+		e := freshEnv(t, v.algo, v.scheme)
+		// Inflate a revealed frequency: the list root no longer matches.
+		e.vo.Terms[0].Freqs[0] *= 2
+		e.mustFail(t, "modified list frequency", core.CodeBadTermProof, core.CodeBadSignature)
+	}
+}
+
+func TestTamperReorderedList(t *testing.T) {
+	for _, v := range allVariants {
+		e := freshEnv(t, v.algo, v.scheme)
+		tp := &e.vo.Terms[0]
+		if tp.KProof < 2 {
+			continue
+		}
+		tp.Docs[0], tp.Docs[1] = tp.Docs[1], tp.Docs[0]
+		if tp.Freqs != nil {
+			tp.Freqs[0], tp.Freqs[1] = tp.Freqs[1], tp.Freqs[0]
+		}
+		e.mustFail(t, "reordered list prefix", core.CodeBadTermProof, core.CodeBadSignature,
+			core.CodeBadScore, core.CodeBadOrdering, core.CodeIncomplete, core.CodeBadConditions,
+			core.CodeBadDocProof, core.CodeSpurious)
+	}
+}
+
+func TestTamperTruncatedPrefix(t *testing.T) {
+	// Shortening the revealed prefix (to hide a competitor) must trip the
+	// root recomputation or the threshold condition.
+	for _, v := range allVariants {
+		e := freshEnv(t, v.algo, v.scheme)
+		tp := &e.vo.Terms[0]
+		if tp.KScore < 2 {
+			continue
+		}
+		tp.KScore--
+		tp.KProof--
+		tp.Docs = tp.Docs[:tp.KProof]
+		if tp.Freqs != nil {
+			tp.Freqs = tp.Freqs[:tp.KProof]
+		}
+		e.mustFail(t, "truncated prefix")
+	}
+}
+
+func TestTamperWrongSignature(t *testing.T) {
+	for _, v := range allVariants {
+		e := freshEnv(t, v.algo, v.scheme)
+		sig := append([]byte{}, e.vo.Terms[0].Sig...)
+		sig[0] ^= 0xff
+		e.vo.Terms[0].Sig = sig
+		e.mustFail(t, "corrupted term signature", core.CodeBadSignature)
+	}
+}
+
+func TestTamperDocumentContent(t *testing.T) {
+	for _, v := range allVariants {
+		e := freshEnv(t, v.algo, v.scheme)
+		e.res = cloneResult(e.res)
+		d := e.res.Entries[0].Doc
+		content := append([]byte{}, e.res.Contents[d]...)
+		content[0] ^= 0xff
+		e.res.Contents[d] = content
+		e.mustFail(t, "tampered document content", core.CodeBadContent)
+	}
+}
+
+func TestTamperDocProofWeight(t *testing.T) {
+	// TRA only: inflating a frequency inside a document proof must break
+	// the document-MHT root.
+	for _, v := range allVariants {
+		if v.algo != core.AlgoTRA {
+			continue
+		}
+		e := freshEnv(t, v.algo, v.scheme)
+		for i := range e.vo.Docs {
+			if len(e.vo.Docs[i].Ws) > 0 {
+				e.vo.Docs[i].Ws[0] *= 4
+				break
+			}
+		}
+		e.mustFail(t, "tampered document proof weight",
+			core.CodeBadSignature, core.CodeBadDocProof, core.CodeBadContent)
+	}
+}
+
+func TestTamperDroppedDocProof(t *testing.T) {
+	for _, v := range allVariants {
+		if v.algo != core.AlgoTRA {
+			continue
+		}
+		e := freshEnv(t, v.algo, v.scheme)
+		e.vo.Docs = e.vo.Docs[1:]
+		e.mustFail(t, "dropped document proof", core.CodeBadDocProof)
+	}
+}
+
+func TestTamperStorageCorruption(t *testing.T) {
+	// Flip one byte of a stored authenticated structure: queries touching
+	// it must fail verification. The injection target differs per variant:
+	// TNRA authenticates ⟨d, f⟩ pairs in the lists, so a corrupted list
+	// frequency breaks the list root; TRA authenticates frequencies through
+	// the document records, so the record is the target (a corrupted TRA
+	// list *weight* merely perturbs traversal order, which the threshold
+	// check keeps honest — that case is covered by TestTamperTruncatedPrefix).
+	for _, v := range allVariants {
+		col := buildTestCollection(t, 23, 60, 25, nil)
+		idx := col.Index()
+		longest := index.TermID(0)
+		for ti := 1; ti < idx.M(); ti++ {
+			if idx.FT(index.TermID(ti)) > idx.FT(longest) {
+				longest = index.TermID(ti)
+			}
+		}
+		tokens := []string{idx.Name(longest)}
+
+		if v.algo == core.AlgoTNRA {
+			ext := col.Layout().Plain[longest]
+			off := 12 // first block, entry 1's frequency bytes
+			if v.scheme == core.SchemeCMHT {
+				ext = col.Layout().ChainTNRA[longest]
+				off = 16 + 4 + 8 + 4 // header, entry 1's frequency
+			}
+			if err := col.Device().Corrupt(ext.Start, off, 0x55); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			// Find the top document with a clean query, then corrupt a
+			// frequency inside its document record.
+			res, _, _, err := col.Search(tokens, 4, v.algo, v.scheme)
+			if err != nil || len(res.Entries) == 0 {
+				t.Fatalf("clean query failed: %v", err)
+			}
+			ext := col.Layout().Doc[res.Entries[0].Doc]
+			sigLen := 128
+			off := 4 + 16 + 2 + sigLen + 4 // count, hash, siglen, sig, leaf term id
+			if err := col.Device().Corrupt(ext.Start, off, 0x55); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		res, voBytes, _, err := col.Search(tokens, 4, v.algo, v.scheme)
+		if err != nil {
+			continue // structural damage may already break the search
+		}
+		if _, err := col.VerifyResult(tokens, 4, res, voBytes); err == nil {
+			t.Fatalf("%v-%v: storage corruption went undetected", v.algo, v.scheme)
+		}
+	}
+}
+
+func TestTamperReplayAcrossSchemes(t *testing.T) {
+	// A signature over the TRA-MHT structure must not validate the
+	// TNRA-MHT structure of the same term (kind is bound into the signed
+	// message).
+	col := buildTestCollection(t, 25, 40, 20, nil)
+	idx := col.Index()
+	tokens := []string{idx.Name(0)}
+	res, voBytes, _, err := col.Search(tokens, 3, core.AlgoTNRA, core.SchemeMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := vo.Decode(voBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Substitute the TRA-kind signature for the same term.
+	decoded.Terms[0].Sig = col.termSigs[core.KindTRAMHT-1][0]
+	if err := col.verifyDecoded(tokens, 3, res, decoded); err == nil {
+		t.Fatal("cross-kind signature replay accepted")
+	} else if core.CodeOf(err) != core.CodeBadSignature {
+		t.Fatalf("wrong code: %v", err)
+	}
+}
+
+func TestTamperExtraTermProof(t *testing.T) {
+	// The server cannot attach proofs for terms the user never queried.
+	e := freshEnv(t, core.AlgoTNRA, core.SchemeCMHT)
+	extra := e.vo.Terms[0]
+	extra.Name = "never-queried-term"
+	e.vo.Terms = append(e.vo.Terms, extra)
+	e.mustFail(t, "extra term proof", core.CodeMalformedVO)
+}

@@ -1,0 +1,15 @@
+package engine
+
+import (
+	"authtext/internal/mht"
+	"authtext/internal/sig"
+	"authtext/internal/vo"
+)
+
+// mhtHasher aliases the tree hasher for test helpers.
+type mhtHasher = mht.Hasher
+
+func newTestHasher() mht.Hasher { return mht.NewHasher(sig.MustHasher(16)) }
+
+// decodeForTest re-parses an encoded VO for structural assertions.
+func decodeForTest(b []byte) (*vo.VO, error) { return vo.Decode(b) }

@@ -1,0 +1,133 @@
+package linkgraph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := Synthetic(200, 4, 1)
+	rank, err := g.PageRank(0.85, 100, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range rank {
+		sum += v
+		if v <= 0 {
+			t.Fatal("non-positive rank")
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ranks sum to %v, want 1", sum)
+	}
+}
+
+func TestPageRankHubOutranksLeaf(t *testing.T) {
+	// Star graph: everyone links to document 0.
+	g := NewGraph(10)
+	for d := 1; d < 10; d++ {
+		if err := g.AddLink(d, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rank, err := g.PageRank(0.85, 100, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 1; d < 10; d++ {
+		if rank[0] <= rank[d] {
+			t.Fatalf("hub rank %v not above leaf %v", rank[0], rank[d])
+		}
+	}
+}
+
+func TestPageRankDanglingNodes(t *testing.T) {
+	// A graph where document 1 has no outlinks must still converge with
+	// total mass 1.
+	g := NewGraph(3)
+	if err := g.AddLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddLink(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	rank, err := g.PageRank(0.85, 200, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range rank {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("sum %v", sum)
+	}
+	if rank[1] <= rank[0] {
+		t.Fatal("the only linked-to document must rank highest")
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	g := Synthetic(100, 3, 2)
+	norm, err := g.Normalized(0.85, 100, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxSeen := 0.0
+	for _, v := range norm {
+		if v < 0 || v > 1 {
+			t.Fatalf("normalized rank %v outside [0,1]", v)
+		}
+		if v > maxSeen {
+			maxSeen = v
+		}
+	}
+	if math.Abs(maxSeen-1) > 1e-12 {
+		t.Fatalf("max normalized rank %v, want 1", maxSeen)
+	}
+}
+
+func TestSyntheticDeterministicAndSkewed(t *testing.T) {
+	a := Synthetic(300, 3, 7)
+	b := Synthetic(300, 3, 7)
+	if a.Links() != b.Links() {
+		t.Fatal("not deterministic")
+	}
+	norm, err := a.Normalized(0.85, 100, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preferential attachment: most documents far below the top authority.
+	below := 0
+	for _, v := range norm {
+		if v < 0.25 {
+			below++
+		}
+	}
+	if below < len(norm)/2 {
+		t.Fatalf("authority distribution not skewed: %d/%d below 0.25", below, len(norm))
+	}
+}
+
+func TestGraphValidation(t *testing.T) {
+	g := NewGraph(3)
+	if err := g.AddLink(0, 5); err == nil {
+		t.Fatal("out-of-range link accepted")
+	}
+	if err := g.AddLink(-1, 0); err == nil {
+		t.Fatal("negative link accepted")
+	}
+	if err := g.AddLink(1, 1); err != nil {
+		t.Fatal("self link should be silently ignored")
+	}
+	if g.Links() != 0 {
+		t.Fatal("self link stored")
+	}
+	if _, err := g.PageRank(1.5, 10, 1e-6); err == nil {
+		t.Fatal("bad damping accepted")
+	}
+	if _, err := NewGraph(0).PageRank(0.85, 10, 1e-6); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}

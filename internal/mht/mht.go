@@ -1,0 +1,234 @@
+// Package mht implements the Merkle hash tree of §2.2 (Fig 3) together with
+// the pieces the authentication schemes of §3.3 need on top of the textbook
+// construction:
+//
+//   - multi-leaf proofs ("complementary digests") for an arbitrary set of
+//     leaf positions, as used by the term-MHTs and document-MHTs;
+//   - buddy-inclusion grouping (§3.3.2), which replaces digests near the
+//     requested leaves with the cheaper underlying leaf data.
+//
+// The tree shape is canonical for a given leaf count n: an internal node over
+// k leaves splits after the largest power of two strictly smaller than k
+// (RFC 6962 style), so prover and verifier agree on the shape knowing only n.
+// Leaf and internal hashes are domain-separated (0x00 / 0x01 prefixes); this
+// hardening is documented as a deviation in DESIGN.md §3.6.
+package mht
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"authtext/internal/sig"
+)
+
+// Domain-separation prefixes for leaf and interior node hashes.
+const (
+	leafPrefix  = 0x00
+	nodePrefix  = 0x01
+	emptyPrefix = 0x02
+)
+
+// Hasher computes leaf and node digests for a tree.
+type Hasher struct {
+	H sig.Hasher
+}
+
+// NewHasher wraps a sig.Hasher for tree hashing.
+func NewHasher(h sig.Hasher) Hasher { return Hasher{H: h} }
+
+// Size returns the digest size in bytes.
+func (h Hasher) Size() int { return h.H.Size() }
+
+// Leaf returns the digest of a leaf carrying data.
+func (h Hasher) Leaf(data []byte) []byte {
+	return h.H.SumConcat([]byte{leafPrefix}, data)
+}
+
+// Node returns the digest of an internal node with children l and r.
+func (h Hasher) Node(l, r []byte) []byte {
+	return h.H.SumConcat([]byte{nodePrefix}, l, r)
+}
+
+// Empty returns the digest of the empty tree.
+func (h Hasher) Empty() []byte {
+	return h.H.Sum([]byte{emptyPrefix})
+}
+
+// splitPoint returns the size of the left subtree for n > 1 leaves:
+// the largest power of two strictly less than n.
+func splitPoint(n int) int {
+	return 1 << (bits.Len(uint(n-1)) - 1)
+}
+
+// Root computes the root digest over leaves (data values, in order).
+func Root(h Hasher, leaves [][]byte) []byte {
+	if len(leaves) == 0 {
+		return h.Empty()
+	}
+	return rootRange(h, leaves)
+}
+
+func rootRange(h Hasher, leaves [][]byte) []byte {
+	if len(leaves) == 1 {
+		return h.Leaf(leaves[0])
+	}
+	k := splitPoint(len(leaves))
+	return h.Node(rootRange(h, leaves[:k]), rootRange(h, leaves[k:]))
+}
+
+// Proof carries the complementary digests for a multi-leaf proof, in the
+// canonical pre-order traversal order used by Prove and RootFromProof.
+type Proof struct {
+	Digests [][]byte
+}
+
+// Prove produces the complementary digests needed to recompute the root
+// from the leaves at the given positions. want must be sorted ascending,
+// duplicate-free, and within [0, len(leaves)).
+func Prove(h Hasher, leaves [][]byte, want []int) (Proof, error) {
+	if err := checkWant(want, len(leaves)); err != nil {
+		return Proof{}, err
+	}
+	if len(leaves) == 0 {
+		return Proof{}, nil
+	}
+	var p Proof
+	prove(h, leaves, 0, want, &p)
+	return p, nil
+}
+
+// prove covers leaves[0:len(leaves)] which sit at absolute offset off;
+// want holds absolute positions restricted to this range by the caller.
+func prove(h Hasher, leaves [][]byte, off int, want []int, p *Proof) {
+	if len(want) == 0 {
+		p.Digests = append(p.Digests, rootRange(h, leaves))
+		return
+	}
+	if len(leaves) == 1 {
+		return // leaf is supplied by the verifier; nothing to add
+	}
+	k := splitPoint(len(leaves))
+	l, r := partition(want, off+k)
+	prove(h, leaves[:k], off, l, p)
+	prove(h, leaves[k:], off+k, r, p)
+}
+
+// partition splits a sorted position slice at the absolute position mid.
+func partition(want []int, mid int) (left, right []int) {
+	i := 0
+	for i < len(want) && want[i] < mid {
+		i++
+	}
+	return want[:i], want[i:]
+}
+
+func checkWant(want []int, n int) error {
+	for i, w := range want {
+		if w < 0 || w >= n {
+			return fmt.Errorf("mht: want position %d outside [0,%d)", w, n)
+		}
+		if i > 0 && want[i-1] >= w {
+			return errors.New("mht: want positions not strictly ascending")
+		}
+	}
+	return nil
+}
+
+// ErrProofShape indicates a malformed proof (wrong digest count for the
+// claimed tree size and leaf positions).
+var ErrProofShape = errors.New("mht: proof shape mismatch")
+
+// RootFromProof recomputes the root of an n-leaf tree given the data of the
+// leaves at positions `want` (position → leaf data) and the complementary
+// digests produced by Prove for exactly that position set. It returns the
+// recomputed root; the caller compares it against the signed root.
+func RootFromProof(h Hasher, n int, want map[int][]byte, proof Proof) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("mht: negative tree size %d", n)
+	}
+	if n == 0 {
+		if len(want) != 0 || len(proof.Digests) != 0 {
+			return nil, ErrProofShape
+		}
+		return h.Empty(), nil
+	}
+	positions := make([]int, 0, len(want))
+	for pos := range want {
+		if pos < 0 || pos >= n {
+			return nil, fmt.Errorf("mht: leaf position %d outside [0,%d)", pos, n)
+		}
+		positions = append(positions, pos)
+	}
+	sortInts(positions)
+	idx := 0
+	root, err := rebuild(h, 0, n, positions, want, proof.Digests, &idx)
+	if err != nil {
+		return nil, err
+	}
+	if idx != len(proof.Digests) {
+		return nil, ErrProofShape
+	}
+	return root, nil
+}
+
+func rebuild(h Hasher, off, size int, positions []int, want map[int][]byte, digests [][]byte, idx *int) ([]byte, error) {
+	if len(positions) == 0 {
+		if *idx >= len(digests) {
+			return nil, ErrProofShape
+		}
+		d := digests[*idx]
+		if len(d) != h.Size() {
+			return nil, ErrProofShape
+		}
+		*idx++
+		return d, nil
+	}
+	if size == 1 {
+		return h.Leaf(want[off]), nil
+	}
+	k := splitPoint(size)
+	l, r := partition(positions, off+k)
+	left, err := rebuild(h, off, k, l, want, digests, idx)
+	if err != nil {
+		return nil, err
+	}
+	right, err := rebuild(h, off+k, size-k, r, want, digests, idx)
+	if err != nil {
+		return nil, err
+	}
+	return h.Node(left, right), nil
+}
+
+func sortInts(s []int) {
+	// insertion sort: position sets are small or nearly sorted prefixes.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+// ProofSize returns the number of complementary digests Prove would emit for
+// an n-leaf tree and the given sorted want positions, without hashing.
+func ProofSize(n int, want []int) int {
+	if n == 0 || len(want) == 0 {
+		if n == 0 {
+			return 0
+		}
+		return 1
+	}
+	return proofSize(0, n, want)
+}
+
+func proofSize(off, size int, want []int) int {
+	if len(want) == 0 {
+		return 1
+	}
+	if size == 1 {
+		return 0
+	}
+	k := splitPoint(size)
+	l, r := partition(want, off+k)
+	return proofSize(off, k, l) + proofSize(off+k, size-k, r)
+}

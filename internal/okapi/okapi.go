@@ -1,0 +1,71 @@
+// Package okapi implements the Okapi BM25 similarity formulation of §2.1
+// (Formula 1):
+//
+//	S(d|Q) = Σ_{t∈Q} w_{Q,t} · w_{d,t}
+//	K_d    = k1·((1−b) + b·W_d/W_A)
+//	w_{d,t} = (k1+1)·f_{d,t} / (K_d + f_{d,t})
+//	w_{Q,t} = ln((n − f_t + 0.5)/(f_t + 0.5)) · f_{Q,t}
+//
+// with the recommended parameters k1 = 1.2 and b = 0.75.
+package okapi
+
+import "math"
+
+// Recommended parameter settings from §2.1.
+const (
+	DefaultK1 = 1.2
+	DefaultB  = 0.75
+)
+
+// Params carries the tunables of the similarity function.
+type Params struct {
+	K1 float64
+	B  float64
+}
+
+// DefaultParams returns the paper's recommended settings.
+func DefaultParams() Params { return Params{K1: DefaultK1, B: DefaultB} }
+
+// Kd returns the document-length normaliser K_d for a document of length
+// docLen given the collection's average document length avgLen.
+func (p Params) Kd(docLen, avgLen float64) float64 {
+	if avgLen <= 0 {
+		avgLen = 1
+	}
+	return p.K1 * ((1 - p.B) + p.B*docLen/avgLen)
+}
+
+// DocWeight returns w_{d,t}: the normalised significance of a term occurring
+// fdt times in a document of length docLen.
+func (p Params) DocWeight(fdt int, docLen, avgLen float64) float64 {
+	if fdt <= 0 {
+		return 0
+	}
+	f := float64(fdt)
+	return (p.K1 + 1) * f / (p.Kd(docLen, avgLen) + f)
+}
+
+// IDF returns the query-side inverse document frequency factor
+// ln((n − ft + 0.5)/(ft + 0.5)), clamped at zero. The clamp matters for
+// terms that occur in more than half the collection (possible once
+// stopwords are removed but a term is still very common): a negative weight
+// would break the monotonicity that the threshold algorithms of §3.3/§3.4
+// rely on. The clamp is applied identically by owner, server and client.
+func IDF(n, ft int) float64 {
+	if ft <= 0 || n <= 0 || ft > n {
+		return 0
+	}
+	v := math.Log((float64(n) - float64(ft) + 0.5) / (float64(ft) + 0.5))
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+// QueryWeight returns w_{Q,t} = IDF(n, ft) · f_{Q,t}.
+func QueryWeight(n, ft, fQt int) float64 {
+	if fQt <= 0 {
+		return 0
+	}
+	return IDF(n, ft) * float64(fQt)
+}

@@ -1,0 +1,103 @@
+package okapi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDefaults(t *testing.T) {
+	p := DefaultParams()
+	if p.K1 != 1.2 || p.B != 0.75 {
+		t.Fatalf("defaults %+v, want k1=1.2 b=0.75", p)
+	}
+}
+
+func TestKd(t *testing.T) {
+	p := DefaultParams()
+	// Average-length document: Kd = k1.
+	if got := p.Kd(100, 100); !almost(got, 1.2, 1e-12) {
+		t.Fatalf("Kd(avg) = %v, want 1.2", got)
+	}
+	// Twice-average document: Kd = k1*(0.25 + 0.75*2) = 1.2*1.75 = 2.1.
+	if got := p.Kd(200, 100); !almost(got, 2.1, 1e-12) {
+		t.Fatalf("Kd(2*avg) = %v, want 2.1", got)
+	}
+	// Degenerate avgLen guards.
+	if got := p.Kd(10, 0); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("Kd with avgLen=0 = %v", got)
+	}
+}
+
+func TestDocWeight(t *testing.T) {
+	p := DefaultParams()
+	if got := p.DocWeight(0, 100, 100); got != 0 {
+		t.Fatalf("DocWeight(0) = %v, want 0", got)
+	}
+	// fdt=1, avg-length doc: 2.2*1/(1.2+1) = 1.
+	if got := p.DocWeight(1, 100, 100); !almost(got, 1.0, 1e-12) {
+		t.Fatalf("DocWeight(1,avg) = %v, want 1", got)
+	}
+	// Saturation: weight approaches k1+1 as fdt grows.
+	if got := p.DocWeight(10000, 100, 100); got >= p.K1+1 || got < 2.19 {
+		t.Fatalf("DocWeight(large) = %v, want just below 2.2", got)
+	}
+}
+
+func TestDocWeightMonotoneInFdt(t *testing.T) {
+	p := DefaultParams()
+	f := func(a, b uint8) bool {
+		fa, fb := int(a)+1, int(a)+1+int(b)
+		return p.DocWeight(fa, 120, 100) <= p.DocWeight(fb, 120, 100)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDocWeightDecreasingInDocLen(t *testing.T) {
+	// Heuristic (c) of §2.1: documents containing many terms get less weight.
+	p := DefaultParams()
+	if p.DocWeight(3, 50, 100) <= p.DocWeight(3, 500, 100) {
+		t.Fatal("longer document did not get a smaller weight")
+	}
+}
+
+func TestIDF(t *testing.T) {
+	// Figure 6's "in" with ft=5 gives wQ,t = 1.0986 = ln 3 for the n that
+	// satisfies (n-5+0.5)/5.5 = 3, i.e. n = 21. Check our formula there.
+	if got := IDF(21, 5); !almost(got, math.Log(3), 1e-12) {
+		t.Fatalf("IDF(21,5) = %v, want ln3", got)
+	}
+	// Rare term gets a bigger weight than common term (heuristic a).
+	if IDF(1000, 2) <= IDF(1000, 500) {
+		t.Fatal("rare term not favoured")
+	}
+	// Clamp: term in >half the collection.
+	if got := IDF(10, 9); got != 0 {
+		t.Fatalf("IDF(10,9) = %v, want 0 (clamped)", got)
+	}
+	if IDF(0, 5) != 0 || IDF(10, 0) != 0 {
+		t.Fatal("degenerate inputs not clamped")
+	}
+}
+
+func TestQueryWeight(t *testing.T) {
+	if got := QueryWeight(21, 5, 2); !almost(got, 2*math.Log(3), 1e-12) {
+		t.Fatalf("QueryWeight fQt=2 = %v", got)
+	}
+	if QueryWeight(21, 5, 0) != 0 {
+		t.Fatal("zero query frequency should weigh 0")
+	}
+}
+
+func TestIDFNonNegativeProperty(t *testing.T) {
+	f := func(n, ft uint16) bool {
+		return IDF(int(n), int(ft)) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func newTestDevice(t *testing.T) *Device {
+	t.Helper()
+	d, err := NewDevice(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDeviceRejectsBadParams(t *testing.T) {
+	p := DefaultParams()
+	p.BlockSize = 16
+	if _, err := NewDevice(p); err == nil {
+		t.Fatal("tiny block size accepted")
+	}
+	p = DefaultParams()
+	p.TransferBytesPerSec = 0
+	if _, err := NewDevice(p); err == nil {
+		t.Fatal("zero transfer rate accepted")
+	}
+}
+
+func TestAllocWriteRoundTrip(t *testing.T) {
+	d := newTestDevice(t)
+	payload := bytes.Repeat([]byte{0xAB}, 2500) // 3 blocks at 1 KB
+	ext := d.AllocWrite(payload)
+	if ext.Blocks != 3 {
+		t.Fatalf("blocks = %d, want 3", ext.Blocks)
+	}
+	if ext.Length != 2500 {
+		t.Fatalf("length = %d, want 2500", ext.Length)
+	}
+	got, err := d.ReadExtent(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestAllocWriteEmptyStillTakesBlock(t *testing.T) {
+	d := newTestDevice(t)
+	ext := d.AllocWrite(nil)
+	if ext.Blocks != 1 {
+		t.Fatalf("empty write allocated %d blocks, want 1", ext.Blocks)
+	}
+}
+
+func TestSequentialVsRandomAccounting(t *testing.T) {
+	d := newTestDevice(t)
+	a := d.AllocWrite(bytes.Repeat([]byte{1}, 4096)) // blocks 0-3
+	b := d.AllocWrite(bytes.Repeat([]byte{2}, 4096)) // blocks 4-7
+	d.ResetStats()
+
+	// First read: random. Next three: sequential.
+	for i := int32(0); i < a.Blocks; i++ {
+		if _, err := d.ReadBlock(a.Start + Addr(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	if st.RandomReads != 1 || st.SeqReads != 3 {
+		t.Fatalf("after extent a: random=%d seq=%d, want 1/3", st.RandomReads, st.SeqReads)
+	}
+
+	// b starts right after a's last block, so its first read is sequential.
+	if _, err := d.ReadBlock(b.Start); err != nil {
+		t.Fatal(err)
+	}
+	st = d.Stats()
+	if st.SeqReads != 4 {
+		t.Fatalf("adjacent extent first block not sequential: %+v", st)
+	}
+
+	// Jumping back is random.
+	if _, err := d.ReadBlock(a.Start); err != nil {
+		t.Fatal(err)
+	}
+	st = d.Stats()
+	if st.RandomReads != 2 {
+		t.Fatalf("backward jump not random: %+v", st)
+	}
+}
+
+func TestSimTimeModel(t *testing.T) {
+	p := Params{BlockSize: 1024, Seek: 4 * time.Millisecond, Rotation: 2 * time.Millisecond, TransferBytesPerSec: 1 << 20}
+	d := MustDevice(p)
+	ext := d.AllocWrite(bytes.Repeat([]byte{1}, 2048))
+	d.ResetStats()
+	if _, err := d.ReadExtent(ext); err != nil {
+		t.Fatal(err)
+	}
+	// 1 random (4+2 ms + ~1ms transfer) + 1 sequential (~1ms transfer).
+	blockFrac := float64(1024) / float64(1<<20)
+	transfer := time.Duration(blockFrac * float64(time.Second))
+	want := 6*time.Millisecond + 2*transfer
+	got := d.Stats().SimTime
+	if got != want {
+		t.Fatalf("SimTime = %v, want %v", got, want)
+	}
+}
+
+func TestResetStatsForgetsHeadPosition(t *testing.T) {
+	d := newTestDevice(t)
+	ext := d.AllocWrite(bytes.Repeat([]byte{1}, 2048))
+	if _, err := d.ReadExtent(ext); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetStats()
+	// Reading the block right after the last-read one would normally be
+	// sequential; after a reset it must be random.
+	if _, err := d.ReadBlock(ext.Start); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.RandomReads != 1 || st.SeqReads != 0 {
+		t.Fatalf("reset did not cold the head: %+v", st)
+	}
+}
+
+func TestReadOutOfRange(t *testing.T) {
+	d := newTestDevice(t)
+	if _, err := d.ReadBlock(0); err == nil {
+		t.Fatal("read from empty device succeeded")
+	}
+	d.AllocWrite([]byte("x"))
+	if _, err := d.ReadBlock(5); err == nil {
+		t.Fatal("out-of-range block read succeeded")
+	}
+	if _, err := d.ReadExtent(Extent{Start: 0, Blocks: 9, Length: 1}); err == nil {
+		t.Fatal("out-of-range extent read succeeded")
+	}
+}
+
+func TestStatsSubAndAdd(t *testing.T) {
+	a := Stats{BlockReads: 10, RandomReads: 3, SeqReads: 7, BytesRead: 10240, SimTime: time.Second}
+	b := Stats{BlockReads: 4, RandomReads: 1, SeqReads: 3, BytesRead: 4096, SimTime: 250 * time.Millisecond}
+	diff := a.Sub(b)
+	if diff.BlockReads != 6 || diff.RandomReads != 2 || diff.SeqReads != 4 || diff.SimTime != 750*time.Millisecond {
+		t.Fatalf("Sub wrong: %+v", diff)
+	}
+	var total Stats
+	total.Add(a)
+	total.Add(b)
+	if total.BlockReads != 14 || total.SimTime != 1250*time.Millisecond {
+		t.Fatalf("Add wrong: %+v", total)
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	d := newTestDevice(t)
+	ext := d.AllocWrite([]byte{0x01, 0x02, 0x03})
+	if err := d.Corrupt(ext.Start, 1, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadExtent(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 0x02^0xFF {
+		t.Fatalf("byte not flipped: %x", got[1])
+	}
+	if err := d.Corrupt(99, 0, 1); err == nil {
+		t.Fatal("corrupt out-of-range block accepted")
+	}
+	if err := d.Corrupt(ext.Start, 4096, 1); err == nil {
+		t.Fatal("corrupt out-of-range offset accepted")
+	}
+}

@@ -1,0 +1,96 @@
+// Package textproc implements the document-parsing pipeline of §4.1: case
+// folding, tokenisation, and stopword removal. Like the paper's setup (which
+// uses Lucene's parser) it performs stopword removal but NOT stemming.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize lowercases text and splits it into maximal runs of letters and
+// digits. Apostrophes inside a word are dropped (so "don't" → "dont"),
+// matching the behaviour of classic IR tokenisers.
+func Tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		case r == '\'':
+			// joins word parts: skip
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// IsStopword reports whether the (lowercase) token is in the stopword list.
+func IsStopword(tok string) bool {
+	_, ok := stopset[tok]
+	return ok
+}
+
+// RemoveStopwords filters the stopwords out of tokens, preserving order.
+func RemoveStopwords(tokens []string) []string {
+	out := tokens[:0:0]
+	for _, t := range tokens {
+		if !IsStopword(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Terms is the full pipeline: tokenize then remove stopwords.
+func Terms(text string) []string {
+	return RemoveStopwords(Tokenize(text))
+}
+
+// Counts returns the multiplicity of each token (e.g. f_{Q,t} for queries,
+// f_{d,t} for documents).
+func Counts(tokens []string) map[string]int {
+	m := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		m[t]++
+	}
+	return m
+}
+
+// stopwords is a standard English list (the classic Glasgow/SMART-derived
+// short list used by most IR systems, which is what "removing stopwords
+// like 'of', 'the' and 'to'" in §4.4 refers to).
+var stopwords = []string{
+	"a", "about", "above", "after", "again", "against", "all", "am", "an",
+	"and", "any", "are", "as", "at", "be", "because", "been", "before",
+	"being", "below", "between", "both", "but", "by", "can", "cannot",
+	"could", "did", "do", "does", "doing", "down", "during", "each", "few",
+	"for", "from", "further", "had", "has", "have", "having", "he", "her",
+	"here", "hers", "herself", "him", "himself", "his", "how", "i", "if",
+	"in", "into", "is", "it", "its", "itself", "me", "more", "most", "my",
+	"myself", "no", "nor", "not", "of", "off", "on", "once", "only", "or",
+	"other", "ought", "our", "ours", "ourselves", "out", "over", "own",
+	"same", "she", "should", "so", "some", "such", "than", "that", "the",
+	"their", "theirs", "them", "themselves", "then", "there", "these",
+	"they", "this", "those", "through", "to", "too", "under", "until",
+	"up", "very", "was", "we", "were", "what", "when", "where", "which",
+	"while", "who", "whom", "why", "with", "would", "you", "your", "yours",
+	"yourself", "yourselves",
+}
+
+var stopset = func() map[string]struct{} {
+	m := make(map[string]struct{}, len(stopwords))
+	for _, w := range stopwords {
+		m[w] = struct{}{}
+	}
+	return m
+}()

@@ -1,0 +1,85 @@
+package textproc
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"The old night keeper keeps the keep in the town", []string{"the", "old", "night", "keeper", "keeps", "the", "keep", "in", "the", "town"}},
+		{"Hello, World!", []string{"hello", "world"}},
+		{"don't stop", []string{"dont", "stop"}},
+		{"x86-64 CPUs", []string{"x86", "64", "cpus"}},
+		{"", nil},
+		{"   \t\n ", nil},
+		{"ÜBER-café", []string{"über", "café"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStopwords(t *testing.T) {
+	for _, w := range []string{"the", "of", "to", "and", "a", "in"} {
+		if !IsStopword(w) {
+			t.Errorf("%q should be a stopword", w)
+		}
+	}
+	for _, w := range []string{"patent", "elderly", "abuse", "keeper"} {
+		if IsStopword(w) {
+			t.Errorf("%q should not be a stopword", w)
+		}
+	}
+}
+
+func TestTermsPipeline(t *testing.T) {
+	// Topic 181 fragment from §4.4: stopwords removed, no stemming.
+	got := Terms("Abuse of the Elderly by Family Members")
+	want := []string{"abuse", "elderly", "family", "members"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Terms = %v, want %v", got, want)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	got := Counts([]string{"keep", "keeper", "keep"})
+	if got["keep"] != 2 || got["keeper"] != 1 {
+		t.Fatalf("Counts wrong: %v", got)
+	}
+}
+
+func TestRemoveStopwordsKeepsOrder(t *testing.T) {
+	got := RemoveStopwords([]string{"the", "dark", "in", "night"})
+	want := []string{"dark", "night"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// Property: tokens never contain uppercase or non-alphanumeric runes, and
+// tokenisation is idempotent under re-joining.
+func TestTokenizeProperty(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				return false
+			}
+			for _, r := range tok {
+				if r >= 'A' && r <= 'Z' {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"authtext/internal/corpus"
+	"authtext/internal/index"
+)
+
+func buildIdx(t *testing.T) *index.Index {
+	t.Helper()
+	idx, err := index.Build(corpus.Generate(corpus.Tiny()), index.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func TestSyntheticShape(t *testing.T) {
+	idx := buildIdx(t)
+	qs := Synthetic(idx, 50, 3, 1)
+	if len(qs) != 50 {
+		t.Fatalf("%d queries, want 50", len(qs))
+	}
+	for _, q := range qs {
+		if len(q) != 3 {
+			t.Fatalf("query size %d, want 3", len(q))
+		}
+		seen := map[string]bool{}
+		for _, tok := range q {
+			if seen[tok] {
+				t.Fatalf("duplicate term in query %v", q)
+			}
+			seen[tok] = true
+			if _, ok := idx.Lookup(tok); !ok {
+				t.Fatalf("term %q not in dictionary", tok)
+			}
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	idx := buildIdx(t)
+	a := Synthetic(idx, 10, 4, 7)
+	b := Synthetic(idx, 10, 4, 7)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("not deterministic")
+			}
+		}
+	}
+}
+
+func TestTRECLikeProperties(t *testing.T) {
+	idx := buildIdx(t)
+	qs := TRECLike(idx, 200, 3)
+	var totalLen float64
+	hitsLong := 0
+	// "Long list" threshold: top decile by document frequency.
+	lens := idx.ListLengths()
+	sorted := append([]int{}, lens...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j-1] < sorted[j]; j-- {
+			sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+		}
+	}
+	longCut := sorted[len(sorted)/10]
+	for _, q := range qs {
+		if len(q) < 2 || len(q) > 20 {
+			t.Fatalf("query length %d outside [2,20]", len(q))
+		}
+		totalLen += float64(len(q))
+		for _, tok := range q {
+			tid, ok := idx.Lookup(tok)
+			if !ok {
+				t.Fatalf("term %q not in dictionary", tok)
+			}
+			if idx.FT(tid) >= longCut {
+				hitsLong++
+				break
+			}
+		}
+	}
+	avg := totalLen / float64(len(qs))
+	if avg < 5 || avg > 13 {
+		t.Fatalf("average TREC query length %.1f outside the plausible band", avg)
+	}
+	// Most verbose queries must contain at least one common word (§4.4).
+	if float64(hitsLong)/float64(len(qs)) < 0.5 {
+		t.Fatalf("only %d/%d queries hit a long list", hitsLong, len(qs))
+	}
+}
+
+func TestTriangularBounds(t *testing.T) {
+	idx := buildIdx(t)
+	_ = idx
+	for _, x := range []float64{0, 0.25, 1, 4} {
+		s := sqrtApprox(x)
+		if math.Abs(s*s-x) > 1e-9 {
+			t.Fatalf("sqrtApprox(%v) = %v", x, s)
+		}
+	}
+}

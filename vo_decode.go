@@ -1,0 +1,6 @@
+package authtext
+
+import "authtext/internal/vo"
+
+// decodeVO isolates the wire-format dependency of the facade.
+func decodeVO(b []byte) (*vo.VO, error) { return vo.Decode(b) }
