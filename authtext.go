@@ -1,34 +1,3 @@
-// Package authtext is a Go implementation of "Authenticating the Query
-// Results of Text Search Engines" (Pang & Mouratidis, PVLDB 1(1), 2008): a
-// similarity-based text search engine over a frequency-ordered inverted
-// index whose every answer carries a cryptographic proof of correctness.
-//
-// Three parties participate (§3.1):
-//
-//   - the data Owner indexes a document collection, builds Merkle-tree
-//     authentication structures over the inverted lists and documents, and
-//     signs their roots;
-//   - the (untrusted) Server answers top-r similarity queries with adapted
-//     threshold algorithms — TRA (threshold with random access) or TNRA
-//     (threshold with no random access) — and returns a verification
-//     object (VO) alongside each result;
-//   - the Client recomputes the Merkle roots from the VO and checks the
-//     result against the owner's signatures: the entries must be the true
-//     top-r, in the right order, with the right scores, and no unseen
-//     document may be able to outscore them.
-//
-// Quickstart:
-//
-//	owner, err := authtext.NewOwner(docs)             // build + sign
-//	server := owner.Server()                          // hand to the host
-//	client := owner.Client()                          // publish to users
-//	res, err := server.Search("merkle trees", 10, authtext.TNRA, authtext.ChainMHT)
-//	err = client.Verify("merkle trees", 10, res)      // nil ⇔ authentic
-//
-// Two authentication schemes are available per algorithm: plain per-list
-// Merkle trees (MHT, §3.3.1) and chained per-block Merkle trees with buddy
-// inclusion (ChainMHT, §3.3.2). TNRA+ChainMHT is the configuration the
-// paper recommends (§4.5).
 package authtext
 
 import (
@@ -357,7 +326,9 @@ func (c *Client) Verify(query string, r int, res *SearchResult) error {
 	}
 	decoded, err := decodeVO(res.VO)
 	if err != nil {
-		return err
+		// An undecodable VO from a server is tampering, not a local usage
+		// error: classify it so IsTampered reports true.
+		return &core.VerifyError{Code: core.CodeMalformedVO, Detail: err.Error()}
 	}
 	entries := make([]core.ResultEntry, len(res.Hits))
 	contents := make(map[index.DocID][]byte, len(res.Hits))

@@ -6,6 +6,13 @@
 // Usage:
 //
 //	authsearch [-dir PATH] [-r N] [-algo tra|tnra] [-scheme mht|cmht]
+//	authsearch -serve ADDR [-dir PATH]      # expose the collection over HTTP
+//	authsearch -remote URL [-r N] [...]     # query a running authserved
+//
+// The default mode runs owner, server and client in one process. With
+// -serve the process becomes an authserved-compatible HTTP server; with
+// -remote it becomes the verifying client of a remote server, performing
+// the same VO verification on answers received over the network.
 //
 // Each answer line reports the verification verdict, the similarity score,
 // and the per-query costs (entries read, I/O time under the simulated disk
@@ -14,14 +21,16 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
-	"path/filepath"
-	"sort"
 	"strings"
+	"time"
 
 	"authtext"
+	"authtext/internal/demo"
 )
 
 func main() {
@@ -36,6 +45,8 @@ func run() error {
 	r := flag.Int("r", 5, "number of results per query")
 	algoName := flag.String("algo", "tnra", "query algorithm: tra or tnra")
 	schemeName := flag.String("scheme", "cmht", "authentication scheme: mht or cmht")
+	serveAddr := flag.String("serve", "", "serve the collection over HTTP at this address instead of the interactive prompt")
+	remoteURL := flag.String("remote", "", "query a running authserved at this URL instead of building a local collection")
 	flag.Parse()
 
 	algo := authtext.TNRA
@@ -45,6 +56,16 @@ func run() error {
 	scheme := authtext.ChainMHT
 	if strings.EqualFold(*schemeName, "mht") {
 		scheme = authtext.MHT
+	}
+
+	if *remoteURL != "" && *serveAddr != "" {
+		return fmt.Errorf("-serve and -remote are mutually exclusive")
+	}
+	if *remoteURL != "" && *dir != "" {
+		return fmt.Errorf("-dir has no effect with -remote: the remote server chose its own collection")
+	}
+	if *remoteURL != "" {
+		return runRemote(*remoteURL, *r, algo, scheme)
 	}
 
 	docs, names, err := loadDocs(*dir)
@@ -59,9 +80,76 @@ func run() error {
 	buildMs, sigs, devBytes := owner.Stats()
 	fmt.Printf("built in %.0f ms: %d signatures, %.1f MB on the simulated disk\n",
 		buildMs, sigs, float64(devBytes)/(1<<20))
-	server, client := owner.Server(), owner.Client()
 
+	if *serveAddr != "" {
+		return serve(owner, *serveAddr)
+	}
+
+	server, client := owner.Server(), owner.Client()
 	fmt.Printf("ready — %s-%s, top-%d; type a query (empty line to quit)\n", algo, scheme, *r)
+	return repl(func(query string) {
+		res, err := server.Search(query, *r, algo, scheme)
+		if err != nil {
+			fmt.Println("  error:", err)
+			return
+		}
+		verdict := "VERIFIED"
+		if err := client.Verify(query, *r, res); err != nil {
+			verdict = "REJECTED: " + err.Error()
+		}
+		printResult(verdict, res, func(docID int) string { return names[docID] })
+	})
+}
+
+// serve exposes the collection on the authserved HTTP protocol.
+func serve(owner *authtext.Owner, addr string) error {
+	handler, err := owner.HTTPHandler(authtext.WithQueryLog(
+		func(query string, r int, st authtext.Stats, wall time.Duration) {
+			fmt.Printf("query %q r=%d %s-%s vo=%dB wall=%s\n",
+				query, r, st.Algorithm, st.Scheme, st.VOBytes, wall.Round(time.Microsecond))
+		}))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving /v1/search, /v1/manifest, /v1/healthz on %s\n", addr)
+	srv := &http.Server{Addr: addr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	return srv.ListenAndServe()
+}
+
+// runRemote is the verifying-client mode: every answer from the remote
+// server is verified locally before being displayed.
+func runRemote(url string, r int, algo authtext.Algorithm, scheme authtext.Scheme) error {
+	rc, err := authtext.NewRemoteClient(url)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	health, err := rc.Health(ctx)
+	if err != nil {
+		return fmt.Errorf("server unreachable: %w", err)
+	}
+	if err := rc.Bootstrap(ctx); err != nil {
+		return fmt.Errorf("manifest bootstrap failed: %w", err)
+	}
+	fmt.Printf("connected to %s — %d documents, %d terms; manifest verified\n",
+		url, health.Documents, health.Terms)
+	fmt.Printf("ready — %s-%s, top-%d; type a query (empty line to quit)\n", algo, scheme, r)
+	return repl(func(query string) {
+		res, err := rc.Search(ctx, query, r, algo, scheme)
+		if err != nil {
+			if authtext.IsTampered(err) {
+				fmt.Println("  [REJECTED — SERVER RESPONSE FAILED VERIFICATION]", err)
+			} else {
+				fmt.Println("  error:", err)
+			}
+			return
+		}
+		printResult("VERIFIED", res, func(docID int) string { return fmt.Sprintf("doc-%d", docID) })
+	})
+}
+
+// repl reads queries from stdin until an empty line or EOF.
+func repl(answer func(query string)) error {
 	scanner := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("query> ")
@@ -72,58 +160,26 @@ func run() error {
 		if query == "" {
 			break
 		}
-		res, err := server.Search(query, *r, algo, scheme)
-		if err != nil {
-			fmt.Println("  error:", err)
-			continue
-		}
-		verdict := "VERIFIED"
-		if err := client.Verify(query, *r, res); err != nil {
-			verdict = "REJECTED: " + err.Error()
-		}
-		st := res.Stats
-		fmt.Printf("  [%s] q=%d entries/term=%.1f io=%s vo=%dB\n",
-			verdict, st.QueryTerms, st.EntriesPerTerm, st.IOTime, st.VOBytes)
-		for i, h := range res.Hits {
-			fmt.Printf("  %2d. (%.4f) %s: %s\n", i+1, h.Score, names[h.DocID], snippet(h.Content, 70))
-		}
-		if len(res.Hits) == 0 {
-			fmt.Println("  no matching documents")
-		}
+		answer(query)
 	}
 	return scanner.Err()
 }
 
-func loadDocs(dir string) ([]authtext.Document, []string, error) {
-	if dir == "" {
-		docs := make([]authtext.Document, len(demoCorpus))
-		names := make([]string, len(demoCorpus))
-		for i, text := range demoCorpus {
-			docs[i] = authtext.Document{Content: []byte(text)}
-			names[i] = fmt.Sprintf("demo-%02d", i)
-		}
-		return docs, names, nil
+func printResult(verdict string, res *authtext.SearchResult, name func(docID int) string) {
+	st := res.Stats
+	fmt.Printf("  [%s] q=%d entries/term=%.1f io=%s vo=%dB\n",
+		verdict, st.QueryTerms, st.EntriesPerTerm, st.IOTime, st.VOBytes)
+	for i, h := range res.Hits {
+		fmt.Printf("  %2d. (%.4f) %s: %s\n", i+1, h.Score, name(h.DocID), snippet(h.Content, 70))
 	}
-	entries, err := filepath.Glob(filepath.Join(dir, "*.txt"))
-	if err != nil {
-		return nil, nil, err
+	if len(res.Hits) == 0 {
+		fmt.Println("  no matching documents")
 	}
-	sort.Strings(entries)
-	if len(entries) == 0 {
-		return nil, nil, fmt.Errorf("no .txt files in %s", dir)
-	}
-	var docs []authtext.Document
-	var names []string
-	for _, path := range entries {
-		content, err := os.ReadFile(path)
-		if err != nil {
-			return nil, nil, err
-		}
-		docs = append(docs, authtext.Document{Content: content})
-		names = append(names, filepath.Base(path))
-	}
-	return docs, names, nil
 }
+
+// loadDocs loads the collection (kept as a thin wrapper so the demo corpus
+// and directory loader are shared with cmd/authserved).
+func loadDocs(dir string) ([]authtext.Document, []string, error) { return demo.Load(dir) }
 
 func snippet(b []byte, n int) string {
 	s := strings.Join(strings.Fields(string(b)), " ")
@@ -131,30 +187,4 @@ func snippet(b []byte, n int) string {
 		return s[:n] + "…"
 	}
 	return s
-}
-
-// demoCorpus paraphrases the paper's own subject matter, so queries like
-// "inverted index", "threshold algorithm" or "merkle tree" return sensible
-// results out of the box.
-var demoCorpus = []string{
-	"Professional users in the financial and legal industries require integrity assurance from paid content services.",
-	"A patent examiner using the web portal expects the same search results as the up-to-date CD-ROM edition.",
-	"A breached server that is not detected in time may return incorrect results to its users.",
-	"An attacker could make patents drop out of the search results by tampering with the index or the ranking function.",
-	"Altered rankings divert the searcher's attention from certain patents by reordering the results.",
-	"Spurious results with fake patents may discourage potential competitors from filing applications.",
-	"Most text search engines rate document similarity with an inverted index over the dictionary terms.",
-	"The frequency ordered inverted index stores impact entries sorted by descending term frequency.",
-	"The Okapi formulation weighs terms by their frequency in the document and across the collection.",
-	"A merkle hash tree authenticates a set of messages by signing only the digest of its root node.",
-	"The verification object contains the digests needed to recompute the signed root of the tree.",
-	"Threshold algorithms pop the entry with the highest term score and stop at the cut off threshold.",
-	"Random access fetches the term frequencies of a document directly from its document record.",
-	"Sorted access alone maintains lower and upper bounds for the score of every candidate document.",
-	"Chains of block trees verify the leading blocks of a list with a single stored signature.",
-	"Buddy leaves are cheaper to transmit than the digests that would otherwise cover their group.",
-	"The user recomputes every score and checks that no excluded document can outrank the results.",
-	"Signatures generated with the private key of the owner verify with the published public key.",
-	"An audit trail archives the verification objects to justify any decision taken by the user.",
-	"Query processing costs are dominated by the disk reads of inverted list blocks and records.",
 }

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"authtext/internal/demo"
 )
 
 func TestSnippet(t *testing.T) {
@@ -23,7 +25,7 @@ func TestLoadDocsDemo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(docs) != len(demoCorpus) || len(names) != len(docs) {
+	if len(docs) != len(demo.Texts()) || len(names) != len(docs) {
 		t.Fatalf("demo corpus: %d docs, %d names", len(docs), len(names))
 	}
 }

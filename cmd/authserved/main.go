@@ -1,0 +1,123 @@
+// Command authserved serves an authenticated document collection over
+// HTTP. It plays the untrusted-server role of the Pang & Mouratidis
+// three-party protocol: it indexes a directory of .txt files (or the
+// built-in demo corpus), builds and signs the authentication structures
+// on startup, and then answers concurrent queries on the versioned JSON
+// API documented in docs/PROTOCOL.md:
+//
+//	POST /v1/search   top-r query → hits + verification object
+//	GET  /v1/manifest signed manifest + public key (client bootstrap)
+//	GET  /v1/healthz  liveness, collection shape, serving counters
+//
+// Remote users verify every answer locally with authtext.RemoteClient (or
+// `authsearch -remote URL`); nothing the daemon returns needs to be
+// trusted.
+//
+// Usage:
+//
+//	authserved [-addr :8470] [-dir PATH] [-vocab-proofs] [-quiet]
+//
+// In a real deployment the owner would build and sign the collection
+// offline and hand only the serving half to the host; authserved performs
+// both roles in one process for convenience, which changes where the key
+// lives but not the verification protocol.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"authtext"
+	"authtext/internal/demo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "authserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8470", "listen address")
+	dir := flag.String("dir", "", "directory of .txt files to index (default: demo corpus)")
+	vocab := flag.Bool("vocab-proofs", true, "prove non-membership of out-of-dictionary query terms")
+	quiet := flag.Bool("quiet", false, "suppress per-query log lines")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "authserved ", log.LstdFlags)
+	handler, err := buildHandler(*dir, *vocab, *quiet, logger)
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		logger.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+// buildHandler indexes the collection and wires it to the /v1 protocol.
+func buildHandler(dir string, vocab, quiet bool, logger *log.Logger) (http.Handler, error) {
+	docs, _, err := demo.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	logger.Printf("indexing %d documents and building authentication structures (RSA-1024)...", len(docs))
+	var opts []authtext.Option
+	if vocab {
+		opts = append(opts, authtext.WithVocabularyProofs())
+	}
+	owner, err := authtext.NewOwner(docs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	buildMs, sigs, devBytes := owner.Stats()
+	logger.Printf("built in %.0f ms: %d signatures, %.1f MB on the simulated disk",
+		buildMs, sigs, float64(devBytes)/(1<<20))
+
+	var handlerOpts []authtext.HandlerOption
+	if !quiet {
+		handlerOpts = append(handlerOpts, authtext.WithQueryLog(
+			func(query string, r int, st authtext.Stats, wall time.Duration) {
+				logger.Printf("query %q r=%d %s-%s terms=%d entries/term=%.1f io=%s vo=%dB wall=%s",
+					query, r, st.Algorithm, st.Scheme, st.QueryTerms, st.EntriesPerTerm,
+					st.IOTime, st.VOBytes, wall.Round(time.Microsecond))
+			}))
+	}
+	return owner.HTTPHandler(handlerOpts...)
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"authtext"
+	"authtext/internal/httpapi"
+)
+
+// The daemon's handler must serve a collection a RemoteClient can
+// bootstrap from and verify against — the same end-to-end path `authserved
+// -dir ...` exposes on a real socket.
+func TestBuildHandlerServesVerifiableCollection(t *testing.T) {
+	dir := t.TempDir()
+	texts := map[string]string{
+		"a.txt": "the merkle tree authenticates the inverted index",
+		"b.txt": "the inverted index stores impact entries by frequency",
+		"c.txt": "clients verify the tree root against the owner signature",
+	}
+	for name, body := range texts {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	logger := log.New(io.Discard, "", 0)
+	handler, err := buildHandler(dir, true, true, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	rc, err := authtext.NewRemoteClient(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rc.Search(context.Background(), "inverted index", 2, authtext.TNRA, authtext.ChainMHT)
+	if err != nil {
+		t.Fatalf("remote search against daemon handler failed: %v", err)
+	}
+	if len(res.Hits) == 0 {
+		t.Fatal("no hits")
+	}
+
+	health, err := http.Get(srv.URL + httpapi.PathHealthz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer health.Body.Close()
+	var h httpapi.Health
+	if err := json.NewDecoder(health.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Documents != len(texts) || h.QueriesServed != 1 {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+func TestBuildHandlerDemoCorpus(t *testing.T) {
+	handler, err := buildHandler("", false, true, log.New(io.Discard, "", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	rc, err := authtext.NewRemoteClient(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Search(context.Background(), "merkle tree", 3, authtext.TRA, authtext.MHT); err != nil {
+		t.Fatalf("demo corpus search failed: %v", err)
+	}
+}

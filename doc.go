@@ -1,0 +1,50 @@
+// Package authtext is a Go implementation of "Authenticating the Query
+// Results of Text Search Engines" (Pang & Mouratidis, PVLDB 1(1), 2008): a
+// similarity-based text search engine over a frequency-ordered inverted
+// index whose every answer carries a cryptographic proof of correctness.
+//
+// Three parties participate (§3.1):
+//
+//   - the data Owner indexes a document collection, builds Merkle-tree
+//     authentication structures over the inverted lists and documents, and
+//     signs their roots;
+//   - the (untrusted) Server answers top-r similarity queries with adapted
+//     threshold algorithms — TRA (threshold with random access) or TNRA
+//     (threshold with no random access) — and returns a verification
+//     object (VO) alongside each result;
+//   - the Client recomputes the Merkle roots from the VO and checks the
+//     result against the owner's signatures: the entries must be the true
+//     top-r, in the right order, with the right scores, and no unseen
+//     document may be able to outscore them.
+//
+// Quickstart (all three parties in one process):
+//
+//	owner, err := authtext.NewOwner(docs)             // build + sign
+//	server := owner.Server()                          // hand to the host
+//	client := owner.Client()                          // publish to users
+//	res, err := server.Search("merkle trees", 10, authtext.TNRA, authtext.ChainMHT)
+//	err = client.Verify("merkle trees", 10, res)      // nil ⇔ authentic
+//
+// Two authentication schemes are available per algorithm: plain per-list
+// Merkle trees (MHT, §3.3.1) and chained per-block Merkle trees with buddy
+// inclusion (ChainMHT, §3.3.2). TNRA+ChainMHT is the configuration the
+// paper recommends (§4.5).
+//
+// # Serving over the network
+//
+// The protocol only becomes meaningful when the server really is a
+// different machine. NewHTTPHandler (and the cmd/authserved daemon built
+// on it) exposes a Server on a versioned JSON API, and RemoteClient is
+// its verifying counterpart: it bootstraps from the owner's signed
+// manifest — fetched from /v1/manifest or supplied out of band with
+// WithClientExport — and locally verifies every answer it receives, so a
+// compromised server or man-in-the-middle is detected by IsTampered
+// rather than trusted transport:
+//
+//	rc, err := authtext.NewRemoteClient("http://search.example.com:8470")
+//	res, err := rc.Search(ctx, "merkle trees", 10, authtext.TNRA, authtext.ChainMHT)
+//	// err == nil ⇔ the response is the authentic top-10
+//
+// The wire format is defined in internal/httpapi and documented in
+// docs/PROTOCOL.md.
+package authtext

@@ -1,0 +1,3 @@
+module authtext
+
+go 1.22

@@ -1,0 +1,23 @@
+// Package core implements the paper's primary contribution: the adapted
+// threshold algorithms TRA (§3.3, Fig 5) and TNRA (§3.4, Fig 10), the
+// PSCAN baseline (§2.1, Fig 2), the authentication structures built on
+// Merkle hash trees and chained Merkle hash trees (§3.3.1, §3.3.2), and the
+// client-side verification procedure that checks the correctness criteria
+// of §3.1 against the owner's signatures.
+//
+// In the VO protocol, core is both ends of the proof: the server side
+// decides, while a query runs, which list prefixes, boundary entries,
+// digests and document evidence must enter the verification object for the
+// answer to be checkable, and the client side (Verify) replays that
+// evidence — recomputing scores, rebuilding Merkle roots, and re-deriving
+// the termination threshold — to accept or reject the result. Every
+// rejection carries a VerifyCode classifying the violation (wrong score,
+// broken ordering, incomplete result, spurious document, ...), which is
+// what authtext.IsTampered ultimately inspects. The Manifest type is the
+// trust anchor that travels to clients: the signed collection metadata
+// binding every per-list and per-document root.
+//
+// The package is I/O-free: query algorithms consume abstract list cursors
+// and document-frequency sources, which internal/engine backs with the
+// simulated block device and tests back with in-memory structures.
+package core

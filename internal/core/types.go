@@ -1,13 +1,3 @@
-// Package core implements the paper's primary contribution: the adapted
-// threshold algorithms TRA (§3.3, Fig 5) and TNRA (§3.4, Fig 10), the
-// PSCAN baseline (§2.1, Fig 2), the authentication structures built on
-// Merkle hash trees and chained Merkle hash trees (§3.3.1, §3.3.2), and the
-// client-side verification procedure that checks the correctness criteria
-// of §3.1 against the owner's signatures.
-//
-// The package is I/O-free: query algorithms consume abstract list cursors
-// and document-frequency sources, which internal/engine backs with the
-// simulated block device and tests back with in-memory structures.
 package core
 
 import (

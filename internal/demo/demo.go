@@ -1,0 +1,75 @@
+// Package demo provides the built-in document corpus and the .txt
+// directory loader shared by the command-line tools (cmd/authsearch,
+// cmd/authserved), so both index identical collections for the same
+// inputs.
+package demo
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"authtext"
+)
+
+// Texts is the built-in corpus: it paraphrases the paper's own subject
+// matter, so queries like "inverted index", "threshold algorithm" or
+// "merkle tree" return sensible results out of the box.
+func Texts() []string {
+	return []string{
+		"Professional users in the financial and legal industries require integrity assurance from paid content services.",
+		"A patent examiner using the web portal expects the same search results as the up-to-date CD-ROM edition.",
+		"A breached server that is not detected in time may return incorrect results to its users.",
+		"An attacker could make patents drop out of the search results by tampering with the index or the ranking function.",
+		"Altered rankings divert the searcher's attention from certain patents by reordering the results.",
+		"Spurious results with fake patents may discourage potential competitors from filing applications.",
+		"Most text search engines rate document similarity with an inverted index over the dictionary terms.",
+		"The frequency ordered inverted index stores impact entries sorted by descending term frequency.",
+		"The Okapi formulation weighs terms by their frequency in the document and across the collection.",
+		"A merkle hash tree authenticates a set of messages by signing only the digest of its root node.",
+		"The verification object contains the digests needed to recompute the signed root of the tree.",
+		"Threshold algorithms pop the entry with the highest term score and stop at the cut off threshold.",
+		"Random access fetches the term frequencies of a document directly from its document record.",
+		"Sorted access alone maintains lower and upper bounds for the score of every candidate document.",
+		"Chains of block trees verify the leading blocks of a list with a single stored signature.",
+		"Buddy leaves are cheaper to transmit than the digests that would otherwise cover their group.",
+		"The user recomputes every score and checks that no excluded document can outrank the results.",
+		"Signatures generated with the private key of the owner verify with the published public key.",
+		"An audit trail archives the verification objects to justify any decision taken by the user.",
+		"Query processing costs are dominated by the disk reads of inverted list blocks and records.",
+	}
+}
+
+// Load reads every .txt file under dir (sorted by name) as one document
+// each; with dir empty it returns the built-in corpus. names holds a
+// display label per document (file base name, or demo-NN).
+func Load(dir string) (docs []authtext.Document, names []string, err error) {
+	if dir == "" {
+		texts := Texts()
+		docs = make([]authtext.Document, len(texts))
+		names = make([]string, len(texts))
+		for i, text := range texts {
+			docs[i] = authtext.Document{Content: []byte(text)}
+			names[i] = fmt.Sprintf("demo-%02d", i)
+		}
+		return docs, names, nil
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.txt"))
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Strings(entries)
+	if len(entries) == 0 {
+		return nil, nil, fmt.Errorf("no .txt files in %s", dir)
+	}
+	for _, path := range entries {
+		content, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		docs = append(docs, authtext.Document{Content: content})
+		names = append(names, filepath.Base(path))
+	}
+	return docs, names, nil
+}

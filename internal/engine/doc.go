@@ -1,0 +1,17 @@
+// Package engine backs the core algorithms with the simulated block
+// device: the owner-side build of all authentication structures (§3.3.1,
+// §3.3.2), the store-backed list cursors and document records whose
+// accesses produce the I/O costs of §4, and the server-side search that
+// assembles verification objects.
+//
+// In the VO protocol, engine is the server's half of the bargain made
+// concrete: Collection.Search runs TRA or TNRA against the on-"disk"
+// layouts, then assembles the term proofs, document proofs, content
+// digests and (under ChainMHT) chained block trees that core decided the
+// client will need, and encodes them into the VO bytes that travel with
+// every result. It also holds the owner-side artifacts the protocol
+// starts from — the signed manifest and the signing keys — which the
+// authtext facade exports to clients. The network layer (internal/httpapi,
+// cmd/authserved) moves these same VO bytes unchanged; nothing in engine
+// assumes the client is in-process.
+package engine

@@ -1,8 +1,3 @@
-// Package engine backs the core algorithms with the simulated block device:
-// the owner-side build of all authentication structures (§3.3.1, §3.3.2),
-// the store-backed list cursors and document records whose accesses produce
-// the I/O costs of §4, and the server-side search that assembles
-// verification objects.
 package engine
 
 import (

@@ -1,0 +1,144 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// Backend is the search engine behind a Handler. Implementations must be
+// safe for concurrent use; the adapter in the root authtext package wraps
+// an authtext.Server.
+type Backend interface {
+	// Search answers one validated query. Returning a *StatusError
+	// controls the HTTP status and wire code; any other error maps to
+	// 500/search_failed.
+	Search(req *SearchRequest) (*SearchResponse, error)
+	// ClientExport returns the ATCX verification blob served at
+	// /v1/manifest.
+	ClientExport() ([]byte, error)
+	// Health returns the current healthz payload.
+	Health() Health
+}
+
+// NewHandler wires the three /v1 endpoints onto a Backend. Every response
+// body — including errors — is a JSON document.
+func NewHandler(b Backend) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathSearch, func(w http.ResponseWriter, r *http.Request) {
+		handleSearch(w, r, b)
+	})
+	mux.HandleFunc(PathManifest, func(w http.ResponseWriter, r *http.Request) {
+		if !allowMethod(w, r, http.MethodGet) {
+			return
+		}
+		export, err := b.ClientExport()
+		if err != nil {
+			writeError(w, err, CodeUnavailable, http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, http.StatusOK, &ManifestResponse{Format: FormatATCX, Export: export})
+	})
+	mux.HandleFunc(PathHealthz, func(w http.ResponseWriter, r *http.Request) {
+		if !allowMethod(w, r, http.MethodGet) {
+			return
+		}
+		writeJSON(w, http.StatusOK, b.Health())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeErrorBody(w, http.StatusNotFound, CodeNotFound, "no such endpoint: "+r.URL.Path)
+	})
+	return mux
+}
+
+// handleSearch accepts POST (JSON body) and GET (q, r, algo, scheme query
+// parameters).
+func handleSearch(w http.ResponseWriter, r *http.Request, b Backend) {
+	var req SearchRequest
+	switch r.Method {
+	case http.MethodPost:
+		body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeErrorBody(w, http.StatusBadRequest, CodeBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		if dec.More() {
+			writeErrorBody(w, http.StatusBadRequest, CodeBadRequest, "trailing data after request object")
+			return
+		}
+	case http.MethodGet:
+		q := r.URL.Query()
+		req.Query = q.Get("q")
+		req.Algo = q.Get("algo")
+		req.Scheme = q.Get("scheme")
+		if rs := q.Get("r"); rs != "" {
+			n, err := strconv.Atoi(rs)
+			if err != nil {
+				writeErrorBody(w, http.StatusBadRequest, CodeBadRequest, "bad r parameter: "+rs)
+				return
+			}
+			req.R = n
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeErrorBody(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, r.Method+" not allowed")
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeErrorBody(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	resp, err := b.Search(&req)
+	if err != nil {
+		writeError(w, err, CodeSearchFailed, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func allowMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	writeErrorBody(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, r.Method+" not allowed")
+	return false
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the status line is gone; nothing left to report to
+}
+
+// writeError maps an error to the wire: *StatusError chooses its own
+// status and code, everything else gets the supplied defaults.
+func writeError(w http.ResponseWriter, err error, defaultCode string, defaultStatus int) {
+	var se *StatusError
+	if errors.As(err, &se) {
+		writeErrorBody(w, se.Status, se.Code, se.Message)
+		return
+	}
+	writeErrorBody(w, defaultStatus, defaultCode, err.Error())
+}
+
+func writeErrorBody(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, &ErrorResponse{Error: ErrorBody{Code: code, Message: msg}})
+}
+
+// ReadErrorResponse decodes an error envelope from a response body,
+// returning a generic message when the body is not a well-formed envelope
+// (e.g. the server is not an authserved at all).
+func ReadErrorResponse(status int, body io.Reader) *StatusError {
+	var env ErrorResponse
+	if err := json.NewDecoder(io.LimitReader(body, MaxBodyBytes)).Decode(&env); err != nil || env.Error.Code == "" {
+		return &StatusError{Status: status, Code: CodeInternal, Message: http.StatusText(status)}
+	}
+	return &StatusError{Status: status, Code: env.Error.Code, Message: env.Error.Message}
+}

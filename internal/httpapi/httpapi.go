@@ -1,0 +1,200 @@
+// Package httpapi defines the versioned wire format that puts the VO
+// protocol on the network: JSON envelopes (with []byte fields carried as
+// standard base64, per encoding/json) for search requests, results with
+// their encoded verification objects, the signed-manifest bootstrap blob,
+// and error reporting. The format is served by cmd/authserved and consumed
+// by authtext.RemoteClient; docs/PROTOCOL.md is the normative description.
+//
+// The wire format is deliberately dumb: the VO stays the opaque binary
+// encoding of internal/vo, and the manifest travels as the same ATCX
+// export blob the owner publishes out of band. The security of the
+// protocol therefore does not depend on this package — a client verifies
+// everything it receives against the owner's public key, so a server (or
+// proxy) that rewrites any field is detected by verification, not by
+// transport checks.
+package httpapi
+
+import (
+	"fmt"
+	"strings"
+)
+
+// APIVersion is the protocol version, which prefixes every endpoint path.
+const APIVersion = "v1"
+
+// Endpoint paths (see docs/PROTOCOL.md).
+const (
+	PathSearch   = "/v1/search"
+	PathManifest = "/v1/manifest"
+	PathHealthz  = "/v1/healthz"
+)
+
+// Canonical algorithm and scheme names on the wire (case-insensitive on
+// input, always lower-case on output).
+const (
+	AlgoTRA    = "tra"
+	AlgoTNRA   = "tnra"
+	SchemeMHT  = "mht"
+	SchemeCMHT = "cmht"
+)
+
+// Request limits enforced by the handler.
+const (
+	// DefaultR is the result size when a request omits r.
+	DefaultR = 10
+	// MaxR caps the per-query result size.
+	MaxR = 1000
+	// MaxQueryBytes caps the query string length.
+	MaxQueryBytes = 8 << 10
+	// MaxBodyBytes caps the POST body size.
+	MaxBodyBytes = 64 << 10
+)
+
+// Machine-readable error codes carried in ErrorBody.Code.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeNotFound         = "not_found"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeSearchFailed     = "search_failed"
+	CodeUnavailable      = "unavailable"
+	CodeInternal         = "internal"
+)
+
+// SearchRequest asks for the top-R documents matching Query. Algo and
+// Scheme select the query algorithm and authentication scheme; empty
+// values default to TNRA + CMHT, the configuration the paper recommends.
+type SearchRequest struct {
+	Query  string `json:"query"`
+	R      int    `json:"r,omitempty"`
+	Algo   string `json:"algo,omitempty"`
+	Scheme string `json:"scheme,omitempty"`
+}
+
+// Hit is one verified result entry. Content is the full document body,
+// base64-encoded on the wire.
+type Hit struct {
+	DocID   int     `json:"doc_id"`
+	Score   float64 `json:"score"`
+	Content []byte  `json:"content"`
+}
+
+// SearchStats reports the server-side per-query costs (§4.1 of the paper).
+// They are informational only — nothing in them is covered by the VO.
+type SearchStats struct {
+	QueryTerms     int     `json:"query_terms"`
+	EntriesRead    int     `json:"entries_read"`
+	EntriesPerTerm float64 `json:"entries_per_term"`
+	PctListRead    float64 `json:"pct_list_read"`
+	BlockReads     int64   `json:"block_reads"`
+	RandomReads    int64   `json:"random_reads"`
+	IOMillis       float64 `json:"io_millis"`
+	VOBytes        int     `json:"vo_bytes"`
+	ServerMillis   float64 `json:"server_millis"`
+}
+
+// SearchResponse is the answer to a SearchRequest. Query, R, Algo and
+// Scheme echo the request after normalisation; a verifying client MUST
+// check the result against the parameters it asked for, not the echo (a
+// tampering server could rewrite both consistently).
+type SearchResponse struct {
+	Query  string      `json:"query"`
+	R      int         `json:"r"`
+	Algo   string      `json:"algo"`
+	Scheme string      `json:"scheme"`
+	Hits   []Hit       `json:"hits"`
+	VO     []byte      `json:"vo"`
+	Stats  SearchStats `json:"stats"`
+}
+
+// ManifestResponse carries the owner's verification material: Export is
+// the self-contained ATCX blob (signed manifest + RSA public key) that
+// authtext.NewClientFromExport accepts. Format names the blob encoding so
+// future versions can migrate.
+type ManifestResponse struct {
+	Format string `json:"format"`
+	Export []byte `json:"export"`
+}
+
+// FormatATCX is the only manifest export format currently defined.
+const FormatATCX = "atcx"
+
+// Health is the healthz payload: liveness plus collection shape and
+// aggregate serving counters.
+type Health struct {
+	Status        string `json:"status"`
+	Documents     int    `json:"documents"`
+	Terms         int    `json:"terms"`
+	UptimeMillis  int64  `json:"uptime_millis"`
+	QueriesServed int64  `json:"queries_served"`
+	QueriesFailed int64  `json:"queries_failed"`
+}
+
+// ErrorResponse is the envelope of every non-2xx answer.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// ErrorBody is a machine-readable code plus a human-readable message.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// StatusError is an error with an HTTP status and a wire code. Backends
+// return it to control the handler's error mapping; any other error is
+// reported as 500/internal.
+type StatusError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// NormalizeAlgo canonicalises an algorithm name ("" defaults to TNRA).
+func NormalizeAlgo(s string) (string, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", AlgoTNRA:
+		return AlgoTNRA, nil
+	case AlgoTRA:
+		return AlgoTRA, nil
+	}
+	return "", fmt.Errorf("unknown algorithm %q (want %q or %q)", s, AlgoTRA, AlgoTNRA)
+}
+
+// NormalizeScheme canonicalises a scheme name ("" defaults to CMHT).
+func NormalizeScheme(s string) (string, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", SchemeCMHT:
+		return SchemeCMHT, nil
+	case SchemeMHT:
+		return SchemeMHT, nil
+	}
+	return "", fmt.Errorf("unknown scheme %q (want %q or %q)", s, SchemeMHT, SchemeCMHT)
+}
+
+// Validate normalises the request in place and reports the first problem.
+func (r *SearchRequest) Validate() error {
+	r.Query = strings.TrimSpace(r.Query)
+	if r.Query == "" {
+		return fmt.Errorf("empty query")
+	}
+	if len(r.Query) > MaxQueryBytes {
+		return fmt.Errorf("query exceeds %d bytes", MaxQueryBytes)
+	}
+	if r.R == 0 {
+		r.R = DefaultR
+	}
+	if r.R < 1 || r.R > MaxR {
+		return fmt.Errorf("r=%d out of range [1, %d]", r.R, MaxR)
+	}
+	var err error
+	if r.Algo, err = NormalizeAlgo(r.Algo); err != nil {
+		return err
+	}
+	if r.Scheme, err = NormalizeScheme(r.Scheme); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+type fakeBackend struct {
+	lastReq   *SearchRequest
+	searchErr error
+	exportErr error
+}
+
+func (f *fakeBackend) Search(req *SearchRequest) (*SearchResponse, error) {
+	f.lastReq = req
+	if f.searchErr != nil {
+		return nil, f.searchErr
+	}
+	return &SearchResponse{
+		Query: req.Query, R: req.R, Algo: req.Algo, Scheme: req.Scheme,
+		Hits: []Hit{{DocID: 7, Score: 1.5, Content: []byte("body")}},
+		VO:   []byte{0xde, 0xad},
+	}, nil
+}
+
+func (f *fakeBackend) ClientExport() ([]byte, error) {
+	if f.exportErr != nil {
+		return nil, f.exportErr
+	}
+	return []byte("ATCXblob"), nil
+}
+
+func (f *fakeBackend) Health() Health {
+	return Health{Status: "ok", Documents: 3, Terms: 9}
+}
+
+func do(t *testing.T, h http.Handler, method, target string, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *bytes.Reader
+	if body == "" {
+		rd = bytes.NewReader(nil)
+	} else {
+		rd = bytes.NewReader([]byte(body))
+	}
+	req := httptest.NewRequest(method, target, rd)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("%s %s: Content-Type = %q", method, target, ct)
+	}
+	return w
+}
+
+func wantError(t *testing.T, w *httptest.ResponseRecorder, status int, code string) {
+	t.Helper()
+	if w.Code != status {
+		t.Fatalf("status = %d, want %d (body %s)", w.Code, status, w.Body)
+	}
+	var env ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+		t.Fatalf("error body is not an envelope: %v", err)
+	}
+	if env.Error.Code != code {
+		t.Fatalf("code = %q, want %q", env.Error.Code, code)
+	}
+}
+
+func TestSearchPostAndGetAgree(t *testing.T) {
+	b := &fakeBackend{}
+	h := NewHandler(b)
+
+	post := do(t, h, http.MethodPost, PathSearch, `{"query":"merkle tree","r":3,"algo":"TRA","scheme":"MHT"}`)
+	if post.Code != http.StatusOK {
+		t.Fatalf("POST status %d: %s", post.Code, post.Body)
+	}
+	var fromPost SearchResponse
+	if err := json.Unmarshal(post.Body.Bytes(), &fromPost); err != nil {
+		t.Fatal(err)
+	}
+
+	get := do(t, h, http.MethodGet, PathSearch+"?q=merkle+tree&r=3&algo=TRA&scheme=MHT", "")
+	if get.Code != http.StatusOK {
+		t.Fatalf("GET status %d: %s", get.Code, get.Body)
+	}
+	var fromGet SearchResponse
+	if err := json.Unmarshal(get.Body.Bytes(), &fromGet); err != nil {
+		t.Fatal(err)
+	}
+
+	if fromPost.Algo != AlgoTRA || fromPost.Scheme != SchemeMHT {
+		t.Fatalf("names not normalised: %+v", fromPost)
+	}
+	if fromPost.Query != fromGet.Query || fromPost.R != fromGet.R ||
+		fromPost.Algo != fromGet.Algo || fromPost.Scheme != fromGet.Scheme {
+		t.Fatalf("POST %+v and GET %+v disagree", fromPost, fromGet)
+	}
+	if len(fromGet.Hits) != 1 || fromGet.Hits[0].DocID != 7 || string(fromGet.Hits[0].Content) != "body" {
+		t.Fatalf("hits did not round-trip: %+v", fromGet.Hits)
+	}
+	if !bytes.Equal(fromGet.VO, []byte{0xde, 0xad}) {
+		t.Fatalf("VO did not round-trip: %x", fromGet.VO)
+	}
+}
+
+func TestSearchDefaults(t *testing.T) {
+	b := &fakeBackend{}
+	h := NewHandler(b)
+	w := do(t, h, http.MethodPost, PathSearch, `{"query":"x"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	if b.lastReq.R != DefaultR || b.lastReq.Algo != AlgoTNRA || b.lastReq.Scheme != SchemeCMHT {
+		t.Fatalf("defaults not applied: %+v", b.lastReq)
+	}
+}
+
+func TestSearchRejectsBadRequests(t *testing.T) {
+	h := NewHandler(&fakeBackend{})
+	cases := []struct {
+		name, method, target, body string
+	}{
+		{"empty query", http.MethodPost, PathSearch, `{"query":"  "}`},
+		{"bad algo", http.MethodPost, PathSearch, `{"query":"x","algo":"bsearch"}`},
+		{"bad scheme", http.MethodPost, PathSearch, `{"query":"x","scheme":"btree"}`},
+		{"r too large", http.MethodPost, PathSearch, `{"query":"x","r":100000}`},
+		{"negative r", http.MethodPost, PathSearch, `{"query":"x","r":-1}`},
+		{"unknown field", http.MethodPost, PathSearch, `{"query":"x","bogus":1}`},
+		{"not json", http.MethodPost, PathSearch, `hello`},
+		{"long query", http.MethodPost, PathSearch, `{"query":"` + strings.Repeat("a", MaxQueryBytes+1) + `"}`},
+		{"bad r param", http.MethodGet, PathSearch + "?q=x&r=many", ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			wantError(t, do(t, NewHandler(&fakeBackend{}), c.method, c.target, c.body), http.StatusBadRequest, CodeBadRequest)
+		})
+	}
+	_ = h
+}
+
+func TestMethodAndPathErrors(t *testing.T) {
+	h := NewHandler(&fakeBackend{})
+	wantError(t, do(t, h, http.MethodDelete, PathSearch, ""), http.StatusMethodNotAllowed, CodeMethodNotAllowed)
+	wantError(t, do(t, h, http.MethodPost, PathHealthz, ""), http.StatusMethodNotAllowed, CodeMethodNotAllowed)
+	wantError(t, do(t, h, http.MethodPost, PathManifest, ""), http.StatusMethodNotAllowed, CodeMethodNotAllowed)
+	wantError(t, do(t, h, http.MethodGet, "/v2/search", ""), http.StatusNotFound, CodeNotFound)
+	wantError(t, do(t, h, http.MethodGet, "/", ""), http.StatusNotFound, CodeNotFound)
+}
+
+func TestBackendErrorMapping(t *testing.T) {
+	plain := &fakeBackend{searchErr: errors.New("disk on fire")}
+	wantError(t, do(t, NewHandler(plain), http.MethodGet, PathSearch+"?q=x", ""),
+		http.StatusInternalServerError, CodeSearchFailed)
+
+	status := &fakeBackend{searchErr: &StatusError{Status: http.StatusBadRequest, Code: CodeBadRequest, Message: "nope"}}
+	wantError(t, do(t, NewHandler(status), http.MethodGet, PathSearch+"?q=x", ""),
+		http.StatusBadRequest, CodeBadRequest)
+
+	noExport := &fakeBackend{exportErr: errors.New("HMAC collections have no public key")}
+	wantError(t, do(t, NewHandler(noExport), http.MethodGet, PathManifest, ""),
+		http.StatusServiceUnavailable, CodeUnavailable)
+}
+
+func TestManifestAndHealthz(t *testing.T) {
+	h := NewHandler(&fakeBackend{})
+	w := do(t, h, http.MethodGet, PathManifest, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("manifest status %d", w.Code)
+	}
+	var m ManifestResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Format != FormatATCX || string(m.Export) != "ATCXblob" {
+		t.Fatalf("manifest = %+v", m)
+	}
+
+	w = do(t, h, http.MethodGet, PathHealthz, "")
+	var hp Health
+	if err := json.Unmarshal(w.Body.Bytes(), &hp); err != nil {
+		t.Fatal(err)
+	}
+	if hp.Status != "ok" || hp.Documents != 3 || hp.Terms != 9 {
+		t.Fatalf("health = %+v", hp)
+	}
+}
+
+func TestReadErrorResponse(t *testing.T) {
+	se := ReadErrorResponse(http.StatusBadGateway, strings.NewReader(`{"error":{"code":"bad_request","message":"m"}}`))
+	if se.Code != CodeBadRequest || se.Message != "m" || se.Status != http.StatusBadGateway {
+		t.Fatalf("parsed = %+v", se)
+	}
+	se = ReadErrorResponse(http.StatusBadGateway, strings.NewReader("<html>nginx</html>"))
+	if se.Code != CodeInternal || se.Status != http.StatusBadGateway {
+		t.Fatalf("fallback = %+v", se)
+	}
+}

@@ -1,17 +1,3 @@
-// Package mht implements the Merkle hash tree of §2.2 (Fig 3) together with
-// the pieces the authentication schemes of §3.3 need on top of the textbook
-// construction:
-//
-//   - multi-leaf proofs ("complementary digests") for an arbitrary set of
-//     leaf positions, as used by the term-MHTs and document-MHTs;
-//   - buddy-inclusion grouping (§3.3.2), which replaces digests near the
-//     requested leaves with the cheaper underlying leaf data.
-//
-// The tree shape is canonical for a given leaf count n: an internal node over
-// k leaves splits after the largest power of two strictly smaller than k
-// (RFC 6962 style), so prover and verifier agree on the shape knowing only n.
-// Leaf and internal hashes are domain-separated (0x00 / 0x01 prefixes); this
-// hardening is documented as a deviation in DESIGN.md §3.6.
 package mht
 
 import (

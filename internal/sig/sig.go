@@ -1,11 +1,3 @@
-// Package sig provides the cryptographic primitives of the authentication
-// framework: a truncated one-way hash (|h| = 128 bits by default, matching
-// Table 1 of the paper) and digital signatures (RSA-1024 PKCS#1 v1.5,
-// |sign| = 1024 bits by default).
-//
-// Signer/Verifier are interfaces so that large-scale experiment builds can
-// substitute a fast keyed-hash signer with identical signature sizes (the
-// substitution is documented in DESIGN.md §3.7).
 package sig
 
 import (

@@ -1,0 +1,20 @@
+// Package vo defines the verification object (VO) returned by the search
+// engine alongside each query result (§3.3, §3.4), its binary wire format,
+// and the per-category size accounting behind Table 2 and the VO-size
+// panels of Figs 13–15.
+//
+// The VO is the protocol's transferable proof: everything a client needs —
+// beyond the owner's published manifest and public key — to re-derive the
+// signed Merkle roots and check that the answer is the true, complete,
+// correctly ordered top-r. internal/engine fills it in on the server,
+// Encode turns it into the opaque byte string that crosses the trust
+// boundary (in-process, or base64-inside-JSON over HTTP via
+// internal/httpapi), and Decode rebuilds it on the client for
+// internal/core's Verify. Decode validates structure only; all security
+// decisions are Verify's. A VO that fails to decode is treated as
+// tampering by the facade, never trusted.
+//
+// The wire format uses the entry sizes of Table 1 — 4-byte identifiers and
+// frequencies, 16-byte digests, 128-byte signatures — so measured VO sizes
+// are directly comparable with the paper's.
+package vo

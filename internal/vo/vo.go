@@ -1,11 +1,3 @@
-// Package vo defines the verification object (VO) returned by the search
-// engine alongside each query result (§3.3, §3.4), its binary wire format,
-// and the per-category size accounting behind Table 2 and the VO-size
-// panels of Figs 13–15.
-//
-// The wire format uses the entry sizes of Table 1 — 4-byte identifiers and
-// frequencies, 16-byte digests, 128-byte signatures — so measured VO sizes
-// are directly comparable with the paper's.
 package vo
 
 import (

@@ -1,0 +1,238 @@
+package authtext
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"authtext/internal/httpapi"
+)
+
+// RemoteClient verifies search results received over HTTP from an
+// untrusted authserved instance. It fetches the owner's signed manifest
+// and public key once (from /v1/manifest, or injected out of band via
+// WithClientExport), then every Search answer — hits, contents, scores,
+// and VO — is verified locally before it is returned, exactly as if the
+// result had been produced in-process. A server, proxy, or
+// man-in-the-middle that rewrites any part of a response is detected by
+// verification (IsTampered reports true for the returned error), not
+// trusted transport: plain HTTP is sufficient for integrity, though TLS is
+// still needed for confidentiality.
+type RemoteClient struct {
+	base string
+	hc   *http.Client
+
+	mu     sync.Mutex
+	client *Client // verification half, nil until bootstrapped
+
+	optErr error // deferred option failure, reported by NewRemoteClient
+}
+
+// RemoteOption customises NewRemoteClient.
+type RemoteOption func(*RemoteClient)
+
+// WithHTTPClient substitutes the transport (default: a client with a 30 s
+// overall timeout).
+func WithHTTPClient(hc *http.Client) RemoteOption { return func(rc *RemoteClient) { rc.hc = hc } }
+
+// WithClientExport seeds the verification material from an out-of-band
+// copy of the owner's ATCX export instead of fetching /v1/manifest. Use it
+// when the owner distributes the export through a channel the server
+// cannot influence (the stronger deployment, see docs/PROTOCOL.md).
+func WithClientExport(export []byte) RemoteOption {
+	return func(rc *RemoteClient) {
+		c, err := NewClientFromExport(export)
+		if err != nil {
+			rc.optErr = err
+			return
+		}
+		rc.client = c
+	}
+}
+
+// NewRemoteClient prepares a client for the authserved instance at
+// baseURL (scheme + host[:port], e.g. "http://127.0.0.1:8080"). No
+// network traffic happens until the first call.
+func NewRemoteClient(baseURL string, opts ...RemoteOption) (*RemoteClient, error) {
+	u, err := url.Parse(strings.TrimRight(baseURL, "/"))
+	if err != nil {
+		return nil, fmt.Errorf("authtext: bad server URL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("authtext: bad server URL %q: scheme must be http or https", baseURL)
+	}
+	rc := &RemoteClient{base: u.String(), hc: &http.Client{Timeout: 30 * time.Second}}
+	for _, opt := range opts {
+		opt(rc)
+	}
+	if rc.optErr != nil {
+		return nil, rc.optErr
+	}
+	return rc, nil
+}
+
+// Bootstrap fetches and verifies the owner's manifest now instead of
+// lazily on the first Search. The manifest signature is checked against
+// the embedded public key before it is accepted.
+func (rc *RemoteClient) Bootstrap(ctx context.Context) error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.bootstrapLocked(ctx)
+}
+
+func (rc *RemoteClient) bootstrapLocked(ctx context.Context) error {
+	if rc.client != nil {
+		return nil
+	}
+	var m httpapi.ManifestResponse
+	if err := rc.get(ctx, httpapi.PathManifest, &m); err != nil {
+		return err
+	}
+	if m.Format != httpapi.FormatATCX {
+		return fmt.Errorf("authtext: server manifest format %q not supported", m.Format)
+	}
+	c, err := NewClientFromExport(m.Export)
+	if err != nil {
+		return err
+	}
+	rc.client = c
+	return nil
+}
+
+// Search asks the server for the top-r documents and verifies the answer
+// locally against the owner's manifest — using the parameters this client
+// asked for, never the server's echo. It returns the result only if
+// verification succeeds; otherwise the error explains the violation and
+// IsTampered reports whether it indicates server misbehaviour.
+func (rc *RemoteClient) Search(ctx context.Context, query string, r int, algo Algorithm, scheme Scheme) (*SearchResult, error) {
+	// Validate locally: r's zero value is "unset" on the wire, so sending
+	// r<1 would make an honest server answer with its default and the
+	// mismatch would misclassify as tampering during verification.
+	if r < 1 || r > httpapi.MaxR {
+		return nil, fmt.Errorf("authtext: result size r=%d out of range [1, %d]", r, httpapi.MaxR)
+	}
+	rc.mu.Lock()
+	if err := rc.bootstrapLocked(ctx); err != nil {
+		rc.mu.Unlock()
+		return nil, err
+	}
+	client := rc.client
+	rc.mu.Unlock()
+
+	reqBody, err := json.Marshal(&httpapi.SearchRequest{
+		Query: query, R: r, Algo: wireAlgo(algo), Scheme: wireScheme(scheme),
+	})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rc.base+httpapi.PathSearch, bytes.NewReader(reqBody))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var wire httpapi.SearchResponse
+	if err := rc.do(req, &wire); err != nil {
+		return nil, err
+	}
+
+	res := &SearchResult{VO: wire.VO, Hits: make([]Hit, len(wire.Hits))}
+	for i, h := range wire.Hits {
+		res.Hits[i] = Hit{DocID: h.DocID, Score: h.Score, Content: h.Content}
+	}
+	res.Stats = Stats{
+		Algorithm:      algo,
+		Scheme:         scheme,
+		QueryTerms:     wire.Stats.QueryTerms,
+		EntriesRead:    wire.Stats.EntriesRead,
+		EntriesPerTerm: wire.Stats.EntriesPerTerm,
+		PctListRead:    wire.Stats.PctListRead,
+		BlockReads:     wire.Stats.BlockReads,
+		RandomReads:    wire.Stats.RandomReads,
+		IOTime:         StatsDuration(wire.Stats.IOMillis),
+		VOBytes:        len(wire.VO),
+	}
+	if err := client.Verify(query, r, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ServerHealth mirrors the /v1/healthz payload.
+type ServerHealth struct {
+	Status        string
+	Documents     int
+	Terms         int
+	UptimeMillis  int64
+	QueriesServed int64
+	QueriesFailed int64
+}
+
+// Health reports the server's liveness and aggregate counters. Nothing in
+// it is authenticated — it is operational data only.
+func (rc *RemoteClient) Health(ctx context.Context) (*ServerHealth, error) {
+	var h httpapi.Health
+	if err := rc.get(ctx, httpapi.PathHealthz, &h); err != nil {
+		return nil, err
+	}
+	return &ServerHealth{
+		Status:        h.Status,
+		Documents:     h.Documents,
+		Terms:         h.Terms,
+		UptimeMillis:  h.UptimeMillis,
+		QueriesServed: h.QueriesServed,
+		QueriesFailed: h.QueriesFailed,
+	}, nil
+}
+
+func (rc *RemoteClient) get(ctx context.Context, path string, out interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rc.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return rc.do(req, out)
+}
+
+// maxResponseBytes caps how much of a response body the client will
+// buffer: the server is untrusted, and an endless 200 body must not
+// exhaust the verifier's memory before verification can reject it.
+const maxResponseBytes = 64 << 20
+
+func (rc *RemoteClient) do(req *http.Request, out interface{}) error {
+	resp, err := rc.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("authtext: %s: %w", req.URL.Path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		se := httpapi.ReadErrorResponse(resp.StatusCode, resp.Body)
+		return fmt.Errorf("authtext: %s: server returned %d: %w", req.URL.Path, se.Status, se)
+	}
+	body := io.LimitReader(resp.Body, maxResponseBytes)
+	if err := json.NewDecoder(body).Decode(out); err != nil {
+		return fmt.Errorf("authtext: %s: bad response body: %w", req.URL.Path, err)
+	}
+	// Drain (still capped) so the connection can be reused.
+	_, _ = io.Copy(io.Discard, body)
+	return nil
+}
+
+func wireAlgo(a Algorithm) string {
+	if a == TRA {
+		return httpapi.AlgoTRA
+	}
+	return httpapi.AlgoTNRA
+}
+
+func wireScheme(s Scheme) string {
+	if s == MHT {
+		return httpapi.SchemeMHT
+	}
+	return httpapi.SchemeCMHT
+}

@@ -1,0 +1,129 @@
+package authtext
+
+import (
+	"errors"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"authtext/internal/httpapi"
+)
+
+// This file adapts a Server to the /v1 HTTP protocol of
+// internal/httpapi (documented in docs/PROTOCOL.md). The handler serves
+// three endpoints: /v1/search answers queries with their verification
+// objects, /v1/manifest bootstraps clients with the owner's signed
+// manifest and public key, and /v1/healthz reports liveness and aggregate
+// counters. cmd/authserved is the production wrapper; RemoteClient is the
+// consuming side.
+
+// QueryLog receives one record per served query; see WithQueryLog.
+type QueryLog func(query string, r int, stats Stats, wall time.Duration)
+
+// HandlerOption customises NewHTTPHandler.
+type HandlerOption func(*httpBackend)
+
+// WithQueryLog installs a per-query callback (invoked synchronously after
+// each successful search; keep it fast).
+func WithQueryLog(fn QueryLog) HandlerOption { return func(b *httpBackend) { b.queryLog = fn } }
+
+// NewHTTPHandler exposes a Server over the versioned HTTP protocol.
+// clientExport is the blob from Owner.ExportClient, served verbatim at
+// /v1/manifest so remote clients can bootstrap; pass nil to run a search
+// endpoint without manifest bootstrap (clients must then obtain the
+// export out of band).
+func NewHTTPHandler(srv *Server, clientExport []byte, opts ...HandlerOption) http.Handler {
+	b := &httpBackend{srv: srv, export: clientExport, start: time.Now()}
+	for _, opt := range opts {
+		opt(b)
+	}
+	return httpapi.NewHandler(b)
+}
+
+// HTTPHandler is the owner-side convenience: it exports the verification
+// material and wraps the serving half in one call.
+func (o *Owner) HTTPHandler(opts ...HandlerOption) (http.Handler, error) {
+	export, err := o.ExportClient()
+	if err != nil {
+		return nil, err
+	}
+	return NewHTTPHandler(o.Server(), export, opts...), nil
+}
+
+// httpBackend implements httpapi.Backend on top of a Server.
+type httpBackend struct {
+	srv      *Server
+	export   []byte
+	start    time.Time
+	queryLog QueryLog
+	served   atomic.Int64
+	failed   atomic.Int64
+}
+
+func (b *httpBackend) Search(req *httpapi.SearchRequest) (*httpapi.SearchResponse, error) {
+	algo := TNRA
+	if req.Algo == httpapi.AlgoTRA {
+		algo = TRA
+	}
+	scheme := ChainMHT
+	if req.Scheme == httpapi.SchemeMHT {
+		scheme = MHT
+	}
+	start := time.Now()
+	res, err := b.srv.Search(req.Query, req.R, algo, scheme)
+	if err != nil {
+		b.failed.Add(1)
+		return nil, err
+	}
+	wall := time.Since(start)
+	b.served.Add(1)
+	if b.queryLog != nil {
+		b.queryLog(req.Query, req.R, res.Stats, wall)
+	}
+	out := &httpapi.SearchResponse{
+		Query:  req.Query,
+		R:      req.R,
+		Algo:   req.Algo,
+		Scheme: req.Scheme,
+		Hits:   make([]httpapi.Hit, len(res.Hits)),
+		VO:     res.VO,
+		Stats:  wireStats(res.Stats, wall),
+	}
+	for i, h := range res.Hits {
+		out.Hits[i] = httpapi.Hit{DocID: h.DocID, Score: h.Score, Content: h.Content}
+	}
+	return out, nil
+}
+
+func (b *httpBackend) ClientExport() ([]byte, error) {
+	if b.export == nil {
+		return nil, errors.New("this server does not publish verification material")
+	}
+	return b.export, nil
+}
+
+func (b *httpBackend) Health() httpapi.Health {
+	idx := b.srv.col.Index()
+	return httpapi.Health{
+		Status:        "ok",
+		Documents:     idx.N,
+		Terms:         idx.M(),
+		UptimeMillis:  time.Since(b.start).Milliseconds(),
+		QueriesServed: b.served.Load(),
+		QueriesFailed: b.failed.Load(),
+	}
+}
+
+func wireStats(st Stats, wall time.Duration) httpapi.SearchStats {
+	return httpapi.SearchStats{
+		QueryTerms:     st.QueryTerms,
+		EntriesRead:    st.EntriesRead,
+		EntriesPerTerm: st.EntriesPerTerm,
+		PctListRead:    st.PctListRead,
+		BlockReads:     st.BlockReads,
+		RandomReads:    st.RandomReads,
+		IOMillis:       float64(st.IOTime),
+		VOBytes:        st.VOBytes,
+		ServerMillis:   float64(wall.Microseconds()) / 1000,
+	}
+}
