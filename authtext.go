@@ -3,6 +3,7 @@ package authtext
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"authtext/internal/core"
@@ -302,12 +303,24 @@ func (s *Server) Search(query string, r int, algo Algorithm, scheme Scheme) (*Se
 }
 
 // Client verifies query results against the owner's published manifest and
-// public key. It holds no collection data.
+// public key. It holds no collection data. It is safe for concurrent use:
+// the one-time manifest check is guarded by a sync.Once.
 type Client struct {
 	manifest    *core.Manifest
 	manifestSig []byte
 	verifier    sig.Verifier
-	checked     bool
+
+	checkOnce sync.Once
+	checkErr  error
+}
+
+// checkManifest runs the one-time manifest signature check. The outcome is
+// cached: a bad manifest fails every subsequent Verify with the same error.
+func (c *Client) checkManifest() error {
+	c.checkOnce.Do(func() {
+		c.checkErr = core.VerifyManifest(c.manifest, c.manifestSig, c.verifier)
+	})
+	return c.checkErr
 }
 
 // Verify checks a search result (including its delivered document
@@ -318,11 +331,8 @@ func (c *Client) Verify(query string, r int, res *SearchResult) error {
 	if res == nil {
 		return errors.New("authtext: nil result")
 	}
-	if !c.checked {
-		if err := core.VerifyManifest(c.manifest, c.manifestSig, c.verifier); err != nil {
-			return err
-		}
-		c.checked = true
+	if err := c.checkManifest(); err != nil {
+		return err
 	}
 	decoded, err := decodeVO(res.VO)
 	if err != nil {

@@ -8,6 +8,7 @@ package authtext
 // full-scale numbers in EXPERIMENTS.md come from cmd/authbench.
 
 import (
+	"bytes"
 	"io"
 	"sync"
 	"testing"
@@ -20,6 +21,7 @@ import (
 	"authtext/internal/linkgraph"
 	"authtext/internal/okapi"
 	"authtext/internal/sig"
+	"authtext/internal/snapshot"
 	"authtext/internal/store"
 	"authtext/internal/workload"
 )
@@ -338,6 +340,54 @@ func BenchmarkOwnerBuild(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := engine.BuildCollection(docs, engine.DefaultConfig(signer)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Cold start: rebuilding from raw documents vs reopening a snapshot. The
+// paper's model builds once (owner side) and serves many; these two
+// benchmarks quantify what the snapshot subsystem buys every server start.
+
+// BenchmarkColdStartRebuild is the status quo ante: every process start
+// re-tokenises, re-indexes and re-signs the corpus.
+func BenchmarkColdStartRebuild(b *testing.B) {
+	signer, err := sig.NewHMACSigner([]byte("coldstart"), 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs := corpus.Generate(corpus.Tiny())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.BuildCollection(docs, engine.DefaultConfig(signer)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdStartSnapshot reopens the same collection from its snapshot
+// bytes: no tokenising, no indexing, no signing.
+func BenchmarkColdStartSnapshot(b *testing.B) {
+	signer, err := sig.NewHMACSigner([]byte("coldstart"), 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs := corpus.Generate(corpus.Tiny())
+	col, err := engine.BuildCollection(docs, engine.DefaultConfig(signer))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := snapshot.Write(&buf, col); err != nil {
+		b.Fatal(err)
+	}
+	snap := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snapshot.Open(bytes.NewReader(snap)); err != nil {
 			b.Fatal(err)
 		}
 	}

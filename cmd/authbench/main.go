@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	authbench [-profile tiny|small|medium|wsj] [-fig all|4|13|14|15|table2|space|headline]
+//	authbench [-profile tiny|small|medium|wsj] [-fig all|4|13|14|15|table2|space|headline|snapshot]
 //	          [-queries N] [-rsa] [-out FILE]
 //
 // The medium profile (20,000 documents) reproduces the shape of every
@@ -34,7 +34,7 @@ func main() {
 
 func run() error {
 	profileName := flag.String("profile", "medium", "corpus profile: tiny, small, medium, wsj")
-	fig := flag.String("fig", "all", "experiment: all, 4, 13, 14, 15, table2, space, headline")
+	fig := flag.String("fig", "all", "experiment: all, 4, 13, 14, 15, table2, space, headline, snapshot")
 	queries := flag.Int("queries", 0, "queries per sweep point (0 = profile default)")
 	rsa := flag.Bool("rsa", false, "sign with RSA-1024 instead of the fast keyed-hash signer")
 	outPath := flag.String("out", "", "write output to this file as well as stdout")
@@ -123,6 +123,12 @@ func run() error {
 	}
 	if has("headline") {
 		if _, err := experiments.Headline(fixture, opts, w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if has("snapshot") {
+		if _, err := experiments.SnapshotCompare(fixture, w); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)

@@ -6,10 +6,15 @@
 // Usage:
 //
 //	authsearch [-dir PATH] [-r N] [-algo tra|tnra] [-scheme mht|cmht]
-//	authsearch -serve ADDR [-dir PATH]      # expose the collection over HTTP
-//	authsearch -remote URL [-r N] [...]     # query a running authserved
+//	authsearch -build -o corpus.snap [-dir PATH]   # build once, write a snapshot
+//	authsearch -snapshot corpus.snap [...]         # reopen: no rebuild, no re-signing
+//	authsearch -serve ADDR [-dir PATH|-snapshot F] # expose the collection over HTTP
+//	authsearch -remote URL [-r N] [...]            # query a running authserved
 //
 // The default mode runs owner, server and client in one process. With
+// -build the process performs only the owner role: it builds and signs the
+// collection and writes the snapshot artifact that `authserved -snapshot`
+// or `authsearch -snapshot` open in milliseconds (docs/SNAPSHOT.md). With
 // -serve the process becomes an authserved-compatible HTTP server; with
 // -remote it becomes the verifying client of a remote server, performing
 // the same VO verification on answers received over the network.
@@ -22,6 +27,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -34,83 +40,193 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	cfg, err := parseFlags(os.Args[1:])
+	if err == flag.ErrHelp {
+		os.Exit(0)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "authsearch:", err)
+		os.Exit(2)
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "authsearch:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	dir := flag.String("dir", "", "directory of .txt files to index (default: demo corpus)")
-	r := flag.Int("r", 5, "number of results per query")
-	algoName := flag.String("algo", "tnra", "query algorithm: tra or tnra")
-	schemeName := flag.String("scheme", "cmht", "authentication scheme: mht or cmht")
-	serveAddr := flag.String("serve", "", "serve the collection over HTTP at this address instead of the interactive prompt")
-	remoteURL := flag.String("remote", "", "query a running authserved at this URL instead of building a local collection")
-	flag.Parse()
+// config is the fully validated command line; producing it builds nothing.
+type config struct {
+	dir       string
+	r         int
+	algo      authtext.Algorithm
+	scheme    authtext.Scheme
+	serveAddr string
+	remoteURL string
+	build     bool
+	out       string
+	snapshot  string
+}
 
-	algo := authtext.TNRA
+// parseFlags parses and cross-validates the command line before any
+// indexing, signing or snapshot I/O happens.
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("authsearch", flag.ContinueOnError)
+	dir := fs.String("dir", "", "directory of .txt files to index (default: demo corpus)")
+	r := fs.Int("r", 5, "number of results per query")
+	algoName := fs.String("algo", "tnra", "query algorithm: tra or tnra")
+	schemeName := fs.String("scheme", "cmht", "authentication scheme: mht or cmht")
+	serveAddr := fs.String("serve", "", "serve the collection over HTTP at this address instead of the interactive prompt")
+	remoteURL := fs.String("remote", "", "query a running authserved at this URL instead of building a local collection")
+	build := fs.Bool("build", false, "build the collection, write the snapshot named by -o, and exit")
+	out := fs.String("o", "", "snapshot output path (with -build)")
+	snap := fs.String("snapshot", "", "open this snapshot instead of building a collection")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	if fs.NArg() > 0 {
+		return config{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	cfg := config{
+		dir: *dir, r: *r, serveAddr: *serveAddr, remoteURL: *remoteURL,
+		build: *build, out: *out, snapshot: *snap,
+		algo: authtext.TNRA, scheme: authtext.ChainMHT,
+	}
 	if strings.EqualFold(*algoName, "tra") {
-		algo = authtext.TRA
+		cfg.algo = authtext.TRA
+	} else if !strings.EqualFold(*algoName, "tnra") {
+		return config{}, fmt.Errorf("unknown -algo %q", *algoName)
 	}
-	scheme := authtext.ChainMHT
 	if strings.EqualFold(*schemeName, "mht") {
-		scheme = authtext.MHT
+		cfg.scheme = authtext.MHT
+	} else if !strings.EqualFold(*schemeName, "cmht") {
+		return config{}, fmt.Errorf("unknown -scheme %q", *schemeName)
+	}
+	if cfg.r < 1 {
+		return config{}, fmt.Errorf("-r %d out of range", cfg.r)
 	}
 
-	if *remoteURL != "" && *serveAddr != "" {
-		return fmt.Errorf("-serve and -remote are mutually exclusive")
+	if cfg.remoteURL != "" && cfg.serveAddr != "" {
+		return config{}, errors.New("-serve and -remote are mutually exclusive")
 	}
-	if *remoteURL != "" && *dir != "" {
-		return fmt.Errorf("-dir has no effect with -remote: the remote server chose its own collection")
+	if cfg.remoteURL != "" && cfg.dir != "" {
+		return config{}, errors.New("-dir has no effect with -remote: the remote server chose its own collection")
 	}
-	if *remoteURL != "" {
-		return runRemote(*remoteURL, *r, algo, scheme)
+	if cfg.snapshot != "" && cfg.dir != "" {
+		return config{}, errors.New("-snapshot and -dir are mutually exclusive: the snapshot already contains its collection")
+	}
+	if cfg.snapshot != "" && cfg.remoteURL != "" {
+		return config{}, errors.New("-snapshot has no effect with -remote")
+	}
+	if cfg.build {
+		if cfg.out == "" {
+			return config{}, errors.New("-build requires -o FILE")
+		}
+		if cfg.snapshot != "" || cfg.serveAddr != "" || cfg.remoteURL != "" {
+			return config{}, errors.New("-build only builds: it excludes -snapshot, -serve and -remote")
+		}
+	} else if cfg.out != "" {
+		return config{}, errors.New("-o requires -build")
+	}
+	return cfg, nil
+}
+
+func run(cfg config) error {
+	if cfg.remoteURL != "" {
+		return runRemote(cfg.remoteURL, cfg.r, cfg.algo, cfg.scheme)
 	}
 
-	docs, names, err := loadDocs(*dir)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("indexing %d documents and building authentication structures (RSA-1024)...\n", len(docs))
-	owner, err := authtext.NewOwner(docs, authtext.WithVocabularyProofs())
-	if err != nil {
-		return err
-	}
-	buildMs, sigs, devBytes := owner.Stats()
-	fmt.Printf("built in %.0f ms: %d signatures, %.1f MB on the simulated disk\n",
-		buildMs, sigs, float64(devBytes)/(1<<20))
+	var (
+		server *authtext.Server
+		client *authtext.Client
+		names  func(docID int) string
+	)
+	if cfg.snapshot != "" {
+		start := time.Now()
+		var err error
+		server, client, err = authtext.OpenSnapshotFile(cfg.snapshot)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("opened snapshot %s in %s (no rebuild, no re-signing)\n",
+			cfg.snapshot, time.Since(start).Round(time.Millisecond))
+		names = func(docID int) string { return fmt.Sprintf("doc-%d", docID) }
+	} else {
+		docs, docNames, err := demo.Load(cfg.dir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("indexing %d documents and building authentication structures (RSA-1024)...\n", len(docs))
+		owner, err := authtext.NewOwner(docs, authtext.WithVocabularyProofs())
+		if err != nil {
+			return err
+		}
+		buildMs, sigs, devBytes := owner.Stats()
+		fmt.Printf("built in %.0f ms: %d signatures, %.1f MB on the simulated disk\n",
+			buildMs, sigs, float64(devBytes)/(1<<20))
 
-	if *serveAddr != "" {
-		return serve(owner, *serveAddr)
+		if cfg.build {
+			return writeSnapshot(owner, cfg.out)
+		}
+		server, client = owner.Server(), owner.Client()
+		names = func(docID int) string { return docNames[docID] }
 	}
 
-	server, client := owner.Server(), owner.Client()
-	fmt.Printf("ready — %s-%s, top-%d; type a query (empty line to quit)\n", algo, scheme, *r)
+	if cfg.serveAddr != "" {
+		return serve(server, client, cfg.serveAddr)
+	}
+
+	fmt.Printf("ready — %s-%s, top-%d; type a query (empty line to quit)\n", cfg.algo, cfg.scheme, cfg.r)
 	return repl(func(query string) {
-		res, err := server.Search(query, *r, algo, scheme)
+		res, err := server.Search(query, cfg.r, cfg.algo, cfg.scheme)
 		if err != nil {
 			fmt.Println("  error:", err)
 			return
 		}
 		verdict := "VERIFIED"
-		if err := client.Verify(query, *r, res); err != nil {
+		if err := client.Verify(query, cfg.r, res); err != nil {
 			verdict = "REJECTED: " + err.Error()
 		}
-		printResult(verdict, res, func(docID int) string { return names[docID] })
+		printResult(verdict, res, names)
 	})
 }
 
+// writeSnapshot persists the built collection (owner role of the
+// build-once / serve-many deployment).
+func writeSnapshot(owner *authtext.Owner, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := owner.WriteSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(path) // don't leave a truncated artifact behind
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote snapshot %s (%.1f MB); serve it with: authserved -snapshot %s\n",
+		path, float64(info.Size())/(1<<20), path)
+	return nil
+}
+
 // serve exposes the collection on the authserved HTTP protocol.
-func serve(owner *authtext.Owner, addr string) error {
-	handler, err := owner.HTTPHandler(authtext.WithQueryLog(
+func serve(server *authtext.Server, client *authtext.Client, addr string) error {
+	export, err := client.Export()
+	if err != nil {
+		return err
+	}
+	handler := authtext.NewHTTPHandler(server, export, authtext.WithQueryLog(
 		func(query string, r int, st authtext.Stats, wall time.Duration) {
 			fmt.Printf("query %q r=%d %s-%s vo=%dB wall=%s\n",
 				query, r, st.Algorithm, st.Scheme, st.VOBytes, wall.Round(time.Microsecond))
 		}))
-	if err != nil {
-		return err
-	}
 	fmt.Printf("serving /v1/search, /v1/manifest, /v1/healthz on %s\n", addr)
 	srv := &http.Server{Addr: addr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
 	return srv.ListenAndServe()
@@ -176,10 +292,6 @@ func printResult(verdict string, res *authtext.SearchResult, name func(docID int
 		fmt.Println("  no matching documents")
 	}
 }
-
-// loadDocs loads the collection (kept as a thin wrapper so the demo corpus
-// and directory loader are shared with cmd/authserved).
-func loadDocs(dir string) ([]authtext.Document, []string, error) { return demo.Load(dir) }
 
 func snippet(b []byte, n int) string {
 	s := strings.Join(strings.Fields(string(b)), " ")

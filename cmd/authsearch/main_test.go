@@ -1,11 +1,13 @@
 package main
 
 import (
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"authtext"
 	"authtext/internal/demo"
 )
 
@@ -21,7 +23,7 @@ func TestSnippet(t *testing.T) {
 }
 
 func TestLoadDocsDemo(t *testing.T) {
-	docs, names, err := loadDocs("")
+	docs, names, err := demo.Load("")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +43,7 @@ func TestLoadDocsDirectory(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	docs, names, err := loadDocs(dir)
+	docs, names, err := demo.Load(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +60,74 @@ func TestLoadDocsDirectory(t *testing.T) {
 }
 
 func TestLoadDocsEmptyDirectory(t *testing.T) {
-	if _, _, err := loadDocs(t.TempDir()); err == nil {
+	if _, _, err := demo.Load(t.TempDir()); err == nil {
 		t.Fatal("empty directory accepted")
+	}
+}
+
+// All usage validation happens in parseFlags, before anything is indexed
+// or signed.
+func TestParseFlagsValidation(t *testing.T) {
+	bad := [][]string{
+		{"-no-such-flag"},
+		{"-serve", ":0", "-remote", "http://x"},
+		{"-remote", "http://x", "-dir", "docs"},
+		{"-snapshot", "x.snap", "-dir", "docs"},
+		{"-snapshot", "x.snap", "-remote", "http://x"},
+		{"-build"},                            // missing -o
+		{"-o", "x.snap"},                      // -o without -build
+		{"-build", "-o", "x", "-serve", ":0"}, // build excludes serve
+		{"-algo", "bogus"},
+		{"-scheme", "bogus"},
+		{"-r", "0"},
+		{"stray"},
+	}
+	for _, args := range bad {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	if _, err := parseFlags([]string{"-help"}); err != flag.ErrHelp {
+		t.Errorf("-help: got %v, want flag.ErrHelp", err)
+	}
+	cfg, err := parseFlags([]string{"-build", "-o", "c.snap", "-algo", "TRA", "-scheme", "MHT"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.build || cfg.out != "c.snap" || cfg.algo != authtext.TRA || cfg.scheme != authtext.MHT {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+}
+
+// The owner-role -build mode and the reopening modes must round-trip
+// through a real file on disk.
+func TestBuildThenOpenSnapshotFile(t *testing.T) {
+	docs, _, err := demo.Load("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := authtext.NewOwner(docs, authtext.WithVocabularyProofs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "demo.snap")
+	if err := writeSnapshot(owner, path); err != nil {
+		t.Fatal(err)
+	}
+
+	server, client, err := authtext.OpenSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := server.Search("merkle tree", 3, authtext.TNRA, authtext.ChainMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Verify("merkle tree", 3, res); err != nil {
+		t.Fatalf("snapshot-opened server failed verification: %v", err)
+	}
+	// The original owner's client accepts the same responses.
+	if err := owner.Client().Verify("merkle tree", 3, res); err != nil {
+		t.Fatalf("original client rejected snapshot server: %v", err)
 	}
 }

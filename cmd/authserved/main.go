@@ -1,9 +1,10 @@
 // Command authserved serves an authenticated document collection over
 // HTTP. It plays the untrusted-server role of the Pang & Mouratidis
-// three-party protocol: it indexes a directory of .txt files (or the
-// built-in demo corpus), builds and signs the authentication structures
-// on startup, and then answers concurrent queries on the versioned JSON
-// API documented in docs/PROTOCOL.md:
+// three-party protocol: it either opens a pre-built snapshot (the
+// production deployment — the owner built and signed elsewhere, this host
+// holds no private key) or indexes a directory of .txt files / the
+// built-in demo corpus on startup, and then answers concurrent queries on
+// the versioned JSON API documented in docs/PROTOCOL.md:
 //
 //	POST /v1/search   top-r query → hits + verification object
 //	GET  /v1/manifest signed manifest + public key (client bootstrap)
@@ -11,16 +12,18 @@
 //
 // Remote users verify every answer locally with authtext.RemoteClient (or
 // `authsearch -remote URL`); nothing the daemon returns needs to be
-// trusted.
+// trusted — a tampered snapshot, index or response fails client
+// verification (docs/SNAPSHOT.md describes the trust model).
 //
 // Usage:
 //
-//	authserved [-addr :8470] [-dir PATH] [-vocab-proofs] [-quiet]
+//	authserved [-addr :8470] [-snapshot FILE | -dir PATH] [-vocab-proofs] [-quiet]
 //
-// In a real deployment the owner would build and sign the collection
-// offline and hand only the serving half to the host; authserved performs
-// both roles in one process for convenience, which changes where the key
-// lives but not the verification protocol.
+// With -snapshot the daemon boots in milliseconds from an artifact
+// produced by `authsearch -build -o FILE`; nothing is re-tokenised,
+// re-indexed or re-signed. Without it the daemon performs the owner role
+// in-process for convenience, which changes where the key lives but not
+// the verification protocol.
 package main
 
 import (
@@ -40,27 +43,71 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	cfg, err := parseFlags(os.Args[1:])
+	if err == flag.ErrHelp {
+		os.Exit(0)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "authserved:", err)
+		os.Exit(2)
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "authserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	addr := flag.String("addr", ":8470", "listen address")
-	dir := flag.String("dir", "", "directory of .txt files to index (default: demo corpus)")
-	vocab := flag.Bool("vocab-proofs", true, "prove non-membership of out-of-dictionary query terms")
-	quiet := flag.Bool("quiet", false, "suppress per-query log lines")
-	flag.Parse()
+// config is the fully validated command line. Producing it must not build
+// anything: flag errors and -help exit before any indexing or signing
+// happens.
+type config struct {
+	addr     string
+	dir      string
+	snapshot string
+	vocab    bool
+	quiet    bool
+}
 
+// parseFlags parses and cross-validates the command line. It is the only
+// step allowed to fail with a usage error, and it runs to completion
+// before any collection work starts.
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("authserved", flag.ContinueOnError)
+	var cfg config
+	fs.StringVar(&cfg.addr, "addr", ":8470", "listen address")
+	fs.StringVar(&cfg.dir, "dir", "", "directory of .txt files to index (default: demo corpus)")
+	fs.StringVar(&cfg.snapshot, "snapshot", "", "boot from this snapshot file instead of building a collection")
+	fs.BoolVar(&cfg.vocab, "vocab-proofs", true, "prove non-membership of out-of-dictionary query terms (build mode)")
+	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress per-query log lines")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	if fs.NArg() > 0 {
+		return config{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if cfg.snapshot != "" && cfg.dir != "" {
+		return config{}, errors.New("-snapshot and -dir are mutually exclusive: the snapshot already contains its collection")
+	}
+	if cfg.addr == "" {
+		return config{}, errors.New("-addr must not be empty")
+	}
+	if cfg.snapshot != "" {
+		if _, err := os.Stat(cfg.snapshot); err != nil {
+			return config{}, fmt.Errorf("snapshot: %w", err)
+		}
+	}
+	return cfg, nil
+}
+
+func run(cfg config) error {
 	logger := log.New(os.Stderr, "authserved ", log.LstdFlags)
-	handler, err := buildHandler(*dir, *vocab, *quiet, logger)
+	handler, err := buildHandler(cfg, logger)
 	if err != nil {
 		return err
 	}
 
 	srv := &http.Server{
-		Addr:              *addr,
+		Addr:              cfg.addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
@@ -71,7 +118,7 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s", *addr)
+		logger.Printf("listening on %s", cfg.addr)
 		errc <- srv.ListenAndServe()
 	}()
 	select {
@@ -91,15 +138,43 @@ func run() error {
 	}
 }
 
-// buildHandler indexes the collection and wires it to the /v1 protocol.
-func buildHandler(dir string, vocab, quiet bool, logger *log.Logger) (http.Handler, error) {
-	docs, _, err := demo.Load(dir)
+// buildHandler produces the /v1 handler: warm start from a snapshot, or
+// cold build from documents.
+func buildHandler(cfg config, logger *log.Logger) (http.Handler, error) {
+	queryLogOpts := func() []authtext.HandlerOption {
+		if cfg.quiet {
+			return nil
+		}
+		return []authtext.HandlerOption{authtext.WithQueryLog(
+			func(query string, r int, st authtext.Stats, wall time.Duration) {
+				logger.Printf("query %q r=%d %s-%s terms=%d entries/term=%.1f io=%s vo=%dB wall=%s",
+					query, r, st.Algorithm, st.Scheme, st.QueryTerms, st.EntriesPerTerm,
+					st.IOTime, st.VOBytes, wall.Round(time.Microsecond))
+			})}
+	}
+
+	if cfg.snapshot != "" {
+		start := time.Now()
+		server, client, err := authtext.OpenSnapshotFile(cfg.snapshot)
+		if err != nil {
+			return nil, err
+		}
+		export, err := client.Export()
+		if err != nil {
+			return nil, fmt.Errorf("snapshot has no publishable key (fast-signer build?): %w", err)
+		}
+		logger.Printf("opened snapshot %s in %s (no re-indexing, no re-signing)",
+			cfg.snapshot, time.Since(start).Round(time.Millisecond))
+		return authtext.NewHTTPHandler(server, export, queryLogOpts()...), nil
+	}
+
+	docs, _, err := demo.Load(cfg.dir)
 	if err != nil {
 		return nil, err
 	}
 	logger.Printf("indexing %d documents and building authentication structures (RSA-1024)...", len(docs))
 	var opts []authtext.Option
-	if vocab {
+	if cfg.vocab {
 		opts = append(opts, authtext.WithVocabularyProofs())
 	}
 	owner, err := authtext.NewOwner(docs, opts...)
@@ -109,15 +184,5 @@ func buildHandler(dir string, vocab, quiet bool, logger *log.Logger) (http.Handl
 	buildMs, sigs, devBytes := owner.Stats()
 	logger.Printf("built in %.0f ms: %d signatures, %.1f MB on the simulated disk",
 		buildMs, sigs, float64(devBytes)/(1<<20))
-
-	var handlerOpts []authtext.HandlerOption
-	if !quiet {
-		handlerOpts = append(handlerOpts, authtext.WithQueryLog(
-			func(query string, r int, st authtext.Stats, wall time.Duration) {
-				logger.Printf("query %q r=%d %s-%s terms=%d entries/term=%.1f io=%s vo=%dB wall=%s",
-					query, r, st.Algorithm, st.Scheme, st.QueryTerms, st.EntriesPerTerm,
-					st.IOTime, st.VOBytes, wall.Round(time.Microsecond))
-			}))
-	}
-	return owner.HTTPHandler(handlerOpts...)
+	return owner.HTTPHandler(queryLogOpts()...)
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"flag"
 	"io"
 	"log"
 	"net/http"
@@ -12,13 +13,12 @@ import (
 	"testing"
 
 	"authtext"
+	"authtext/internal/demo"
 	"authtext/internal/httpapi"
 )
 
-// The daemon's handler must serve a collection a RemoteClient can
-// bootstrap from and verify against — the same end-to-end path `authserved
-// -dir ...` exposes on a real socket.
-func TestBuildHandlerServesVerifiableCollection(t *testing.T) {
+func writeCorpus(t *testing.T) string {
+	t.Helper()
 	dir := t.TempDir()
 	texts := map[string]string{
 		"a.txt": "the merkle tree authenticates the inverted index",
@@ -30,8 +30,16 @@ func TestBuildHandlerServesVerifiableCollection(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	return dir
+}
+
+// The daemon's handler must serve a collection a RemoteClient can
+// bootstrap from and verify against — the same end-to-end path `authserved
+// -dir ...` exposes on a real socket.
+func TestBuildHandlerServesVerifiableCollection(t *testing.T) {
+	dir := writeCorpus(t)
 	logger := log.New(io.Discard, "", 0)
-	handler, err := buildHandler(dir, true, true, logger)
+	handler, err := buildHandler(config{dir: dir, vocab: true, quiet: true}, logger)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,13 +67,13 @@ func TestBuildHandlerServesVerifiableCollection(t *testing.T) {
 	if err := json.NewDecoder(health.Body).Decode(&h); err != nil {
 		t.Fatal(err)
 	}
-	if h.Status != "ok" || h.Documents != len(texts) || h.QueriesServed != 1 {
+	if h.Status != "ok" || h.Documents != 3 || h.QueriesServed != 1 {
 		t.Fatalf("health = %+v", h)
 	}
 }
 
 func TestBuildHandlerDemoCorpus(t *testing.T) {
-	handler, err := buildHandler("", false, true, log.New(io.Discard, "", 0))
+	handler, err := buildHandler(config{quiet: true}, log.New(io.Discard, "", 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,5 +86,79 @@ func TestBuildHandlerDemoCorpus(t *testing.T) {
 	}
 	if _, err := rc.Search(context.Background(), "merkle tree", 3, authtext.TRA, authtext.MHT); err != nil {
 		t.Fatalf("demo corpus search failed: %v", err)
+	}
+}
+
+// A daemon booted from a snapshot must serve the identical protocol: the
+// remote client bootstraps from /v1/manifest and verifies answers, without
+// the daemon ever holding a signer.
+func TestBuildHandlerFromSnapshot(t *testing.T) {
+	docs, _, err := demo.Load("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := authtext.NewOwner(docs, authtext.WithVocabularyProofs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "demo.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.WriteSnapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	handler, err := buildHandler(config{snapshot: path, quiet: true}, log.New(io.Discard, "", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	rc, err := authtext.NewRemoteClient(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rc.Search(context.Background(), "merkle tree", 3, authtext.TNRA, authtext.ChainMHT)
+	if err != nil {
+		t.Fatalf("remote search against snapshot-booted daemon failed: %v", err)
+	}
+	if len(res.Hits) == 0 {
+		t.Fatal("no hits")
+	}
+}
+
+// Flag parsing (and -help) must complete before any collection is built:
+// parseFlags performs every usage check and touches no documents.
+func TestParseFlagsBeforeBuild(t *testing.T) {
+	if _, err := parseFlags([]string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if _, err := parseFlags([]string{"-help"}); err != flag.ErrHelp {
+		t.Errorf("-help: got %v, want flag.ErrHelp", err)
+	}
+	if _, err := parseFlags([]string{"-snapshot", "x.snap", "-dir", "docs"}); err == nil {
+		t.Error("-snapshot with -dir accepted")
+	}
+	if _, err := parseFlags([]string{"-addr", ""}); err == nil {
+		t.Error("empty -addr accepted")
+	}
+	if _, err := parseFlags([]string{"-snapshot", filepath.Join(t.TempDir(), "missing.snap")}); err == nil {
+		t.Error("missing snapshot file accepted")
+	}
+	if _, err := parseFlags([]string{"stray"}); err == nil {
+		t.Error("stray positional argument accepted")
+	}
+	cfg, err := parseFlags([]string{"-addr", ":0", "-quiet"})
+	if err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	if cfg.addr != ":0" || !cfg.quiet || !cfg.vocab {
+		t.Fatalf("cfg = %+v", cfg)
 	}
 }

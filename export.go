@@ -22,8 +22,15 @@ const exportMagic = "ATCX"
 // users. It requires the default RSA signer (the keyed-hash benchmark
 // signer has no public half to export).
 func (o *Owner) ExportClient() ([]byte, error) {
-	m, msig := o.col.Manifest()
-	rsaVerifier, ok := o.col.Verifier().(*sig.RSAVerifier)
+	return o.Client().Export()
+}
+
+// Export serialises this client's verification material as an ATCX blob —
+// the same format ExportClient produces. It lets a snapshot-booted server
+// (which has a Client but no Owner) publish the manifest bootstrap
+// endpoint. RSA-verified clients only.
+func (c *Client) Export() ([]byte, error) {
+	rsaVerifier, ok := c.verifier.(*sig.RSAVerifier)
 	if !ok {
 		return nil, errors.New("authtext: only RSA-signed collections can be exported")
 	}
@@ -31,11 +38,11 @@ func (o *Owner) ExportClient() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	enc := m.Encode()
-	out := make([]byte, 0, len(exportMagic)+6+len(enc)+len(msig)+len(der))
+	enc := c.manifest.Encode()
+	out := make([]byte, 0, len(exportMagic)+6+len(enc)+len(c.manifestSig)+len(der))
 	out = append(out, exportMagic...)
 	out = appendChunk(out, enc)
-	out = appendChunk(out, msig)
+	out = appendChunk(out, c.manifestSig)
 	out = appendChunk(out, der)
 	return out, nil
 }
@@ -78,8 +85,11 @@ func NewClientFromExport(data []byte) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := core.VerifyManifest(manifest, chunks[1], verifier); err != nil {
+	sigCopy := append([]byte(nil), chunks[1]...)
+	if err := core.VerifyManifest(manifest, sigCopy, verifier); err != nil {
 		return nil, err
 	}
-	return &Client{manifest: manifest, manifestSig: chunks[1], verifier: verifier, checked: true}, nil
+	c := &Client{manifest: manifest, manifestSig: sigCopy, verifier: verifier}
+	c.checkOnce.Do(func() {}) // manifest verified just above
+	return c, nil
 }

@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"authtext/internal/core"
+	"authtext/internal/index"
+	"authtext/internal/mht"
+	"authtext/internal/sig"
+	"authtext/internal/store"
+)
+
+// State is the portable description of a fully built collection: everything
+// BuildCollection computed that cannot be cheaply re-derived, and nothing
+// secret — in particular, no signer. internal/snapshot serialises it;
+// Restore turns it back into a serving Collection without signing anything.
+type State struct {
+	// Manifest is the decoded manifest; ManifestSig the owner's signature
+	// over its canonical encoding.
+	Manifest    *core.Manifest
+	ManifestSig []byte
+	// Verifier is the owner's public verification key.
+	Verifier sig.Verifier
+	// Index is the in-memory inverted index (dictionary, lists, document
+	// vectors, raw content).
+	Index *index.Index
+	// StoreParams and DeviceData reconstruct the simulated disk.
+	StoreParams store.Params
+	DeviceData  []byte
+	// Layout locates every structure on the device.
+	Layout Layout
+	// TermSigs holds the per-list signatures ([kind-1][termID]; all nil in
+	// dictionary mode); TermRoots the corresponding roots (always present,
+	// needed for dictionary proofs); DocHash the h(doc) leaves.
+	TermSigs  [4][][]byte
+	TermRoots [4][][]byte
+	DocHash   [][]byte
+	// Authority holds the pinned per-document authority scores (boost
+	// extension); nil unless Manifest.Boosted.
+	Authority []float32
+	// Space and build statistics, carried over for reporting.
+	Space      SpaceReport
+	Signatures int
+	BuildTime  time.Duration
+}
+
+// ExportState captures the collection for serialisation. Slices alias
+// collection memory; the caller must not mutate them.
+func (c *Collection) ExportState() *State {
+	return &State{
+		Manifest:    c.manifest,
+		ManifestSig: c.manifestSig,
+		Verifier:    c.verifier,
+		Index:       c.idx,
+		StoreParams: c.dev.Params(),
+		DeviceData:  c.dev.Data(),
+		Layout:      c.layout,
+		TermSigs:    c.termSigs,
+		TermRoots:   c.termRoots,
+		DocHash:     c.docHash,
+		Authority:   c.authority,
+		Space:       c.space,
+		Signatures:  c.buildStats.Signatures,
+		BuildTime:   c.buildStats.BuildTime,
+	}
+}
+
+// Restore reconstructs a serving Collection from an exported state without
+// touching a signer. The state may come from an untrusted snapshot, so
+// every structural invariant the query path relies on is re-checked here;
+// what Restore cannot check is authenticity — that remains the manifest
+// signature's job, and a tampered-but-consistent state yields VOs that fail
+// client verification.
+func Restore(st *State) (*Collection, error) {
+	m := st.Manifest
+	if m == nil {
+		return nil, errors.New("engine: restore: nil manifest")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if st.Verifier == nil {
+		return nil, errors.New("engine: restore: nil verifier")
+	}
+	idx := st.Index
+	if idx == nil {
+		return nil, errors.New("engine: restore: nil index")
+	}
+	if idx.N != int(m.N) || idx.M() != int(m.M) {
+		return nil, fmt.Errorf("engine: restore: index %d×%d does not match manifest %d×%d",
+			idx.N, idx.M(), m.N, m.M)
+	}
+	if math.Float64bits(idx.AvgLen) != math.Float64bits(m.AvgLen) ||
+		math.Float64bits(idx.Okapi.K1) != math.Float64bits(m.K1) ||
+		math.Float64bits(idx.Okapi.B) != math.Float64bits(m.B) {
+		return nil, errors.New("engine: restore: index parameters disagree with manifest")
+	}
+	if st.StoreParams.BlockSize != int(m.BlockSize) {
+		return nil, fmt.Errorf("engine: restore: device block size %d, manifest %d",
+			st.StoreParams.BlockSize, m.BlockSize)
+	}
+	dev, err := store.RestoreDevice(st.StoreParams, st.DeviceData)
+	if err != nil {
+		return nil, err
+	}
+
+	hashSize := int(m.HashSize)
+	baseHasher, err := sig.NewHasher(hashSize)
+	if err != nil {
+		return nil, err
+	}
+	blockSize := st.StoreParams.BlockSize
+	rho := core.ChainRho(blockSize, hashSize)
+	plainPerBlock := blockSize / entrySize
+	n, mm := idx.N, idx.M()
+
+	// Layout: every extent must lie on the device, and the list extents
+	// must cover exactly the blocks the cursors will read for ft entries —
+	// otherwise a hostile snapshot could steer the query path off the end
+	// of an extent.
+	if len(st.Layout.Plain) != mm || len(st.Layout.ChainTRA) != mm ||
+		len(st.Layout.ChainTNRA) != mm || len(st.Layout.Doc) != n {
+		return nil, errors.New("engine: restore: layout table sizes disagree with index")
+	}
+	checkExtent := func(what string, i int, ext store.Extent, wantBlocks int, fullBlocks bool) error {
+		if ext.Start < 0 || ext.Blocks < 1 || int64(ext.Start)+int64(ext.Blocks) > dev.Blocks() {
+			return fmt.Errorf("engine: restore: %s extent %d off-device", what, i)
+		}
+		if wantBlocks >= 0 && int(ext.Blocks) != wantBlocks {
+			return fmt.Errorf("engine: restore: %s extent %d has %d blocks, need %d",
+				what, i, ext.Blocks, wantBlocks)
+		}
+		if fullBlocks {
+			if ext.Length != int64(ext.Blocks)*int64(blockSize) {
+				return fmt.Errorf("engine: restore: %s extent %d not block-exact", what, i)
+			}
+		} else if ext.Length < 0 || ext.Length > int64(ext.Blocks)*int64(blockSize) {
+			return fmt.Errorf("engine: restore: %s extent %d length out of range", what, i)
+		}
+		return nil
+	}
+	blocksFor := func(entries, perBlock int) int {
+		nb := (entries + perBlock - 1) / perBlock
+		if nb == 0 {
+			nb = 1
+		}
+		return nb
+	}
+	for t := 0; t < mm; t++ {
+		ft := idx.FT(index.TermID(t))
+		if err := checkExtent("plain", t, st.Layout.Plain[t], blocksFor(ft, plainPerBlock), true); err != nil {
+			return nil, err
+		}
+		if err := checkExtent("chain-tra", t, st.Layout.ChainTRA[t], blocksFor(ft, rho), true); err != nil {
+			return nil, err
+		}
+		if err := checkExtent("chain-tnra", t, st.Layout.ChainTNRA[t], blocksFor(ft, rho), true); err != nil {
+			return nil, err
+		}
+	}
+	for d := 0; d < n; d++ {
+		if err := checkExtent("doc", d, st.Layout.Doc[d], -1, false); err != nil {
+			return nil, err
+		}
+	}
+
+	// Authentication material: roots and document hashes are fixed-width;
+	// per-list signatures exist exactly when dictionary mode is off.
+	for k := range st.TermRoots {
+		if len(st.TermRoots[k]) != mm {
+			return nil, fmt.Errorf("engine: restore: term-root table %d has %d entries", k, len(st.TermRoots[k]))
+		}
+		for t, r := range st.TermRoots[k] {
+			if len(r) != hashSize {
+				return nil, fmt.Errorf("engine: restore: term root %d/%d size mismatch", k, t)
+			}
+		}
+		if m.DictMode {
+			if st.TermSigs[k] != nil {
+				return nil, errors.New("engine: restore: per-list signatures present in dictionary mode")
+			}
+			continue
+		}
+		if len(st.TermSigs[k]) != mm {
+			return nil, fmt.Errorf("engine: restore: signature table %d has %d entries", k, len(st.TermSigs[k]))
+		}
+		for t, s := range st.TermSigs[k] {
+			if len(s) == 0 {
+				return nil, fmt.Errorf("engine: restore: term %d kind %d has empty signature", t, k+1)
+			}
+		}
+	}
+	if len(st.DocHash) != n {
+		return nil, fmt.Errorf("engine: restore: %d document hashes for %d documents", len(st.DocHash), n)
+	}
+	for d, h := range st.DocHash {
+		if len(h) != hashSize {
+			return nil, fmt.Errorf("engine: restore: document hash %d size mismatch", d)
+		}
+	}
+
+	c := &Collection{
+		idx:        idx,
+		dev:        dev,
+		baseHasher: baseHasher,
+		hasher:     mht.NewHasher(baseHasher),
+		verifier:   st.Verifier,
+		layout:     st.Layout,
+		termSigs:   st.TermSigs,
+		termRoots:  st.TermRoots,
+		docHash:    st.DocHash,
+		manifest:   m,
+		// ManifestSig authenticity is not assumed here; clients check it.
+		manifestSig: st.ManifestSig,
+		space:       st.Space,
+		buildStats:  BuildStats{BuildTime: st.BuildTime, Signatures: st.Signatures},
+	}
+	c.cfg = Config{
+		Store:       st.StoreParams,
+		HashSize:    hashSize,
+		Okapi:       idx.Okapi,
+		DictMode:    m.DictMode,
+		VocabProofs: m.VocabProofsEnabled,
+		Beta:        m.Beta,
+	}
+	// Derived leaf tables are pure encodings — rebuild rather than persist.
+	if m.VocabProofsEnabled {
+		c.nameDict = make([][]byte, mm)
+		for t := 0; t < mm; t++ {
+			c.nameDict[t] = core.VocabLeaf(idx.Name(index.TermID(t)))
+		}
+	}
+	if m.Boosted {
+		if len(st.Authority) != n {
+			return nil, fmt.Errorf("engine: restore: %d authority scores for %d documents", len(st.Authority), n)
+		}
+		c.authority = st.Authority
+		c.authorityLeaves = make([][]byte, n)
+		for d, a := range st.Authority {
+			if math.IsNaN(float64(a)) || a < 0 || a > 1 {
+				return nil, fmt.Errorf("engine: restore: authority[%d] = %v outside [0,1]", d, a)
+			}
+			c.authorityLeaves[d] = core.EncodeAuthorityLeaf(index.DocID(d), a)
+		}
+		auth := c.authority
+		c.boost = &core.Boost{
+			Beta: m.Beta,
+			AMax: m.AMax,
+			Authority: func(d index.DocID) float64 {
+				return float64(auth[d])
+			},
+		}
+	} else if st.Authority != nil {
+		return nil, errors.New("engine: restore: authority scores present without boost flag")
+	}
+	return c, nil
+}

@@ -233,3 +233,18 @@ func TestBoostedFixtureRunsThroughHarness(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSnapshotCompare(t *testing.T) {
+	f := tinyFixture(t)
+	var buf bytes.Buffer
+	rep, err := SnapshotCompare(f, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SizeBytes == 0 || rep.Open <= 0 || rep.Write <= 0 {
+		t.Fatalf("degenerate report: %+v", rep)
+	}
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Fatal("missing speedup line")
+	}
+}

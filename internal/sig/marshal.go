@@ -1,0 +1,70 @@
+package sig
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Verifier serialisation for snapshot persistence: the public half of the
+// owner's key pair travels inside the snapshot so a warm-started server can
+// hand clients the same verification material the owner published.
+
+// maxHMACSignatureSize bounds the deserialised HMAC tag width: signatures
+// mimic RSA sizes (128–512 bytes), so 4 KiB leaves ample headroom.
+const maxHMACSignatureSize = 4096
+
+// Verifier kinds understood by MarshalVerifier / ParseVerifier.
+const (
+	// VerifierRSA is an RSA public key in PKIX DER form.
+	VerifierRSA uint8 = 1
+	// VerifierHMAC is the keyed-hash benchmark verifier. Its encoding
+	// embeds the shared key: anyone holding the snapshot can forge
+	// signatures, exactly as anyone holding the key always could. It exists
+	// so benchmark builds round-trip; production snapshots use RSA.
+	VerifierHMAC uint8 = 2
+)
+
+// MarshalVerifier encodes a Verifier for embedding in a snapshot.
+func MarshalVerifier(v Verifier) (kind uint8, data []byte, err error) {
+	switch v := v.(type) {
+	case *RSAVerifier:
+		der, err := v.Marshal()
+		if err != nil {
+			return 0, nil, err
+		}
+		return VerifierRSA, der, nil
+	case *hmacVerifier:
+		data := binary.BigEndian.AppendUint32(nil, uint32(v.s.size))
+		data = append(data, v.s.key...)
+		return VerifierHMAC, data, nil
+	default:
+		return 0, nil, fmt.Errorf("sig: cannot marshal verifier of type %T", v)
+	}
+}
+
+// ParseVerifier decodes a Verifier produced by MarshalVerifier.
+func ParseVerifier(kind uint8, data []byte) (Verifier, error) {
+	switch kind {
+	case VerifierRSA:
+		return ParseRSAVerifier(data)
+	case VerifierHMAC:
+		if len(data) < 5 {
+			return nil, errors.New("sig: truncated hmac verifier")
+		}
+		size := int(binary.BigEndian.Uint32(data))
+		// The size field is attacker-controlled (snapshots travel untrusted
+		// channels) and every Verify allocates a tag of this size: bound it
+		// well above any plausible signature width but far below harm.
+		if size > maxHMACSignatureSize {
+			return nil, fmt.Errorf("sig: hmac signature size %d exceeds %d", size, maxHMACSignatureSize)
+		}
+		s, err := NewHMACSigner(data[4:], size)
+		if err != nil {
+			return nil, err
+		}
+		return s.Verifier(), nil
+	default:
+		return nil, fmt.Errorf("sig: unknown verifier kind %d", kind)
+	}
+}

@@ -1,0 +1,80 @@
+package sig
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestMarshalVerifierRoundTripRSA(t *testing.T) {
+	s, err := NewRSASigner(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, data, err := MarshalVerifier(s.Verifier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != VerifierRSA {
+		t.Fatalf("kind = %d", kind)
+	}
+	v, err := ParseVerifier(kind, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("round trip")
+	sigBytes, err := s.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(msg, sigBytes); err != nil {
+		t.Fatalf("parsed verifier rejected a valid signature: %v", err)
+	}
+}
+
+func TestMarshalVerifierRoundTripHMAC(t *testing.T) {
+	s, err := NewHMACSigner([]byte("key material"), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, data, err := MarshalVerifier(s.Verifier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != VerifierHMAC {
+		t.Fatalf("kind = %d", kind)
+	}
+	v, err := ParseVerifier(kind, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("round trip")
+	sigBytes, err := s.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(msg, sigBytes); err != nil {
+		t.Fatalf("parsed verifier rejected a valid tag: %v", err)
+	}
+	if err := v.Verify([]byte("other"), sigBytes); err == nil {
+		t.Fatal("parsed verifier accepted a wrong-message tag")
+	}
+}
+
+func TestParseVerifierRejectsHostileInput(t *testing.T) {
+	if _, err := ParseVerifier(99, []byte("x")); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := ParseVerifier(VerifierHMAC, []byte{0, 0}); err == nil {
+		t.Error("truncated hmac verifier accepted")
+	}
+	if _, err := ParseVerifier(VerifierRSA, []byte("not der")); err == nil {
+		t.Error("garbage DER accepted")
+	}
+	// An attacker-controlled size field must not drive allocation: every
+	// later Verify would allocate a tag of this width.
+	huge := binary.BigEndian.AppendUint32(nil, 0xfffffff0)
+	huge = append(huge, []byte("key")...)
+	if _, err := ParseVerifier(VerifierHMAC, huge); err == nil {
+		t.Error("4 GB hmac signature size accepted")
+	}
+}

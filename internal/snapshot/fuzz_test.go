@@ -1,0 +1,77 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"authtext/internal/engine"
+	"authtext/internal/index"
+	"authtext/internal/sig"
+)
+
+// fuzzSeedSnapshot builds a deliberately small collection (so the seed
+// corpus stays compact) and serialises it.
+func fuzzSeedSnapshot(f *testing.F) []byte {
+	f.Helper()
+	signer, err := sig.NewHMACSigner([]byte("fuzz"), 128)
+	if err != nil {
+		f.Fatal(err)
+	}
+	texts := []string{
+		"merkle tree authenticates the inverted index",
+		"the inverted index stores impact entries by frequency",
+		"clients verify the merkle tree root against the signature",
+		"impact entries by frequency order the inverted lists",
+	}
+	docs := make([]index.Document, len(texts))
+	for i, s := range texts {
+		docs[i] = index.Document{Content: []byte(s)}
+	}
+	col, err := engine.BuildCollection(docs, engine.DefaultConfig(signer))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, col); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzOpenSnapshot exercises the snapshot parser with arbitrary bytes. A
+// snapshot may arrive over an untrusted channel, so Open is a security
+// boundary: truncated, bit-flipped or length-inflated inputs must produce
+// an error — never a panic, never an unbounded allocation. Anything it
+// accepts must re-serialise and reopen (the format is canonical).
+func FuzzOpenSnapshot(f *testing.F) {
+	valid := fuzzSeedSnapshot(f)
+	f.Add(valid)
+	for _, n := range []int{0, 4, 8, 24, len(valid) / 2, len(valid) - 1} {
+		f.Add(valid[:n])
+	}
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x10
+	f.Add(flipped)
+	inflated := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint64(inflated[8+8:], 1<<56) // first section length
+	f.Add(inflated)
+	f.Add([]byte("ATSN"))
+	f.Add([]byte("ATSN\x00\x01\x00\x07"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		col, err := Open(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted inputs must be fully self-consistent: re-serialise and
+		// reopen without error.
+		var buf bytes.Buffer
+		if err := Write(&buf, col); err != nil {
+			t.Fatalf("accepted snapshot failed to re-serialise: %v", err)
+		}
+		if _, err := Open(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("re-serialised snapshot failed to reopen: %v", err)
+		}
+	})
+}

@@ -1,0 +1,87 @@
+package authtext
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// The Client's one-time manifest check must be safe under concurrent
+// Verify calls (it used to be a racy bool; now a sync.Once). Run with
+// -race to enforce.
+func TestClientVerifyConcurrent(t *testing.T) {
+	owner, err := NewOwner(snapshotTestDocs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := owner.Server(), owner.Client()
+	res, err := server.Search("merkle tree", 3, TNRA, ChainMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := client.Verify("merkle tree", 3, res); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("goroutine %d: %v", g, err)
+		}
+	}
+}
+
+// RemoteClient shares one Client across concurrent Search calls; the same
+// once-guard covers it. Run with -race to enforce.
+func TestRemoteClientConcurrentSearch(t *testing.T) {
+	owner, err := NewOwner(snapshotTestDocs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler, err := owner.HTTPHandler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	rc, err := NewRemoteClient(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := rc.Search(ctx, "inverted index", 2, TNRA, ChainMHT); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("goroutine %d: %v", g, err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package authtext
+
+import (
+	"io"
+	"os"
+
+	"authtext/internal/snapshot"
+)
+
+// Snapshot persistence: the owner builds and signs a collection once, then
+// writes it to a durable artifact that any server process can reopen in
+// milliseconds — no re-tokenising, no re-indexing and, crucially, no
+// re-signing (the private key never has to be present where snapshots are
+// opened). docs/SNAPSHOT.md specifies the on-disk format.
+//
+// Trust model: snapshot integrity is NOT assumed. Per-section checksums
+// catch accidental corruption at open time, but the root of trust stays
+// the manifest signature — a snapshot altered consistently enough to open
+// serves responses whose verification objects fail Client.Verify.
+
+// WriteSnapshot serialises the fully built collection to w in the
+// versioned snapshot format. Works with any signer: RSA snapshots embed
+// only the public key; fast-signer (HMAC) snapshots embed the shared
+// benchmark key and are therefore for benchmarking only.
+func (o *Owner) WriteSnapshot(w io.Writer) error {
+	return snapshot.Write(w, o.col)
+}
+
+// OpenSnapshot reopens a snapshot and returns the serving half plus a
+// verification client carrying the embedded manifest and public key. The
+// input is treated as untrusted: malformed, truncated or corrupted
+// snapshots error out here, and users who must not trust the snapshot
+// channel should verify results with a Client bootstrapped out of band
+// from the owner instead of the returned one.
+func OpenSnapshot(r io.ReaderAt) (*Server, *Client, error) {
+	col, err := snapshot.Open(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, msig := col.Manifest()
+	return &Server{col: col},
+		&Client{manifest: m, manifestSig: msig, verifier: col.Verifier()},
+		nil
+}
+
+// OpenSnapshotFile is OpenSnapshot over a file path.
+func OpenSnapshotFile(path string) (*Server, *Client, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return OpenSnapshot(f)
+}
