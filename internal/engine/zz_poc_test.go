@@ -1,0 +1,44 @@
+package engine
+
+import (
+	"testing"
+
+	"authtext/internal/index"
+	"authtext/internal/sig"
+	"authtext/internal/store"
+	"math"
+)
+
+// PoC: a hostile State with a doc extent whose Start is near MaxInt64
+// passes Restore's checkExtent (Start+Blocks wraps negative) and then
+// panics at read time.
+func TestHostileExtentOverflow(t *testing.T) {
+	signer, err := sig.NewHMACSigner([]byte("k"), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := []string{"alpha beta gamma", "beta gamma delta", "gamma delta epsilon"}
+	docs := make([]index.Document, len(texts))
+	for i, s := range texts {
+		docs[i] = index.Document{Content: []byte(s)}
+	}
+	col, err := BuildCollection(docs, DefaultConfig(signer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := col.ExportState()
+	// Tamper: doc 0's extent points past the end of the address space.
+	st.Layout.Doc[0] = store.Extent{Start: store.Addr(math.MaxInt64), Blocks: 1, Length: 8}
+	col2, err := Restore(st)
+	if err != nil {
+		t.Logf("Restore rejected hostile extent: %v", err)
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("PANIC serving query from restored hostile snapshot: %v", r)
+		}
+	}()
+	_, _, _, err = col2.Search("alpha", 3, 2, 2) // algo/scheme values may need adjusting
+	t.Logf("search err=%v", err)
+}
