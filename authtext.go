@@ -136,6 +136,7 @@ type options struct {
 	authority        []float64
 	pageRankLinks    [][]int
 	beta             float64
+	partitioner      ShardPartitioner
 }
 
 // Option customises NewOwner.
@@ -200,11 +201,13 @@ type Owner struct {
 	col *engine.Collection
 }
 
-// NewOwner indexes the documents and constructs every authentication
-// structure with a freshly generated RSA key (unless WithFastSigner).
-func NewOwner(docs []Document, opts ...Option) (*Owner, error) {
+// prepareBuild resolves the option list into a ready engine configuration
+// (fresh signer included) and the engine-level document slice. It is shared
+// by NewOwner and NewShardedOwner so both build identically configured
+// collections.
+func prepareBuild(docs []Document, opts []Option) (engine.Config, []index.Document, *options, error) {
 	if len(docs) == 0 {
-		return nil, errors.New("authtext: empty collection")
+		return engine.Config{}, nil, nil, errors.New("authtext: empty collection")
 	}
 	o := &options{blockSize: 1024, hashSize: sig.DefaultHashSize, rsaBits: sig.DefaultRSABits,
 		k1: okapi.DefaultK1, b: okapi.DefaultB}
@@ -219,7 +222,7 @@ func NewOwner(docs []Document, opts ...Option) (*Owner, error) {
 		signer, err = sig.NewRSASigner(o.rsaBits)
 	}
 	if err != nil {
-		return nil, err
+		return engine.Config{}, nil, nil, err
 	}
 	params := store.DefaultParams()
 	if o.storeParamsSet {
@@ -228,7 +231,7 @@ func NewOwner(docs []Document, opts ...Option) (*Owner, error) {
 	params.BlockSize = o.blockSize
 	authority, err := computeAuthority(o, len(docs))
 	if err != nil {
-		return nil, err
+		return engine.Config{}, nil, nil, err
 	}
 	cfg := engine.Config{
 		Store:            params,
@@ -244,6 +247,16 @@ func NewOwner(docs []Document, opts ...Option) (*Owner, error) {
 	idocs := make([]index.Document, len(docs))
 	for i, d := range docs {
 		idocs[i] = index.Document{Content: d.Content, Tokens: d.Tokens}
+	}
+	return cfg, idocs, o, nil
+}
+
+// NewOwner indexes the documents and constructs every authentication
+// structure with a freshly generated RSA key (unless WithFastSigner).
+func NewOwner(docs []Document, opts ...Option) (*Owner, error) {
+	cfg, idocs, _, err := prepareBuild(docs, opts)
+	if err != nil {
+		return nil, err
 	}
 	col, err := engine.BuildCollection(idocs, cfg)
 	if err != nil {

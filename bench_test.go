@@ -20,6 +20,7 @@ import (
 	"authtext/internal/index"
 	"authtext/internal/linkgraph"
 	"authtext/internal/okapi"
+	"authtext/internal/shard"
 	"authtext/internal/sig"
 	"authtext/internal/snapshot"
 	"authtext/internal/store"
@@ -475,5 +476,148 @@ func BenchmarkExtensionAuthorityBoost(b *testing.B) {
 		if _, err := col.VerifyResult(q, 10, res, voBytes); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sharding: parallel multi-shard fan-out vs the single collection. The
+// shard-ms metric is the per-query critical path (slowest shard's server
+// wall) — the latency of a deployment with one core or host per shard; on
+// a single-core runner the raw ns/op cannot drop below it.
+
+var (
+	shardBenchOnce sync.Once
+	shardBenchSets map[int]*shard.Set
+	shardBenchErr  error
+)
+
+func shardBenchSet(b *testing.B, k int) *shard.Set {
+	b.Helper()
+	shardBenchOnce.Do(func() {
+		signer, err := sig.NewHMACSigner([]byte("shard-bench"), 128)
+		if err != nil {
+			shardBenchErr = err
+			return
+		}
+		docs := corpus.Generate(corpus.Small())
+		shardBenchSets = make(map[int]*shard.Set)
+		for _, kk := range []int{1, 2, 4, 8} {
+			set, err := shard.Build(docs, shard.Config{Engine: engine.DefaultConfig(signer), Shards: kk})
+			if err != nil {
+				shardBenchErr = err
+				return
+			}
+			shardBenchSets[kk] = set
+		}
+	})
+	if shardBenchErr != nil {
+		b.Fatal(shardBenchErr)
+	}
+	return shardBenchSets[k]
+}
+
+func benchShardedSearch(b *testing.B, k int) {
+	set := shardBenchSet(b, k)
+	queries := workload.Synthetic(set.Col(0).Index(), 64, 3, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var critPath float64
+	for i := 0; i < b.N; i++ {
+		res, err := set.Search(queries[i%len(queries)], 10, core.AlgoTNRA, core.SchemeCMHT)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64
+		for _, sr := range res.PerShard {
+			if s := sr.Stats.ServerWall.Seconds() * 1000; s > worst {
+				worst = s
+			}
+		}
+		critPath += worst
+	}
+	b.ReportMetric(critPath/float64(b.N), "shard-ms")
+}
+
+func BenchmarkShardedSearch1(b *testing.B) { benchShardedSearch(b, 1) }
+func BenchmarkShardedSearch2(b *testing.B) { benchShardedSearch(b, 2) }
+func BenchmarkShardedSearch4(b *testing.B) { benchShardedSearch(b, 4) }
+func BenchmarkShardedSearch8(b *testing.B) { benchShardedSearch(b, 8) }
+
+// BenchmarkShardedSearchVerify measures the full round trip at 4 shards:
+// fan-out search plus client-side verification of every shard VO and the
+// merged ranking.
+func BenchmarkShardedSearchVerify(b *testing.B) {
+	set := shardBenchSet(b, 4)
+	queries := workload.Synthetic(set.Col(0).Index(), 64, 3, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		res, err := set.Search(q, 10, core.AlgoTNRA, core.SchemeCMHT)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := set.VerifyResult(q, 10, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Parallel throughput: many client goroutines hammering one serving
+// process. A single collection serialises on its simulated disk; a sharded
+// set owns k disks, so cross-query parallelism scales with shards (visible
+// on multi-core runners via -cpu).
+
+func BenchmarkParallelThroughputSingle(b *testing.B) {
+	f := benchFixture(b)
+	queries := benchQueries(b, f)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, _, _, err := f.Col.Search(queries[i%len(queries)], 10, core.AlgoTNRA, core.SchemeCMHT); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+func benchParallelThroughputSharded(b *testing.B, k int) {
+	set := shardBenchSet(b, k)
+	queries := workload.Synthetic(set.Col(0).Index(), 64, 3, 7)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := set.Search(queries[i%len(queries)], 10, core.AlgoTNRA, core.SchemeCMHT); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkParallelThroughputSharded4(b *testing.B) { benchParallelThroughputSharded(b, 4) }
+func BenchmarkParallelThroughputSharded8(b *testing.B) { benchParallelThroughputSharded(b, 8) }
+
+// BenchmarkShardedBuild measures owner-side build of the same corpus at 1
+// and 4 shards (shard builds run concurrently; speedup tracks cores).
+func BenchmarkShardedBuild(b *testing.B) {
+	signer, err := sig.NewHMACSigner([]byte("shard-build"), 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs := corpus.Generate(corpus.Tiny())
+	for _, k := range []int{1, 4} {
+		b.Run(itoa(k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := shard.Build(docs, shard.Config{Engine: engine.DefaultConfig(signer), Shards: k}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -5,19 +5,25 @@
 //
 // Usage:
 //
-//	authsearch [-dir PATH] [-r N] [-algo tra|tnra] [-scheme mht|cmht]
+//	authsearch [-dir PATH] [-r N] [-algo tra|tnra] [-scheme mht|cmht] [-shards N]
 //	authsearch -build -o corpus.snap [-dir PATH]   # build once, write a snapshot
+//	authsearch -build -shards N -o DIR [-dir PATH] # build a sharded snapshot directory
 //	authsearch -snapshot corpus.snap [...]         # reopen: no rebuild, no re-signing
+//	authsearch -snapshot DIR [...]                 # reopen a sharded snapshot directory
 //	authsearch -serve ADDR [-dir PATH|-snapshot F] # expose the collection over HTTP
 //	authsearch -remote URL [-r N] [...]            # query a running authserved
 //
 // The default mode runs owner, server and client in one process. With
-// -build the process performs only the owner role: it builds and signs the
+// -shards N the corpus is split into N independently signed shards,
+// queries fan out to all shards in parallel, and the client additionally
+// verifies the merged global ranking (docs/SHARDING.md). With -build the
+// process performs only the owner role: it builds and signs the
 // collection and writes the snapshot artifact that `authserved -snapshot`
 // or `authsearch -snapshot` open in milliseconds (docs/SNAPSHOT.md). With
 // -serve the process becomes an authserved-compatible HTTP server; with
-// -remote it becomes the verifying client of a remote server, performing
-// the same VO verification on answers received over the network.
+// -remote it becomes the verifying client of a remote server — sharded or
+// not, detected from /v1/healthz — performing the same VO verification on
+// answers received over the network.
 //
 // Each answer line reports the verification verdict, the similarity score,
 // and the per-query costs (entries read, I/O time under the simulated disk
@@ -65,6 +71,7 @@ type config struct {
 	build     bool
 	out       string
 	snapshot  string
+	shards    int
 }
 
 // parseFlags parses and cross-validates the command line before any
@@ -79,7 +86,8 @@ func parseFlags(args []string) (config, error) {
 	remoteURL := fs.String("remote", "", "query a running authserved at this URL instead of building a local collection")
 	build := fs.Bool("build", false, "build the collection, write the snapshot named by -o, and exit")
 	out := fs.String("o", "", "snapshot output path (with -build)")
-	snap := fs.String("snapshot", "", "open this snapshot instead of building a collection")
+	snap := fs.String("snapshot", "", "open this snapshot (file or sharded directory) instead of building a collection")
+	shards := fs.Int("shards", 0, "split the corpus into N independently signed shards")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -89,7 +97,7 @@ func parseFlags(args []string) (config, error) {
 
 	cfg := config{
 		dir: *dir, r: *r, serveAddr: *serveAddr, remoteURL: *remoteURL,
-		build: *build, out: *out, snapshot: *snap,
+		build: *build, out: *out, snapshot: *snap, shards: *shards,
 		algo: authtext.TNRA, scheme: authtext.ChainMHT,
 	}
 	if strings.EqualFold(*algoName, "tra") {
@@ -104,6 +112,15 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.r < 1 {
 		return config{}, fmt.Errorf("-r %d out of range", cfg.r)
+	}
+	if cfg.shards < 0 {
+		return config{}, fmt.Errorf("-shards %d out of range", cfg.shards)
+	}
+	if cfg.shards > 0 && cfg.snapshot != "" {
+		return config{}, errors.New("-shards and -snapshot are mutually exclusive: a sharded snapshot directory fixes its own shard count")
+	}
+	if cfg.shards > 0 && cfg.remoteURL != "" {
+		return config{}, errors.New("-shards has no effect with -remote: the remote server chose its own shard count")
 	}
 
 	if cfg.remoteURL != "" && cfg.serveAddr != "" {
@@ -134,6 +151,9 @@ func parseFlags(args []string) (config, error) {
 func run(cfg config) error {
 	if cfg.remoteURL != "" {
 		return runRemote(cfg.remoteURL, cfg.r, cfg.algo, cfg.scheme)
+	}
+	if cfg.shards > 0 || (cfg.snapshot != "" && authtext.IsShardedSnapshot(cfg.snapshot)) {
+		return runSharded(cfg)
 	}
 
 	var (
@@ -191,6 +211,77 @@ func run(cfg config) error {
 	})
 }
 
+// runSharded is the sharded counterpart of run's local modes: build a
+// sharded snapshot directory, serve the sharded HTTP protocol, or answer
+// interactive queries with parallel fan-out and full client verification.
+func runSharded(cfg config) error {
+	var (
+		server *authtext.ShardedServer
+		client *authtext.ShardedClient
+	)
+	if cfg.snapshot != "" {
+		start := time.Now()
+		var err error
+		server, client, err = authtext.OpenShardedSnapshotDir(cfg.snapshot)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("opened sharded snapshot %s (%d shards) in %s (no rebuild, no re-signing)\n",
+			cfg.snapshot, server.Shards(), time.Since(start).Round(time.Millisecond))
+	} else {
+		docs, _, err := demo.Load(cfg.dir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("indexing %d documents into %d shards, building authentication structures (RSA-1024)...\n",
+			len(docs), cfg.shards)
+		owner, err := authtext.NewShardedOwner(docs, cfg.shards, authtext.WithVocabularyProofs())
+		if err != nil {
+			return err
+		}
+		buildMs, sigs, devBytes := owner.Stats()
+		fmt.Printf("built %d shards in %.0f ms (parallel): %d signatures, %.1f MB on the simulated disks\n",
+			owner.Shards(), buildMs, sigs, float64(devBytes)/(1<<20))
+
+		if cfg.build {
+			if err := owner.WriteSnapshotDir(cfg.out); err != nil {
+				return err
+			}
+			fmt.Printf("wrote sharded snapshot directory %s (%d shards); serve it with: authserved -snapshot %s\n",
+				cfg.out, owner.Shards(), cfg.out)
+			return nil
+		}
+		server, client = owner.Server(), owner.Client()
+	}
+
+	if cfg.serveAddr != "" {
+		export, err := server.ExportClient()
+		if err != nil {
+			return err
+		}
+		handler := authtext.NewShardedHTTPHandler(server, export)
+		fmt.Printf("serving /v1/shards/search, /v1/shards/manifest, /v1/healthz on %s (%d shards)\n",
+			cfg.serveAddr, server.Shards())
+		srv := &http.Server{Addr: cfg.serveAddr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+		return srv.ListenAndServe()
+	}
+
+	fmt.Printf("ready — %s-%s, top-%d over %d shards; type a query (empty line to quit)\n",
+		cfg.algo, cfg.scheme, cfg.r, server.Shards())
+	return repl(func(query string) {
+		res, err := server.Search(query, cfg.r, cfg.algo, cfg.scheme)
+		if err != nil {
+			fmt.Println("  error:", err)
+			return
+		}
+		verdict := "VERIFIED"
+		if err := client.Verify(query, cfg.r, res); err != nil {
+			verdict = "REJECTED: " + err.Error()
+		}
+		printShardedResult(verdict, res)
+	})
+}
+
 // writeSnapshot persists the built collection (owner role of the
 // build-once / serve-many deployment).
 func writeSnapshot(owner *authtext.Owner, path string) error {
@@ -233,7 +324,8 @@ func serve(server *authtext.Server, client *authtext.Client, addr string) error 
 }
 
 // runRemote is the verifying-client mode: every answer from the remote
-// server is verified locally before being displayed.
+// server is verified locally before being displayed. Sharded deployments
+// are detected from /v1/healthz and queried over the sharded protocol.
 func runRemote(url string, r int, algo authtext.Algorithm, scheme authtext.Scheme) error {
 	rc, err := authtext.NewRemoteClient(url)
 	if err != nil {
@@ -243,6 +335,9 @@ func runRemote(url string, r int, algo authtext.Algorithm, scheme authtext.Schem
 	health, err := rc.Health(ctx)
 	if err != nil {
 		return fmt.Errorf("server unreachable: %w", err)
+	}
+	if health.Shards > 0 {
+		return runShardedRemote(url, r, algo, scheme, health)
 	}
 	if err := rc.Bootstrap(ctx); err != nil {
 		return fmt.Errorf("manifest bootstrap failed: %w", err)
@@ -261,6 +356,35 @@ func runRemote(url string, r int, algo authtext.Algorithm, scheme authtext.Schem
 			return
 		}
 		printResult("VERIFIED", res, func(docID int) string { return fmt.Sprintf("doc-%d", docID) })
+	})
+}
+
+// runShardedRemote is the verifying-client mode against a sharded
+// deployment: every shard answer and the merged ranking are verified
+// locally before being displayed.
+func runShardedRemote(url string, r int, algo authtext.Algorithm, scheme authtext.Scheme, health *authtext.ServerHealth) error {
+	rc, err := authtext.NewShardedRemoteClient(url)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if err := rc.Bootstrap(ctx); err != nil {
+		return fmt.Errorf("sharded manifest bootstrap failed: %w", err)
+	}
+	fmt.Printf("connected to %s — %d documents across %d shards; set manifest verified\n",
+		url, health.Documents, rc.Shards())
+	fmt.Printf("ready — %s-%s, top-%d; type a query (empty line to quit)\n", algo, scheme, r)
+	return repl(func(query string) {
+		res, err := rc.Search(ctx, query, r, algo, scheme)
+		if err != nil {
+			if authtext.IsTampered(err) {
+				fmt.Println("  [REJECTED — SERVER RESPONSE FAILED VERIFICATION]", err)
+			} else {
+				fmt.Println("  error:", err)
+			}
+			return
+		}
+		printShardedResult("VERIFIED", res)
 	})
 }
 
@@ -289,6 +413,18 @@ func printResult(verdict string, res *authtext.SearchResult, name func(docID int
 		fmt.Printf("  %2d. (%.4f) %s: %s\n", i+1, h.Score, name(h.DocID), snippet(h.Content, 70))
 	}
 	if len(res.Hits) == 0 {
+		fmt.Println("  no matching documents")
+	}
+}
+
+func printShardedResult(verdict string, res *authtext.ShardedResult) {
+	st := res.Stats
+	fmt.Printf("  [%s] shards=%d entries=%d io=%s vo=%dB wall=%s\n",
+		verdict, st.Shards, st.EntriesRead, st.IOTime, st.VOBytes, st.Wall.Round(time.Microsecond))
+	for i, h := range res.Merged {
+		fmt.Printf("  %2d. (%.4f) doc-%d [shard %d]: %s\n", i+1, h.Score, h.GlobalID, h.Shard, snippet(h.Content, 70))
+	}
+	if len(res.Merged) == 0 {
 		fmt.Println("  no matching documents")
 	}
 }

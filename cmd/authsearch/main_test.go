@@ -80,6 +80,9 @@ func TestParseFlagsValidation(t *testing.T) {
 		{"-algo", "bogus"},
 		{"-scheme", "bogus"},
 		{"-r", "0"},
+		{"-shards", "-1"},
+		{"-shards", "2", "-snapshot", "x"},
+		{"-shards", "2", "-remote", "http://x"},
 		{"stray"},
 	}
 	for _, args := range bad {
@@ -96,6 +99,44 @@ func TestParseFlagsValidation(t *testing.T) {
 	}
 	if !cfg.build || cfg.out != "c.snap" || cfg.algo != authtext.TRA || cfg.scheme != authtext.MHT {
 		t.Fatalf("cfg = %+v", cfg)
+	}
+}
+
+// -build -shards N -o DIR writes a sharded snapshot directory that both
+// authsearch and authserved can reopen and serve.
+func TestBuildShardedSnapshotDirRoundTrip(t *testing.T) {
+	docs, _, err := demo.Load("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := authtext.NewShardedOwner(docs, 3, authtext.WithVocabularyProofs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "shards")
+	if err := owner.WriteSnapshotDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if !authtext.IsShardedSnapshot(dir) {
+		t.Fatal("written directory not detected as a sharded snapshot")
+	}
+
+	server, client, err := authtext.OpenShardedSnapshotDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := server.Search("search results", 3, authtext.TNRA, authtext.ChainMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Merged) == 0 {
+		t.Fatal("no merged hits")
+	}
+	if err := client.Verify("search results", 3, res); err != nil {
+		t.Fatalf("sharded snapshot server failed verification: %v", err)
+	}
+	if err := owner.Client().Verify("search results", 3, res); err != nil {
+		t.Fatalf("original sharded client rejected snapshot server: %v", err)
 	}
 }
 

@@ -17,13 +17,16 @@
 //
 // Usage:
 //
-//	authserved [-addr :8470] [-snapshot FILE | -dir PATH] [-vocab-proofs] [-quiet]
+//	authserved [-addr :8470] [-snapshot FILE|DIR | -dir PATH] [-shards N] [-vocab-proofs] [-quiet]
 //
 // With -snapshot the daemon boots in milliseconds from an artifact
 // produced by `authsearch -build -o FILE`; nothing is re-tokenised,
-// re-indexed or re-signed. Without it the daemon performs the owner role
-// in-process for convenience, which changes where the key lives but not
-// the verification protocol.
+// re-indexed or re-signed. When the snapshot path is a DIRECTORY written
+// by `authsearch -build -shards N -o DIR`, the daemon serves the sharded
+// protocol (/v1/shards/search, /v1/shards/manifest) with parallel query
+// fan-out over every shard. Without -snapshot the daemon performs the
+// owner role in-process for convenience; adding -shards N splits the
+// corpus into N independently signed shards at startup.
 package main
 
 import (
@@ -64,6 +67,7 @@ type config struct {
 	addr     string
 	dir      string
 	snapshot string
+	shards   int
 	vocab    bool
 	quiet    bool
 }
@@ -76,7 +80,8 @@ func parseFlags(args []string) (config, error) {
 	var cfg config
 	fs.StringVar(&cfg.addr, "addr", ":8470", "listen address")
 	fs.StringVar(&cfg.dir, "dir", "", "directory of .txt files to index (default: demo corpus)")
-	fs.StringVar(&cfg.snapshot, "snapshot", "", "boot from this snapshot file instead of building a collection")
+	fs.StringVar(&cfg.snapshot, "snapshot", "", "boot from this snapshot file (or sharded snapshot directory) instead of building a collection")
+	fs.IntVar(&cfg.shards, "shards", 0, "split the corpus into N independently signed shards (build mode)")
 	fs.BoolVar(&cfg.vocab, "vocab-proofs", true, "prove non-membership of out-of-dictionary query terms (build mode)")
 	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress per-query log lines")
 	if err := fs.Parse(args); err != nil {
@@ -90,6 +95,12 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.addr == "" {
 		return config{}, errors.New("-addr must not be empty")
+	}
+	if cfg.shards < 0 {
+		return config{}, fmt.Errorf("-shards %d out of range", cfg.shards)
+	}
+	if cfg.shards > 0 && cfg.snapshot != "" {
+		return config{}, errors.New("-shards and -snapshot are mutually exclusive: a sharded snapshot directory fixes its own shard count")
 	}
 	if cfg.snapshot != "" {
 		if _, err := os.Stat(cfg.snapshot); err != nil {
@@ -153,8 +164,35 @@ func buildHandler(cfg config, logger *log.Logger) (http.Handler, error) {
 			})}
 	}
 
+	shardedLogOpts := func() []authtext.ShardedHandlerOption {
+		if cfg.quiet {
+			return nil
+		}
+		return []authtext.ShardedHandlerOption{authtext.WithShardedQueryLog(
+			func(query string, r int, st authtext.ShardedStats, wall time.Duration) {
+				logger.Printf("query %q r=%d %s-%s shards=%d entries=%d io=%s vo=%dB wall=%s",
+					query, r, st.Algorithm, st.Scheme, st.Shards, st.EntriesRead,
+					st.IOTime, st.VOBytes, wall.Round(time.Microsecond))
+			})}
+	}
+
 	if cfg.snapshot != "" {
 		start := time.Now()
+		if authtext.IsShardedSnapshot(cfg.snapshot) {
+			server, _, err := authtext.OpenShardedSnapshotDir(cfg.snapshot)
+			if err != nil {
+				return nil, err
+			}
+			// Export from the opened set (not a second read of shards.atsx),
+			// so the published material always matches the serving shards.
+			export, err := server.ExportClient()
+			if err != nil {
+				return nil, err
+			}
+			logger.Printf("opened sharded snapshot %s (%d shards) in %s (no re-indexing, no re-signing)",
+				cfg.snapshot, server.Shards(), time.Since(start).Round(time.Millisecond))
+			return authtext.NewShardedHTTPHandler(server, export, shardedLogOpts()...), nil
+		}
 		server, client, err := authtext.OpenSnapshotFile(cfg.snapshot)
 		if err != nil {
 			return nil, err
@@ -172,11 +210,23 @@ func buildHandler(cfg config, logger *log.Logger) (http.Handler, error) {
 	if err != nil {
 		return nil, err
 	}
-	logger.Printf("indexing %d documents and building authentication structures (RSA-1024)...", len(docs))
 	var opts []authtext.Option
 	if cfg.vocab {
 		opts = append(opts, authtext.WithVocabularyProofs())
 	}
+	if cfg.shards > 0 {
+		logger.Printf("indexing %d documents into %d shards, building authentication structures (RSA-1024)...",
+			len(docs), cfg.shards)
+		owner, err := authtext.NewShardedOwner(docs, cfg.shards, opts...)
+		if err != nil {
+			return nil, err
+		}
+		buildMs, sigs, devBytes := owner.Stats()
+		logger.Printf("built %d shards in %.0f ms (parallel): %d signatures, %.1f MB on the simulated disks",
+			owner.Shards(), buildMs, sigs, float64(devBytes)/(1<<20))
+		return owner.HTTPHandler(shardedLogOpts()...)
+	}
+	logger.Printf("indexing %d documents and building authentication structures (RSA-1024)...", len(docs))
 	owner, err := authtext.NewOwner(docs, opts...)
 	if err != nil {
 		return nil, err

@@ -133,6 +133,96 @@ func TestBuildHandlerFromSnapshot(t *testing.T) {
 	}
 }
 
+// writeShardCorpus is a corpus big enough that every shard keeps shared
+// terms after per-shard singleton removal.
+func writeShardCorpus(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	texts := map[string]string{
+		"a.txt": "the merkle tree authenticates the inverted index",
+		"b.txt": "the inverted index stores impact entries by frequency",
+		"c.txt": "clients verify the tree root against the owner signature",
+		"d.txt": "the inverted index drives the merkle tree verification",
+		"e.txt": "entries of the inverted index carry a frequency and a signature",
+		"f.txt": "the owner publishes the merkle tree root for verification",
+	}
+	for name, body := range texts {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// A daemon started with -shards must serve the sharded protocol with
+// parallel fan-out, verifiable by a ShardedRemoteClient.
+func TestBuildHandlerSharded(t *testing.T) {
+	dir := writeShardCorpus(t)
+	handler, err := buildHandler(config{dir: dir, shards: 3, vocab: true, quiet: true}, log.New(io.Discard, "", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	rc, err := authtext.NewShardedRemoteClient(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rc.Search(context.Background(), "inverted index", 2, authtext.TNRA, authtext.ChainMHT)
+	if err != nil {
+		t.Fatalf("sharded remote search against daemon handler failed: %v", err)
+	}
+	if len(res.Merged) == 0 {
+		t.Fatal("no merged hits")
+	}
+	health, err := rc.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Shards != 3 || health.Documents != 6 {
+		t.Fatalf("health = %+v", health)
+	}
+}
+
+// A daemon pointed at a sharded snapshot directory must detect it and
+// serve the sharded protocol without a signer.
+func TestBuildHandlerFromShardedSnapshot(t *testing.T) {
+	docs, _, err := demo.Load("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := authtext.NewShardedOwner(docs, 2, authtext.WithVocabularyProofs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "shards")
+	if err := owner.WriteSnapshotDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	handler, err := buildHandler(config{snapshot: dir, quiet: true}, log.New(io.Discard, "", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	rc, err := authtext.NewShardedRemoteClient(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "search results" stays frequent in both shards of the demo corpus;
+	// "merkle" would be singleton-removed per shard.
+	res, err := rc.Search(context.Background(), "search results", 3, authtext.TRA, authtext.ChainMHT)
+	if err != nil {
+		t.Fatalf("remote search against sharded snapshot daemon failed: %v", err)
+	}
+	if len(res.Merged) == 0 {
+		t.Fatal("no merged hits")
+	}
+}
+
 // Flag parsing (and -help) must complete before any collection is built:
 // parseFlags performs every usage check and touches no documents.
 func TestParseFlagsBeforeBuild(t *testing.T) {
@@ -153,6 +243,15 @@ func TestParseFlagsBeforeBuild(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"stray"}); err == nil {
 		t.Error("stray positional argument accepted")
+	}
+	if _, err := parseFlags([]string{"-shards", "-1"}); err == nil {
+		t.Error("negative -shards accepted")
+	}
+	if _, err := parseFlags([]string{"-shards", "2", "-snapshot", "x"}); err == nil {
+		t.Error("-shards with -snapshot accepted")
+	}
+	if cfg, err := parseFlags([]string{"-shards", "4"}); err != nil || cfg.shards != 4 {
+		t.Errorf("-shards 4: cfg=%+v err=%v", cfg, err)
 	}
 	cfg, err := parseFlags([]string{"-addr", ":0", "-quiet"})
 	if err != nil {

@@ -47,4 +47,17 @@
 //
 // The wire format is defined in internal/httpapi and documented in
 // docs/PROTOCOL.md.
+//
+// # Sharded collections
+//
+// NewShardedOwner splits the corpus into k independently signed shards
+// built in parallel; ShardedServer fans every query out to all shards
+// concurrently and merges the local top-r lists; ShardedClient verifies
+// every shard's VO and that the merged ranking is the true global top-r
+// by deterministic recomputation. Tampering with any shard's answer,
+// dropping a shard, or reordering the merge classifies as tampering.
+// Each shard persists as one ordinary snapshot file
+// (ShardedOwner.WriteSnapshotDir / OpenShardedSnapshotDir), and
+// ShardedRemoteClient is the verifying counterpart over HTTP. The design
+// and trust model are documented in docs/SHARDING.md.
 package authtext

@@ -1,0 +1,72 @@
+package authtext_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Examples smoke suite: every examples/ program must build and run to
+// completion against its embedded corpus, so the examples cannot silently
+// rot as the API evolves. Each program is a self-contained demo that exits
+// 0 on success and non-zero (log.Fatal) when a verification that should
+// succeed fails — so exit status is the assertion.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples build and run RSA collections; skipped in -short")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go toolchain not on PATH: %v", err)
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no example programs found")
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			deadline := 3 * time.Minute
+			if d, ok := t.Deadline(); ok {
+				if until := time.Until(d) - 10*time.Second; until < deadline {
+					deadline = until
+				}
+			}
+			cmd := exec.Command(goBin, "run", "./"+filepath.Join("examples", name))
+			cmd.Env = os.Environ()
+			done := make(chan struct{})
+			var out []byte
+			var runErr error
+			go func() {
+				out, runErr = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(deadline):
+				cmd.Process.Kill()
+				<-done
+				t.Fatalf("example %s did not finish within %v", name, deadline)
+			}
+			if runErr != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, runErr, out)
+			}
+			if len(strings.TrimSpace(string(out))) == 0 {
+				t.Errorf("example %s produced no output", name)
+			}
+		})
+	}
+}

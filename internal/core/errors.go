@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // VerifyCode classifies verification failures; the failure-injection test
 // suite asserts specific codes for each tampering strategy of the §1 threat
@@ -91,10 +94,11 @@ func vErr(code VerifyCode, format string, args ...interface{}) *VerifyError {
 	return &VerifyError{Code: code, Detail: fmt.Sprintf(format, args...)}
 }
 
-// CodeOf extracts the VerifyCode from an error (VerifyOK for nil or foreign
-// errors).
+// CodeOf extracts the VerifyCode from an error, unwrapping fmt.Errorf
+// chains (VerifyOK for nil or foreign errors).
 func CodeOf(err error) VerifyCode {
-	if ve, ok := err.(*VerifyError); ok {
+	var ve *VerifyError
+	if errors.As(err, &ve) {
 		return ve.Code
 	}
 	return VerifyOK

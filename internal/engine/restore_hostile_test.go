@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"authtext/internal/core"
+	"authtext/internal/index"
+	"authtext/internal/sig"
+	"authtext/internal/store"
+)
+
+// Regression for the PR-2 proof of concept: a hostile State with extents
+// whose Start is near MaxInt64 used to slip through Restore's bounds check
+// (Start+Blocks wraps negative under int64 addition) and blow up on the
+// query path. Restore must reject such extents outright — never panic and
+// never serve from them.
+func TestRestoreHostileExtentOverflow(t *testing.T) {
+	signer, err := sig.NewHMACSigner([]byte("hostile-extent"), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := []string{
+		"alpha beta gamma", "beta gamma delta", "gamma delta epsilon",
+		"delta epsilon alpha", "epsilon alpha beta",
+	}
+	docs := make([]index.Document, len(texts))
+	for i, s := range texts {
+		docs[i] = index.Document{Content: []byte(s)}
+	}
+	col, err := BuildCollection(docs, DefaultConfig(signer))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hostile := []store.Extent{
+		{Start: store.Addr(math.MaxInt64), Blocks: 1, Length: 8},
+		{Start: store.Addr(math.MaxInt64 - 1), Blocks: 2, Length: 8},
+		{Start: 1, Blocks: math.MaxInt32, Length: 8},
+	}
+	tables := []struct {
+		name   string
+		mutate func(st *State, ext store.Extent)
+	}{
+		{"doc", func(st *State, ext store.Extent) { st.Layout.Doc[0] = ext }},
+		{"plain", func(st *State, ext store.Extent) { st.Layout.Plain[0] = ext }},
+		{"chain-tra", func(st *State, ext store.Extent) { st.Layout.ChainTRA[0] = ext }},
+		{"chain-tnra", func(st *State, ext store.Extent) { st.Layout.ChainTNRA[0] = ext }},
+	}
+	for _, tbl := range tables {
+		for _, ext := range hostile {
+			st := col.ExportState()
+			// ExportState aliases layout tables; deep-copy before tampering.
+			st.Layout.Plain = append([]store.Extent(nil), st.Layout.Plain...)
+			st.Layout.ChainTRA = append([]store.Extent(nil), st.Layout.ChainTRA...)
+			st.Layout.ChainTNRA = append([]store.Extent(nil), st.Layout.ChainTNRA...)
+			st.Layout.Doc = append([]store.Extent(nil), st.Layout.Doc...)
+			tbl.mutate(st, ext)
+
+			col2, err := Restore(st)
+			if err != nil {
+				continue // rejected up front: the desired outcome
+			}
+			// If Restore let it through, serving must still not panic.
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s extent %+v: PANIC serving query from hostile state: %v", tbl.name, ext, r)
+					}
+				}()
+				for _, algo := range []core.Algo{core.AlgoTRA, core.AlgoTNRA} {
+					for _, scheme := range []core.Scheme{core.SchemeMHT, core.SchemeCMHT} {
+						_, _, _, err := col2.Search([]string{"alpha", "gamma"}, 3, algo, scheme)
+						t.Logf("%s extent %+v survived Restore; search err=%v", tbl.name, ext, err)
+					}
+				}
+			}()
+		}
+	}
+}
+
+// The device-level bound must hold independently of Restore's checks.
+func TestReadExtentOverflowRejected(t *testing.T) {
+	dev, err := store.NewDevice(store.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.AllocWrite(make([]byte, 64))
+	for _, ext := range []store.Extent{
+		{Start: store.Addr(math.MaxInt64), Blocks: 1, Length: 8},
+		{Start: store.Addr(math.MaxInt64 - 1), Blocks: 2, Length: 8},
+		{Start: 0, Blocks: -1, Length: 8},
+	} {
+		if _, err := dev.ReadExtent(ext); err == nil {
+			t.Errorf("extent %+v accepted", ext)
+		}
+	}
+}

@@ -126,7 +126,9 @@ func Restore(st *State) (*Collection, error) {
 		return nil, errors.New("engine: restore: layout table sizes disagree with index")
 	}
 	checkExtent := func(what string, i int, ext store.Extent, wantBlocks int, fullBlocks bool) error {
-		if ext.Start < 0 || ext.Blocks < 1 || int64(ext.Start)+int64(ext.Blocks) > dev.Blocks() {
+		// Subtract instead of adding: Start+Blocks would overflow int64 for
+		// a hostile Start near MaxInt64 and wrap past the bound.
+		if ext.Start < 0 || ext.Blocks < 1 || int64(ext.Start) > dev.Blocks()-int64(ext.Blocks) {
 			return fmt.Errorf("engine: restore: %s extent %d off-device", what, i)
 		}
 		if wantBlocks >= 0 && int(ext.Blocks) != wantBlocks {

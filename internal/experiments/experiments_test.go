@@ -248,3 +248,28 @@ func TestSnapshotCompare(t *testing.T) {
 		t.Fatal("missing speedup line")
 	}
 }
+
+func TestShardCompare(t *testing.T) {
+	var buf bytes.Buffer
+	rep, err := ShardCompare(corpus.Tiny(), 5, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 4 {
+		t.Fatalf("%d points, want 4 (1/2/4/8 shards)", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.Build <= 0 || p.ShardLatency <= 0 || p.FanoutWall <= 0 || p.Throughput <= 0 || p.VOBytes <= 0 {
+			t.Fatalf("degenerate point: %+v", p)
+		}
+	}
+	// The whole purpose of sharding: per-shard critical-path latency must
+	// shrink as shards multiply.
+	if rep.Points[3].ShardLatency >= rep.Points[0].ShardLatency {
+		t.Errorf("8-shard latency %v not below single-shard %v",
+			rep.Points[3].ShardLatency, rep.Points[0].ShardLatency)
+	}
+	if !strings.Contains(buf.String(), "shard-latency") {
+		t.Fatal("missing table header")
+	}
+}

@@ -1,0 +1,181 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// Golden wire-format regression suite: the /v1 JSON formats are a public
+// protocol, so accidental field renames, type changes or dropped fields
+// must fail loudly. Each fixture under testdata/ is the canonical encoding
+// of a fully populated wire value; the test checks both directions —
+// decoding the fixture yields exactly the expected Go value, and encoding
+// the expected Go value yields exactly the fixture's JSON (field for
+// field). Regenerate with UPDATE_GOLDEN=1 go test ./internal/httpapi —
+// and when you do, say why in the commit: any diff here is a protocol
+// version bump in disguise.
+
+var goldenCases = []struct {
+	file  string
+	value interface{} // pointer to expected value
+	fresh func() interface{}
+}{
+	{
+		file: "search_request.json",
+		value: &SearchRequest{
+			Query:  "merkle tree proofs",
+			R:      25,
+			Algo:   AlgoTRA,
+			Scheme: SchemeCMHT,
+		},
+		fresh: func() interface{} { return new(SearchRequest) },
+	},
+	{
+		file: "search_response.json",
+		value: &SearchResponse{
+			Query:  "merkle tree proofs",
+			R:      2,
+			Algo:   AlgoTNRA,
+			Scheme: SchemeCMHT,
+			Hits: []Hit{
+				{DocID: 7, Score: 3.25, Content: []byte("first document body")},
+				{DocID: 2, Score: 1.5, Content: []byte("second document body")},
+			},
+			VO: []byte{0x01, 0x02, 0xfe, 0xff},
+			Stats: SearchStats{
+				QueryTerms:     3,
+				EntriesRead:    120,
+				EntriesPerTerm: 40,
+				PctListRead:    12.5,
+				BlockReads:     17,
+				RandomReads:    4,
+				IOMillis:       1.75,
+				VOBytes:        4,
+				ServerMillis:   0.5,
+			},
+		},
+		fresh: func() interface{} { return new(SearchResponse) },
+	},
+	{
+		file: "sharded_search_response.json",
+		value: &ShardedSearchResponse{
+			Query:  "merkle tree proofs",
+			R:      2,
+			Algo:   AlgoTNRA,
+			Scheme: SchemeCMHT,
+			Shards: []SearchResponse{
+				{
+					Query: "merkle tree proofs", R: 2, Algo: AlgoTNRA, Scheme: SchemeCMHT,
+					Hits: []Hit{{DocID: 0, Score: 2.5, Content: []byte("shard zero hit")}},
+					VO:   []byte{0x0a},
+					Stats: SearchStats{
+						QueryTerms: 3, EntriesRead: 10, EntriesPerTerm: 3.3333,
+						PctListRead: 50, BlockReads: 3, RandomReads: 0,
+						IOMillis: 0.25, VOBytes: 1, ServerMillis: 0.1,
+					},
+				},
+				{
+					Query: "merkle tree proofs", R: 2, Algo: AlgoTNRA, Scheme: SchemeCMHT,
+					Hits: []Hit{{DocID: 1, Score: 3.75, Content: []byte("shard one hit")}},
+					VO:   []byte{0x0b, 0x0c},
+					Stats: SearchStats{
+						QueryTerms: 3, EntriesRead: 12, EntriesPerTerm: 4,
+						PctListRead: 40, BlockReads: 4, RandomReads: 1,
+						IOMillis: 0.5, VOBytes: 2, ServerMillis: 0.2,
+					},
+				},
+			},
+			Merged: []MergedHit{
+				{Shard: 1, DocID: 1, GlobalID: 3, Score: 3.75},
+				{Shard: 0, DocID: 0, GlobalID: 0, Score: 2.5},
+			},
+			Stats: ShardedSearchStats{
+				Shards:       2,
+				EntriesRead:  22,
+				VOBytes:      3,
+				IOMillis:     0.5,
+				ServerMillis: 0.35,
+			},
+		},
+		fresh: func() interface{} { return new(ShardedSearchResponse) },
+	},
+	{
+		file:  "manifest_response.json",
+		value: &ManifestResponse{Format: FormatATCX, Export: []byte("ATCX-export-bytes")},
+		fresh: func() interface{} { return new(ManifestResponse) },
+	},
+	{
+		file:  "sharded_manifest_response.json",
+		value: &ManifestResponse{Format: FormatATSX, Export: []byte("ATSX-export-bytes")},
+		fresh: func() interface{} { return new(ManifestResponse) },
+	},
+	{
+		file: "health.json",
+		value: &Health{
+			Status: "ok", Documents: 172961, Terms: 181978, Shards: 4,
+			UptimeMillis: 86400000, QueriesServed: 1048576, QueriesFailed: 3,
+		},
+		fresh: func() interface{} { return new(Health) },
+	},
+	{
+		file:  "error_response.json",
+		value: &ErrorResponse{Error: ErrorBody{Code: CodeBadRequest, Message: "r=0 out of range [1, 1000]"}},
+		fresh: func() interface{} { return new(ErrorResponse) },
+	},
+}
+
+func TestGoldenWireFormats(t *testing.T) {
+	for _, tc := range goldenCases {
+		tc := tc
+		t.Run(tc.file, func(t *testing.T) {
+			path := filepath.Join("testdata", tc.file)
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				enc, err := json.MarshalIndent(tc.value, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden fixture (run with UPDATE_GOLDEN=1 once): %v", err)
+			}
+
+			// Direction 1: the checked-in bytes must decode to exactly the
+			// expected value (catches renamed/retyped/dropped fields).
+			got := tc.fresh()
+			dec := json.NewDecoder(bytes.NewReader(raw))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(got); err != nil {
+				t.Fatalf("golden fixture no longer decodes: %v", err)
+			}
+			if !reflect.DeepEqual(got, tc.value) {
+				t.Errorf("decoded fixture disagrees with expected value:\n got: %#v\nwant: %#v", got, tc.value)
+			}
+
+			// Direction 2: encoding the expected value must reproduce the
+			// fixture's JSON exactly, field for field (catches added fields
+			// and changed names/tags on the way out).
+			enc, err := json.Marshal(tc.value)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var a, b interface{}
+			if err := json.Unmarshal(enc, &a); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(raw, &b); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("re-encoded value disagrees with the golden fixture\n got: %s\nwant: %s", enc, raw)
+			}
+		})
+	}
+}

@@ -23,13 +23,52 @@ type Backend interface {
 	Health() Health
 }
 
-// NewHandler wires the three /v1 endpoints onto a Backend. Every response
-// body — including errors — is a JSON document.
+// ShardBackend is the optional extension a sharded deployment implements
+// on top of Backend: parallel fan-out search over every shard and the
+// sharded (ATSX) verification-material bootstrap.
+type ShardBackend interface {
+	Backend
+	// ShardSearch answers one validated query with per-shard responses
+	// plus the merged global ranking.
+	ShardSearch(req *SearchRequest) (*ShardedSearchResponse, error)
+	// ShardExport returns the ATSX blob served at /v1/shards/manifest.
+	ShardExport() ([]byte, error)
+}
+
+// NewHandler wires the /v1 endpoints onto a Backend. When the backend also
+// implements ShardBackend, the /v1/shards endpoints are registered too;
+// otherwise they answer 404 like any unknown path. Every response body —
+// including errors — is a JSON document.
 func NewHandler(b Backend) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathSearch, func(w http.ResponseWriter, r *http.Request) {
 		handleSearch(w, r, b)
 	})
+	if sb, ok := b.(ShardBackend); ok {
+		mux.HandleFunc(PathShardSearch, func(w http.ResponseWriter, r *http.Request) {
+			req, ok := readSearchRequest(w, r)
+			if !ok {
+				return
+			}
+			resp, err := sb.ShardSearch(req)
+			if err != nil {
+				writeError(w, err, CodeSearchFailed, http.StatusInternalServerError)
+				return
+			}
+			writeJSON(w, http.StatusOK, resp)
+		})
+		mux.HandleFunc(PathShardManifest, func(w http.ResponseWriter, r *http.Request) {
+			if !allowMethod(w, r, http.MethodGet) {
+				return
+			}
+			export, err := sb.ShardExport()
+			if err != nil {
+				writeError(w, err, CodeUnavailable, http.StatusServiceUnavailable)
+				return
+			}
+			writeJSON(w, http.StatusOK, &ManifestResponse{Format: FormatATSX, Export: export})
+		})
+	}
 	mux.HandleFunc(PathManifest, func(w http.ResponseWriter, r *http.Request) {
 		if !allowMethod(w, r, http.MethodGet) {
 			return
@@ -56,6 +95,22 @@ func NewHandler(b Backend) http.Handler {
 // handleSearch accepts POST (JSON body) and GET (q, r, algo, scheme query
 // parameters).
 func handleSearch(w http.ResponseWriter, r *http.Request, b Backend) {
+	req, ok := readSearchRequest(w, r)
+	if !ok {
+		return
+	}
+	resp, err := b.Search(req)
+	if err != nil {
+		writeError(w, err, CodeSearchFailed, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// readSearchRequest parses and validates a search request from POST (JSON
+// body) or GET (q, r, algo, scheme query parameters), writing the error
+// response itself when the request is unusable.
+func readSearchRequest(w http.ResponseWriter, r *http.Request) (*SearchRequest, bool) {
 	var req SearchRequest
 	switch r.Method {
 	case http.MethodPost:
@@ -64,11 +119,11 @@ func handleSearch(w http.ResponseWriter, r *http.Request, b Backend) {
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
 			writeErrorBody(w, http.StatusBadRequest, CodeBadRequest, "bad request body: "+err.Error())
-			return
+			return nil, false
 		}
 		if dec.More() {
 			writeErrorBody(w, http.StatusBadRequest, CodeBadRequest, "trailing data after request object")
-			return
+			return nil, false
 		}
 	case http.MethodGet:
 		q := r.URL.Query()
@@ -79,25 +134,20 @@ func handleSearch(w http.ResponseWriter, r *http.Request, b Backend) {
 			n, err := strconv.Atoi(rs)
 			if err != nil {
 				writeErrorBody(w, http.StatusBadRequest, CodeBadRequest, "bad r parameter: "+rs)
-				return
+				return nil, false
 			}
 			req.R = n
 		}
 	default:
 		w.Header().Set("Allow", "GET, POST")
 		writeErrorBody(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, r.Method+" not allowed")
-		return
+		return nil, false
 	}
 	if err := req.Validate(); err != nil {
 		writeErrorBody(w, http.StatusBadRequest, CodeBadRequest, err.Error())
-		return
+		return nil, false
 	}
-	resp, err := b.Search(&req)
-	if err != nil {
-		writeError(w, err, CodeSearchFailed, http.StatusInternalServerError)
-		return
-	}
-	writeJSON(w, http.StatusOK, resp)
+	return &req, true
 }
 
 func allowMethod(w http.ResponseWriter, r *http.Request, method string) bool {

@@ -22,11 +22,16 @@ import (
 // APIVersion is the protocol version, which prefixes every endpoint path.
 const APIVersion = "v1"
 
-// Endpoint paths (see docs/PROTOCOL.md).
+// Endpoint paths (see docs/PROTOCOL.md; sharded endpoints in
+// docs/SHARDING.md).
 const (
 	PathSearch   = "/v1/search"
 	PathManifest = "/v1/manifest"
 	PathHealthz  = "/v1/healthz"
+	// Sharded endpoints, served only by sharded deployments (a
+	// non-sharded server answers 404).
+	PathShardSearch   = "/v1/shards/search"
+	PathShardManifest = "/v1/shards/manifest"
 )
 
 // Canonical algorithm and scheme names on the wire (case-insensitive on
@@ -115,15 +120,57 @@ type ManifestResponse struct {
 	Export []byte `json:"export"`
 }
 
-// FormatATCX is the only manifest export format currently defined.
+// FormatATCX is the single-collection manifest export format.
 const FormatATCX = "atcx"
 
+// FormatATSX is the sharded manifest export format served at
+// /v1/shards/manifest.
+const FormatATSX = "atsx"
+
+// MergedHit is one entry of the claimed global ranking of a sharded
+// response. It carries no content: the content (and the proof) of the hit
+// lives in the cited shard's response, which the client verifies first.
+type MergedHit struct {
+	Shard    int     `json:"shard"`
+	DocID    int     `json:"doc_id"`
+	GlobalID int     `json:"global_id"`
+	Score    float64 `json:"score"`
+}
+
+// ShardedSearchStats aggregates server-side fan-out costs (informational
+// only, like SearchStats).
+type ShardedSearchStats struct {
+	Shards       int     `json:"shards"`
+	EntriesRead  int     `json:"entries_read"`
+	VOBytes      int     `json:"vo_bytes"`
+	IOMillis     float64 `json:"io_millis"`
+	ServerMillis float64 `json:"server_millis"`
+}
+
+// ShardedSearchResponse is the answer of a sharded deployment: every
+// shard's individually authenticated SearchResponse plus the merged global
+// top-r. A verifying client checks each shard response against its own
+// manifest and recomputes the merge; the echoed parameters are as
+// untrusted as in SearchResponse.
+type ShardedSearchResponse struct {
+	Query  string             `json:"query"`
+	R      int                `json:"r"`
+	Algo   string             `json:"algo"`
+	Scheme string             `json:"scheme"`
+	Shards []SearchResponse   `json:"shards"`
+	Merged []MergedHit        `json:"merged"`
+	Stats  ShardedSearchStats `json:"stats"`
+}
+
 // Health is the healthz payload: liveness plus collection shape and
-// aggregate serving counters.
+// aggregate serving counters. Shards is 0 for a single-collection server
+// and the shard count for a sharded one (clients use it to pick the
+// endpoint family).
 type Health struct {
 	Status        string `json:"status"`
 	Documents     int    `json:"documents"`
 	Terms         int    `json:"terms"`
+	Shards        int    `json:"shards,omitempty"`
 	UptimeMillis  int64  `json:"uptime_millis"`
 	QueriesServed int64  `json:"queries_served"`
 	QueriesFailed int64  `json:"queries_failed"`

@@ -1,0 +1,65 @@
+package shard
+
+import (
+	"authtext/internal/core"
+	"authtext/internal/index"
+)
+
+// MergedHit is one entry of the merged global ranking: the shard that
+// produced it, the shard-local document ID, the global document index from
+// the (authenticated) doc map, and the committed score.
+type MergedHit struct {
+	Shard  int
+	Doc    index.DocID
+	Global uint32
+	Score  float64
+}
+
+// MergeTopK computes the global top-r from the per-shard local top-r
+// lists. The result is deterministic: score descending, ties broken by
+// (shard, local doc ID) ascending — so an honest server and a verifying
+// client always agree byte-for-byte.
+//
+// Soundness: every shard's list is its true local top-r (enforced by
+// per-shard VO verification), and any document of the global top-r is in
+// its own shard's local top-r; the union therefore contains the global
+// top-r and recomputation over it is exact.
+func MergeTopK(perShard [][]core.ResultEntry, docMaps [][]uint32, r int) []MergedHit {
+	var all []MergedHit
+	for s, entries := range perShard {
+		for _, e := range entries {
+			h := MergedHit{Shard: s, Doc: e.Doc, Score: e.Score}
+			if s < len(docMaps) && int(e.Doc) < len(docMaps[s]) {
+				h.Global = docMaps[s][e.Doc]
+			}
+			all = append(all, h)
+		}
+	}
+	sortMerged(all)
+	if len(all) > r {
+		all = all[:r]
+	}
+	return all
+}
+
+// VerifyMerge recomputes the global top-r from per-shard result lists that
+// the caller has ALREADY verified individually, and checks the claimed
+// merged ranking matches exactly. Any deviation — wrong length, wrong
+// membership, wrong order, wrong score, wrong global ID — classifies as
+// tampering (core.CodeIncomplete for a wrong result set size,
+// core.CodeBadOrdering otherwise).
+func VerifyMerge(perShard [][]core.ResultEntry, docMaps [][]uint32, r int, merged []MergedHit) error {
+	want := MergeTopK(perShard, docMaps, r)
+	if len(merged) != len(want) {
+		return vErrf(core.CodeIncomplete, "merged ranking has %d entries, recomputation yields %d", len(merged), len(want))
+	}
+	for i := range want {
+		g, w := merged[i], want[i]
+		if g.Shard != w.Shard || g.Doc != w.Doc || g.Score != w.Score || g.Global != w.Global {
+			return vErrf(core.CodeBadOrdering,
+				"merged entry %d is shard %d doc %d (global %d, score %g), recomputation yields shard %d doc %d (global %d, score %g)",
+				i, g.Shard, g.Doc, g.Global, g.Score, w.Shard, w.Doc, w.Global, w.Score)
+		}
+	}
+	return nil
+}

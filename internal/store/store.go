@@ -162,7 +162,9 @@ func (d *Device) ReadBlock(a Addr) ([]byte, error) {
 // ReadExtent reads a whole extent (first block potentially random, the rest
 // sequential) and returns exactly ext.Length payload bytes.
 func (d *Device) ReadExtent(ext Extent) ([]byte, error) {
-	if ext.Start < 0 || int64(ext.Start)+int64(ext.Blocks) > d.nblocks {
+	// Subtract instead of adding: Start+Blocks overflows int64 for a
+	// hostile Start near MaxInt64 and would wrap past the bound.
+	if ext.Start < 0 || ext.Blocks < 0 || int64(ext.Start) > d.nblocks-int64(ext.Blocks) {
 		return nil, fmt.Errorf("store: extent %+v out of range", ext)
 	}
 	for i := int32(0); i < ext.Blocks; i++ {

@@ -1,0 +1,204 @@
+package authtext_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"authtext"
+)
+
+// Property-style round-trip suite: randomized corpora (sizes, vocabulary
+// overlap, singleton terms, token lengths) and randomized queries (known,
+// unknown and mixed terms) must produce honest Search→Verify round trips
+// across every Algorithm×Scheme combination — directly, through a snapshot
+// round-trip, and sharded. Seeds are fixed so failures reproduce.
+
+// propVocabulary builds a vocabulary pool with controlled overlap: common
+// words appear in many documents, rare words in few, and singletons in one.
+func propVocabulary(rng *rand.Rand, size int) []string {
+	vocab := make([]string, size)
+	for i := range vocab {
+		n := 3 + rng.Intn(8)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte('a' + rng.Intn(26))
+		}
+		// A numeric suffix keeps words unique even on collision.
+		vocab[i] = string(b) + fmt.Sprint(i)
+	}
+	return vocab
+}
+
+func propCorpus(rng *rand.Rand) ([]authtext.Document, []string) {
+	nDocs := 5 + rng.Intn(36)
+	common := propVocabulary(rng, 5+rng.Intn(10))
+	rare := propVocabulary(rng, 20+rng.Intn(30))
+	docs := make([]authtext.Document, nDocs)
+	for d := range docs {
+		words := make([]string, 0, 30)
+		wlen := 8 + rng.Intn(22)
+		for w := 0; w < wlen; w++ {
+			if rng.Intn(3) > 0 {
+				words = append(words, common[rng.Intn(len(common))])
+			} else {
+				words = append(words, rare[rng.Intn(len(rare))])
+			}
+		}
+		docs[d] = authtext.Document{Content: []byte(strings.Join(words, " "))}
+	}
+	return docs, append(common, rare...)
+}
+
+func propQuery(rng *rand.Rand, vocab []string) string {
+	qlen := 1 + rng.Intn(4)
+	words := make([]string, qlen)
+	for i := range words {
+		switch rng.Intn(5) {
+		case 0:
+			// Out-of-dictionary term ("zz" prefix never collides with the
+			// generated vocabulary, which is lower-case-then-digit).
+			words[i] = "zzunknown" + fmt.Sprint(rng.Intn(100))
+		default:
+			words[i] = vocab[rng.Intn(len(vocab))]
+		}
+	}
+	return strings.Join(words, " ")
+}
+
+func TestPropertyHonestRoundTrip(t *testing.T) {
+	algorithms := []authtext.Algorithm{authtext.TRA, authtext.TNRA}
+	schemes := []authtext.Scheme{authtext.MHT, authtext.ChainMHT}
+	trials := 6
+	if testing.Short() {
+		trials = 2
+	}
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprint("seed=", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + trial)))
+			docs, vocab := propCorpus(rng)
+			opts := []authtext.Option{authtext.WithFastSigner([]byte(fmt.Sprint("prop-", trial)))}
+			if rng.Intn(2) == 0 {
+				opts = append(opts, authtext.WithSingletonTerms())
+			}
+			if rng.Intn(2) == 0 {
+				opts = append(opts, authtext.WithVocabularyProofs())
+			}
+			owner, err := authtext.NewOwner(docs, opts...)
+			if err != nil {
+				// A fully singleton dictionary is a legitimate build error
+				// for tiny random corpora without WithSingletonTerms.
+				if strings.Contains(err.Error(), "no terms survive") {
+					t.Skipf("degenerate corpus: %v", err)
+				}
+				t.Fatal(err)
+			}
+			server, client := owner.Server(), owner.Client()
+
+			var buf bytes.Buffer
+			if err := owner.WriteSnapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			snapServer, snapClient, err := authtext.OpenSnapshot(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for q := 0; q < 8; q++ {
+				query := propQuery(rng, vocab)
+				r := 1 + rng.Intn(12)
+				for _, algo := range algorithms {
+					for _, scheme := range schemes {
+						res, err := server.Search(query, r, algo, scheme)
+						if err != nil {
+							t.Fatalf("%s-%s %q r=%d: %v", algo, scheme, query, r, err)
+						}
+						if err := client.Verify(query, r, res); err != nil {
+							t.Errorf("%s-%s %q r=%d: honest result rejected: %v", algo, scheme, query, r, err)
+						}
+						// The same query through the snapshot round-trip,
+						// cross-verified by the original client.
+						sres, err := snapServer.Search(query, r, algo, scheme)
+						if err != nil {
+							t.Fatalf("snapshot %s-%s %q r=%d: %v", algo, scheme, query, r, err)
+						}
+						if err := snapClient.Verify(query, r, sres); err != nil {
+							t.Errorf("snapshot client %s-%s %q r=%d: %v", algo, scheme, query, r, err)
+						}
+						if err := client.Verify(query, r, sres); err != nil {
+							t.Errorf("original client on snapshot result %s-%s %q r=%d: %v", algo, scheme, query, r, err)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPropertyShardedRoundTrip extends the property suite to sharded
+// collections: random shard counts and partitioners, fully verified merged
+// rankings, including through a sharded snapshot round-trip.
+func TestPropertyShardedRoundTrip(t *testing.T) {
+	trials := 4
+	if testing.Short() {
+		trials = 2
+	}
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprint("seed=", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(2000 + trial)))
+			docs, vocab := propCorpus(rng)
+			shards := 2 + rng.Intn(3)
+			opts := []authtext.Option{
+				authtext.WithFastSigner([]byte(fmt.Sprint("prop-shard-", trial))),
+				authtext.WithSingletonTerms(),
+			}
+			if rng.Intn(2) == 0 {
+				opts = append(opts, authtext.WithShardPartitioner(authtext.PartitionHash))
+			}
+			owner, err := authtext.NewShardedOwner(docs, shards, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			server, client := owner.Server(), owner.Client()
+
+			dir := t.TempDir()
+			if err := owner.WriteSnapshotDir(dir); err != nil {
+				t.Fatal(err)
+			}
+			snapServer, snapClient, err := authtext.OpenShardedSnapshotDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for q := 0; q < 5; q++ {
+				query := propQuery(rng, vocab)
+				r := 1 + rng.Intn(8)
+				for _, algo := range []authtext.Algorithm{authtext.TRA, authtext.TNRA} {
+					for _, scheme := range []authtext.Scheme{authtext.MHT, authtext.ChainMHT} {
+						res, err := server.Search(query, r, algo, scheme)
+						if err != nil {
+							t.Fatalf("%s-%s %q r=%d: %v", algo, scheme, query, r, err)
+						}
+						if err := client.Verify(query, r, res); err != nil {
+							t.Errorf("%s-%s %q r=%d: honest sharded result rejected: %v", algo, scheme, query, r, err)
+						}
+						sres, err := snapServer.Search(query, r, algo, scheme)
+						if err != nil {
+							t.Fatalf("snapshot %s-%s %q r=%d: %v", algo, scheme, query, r, err)
+						}
+						if err := snapClient.Verify(query, r, sres); err != nil {
+							t.Errorf("sharded snapshot client %s-%s %q r=%d: %v", algo, scheme, query, r, err)
+						}
+						if err := client.Verify(query, r, sres); err != nil {
+							t.Errorf("original sharded client on snapshot result %s-%s %q r=%d: %v", algo, scheme, query, r, err)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -164,11 +164,13 @@ func (rc *RemoteClient) Search(ctx context.Context, query string, r int, algo Al
 	return res, nil
 }
 
-// ServerHealth mirrors the /v1/healthz payload.
+// ServerHealth mirrors the /v1/healthz payload. Shards is 0 for a
+// single-collection server.
 type ServerHealth struct {
 	Status        string
 	Documents     int
 	Terms         int
+	Shards        int
 	UptimeMillis  int64
 	QueriesServed int64
 	QueriesFailed int64
@@ -185,6 +187,7 @@ func (rc *RemoteClient) Health(ctx context.Context) (*ServerHealth, error) {
 		Status:        h.Status,
 		Documents:     h.Documents,
 		Terms:         h.Terms,
+		Shards:        h.Shards,
 		UptimeMillis:  h.UptimeMillis,
 		QueriesServed: h.QueriesServed,
 		QueriesFailed: h.QueriesFailed,
@@ -192,20 +195,32 @@ func (rc *RemoteClient) Health(ctx context.Context) (*ServerHealth, error) {
 }
 
 func (rc *RemoteClient) get(ctx context.Context, path string, out interface{}) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rc.base+path, nil)
-	if err != nil {
-		return err
-	}
-	return rc.do(req, out)
+	return httpGetJSON(ctx, rc.hc, rc.base, path, out)
 }
 
-// maxResponseBytes caps how much of a response body the client will
+func (rc *RemoteClient) do(req *http.Request, out interface{}) error {
+	return httpDoJSON(rc.hc, req, out)
+}
+
+// maxResponseBytes caps how much of a response body a remote client will
 // buffer: the server is untrusted, and an endless 200 body must not
 // exhaust the verifier's memory before verification can reject it.
 const maxResponseBytes = 64 << 20
 
-func (rc *RemoteClient) do(req *http.Request, out interface{}) error {
-	resp, err := rc.hc.Do(req)
+// httpGetJSON fetches base+path and decodes the JSON body (shared by
+// RemoteClient and ShardedRemoteClient).
+func httpGetJSON(ctx context.Context, hc *http.Client, base, path string, out interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+	if err != nil {
+		return err
+	}
+	return httpDoJSON(hc, req, out)
+}
+
+// httpDoJSON performs a request against an untrusted server and decodes
+// the (size-capped) JSON body.
+func httpDoJSON(hc *http.Client, req *http.Request, out interface{}) error {
+	resp, err := hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("authtext: %s: %w", req.URL.Path, err)
 	}
@@ -235,4 +250,20 @@ func wireScheme(s Scheme) string {
 		return httpapi.SchemeMHT
 	}
 	return httpapi.SchemeCMHT
+}
+
+// parseWireAlgo / parseWireScheme invert wireAlgo / wireScheme for the
+// server-side backends (inputs are already normalised by the handler).
+func parseWireAlgo(s string) Algorithm {
+	if s == httpapi.AlgoTRA {
+		return TRA
+	}
+	return TNRA
+}
+
+func parseWireScheme(s string) Scheme {
+	if s == httpapi.SchemeMHT {
+		return MHT
+	}
+	return ChainMHT
 }

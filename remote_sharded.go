@@ -1,0 +1,206 @@
+package authtext
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"authtext/internal/httpapi"
+)
+
+// ShardedRemoteClient verifies fanned-out search results received over
+// HTTP from an untrusted sharded authserved deployment, exactly as
+// RemoteClient does for a single collection: it bootstraps the owner's
+// signed shard-set manifest once (from /v1/shards/manifest, or injected
+// out of band), then every answer — every shard's hits, contents, scores
+// and VO, plus the merged global ranking — is verified locally before it
+// is returned.
+type ShardedRemoteClient struct {
+	base string
+	hc   *http.Client
+
+	mu     sync.Mutex
+	client *ShardedClient // verification half, nil until bootstrapped
+
+	optErr error
+}
+
+// ShardedRemoteOption customises NewShardedRemoteClient.
+type ShardedRemoteOption func(*ShardedRemoteClient)
+
+// WithShardedHTTPClient substitutes the transport (default: 30 s timeout).
+func WithShardedHTTPClient(hc *http.Client) ShardedRemoteOption {
+	return func(rc *ShardedRemoteClient) { rc.hc = hc }
+}
+
+// WithShardedClientExport seeds the verification material from an
+// out-of-band copy of the owner's ATSX export instead of fetching
+// /v1/shards/manifest (the stronger deployment).
+func WithShardedClientExport(export []byte) ShardedRemoteOption {
+	return func(rc *ShardedRemoteClient) {
+		c, err := NewShardedClientFromExport(export)
+		if err != nil {
+			rc.optErr = err
+			return
+		}
+		rc.client = c
+	}
+}
+
+// NewShardedRemoteClient prepares a client for the sharded deployment at
+// baseURL. No network traffic happens until the first call.
+func NewShardedRemoteClient(baseURL string, opts ...ShardedRemoteOption) (*ShardedRemoteClient, error) {
+	u, err := url.Parse(strings.TrimRight(baseURL, "/"))
+	if err != nil {
+		return nil, fmt.Errorf("authtext: bad server URL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("authtext: bad server URL %q: scheme must be http or https", baseURL)
+	}
+	rc := &ShardedRemoteClient{base: u.String(), hc: &http.Client{Timeout: 30 * time.Second}}
+	for _, opt := range opts {
+		opt(rc)
+	}
+	if rc.optErr != nil {
+		return nil, rc.optErr
+	}
+	return rc, nil
+}
+
+// Bootstrap fetches and verifies the owner's shard-set manifest now
+// instead of lazily on the first Search.
+func (rc *ShardedRemoteClient) Bootstrap(ctx context.Context) error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.bootstrapLocked(ctx)
+}
+
+func (rc *ShardedRemoteClient) bootstrapLocked(ctx context.Context) error {
+	if rc.client != nil {
+		return nil
+	}
+	var m httpapi.ManifestResponse
+	if err := httpGetJSON(ctx, rc.hc, rc.base, httpapi.PathShardManifest, &m); err != nil {
+		return err
+	}
+	if m.Format != httpapi.FormatATSX {
+		return fmt.Errorf("authtext: server sharded manifest format %q not supported", m.Format)
+	}
+	c, err := NewShardedClientFromExport(m.Export)
+	if err != nil {
+		return err
+	}
+	rc.client = c
+	return nil
+}
+
+// Shards returns the shard count after bootstrap (0 before).
+func (rc *ShardedRemoteClient) Shards() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.client == nil {
+		return 0
+	}
+	return rc.client.Shards()
+}
+
+// Search asks the sharded deployment for the global top-r and verifies
+// the complete answer locally — every shard's VO against its pinned
+// manifest, then the merged ranking by recomputation — using the
+// parameters this client asked for, never the server's echo.
+func (rc *ShardedRemoteClient) Search(ctx context.Context, query string, r int, algo Algorithm, scheme Scheme) (*ShardedResult, error) {
+	if r < 1 || r > httpapi.MaxR {
+		return nil, fmt.Errorf("authtext: result size r=%d out of range [1, %d]", r, httpapi.MaxR)
+	}
+	rc.mu.Lock()
+	if err := rc.bootstrapLocked(ctx); err != nil {
+		rc.mu.Unlock()
+		return nil, err
+	}
+	client := rc.client
+	rc.mu.Unlock()
+
+	reqBody, err := json.Marshal(&httpapi.SearchRequest{
+		Query: query, R: r, Algo: wireAlgo(algo), Scheme: wireScheme(scheme),
+	})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rc.base+httpapi.PathShardSearch, bytes.NewReader(reqBody))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var wire httpapi.ShardedSearchResponse
+	if err := httpDoJSON(rc.hc, req, &wire); err != nil {
+		return nil, err
+	}
+
+	res := &ShardedResult{
+		PerShard: make([]*SearchResult, len(wire.Shards)),
+		Merged:   make([]ShardedHit, len(wire.Merged)),
+		Stats: ShardedStats{
+			Shards:      wire.Stats.Shards,
+			Algorithm:   algo,
+			Scheme:      scheme,
+			EntriesRead: wire.Stats.EntriesRead,
+			VOBytes:     wire.Stats.VOBytes,
+			IOTime:      StatsDuration(wire.Stats.IOMillis),
+			// Wall is the server-reported fan-out time (informational, like
+			// every stat on the wire).
+			Wall: time.Duration(wire.Stats.ServerMillis * float64(time.Millisecond)),
+		},
+	}
+	for i := range wire.Shards {
+		sr := &SearchResult{VO: wire.Shards[i].VO, Hits: make([]Hit, len(wire.Shards[i].Hits))}
+		for j, h := range wire.Shards[i].Hits {
+			sr.Hits[j] = Hit{DocID: h.DocID, Score: h.Score, Content: h.Content}
+		}
+		sr.Stats = Stats{Algorithm: algo, Scheme: scheme, VOBytes: len(sr.VO)}
+		res.PerShard[i] = sr
+	}
+	// Merged wire hits carry no content; deliver the (about to be
+	// verified) content of the shard answer each one cites. A merged hit
+	// citing a document its shard never returned fails verification, so
+	// missing content here is fine — verification rejects first.
+	for i, m := range wire.Merged {
+		h := ShardedHit{Shard: m.Shard, DocID: m.DocID, GlobalID: m.GlobalID, Score: m.Score}
+		if m.Shard >= 0 && m.Shard < len(res.PerShard) {
+			for _, sh := range res.PerShard[m.Shard].Hits {
+				if sh.DocID == m.DocID {
+					h.Content = sh.Content
+					break
+				}
+			}
+		}
+		res.Merged[i] = h
+	}
+	if err := client.Verify(query, r, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Health reports the deployment's liveness and shape (unauthenticated
+// operational data, like RemoteClient.Health).
+func (rc *ShardedRemoteClient) Health(ctx context.Context) (*ServerHealth, error) {
+	var h httpapi.Health
+	if err := httpGetJSON(ctx, rc.hc, rc.base, httpapi.PathHealthz, &h); err != nil {
+		return nil, err
+	}
+	return &ServerHealth{
+		Status:        h.Status,
+		Documents:     h.Documents,
+		Terms:         h.Terms,
+		Shards:        h.Shards,
+		UptimeMillis:  h.UptimeMillis,
+		QueriesServed: h.QueriesServed,
+		QueriesFailed: h.QueriesFailed,
+	}, nil
+}

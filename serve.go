@@ -61,14 +61,7 @@ type httpBackend struct {
 }
 
 func (b *httpBackend) Search(req *httpapi.SearchRequest) (*httpapi.SearchResponse, error) {
-	algo := TNRA
-	if req.Algo == httpapi.AlgoTRA {
-		algo = TRA
-	}
-	scheme := ChainMHT
-	if req.Scheme == httpapi.SchemeMHT {
-		scheme = MHT
-	}
+	algo, scheme := parseWireAlgo(req.Algo), parseWireScheme(req.Scheme)
 	start := time.Now()
 	res, err := b.srv.Search(req.Query, req.R, algo, scheme)
 	if err != nil {

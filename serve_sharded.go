@@ -1,0 +1,152 @@
+package authtext
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"authtext/internal/httpapi"
+)
+
+// This file adapts a ShardedServer to the /v1 HTTP protocol: the sharded
+// endpoints (/v1/shards/search, /v1/shards/manifest) answer fanned-out
+// queries and serve the ATSX bootstrap blob, while /v1/healthz reports the
+// shard count so clients can discover the deployment shape. The plain
+// /v1/search endpoint is not served — a sharded answer needs the sharded
+// wire format — and answers 404 with a pointer to the sharded path.
+
+// ShardedHandlerOption customises NewShardedHTTPHandler.
+type ShardedHandlerOption func(*shardedHTTPBackend)
+
+// WithShardedQueryLog installs a per-query callback; stats aggregate the
+// whole fan-out.
+func WithShardedQueryLog(fn func(query string, r int, stats ShardedStats, wall time.Duration)) ShardedHandlerOption {
+	return func(b *shardedHTTPBackend) { b.queryLog = fn }
+}
+
+// NewShardedHTTPHandler exposes a ShardedServer over the versioned HTTP
+// protocol. export is the ATSX blob from ShardedOwner.ExportClient, served
+// at /v1/shards/manifest; pass nil to require out-of-band bootstrap.
+func NewShardedHTTPHandler(srv *ShardedServer, export []byte, opts ...ShardedHandlerOption) http.Handler {
+	b := &shardedHTTPBackend{srv: srv, export: export, start: time.Now()}
+	for _, opt := range opts {
+		opt(b)
+	}
+	return httpapi.NewHandler(b)
+}
+
+// HTTPHandler is the owner-side convenience: export the verification
+// material and wrap the serving half in one call.
+func (o *ShardedOwner) HTTPHandler(opts ...ShardedHandlerOption) (http.Handler, error) {
+	export, err := o.ExportClient()
+	if err != nil {
+		return nil, err
+	}
+	return NewShardedHTTPHandler(o.Server(), export, opts...), nil
+}
+
+// shardedHTTPBackend implements httpapi.ShardBackend on a ShardedServer.
+type shardedHTTPBackend struct {
+	srv      *ShardedServer
+	export   []byte
+	start    time.Time
+	queryLog func(query string, r int, stats ShardedStats, wall time.Duration)
+	served   atomic.Int64
+	failed   atomic.Int64
+}
+
+// Search implements the non-sharded endpoint: not available here.
+func (b *shardedHTTPBackend) Search(req *httpapi.SearchRequest) (*httpapi.SearchResponse, error) {
+	return nil, &httpapi.StatusError{
+		Status:  http.StatusNotFound,
+		Code:    httpapi.CodeNotFound,
+		Message: "this server is sharded; query " + httpapi.PathShardSearch,
+	}
+}
+
+// ClientExport implements the non-sharded bootstrap: not available here.
+func (b *shardedHTTPBackend) ClientExport() ([]byte, error) {
+	return nil, &httpapi.StatusError{
+		Status:  http.StatusNotFound,
+		Code:    httpapi.CodeNotFound,
+		Message: "this server is sharded; fetch " + httpapi.PathShardManifest,
+	}
+}
+
+func (b *shardedHTTPBackend) ShardSearch(req *httpapi.SearchRequest) (*httpapi.ShardedSearchResponse, error) {
+	algo, scheme := parseWireAlgo(req.Algo), parseWireScheme(req.Scheme)
+	start := time.Now()
+	res, err := b.srv.Search(req.Query, req.R, algo, scheme)
+	if err != nil {
+		b.failed.Add(1)
+		return nil, err
+	}
+	wall := time.Since(start)
+	b.served.Add(1)
+	if b.queryLog != nil {
+		b.queryLog(req.Query, req.R, res.Stats, wall)
+	}
+	out := &httpapi.ShardedSearchResponse{
+		Query:  req.Query,
+		R:      req.R,
+		Algo:   req.Algo,
+		Scheme: req.Scheme,
+		Shards: make([]httpapi.SearchResponse, len(res.PerShard)),
+		Merged: make([]httpapi.MergedHit, len(res.Merged)),
+		Stats: httpapi.ShardedSearchStats{
+			Shards:       res.Stats.Shards,
+			EntriesRead:  res.Stats.EntriesRead,
+			VOBytes:      res.Stats.VOBytes,
+			IOMillis:     float64(res.Stats.IOTime),
+			ServerMillis: float64(wall.Microseconds()) / 1000,
+		},
+	}
+	for i, sr := range res.PerShard {
+		w := httpapi.SearchResponse{
+			Query:  req.Query,
+			R:      req.R,
+			Algo:   req.Algo,
+			Scheme: req.Scheme,
+			Hits:   make([]httpapi.Hit, len(sr.Hits)),
+			VO:     sr.VO,
+			Stats:  wireStats(sr.Stats, wall),
+		}
+		for j, h := range sr.Hits {
+			w.Hits[j] = httpapi.Hit{DocID: h.DocID, Score: h.Score, Content: h.Content}
+		}
+		out.Shards[i] = w
+	}
+	for i, m := range res.Merged {
+		out.Merged[i] = httpapi.MergedHit{Shard: m.Shard, DocID: m.DocID, GlobalID: m.GlobalID, Score: m.Score}
+	}
+	return out, nil
+}
+
+func (b *shardedHTTPBackend) ShardExport() ([]byte, error) {
+	if b.export == nil {
+		return nil, &httpapi.StatusError{
+			Status:  http.StatusServiceUnavailable,
+			Code:    httpapi.CodeUnavailable,
+			Message: "this server does not publish verification material",
+		}
+	}
+	return b.export, nil
+}
+
+func (b *shardedHTTPBackend) Health() httpapi.Health {
+	docs, terms := 0, 0
+	for i := 0; i < b.srv.Shards(); i++ {
+		idx := b.srv.set.Col(i).Index()
+		docs += idx.N
+		terms += idx.M()
+	}
+	return httpapi.Health{
+		Status:        "ok",
+		Documents:     docs,
+		Terms:         terms,
+		Shards:        b.srv.Shards(),
+		UptimeMillis:  time.Since(b.start).Milliseconds(),
+		QueriesServed: b.served.Load(),
+		QueriesFailed: b.failed.Load(),
+	}
+}

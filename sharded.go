@@ -1,0 +1,306 @@
+package authtext
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"authtext/internal/core"
+	"authtext/internal/index"
+	"authtext/internal/shard"
+	"authtext/internal/sig"
+	"authtext/internal/textproc"
+)
+
+// Sharded collections split one corpus into k independently authenticated
+// sub-collections. The owner signs every shard plus a compact shard-set
+// manifest pinning the shard population; a ShardedServer fans each query
+// out to all shards in parallel; a ShardedClient verifies every shard's
+// verification object with the single-collection machinery and then checks
+// the merged ranking is the true global top-r by recomputation. Tampering
+// with any shard's answer, dropping or substituting a shard, or reordering
+// the merge classifies as tampering (IsTampered reports true).
+// docs/SHARDING.md describes the design and its trust model.
+
+// ShardPartitioner selects how documents are assigned to shards.
+type ShardPartitioner int
+
+const (
+	// PartitionRoundRobin assigns document i to shard i mod k (balanced,
+	// the default).
+	PartitionRoundRobin ShardPartitioner = iota + 1
+	// PartitionHash assigns documents by content hash (stable under corpus
+	// reordering).
+	PartitionHash
+)
+
+func (p ShardPartitioner) internal() shard.Partitioner {
+	if p == PartitionHash {
+		return shard.HashContent
+	}
+	return shard.RoundRobin
+}
+
+// WithShardPartitioner overrides the document→shard assignment policy used
+// by NewShardedOwner (default PartitionRoundRobin). It has no effect on
+// NewOwner.
+func WithShardPartitioner(p ShardPartitioner) Option {
+	return func(o *options) { o.partitioner = p }
+}
+
+// ShardedOwner builds and publishes a sharded authenticated collection:
+// one signing key, k shards, one signed shard-set manifest.
+type ShardedOwner struct {
+	set *shard.Set
+}
+
+// NewShardedOwner partitions the documents into shards, builds every shard
+// concurrently (all Options apply to each shard exactly as they would to
+// NewOwner), and signs the set manifest with the same key.
+func NewShardedOwner(docs []Document, shards int, opts ...Option) (*ShardedOwner, error) {
+	cfg, idocs, o, err := prepareBuild(docs, opts)
+	if err != nil {
+		return nil, err
+	}
+	part := shard.RoundRobin
+	if o.partitioner != 0 {
+		part = o.partitioner.internal()
+	}
+	set, err := shard.Build(idocs, shard.Config{Engine: cfg, Shards: shards, Partitioner: part})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedOwner{set: set}, nil
+}
+
+// Shards returns the shard count.
+func (o *ShardedOwner) Shards() int { return o.set.K() }
+
+// Server returns the query-serving half (conceptually handed to the
+// untrusted host — or hosts; each shard is one snapshot file).
+func (o *ShardedOwner) Server() *ShardedServer { return &ShardedServer{set: o.set} }
+
+// Client returns the verification half: the signed set manifest, every
+// shard's signed manifest, the doc maps and the public key.
+func (o *ShardedOwner) Client() *ShardedClient { return newShardedClientFromSet(o.set) }
+
+// Stats aggregates owner-side build costs across shards. buildMillis is
+// the slowest shard (shards build in parallel).
+func (o *ShardedOwner) Stats() (buildMillis float64, signatures int, deviceBytes int64) {
+	for i := 0; i < o.set.K(); i++ {
+		bs := o.set.Col(i).BuildStats()
+		if ms := float64(bs.BuildTime.Milliseconds()); ms > buildMillis {
+			buildMillis = ms
+		}
+		signatures += bs.Signatures
+		deviceBytes += o.set.Col(i).Space().DeviceBytes
+	}
+	signatures++ // the set-manifest signature
+	return buildMillis, signatures, deviceBytes
+}
+
+// ShardedServer answers queries by parallel fan-out over every shard.
+type ShardedServer struct {
+	set *shard.Set
+}
+
+// Shards returns the shard count.
+func (s *ShardedServer) Shards() int { return s.set.K() }
+
+// Shard returns the single-collection server for shard i (tests use it for
+// targeted tampering; deployments can serve shards from separate processes).
+func (s *ShardedServer) Shard(i int) *Server { return &Server{col: s.set.Col(i)} }
+
+// ShardedHit is one entry of the merged global ranking.
+type ShardedHit struct {
+	// Shard and DocID identify the document inside its shard (DocID is the
+	// shard-local ID the shard's VO speaks about).
+	Shard int
+	DocID int
+	// GlobalID is the document's index in the original corpus, from the
+	// authenticated shard doc map.
+	GlobalID int
+	Score    float64
+	Content  []byte
+}
+
+// ShardedStats aggregates per-query costs across the fan-out.
+type ShardedStats struct {
+	Shards      int
+	Algorithm   Algorithm
+	Scheme      Scheme
+	QueryTerms  int
+	EntriesRead int
+	// VOBytes is the summed size of all shard VOs.
+	VOBytes int
+	// IOTime is the slowest shard's simulated disk time (shards run in
+	// parallel, so this is the critical path).
+	IOTime StatsDuration
+	// Wall is the fan-out wall time.
+	Wall time.Duration
+}
+
+// ShardedResult bundles everything the server returns for one fanned-out
+// query: each shard's individually authenticated answer plus the merged
+// global ranking.
+type ShardedResult struct {
+	// PerShard holds shard i's result (hits, VO, stats) at index i.
+	PerShard []*SearchResult
+	// Merged is the claimed global top-r. The client recomputes it from
+	// the verified per-shard results; it carries no proof of its own.
+	Merged []ShardedHit
+	Stats  ShardedStats
+}
+
+// Search runs a top-r similarity query against every shard concurrently
+// and merges the local rankings into the global top-r.
+func (s *ShardedServer) Search(query string, r int, algo Algorithm, scheme Scheme) (*ShardedResult, error) {
+	tokens := textproc.Terms(query)
+	setRes, err := s.set.Search(tokens, r, algo.core(), scheme.core())
+	if err != nil {
+		return nil, err
+	}
+	out := &ShardedResult{
+		PerShard: make([]*SearchResult, len(setRes.PerShard)),
+		Merged:   make([]ShardedHit, len(setRes.Merged)),
+		Stats: ShardedStats{
+			Shards:    s.set.K(),
+			Algorithm: algo,
+			Scheme:    scheme,
+			Wall:      setRes.Wall,
+		},
+	}
+	for i, sr := range setRes.PerShard {
+		res := &SearchResult{VO: sr.VO}
+		for _, e := range sr.Result.Entries {
+			res.Hits = append(res.Hits, Hit{DocID: int(e.Doc), Score: e.Score, Content: sr.Result.Contents[e.Doc]})
+		}
+		res.Stats = Stats{
+			Algorithm:      algo,
+			Scheme:         scheme,
+			QueryTerms:     sr.Stats.QueryTerms,
+			EntriesRead:    sr.Stats.EntriesRead,
+			EntriesPerTerm: sr.Stats.EntriesPerTerm,
+			PctListRead:    sr.Stats.PctListRead,
+			BlockReads:     sr.Stats.IO.BlockReads,
+			RandomReads:    sr.Stats.IO.RandomReads,
+			IOTime:         StatsDuration(float64(sr.Stats.IO.SimTime.Microseconds()) / 1000),
+			VOBytes:        len(sr.VO),
+		}
+		out.PerShard[i] = res
+		out.Stats.QueryTerms = sr.Stats.QueryTerms
+		out.Stats.EntriesRead += sr.Stats.EntriesRead
+		out.Stats.VOBytes += len(sr.VO)
+		if res.Stats.IOTime > out.Stats.IOTime {
+			out.Stats.IOTime = res.Stats.IOTime
+		}
+	}
+	for i, m := range setRes.Merged {
+		out.Merged[i] = ShardedHit{
+			Shard:    m.Shard,
+			DocID:    int(m.Doc),
+			GlobalID: int(m.Global),
+			Score:    m.Score,
+			Content:  setRes.PerShard[m.Shard].Result.Contents[m.Doc],
+		}
+	}
+	return out, nil
+}
+
+// ShardedClient verifies fanned-out query results. It holds no collection
+// data: only the signed set manifest, each shard's signed manifest, the
+// doc maps and the owner's public key. Safe for concurrent use.
+type ShardedClient struct {
+	manifest    *shard.SetManifest
+	manifestSig []byte
+	verifier    sig.Verifier
+	shards      []*Client
+	docMaps     [][]uint32
+
+	checkOnce sync.Once
+	checkErr  error
+}
+
+func newShardedClientFromSet(set *shard.Set) *ShardedClient {
+	sm, smSig := set.Manifest()
+	c := &ShardedClient{
+		manifest:    sm,
+		manifestSig: smSig,
+		verifier:    set.Verifier(),
+		shards:      make([]*Client, set.K()),
+		docMaps:     make([][]uint32, set.K()),
+	}
+	for i := 0; i < set.K(); i++ {
+		m, msig := set.Col(i).Manifest()
+		c.shards[i] = &Client{manifest: m, manifestSig: msig, verifier: set.Verifier()}
+		c.docMaps[i] = set.DocMap(i)
+	}
+	return c
+}
+
+// Shards returns the shard count the set manifest commits to.
+func (c *ShardedClient) Shards() int { return len(c.shards) }
+
+// checkManifest runs the one-time set-manifest signature check (cached,
+// like Client.checkManifest).
+func (c *ShardedClient) checkManifest() error {
+	c.checkOnce.Do(func() {
+		if err := shard.VerifySetManifest(c.manifest, c.manifestSig, c.verifier); err != nil {
+			c.checkErr = &core.VerifyError{Code: core.CodeBadSignature, Detail: err.Error()}
+		}
+	})
+	return c.checkErr
+}
+
+// Verify checks a sharded search result end to end: the set-manifest
+// signature, every shard's verification object against that shard's signed
+// manifest, and finally that the merged ranking equals the deterministic
+// top-r recomputed from the (now trusted) per-shard results. It returns
+// nil iff all checks pass; IsTampered classifies the error.
+func (c *ShardedClient) Verify(query string, r int, res *ShardedResult) error {
+	if res == nil {
+		return errors.New("authtext: nil result")
+	}
+	if err := c.checkManifest(); err != nil {
+		return err
+	}
+	if len(res.PerShard) != len(c.shards) {
+		return &core.VerifyError{Code: core.CodeIncomplete,
+			Detail: fmt.Sprintf("%d shard responses for a %d-shard collection", len(res.PerShard), len(c.shards))}
+	}
+	perShard := make([][]core.ResultEntry, len(c.shards))
+	contents := make(map[[2]int][]byte)
+	for i, sr := range res.PerShard {
+		if sr == nil {
+			return &core.VerifyError{Code: core.CodeIncomplete,
+				Detail: fmt.Sprintf("shard %d returned no response", i)}
+		}
+		if err := c.shards[i].Verify(query, r, sr); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		entries := make([]core.ResultEntry, len(sr.Hits))
+		for j, h := range sr.Hits {
+			entries[j] = core.ResultEntry{Doc: index.DocID(h.DocID), Score: h.Score}
+			contents[[2]int{i, h.DocID}] = h.Content
+		}
+		perShard[i] = entries
+	}
+	merged := make([]shard.MergedHit, len(res.Merged))
+	for i, h := range res.Merged {
+		merged[i] = shard.MergedHit{Shard: h.Shard, Doc: index.DocID(h.DocID), Global: uint32(h.GlobalID), Score: h.Score}
+	}
+	if err := shard.VerifyMerge(perShard, c.docMaps, r, merged); err != nil {
+		return err
+	}
+	// The merged entries must deliver the same (verified) content as the
+	// shard answers they cite.
+	for i, h := range res.Merged {
+		if want, ok := contents[[2]int{h.Shard, h.DocID}]; !ok || !bytes.Equal(h.Content, want) {
+			return &core.VerifyError{Code: core.CodeBadContent,
+				Detail: fmt.Sprintf("merged entry %d content disagrees with shard %d's verified answer", i, h.Shard)}
+		}
+	}
+	return nil
+}

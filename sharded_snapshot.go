@@ -1,0 +1,114 @@
+package authtext
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"authtext/internal/engine"
+	"authtext/internal/shard"
+	"authtext/internal/snapshot"
+)
+
+// Sharded snapshot layout: one directory holding one ATSN snapshot per
+// shard plus the ATSX bundle that binds them together. Each shard file is
+// an ordinary single-collection snapshot — a deployment can hand each one
+// to a different host — and the manifest file lets any process (or client)
+// know the exact shard population the owner signed.
+
+const (
+	// ShardedManifestFile is the ATSX bundle inside a sharded snapshot
+	// directory.
+	ShardedManifestFile = "shards.atsx"
+)
+
+// shardSnapshotName returns the file name of shard i's snapshot.
+func shardSnapshotName(i int) string { return fmt.Sprintf("shard-%04d.atsn", i) }
+
+// WriteSnapshotDir persists the sharded collection: dir/shard-NNNN.atsn
+// for every shard plus dir/shards.atsx. The directory is created if
+// missing; a failed write removes the partial files it created.
+func (o *ShardedOwner) WriteSnapshotDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var written []string
+	fail := func(err error) error {
+		for _, p := range written {
+			os.Remove(p)
+		}
+		return err
+	}
+	for i := 0; i < o.set.K(); i++ {
+		path := filepath.Join(dir, shardSnapshotName(i))
+		f, err := os.Create(path)
+		if err != nil {
+			return fail(err)
+		}
+		written = append(written, path)
+		if err := snapshot.Write(f, o.set.Col(i)); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("shard %d: %w", i, err))
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+	}
+	export, err := o.ExportClient()
+	if err != nil {
+		return fail(err)
+	}
+	manifestPath := filepath.Join(dir, ShardedManifestFile)
+	written = append(written, manifestPath)
+	if err := os.WriteFile(manifestPath, export, 0o644); err != nil {
+		return fail(err)
+	}
+	return nil
+}
+
+// OpenShardedSnapshotDir reopens a directory written by WriteSnapshotDir
+// and returns the serving half plus a verification client. Every shard
+// snapshot is cross-checked against the signed set manifest, so a missing,
+// swapped or foreign shard file fails here; the deeper trust model is the
+// same as OpenSnapshot's — a consistently forged directory still produces
+// answers that fail verification against an out-of-band client.
+func OpenShardedSnapshotDir(dir string) (*ShardedServer, *ShardedClient, error) {
+	export, err := os.ReadFile(filepath.Join(dir, ShardedManifestFile))
+	if err != nil {
+		return nil, nil, fmt.Errorf("authtext: sharded snapshot: %w", err)
+	}
+	ex, err := parseShardedExport(export)
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := make([]*engine.Collection, ex.manifest.K)
+	for i := range cols {
+		path := filepath.Join(dir, shardSnapshotName(i))
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("authtext: sharded snapshot: %w", err)
+		}
+		col, err := snapshot.Open(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("authtext: shard %d: %w", i, err)
+		}
+		cols[i] = col
+	}
+	set, err := shard.Assemble(cols, ex.manifest, ex.manifestSig, ex.verifier, ex.docMaps)
+	if err != nil {
+		return nil, nil, fmt.Errorf("authtext: %w", err)
+	}
+	return &ShardedServer{set: set}, newShardedClientFromSet(set), nil
+}
+
+// IsShardedSnapshot reports whether path is a sharded snapshot directory
+// (used by the CLIs to route -snapshot PATH transparently).
+func IsShardedSnapshot(path string) bool {
+	info, err := os.Stat(path)
+	if err != nil || !info.IsDir() {
+		return false
+	}
+	_, err = os.Stat(filepath.Join(path, ShardedManifestFile))
+	return err == nil
+}

@@ -1,0 +1,331 @@
+package authtext
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func shardedTestDocs() []Document {
+	texts := []string{
+		"professional users require integrity assurance from paid content services",
+		"a merkle hash tree authenticates messages by signing the root digest",
+		"threshold algorithms pop the entry with the highest term score",
+		"the verification object contains digests to recompute the signed root",
+		"sorted access maintains lower and upper bounds for candidate documents",
+		"signatures generated with the private key verify with the public key",
+		"the frequency ordered inverted index stores impact entries",
+		"an audit trail archives verification objects for every decision",
+		"random access fetches term frequencies from the document record",
+		"chains of block trees verify leading blocks with one stored signature",
+		"buddy leaves are cheaper to transmit than covering digests",
+		"the user recomputes every score and checks the excluded documents",
+		"query processing costs are dominated by disk reads of list blocks",
+		"altered rankings divert attention from certain documents",
+		"spurious results with fake entries may discourage competitors",
+		"a breached server may return incorrect results to its users",
+	}
+	docs := make([]Document, len(texts))
+	for i, s := range texts {
+		docs[i] = Document{Content: []byte(s)}
+	}
+	return docs
+}
+
+func buildShardedFixture(t *testing.T, shards int, opts ...Option) (*ShardedServer, *ShardedClient) {
+	t.Helper()
+	opts = append([]Option{WithFastSigner([]byte("sharded-test")), WithSingletonTerms()}, opts...)
+	owner, err := NewShardedOwner(shardedTestDocs(), shards, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner.Shards() != shards {
+		t.Fatalf("Shards() = %d, want %d", owner.Shards(), shards)
+	}
+	return owner.Server(), owner.Client()
+}
+
+const shardedQuery = "merkle tree signatures verify the root digest"
+
+func TestShardedHonestSearchVerifies(t *testing.T) {
+	server, client := buildShardedFixture(t, 4)
+	for _, algo := range []Algorithm{TRA, TNRA} {
+		for _, scheme := range []Scheme{MHT, ChainMHT} {
+			res, err := server.Search(shardedQuery, 5, algo, scheme)
+			if err != nil {
+				t.Fatalf("%s-%s: %v", algo, scheme, err)
+			}
+			if len(res.PerShard) != 4 {
+				t.Fatalf("%s-%s: %d shard responses", algo, scheme, len(res.PerShard))
+			}
+			if len(res.Merged) == 0 {
+				t.Fatalf("%s-%s: empty merged ranking", algo, scheme)
+			}
+			if err := client.Verify(shardedQuery, 5, res); err != nil {
+				t.Errorf("%s-%s: honest result rejected: %v", algo, scheme, err)
+			}
+			// Merged hits must be globally ordered and carry content.
+			for i := 1; i < len(res.Merged); i++ {
+				if res.Merged[i].Score > res.Merged[i-1].Score {
+					t.Errorf("%s-%s: merged ranking not sorted at %d", algo, scheme, i)
+				}
+			}
+			for i, h := range res.Merged {
+				if len(h.Content) == 0 {
+					t.Errorf("%s-%s: merged hit %d has no content", algo, scheme, i)
+				}
+				if h.GlobalID < 0 || h.GlobalID >= len(shardedTestDocs()) {
+					t.Errorf("%s-%s: merged hit %d global id %d out of range", algo, scheme, i, h.GlobalID)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedTamperingDetected is the acceptance matrix: altering any
+// single shard's response, dropping a shard, or reordering the merged
+// top-k must classify as tampering for both TRA and TNRA.
+func TestShardedTamperingDetected(t *testing.T) {
+	server, client := buildShardedFixture(t, 4)
+	for _, algo := range []Algorithm{TRA, TNRA} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			fresh := func() *ShardedResult {
+				res, err := server.Search(shardedQuery, 5, algo, ChainMHT)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Merged) < 2 {
+					t.Fatalf("need ≥ 2 merged hits to tamper, got %d", len(res.Merged))
+				}
+				return res
+			}
+			expectTampered := func(name string, res *ShardedResult) {
+				t.Helper()
+				err := client.Verify(shardedQuery, 5, res)
+				if err == nil {
+					t.Errorf("%s: tampering went undetected", name)
+					return
+				}
+				if !IsTampered(err) {
+					t.Errorf("%s: error not classified as tampering: %v", name, err)
+				}
+			}
+
+			// 1. Alter a single shard's response: inflate a score.
+			res := fresh()
+			victim := res.Merged[0].Shard
+			if len(res.PerShard[victim].Hits) == 0 {
+				t.Fatalf("victim shard %d has no hits", victim)
+			}
+			res.PerShard[victim].Hits[0].Score += 1
+			expectTampered("inflated shard score", res)
+
+			// 2. Alter a single shard's response: swap delivered content.
+			res = fresh()
+			victim = res.Merged[0].Shard
+			res.PerShard[victim].Hits[0].Content = []byte("forged document content")
+			expectTampered("forged shard content", res)
+
+			// 3. Alter a single shard's response: corrupt its VO.
+			res = fresh()
+			victim = res.Merged[0].Shard
+			res.PerShard[victim].VO[len(res.PerShard[victim].VO)/2] ^= 0x01
+			expectTampered("corrupted shard VO", res)
+
+			// 4. Drop a shard entirely.
+			res = fresh()
+			res.PerShard = res.PerShard[:len(res.PerShard)-1]
+			expectTampered("dropped shard", res)
+
+			// 5. Null out a shard's response while keeping the count.
+			res = fresh()
+			res.PerShard[0] = nil
+			expectTampered("nil shard response", res)
+
+			// 6. Reorder the merged top-k.
+			res = fresh()
+			res.Merged[0], res.Merged[1] = res.Merged[1], res.Merged[0]
+			expectTampered("reordered merge", res)
+
+			// 7. Truncate the merged top-k (hide the best hit).
+			res = fresh()
+			res.Merged = res.Merged[1:]
+			expectTampered("truncated merge", res)
+
+			// 8. Rewrite a merged entry's global ID.
+			res = fresh()
+			res.Merged[0].GlobalID = (res.Merged[0].GlobalID + 1) % len(shardedTestDocs())
+			expectTampered("rewritten global id", res)
+
+			// 9. Swap merged content against the shard answers.
+			res = fresh()
+			res.Merged[0].Content = []byte("forged merged content")
+			expectTampered("forged merged content", res)
+
+			// Control: an untouched result still verifies.
+			if err := client.Verify(shardedQuery, 5, fresh()); err != nil {
+				t.Errorf("control: honest result rejected: %v", err)
+			}
+		})
+	}
+}
+
+func TestShardedWrongShardCountRejected(t *testing.T) {
+	server, _ := buildShardedFixture(t, 4)
+	_, otherClient := buildShardedFixture(t, 2)
+	res, err := server.Search(shardedQuery, 5, TNRA, ChainMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = otherClient.Verify(shardedQuery, 5, res)
+	if err == nil || !IsTampered(err) {
+		t.Errorf("4-shard result accepted by 2-shard client: %v", err)
+	}
+}
+
+func TestShardedExportRoundTrip(t *testing.T) {
+	owner, err := NewShardedOwner(shardedTestDocs(), 3, WithSingletonTerms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	export, err := owner.ExportClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewShardedClientFromExport(export)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client.Shards() != 3 {
+		t.Fatalf("Shards() = %d", client.Shards())
+	}
+	server := owner.Server()
+	res, err := server.Search(shardedQuery, 4, TNRA, ChainMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Verify(shardedQuery, 4, res); err != nil {
+		t.Errorf("export-derived client rejected honest result: %v", err)
+	}
+
+	// Any flipped byte must be rejected at parse time.
+	for _, i := range []int{0, 6, len(export) / 2, len(export) - 1} {
+		bad := append([]byte(nil), export...)
+		bad[i] ^= 0x01
+		if _, err := NewShardedClientFromExport(bad); err == nil {
+			t.Errorf("flipping export byte %d went undetected", i)
+		}
+	}
+	if _, err := NewShardedClientFromExport(export[:len(export)-3]); err == nil {
+		t.Error("truncated export accepted")
+	}
+	if _, err := NewShardedClientFromExport(append(append([]byte(nil), export...), 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestShardedSnapshotDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	owner, err := NewShardedOwner(shardedTestDocs(), 3,
+		WithFastSigner([]byte("sharded-snap")), WithSingletonTerms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapDir := filepath.Join(dir, "shards")
+	if err := owner.WriteSnapshotDir(snapDir); err != nil {
+		t.Fatal(err)
+	}
+	if !IsShardedSnapshot(snapDir) {
+		t.Error("IsShardedSnapshot = false for a sharded snapshot directory")
+	}
+	if IsShardedSnapshot(filepath.Join(dir, "nope")) {
+		t.Error("IsShardedSnapshot = true for a missing path")
+	}
+
+	server, client, err := OpenShardedSnapshotDir(snapDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if server.Shards() != 3 {
+		t.Fatalf("reopened server has %d shards", server.Shards())
+	}
+	for _, algo := range []Algorithm{TRA, TNRA} {
+		res, err := server.Search(shardedQuery, 4, algo, ChainMHT)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if err := client.Verify(shardedQuery, 4, res); err != nil {
+			t.Errorf("%s: snapshot-booted result rejected: %v", algo, err)
+		}
+		// Cross-check against a client from the ORIGINAL owner: the
+		// snapshot channel is untrusted, the owner's export is the root.
+		if err := owner.Client().Verify(shardedQuery, 4, res); err != nil {
+			t.Errorf("%s: original client rejected snapshot-booted result: %v", algo, err)
+		}
+	}
+
+	// Swapping two shard files must fail the open-time cross-check.
+	a := filepath.Join(snapDir, shardSnapshotName(0))
+	b := filepath.Join(snapDir, shardSnapshotName(1))
+	tmp := filepath.Join(snapDir, "tmp")
+	for _, mv := range [][2]string{{a, tmp}, {b, a}, {tmp, b}} {
+		if err := os.Rename(mv[0], mv[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := OpenShardedSnapshotDir(snapDir); err == nil {
+		t.Error("swapped shard files opened cleanly")
+	}
+}
+
+func TestShardedBuildErrors(t *testing.T) {
+	if _, err := NewShardedOwner(nil, 2); err == nil {
+		t.Error("empty collection accepted")
+	}
+	if _, err := NewShardedOwner(shardedTestDocs(), 0, WithSingletonTerms()); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := NewShardedOwner(shardedTestDocs(), len(shardedTestDocs())+1, WithSingletonTerms()); err == nil {
+		t.Error("more shards than documents accepted")
+	}
+}
+
+func TestShardedPartitionHash(t *testing.T) {
+	owner, err := NewShardedOwner(shardedTestDocs(), 2,
+		WithFastSigner([]byte("hash-part")), WithSingletonTerms(),
+		WithShardPartitioner(PartitionHash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := owner.Server(), owner.Client()
+	res, err := server.Search(shardedQuery, 4, TNRA, ChainMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Verify(shardedQuery, 4, res); err != nil {
+		t.Errorf("hash-partitioned result rejected: %v", err)
+	}
+}
+
+func TestShardedStatsAggregate(t *testing.T) {
+	server, _ := buildShardedFixture(t, 4)
+	res, err := server.Search(shardedQuery, 5, TNRA, ChainMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Shards != 4 {
+		t.Errorf("Stats.Shards = %d", st.Shards)
+	}
+	var voSum int
+	for _, sr := range res.PerShard {
+		voSum += len(sr.VO)
+	}
+	if st.VOBytes != voSum {
+		t.Errorf("Stats.VOBytes = %d, per-shard sum %d", st.VOBytes, voSum)
+	}
+	if st.Wall <= 0 {
+		t.Errorf("Stats.Wall = %v", st.Wall)
+	}
+}
