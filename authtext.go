@@ -109,6 +109,10 @@ type Stats struct {
 	RandomReads    int64
 	// IOTime is simulated disk time under the configured cost model.
 	IOTime StatsDuration
+	// ServerTime is the real wall time the engine spent answering this
+	// query (search + VO assembly). Unlike a wall clock around a batch, it
+	// is per-query even when queries run concurrently.
+	ServerTime StatsDuration
 	// VOBytes is the encoded VO size.
 	VOBytes int
 }
@@ -282,14 +286,19 @@ func (o *Owner) Stats() (buildMillis float64, signatures int, deviceBytes int64)
 	return float64(bs.BuildTime.Milliseconds()), bs.Signatures, o.col.Space().DeviceBytes
 }
 
-// Server answers queries with integrity proofs.
+// Server answers queries with integrity proofs. It is safe for concurrent
+// use: the underlying collection is immutable once built, every query runs
+// on its own store session, and any number of Search calls may be in
+// flight at once (docs/CONCURRENCY.md describes the model). SearchBatch
+// executes many queries with a bounded worker pool.
 type Server struct {
 	col *engine.Collection
 }
 
 // Search runs a top-r similarity query. The query text goes through the
 // same pipeline as the documents (lowercasing, stopword removal);
-// out-of-dictionary terms are ignored per §3.1.
+// out-of-dictionary terms are ignored per §3.1. Search is safe for
+// concurrent use, and per-query Stats are unaffected by concurrency.
 func (s *Server) Search(query string, r int, algo Algorithm, scheme Scheme) (*SearchResult, error) {
 	tokens := textproc.Terms(query)
 	res, voBytes, st, err := s.col.Search(tokens, r, algo.core(), scheme.core())
@@ -310,6 +319,7 @@ func (s *Server) Search(query string, r int, algo Algorithm, scheme Scheme) (*Se
 		BlockReads:     st.IO.BlockReads,
 		RandomReads:    st.IO.RandomReads,
 		IOTime:         StatsDuration(float64(st.IO.SimTime.Microseconds()) / 1000),
+		ServerTime:     StatsDuration(float64(st.ServerWall.Microseconds()) / 1000),
 		VOBytes:        len(voBytes),
 	}
 	return out, nil

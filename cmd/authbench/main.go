@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	authbench [-profile tiny|small|medium|wsj] [-fig all|4|13|14|15|table2|space|headline|snapshot|shards]
+//	authbench [-profile tiny|small|medium|wsj]
+//	          [-fig all|4|13|14|15|table2|space|headline|snapshot|shards|concurrency]
 //	          [-queries N] [-rsa] [-out FILE]
 //
 // The medium profile (20,000 documents) reproduces the shape of every
@@ -34,7 +35,7 @@ func main() {
 
 func run() error {
 	profileName := flag.String("profile", "medium", "corpus profile: tiny, small, medium, wsj")
-	fig := flag.String("fig", "all", "experiment: all, 4, 13, 14, 15, table2, space, headline, snapshot, shards")
+	fig := flag.String("fig", "all", "experiment: all, 4, 13, 14, 15, table2, space, headline, snapshot, shards, concurrency")
 	queries := flag.Int("queries", 0, "queries per sweep point (0 = profile default)")
 	rsa := flag.Bool("rsa", false, "sign with RSA-1024 instead of the fast keyed-hash signer")
 	outPath := flag.String("out", "", "write output to this file as well as stdout")
@@ -135,6 +136,12 @@ func run() error {
 	}
 	if has("shards") {
 		if _, err := experiments.ShardCompare(profile, opts.Queries, w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if has("concurrency") {
+		if _, err := experiments.ConcurrencyCompare(fixture, opts.Queries, w); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)

@@ -3,7 +3,6 @@ package engine
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"authtext/internal/core"
@@ -70,14 +69,19 @@ type SpaceReport struct {
 // Collection is a published, queryable, authenticated document collection:
 // the in-memory dictionary, the on-device structures, the owner's
 // signatures and the signed manifest.
+//
+// Immutability contract: once BuildCollection (or Restore) returns, every
+// field is read-only — the index, the device blocks, the layout tables, the
+// signatures and the derived leaf tables never change. Search therefore
+// takes no lock; all per-query mutable state (the simulated disk head, the
+// I/O statistics) lives in a store.Session private to each call, and any
+// number of Searches and VerifyResults may run concurrently. The only
+// writers are the build path itself and the test-only Device().Corrupt,
+// which must not run concurrently with queries.
 type Collection struct {
 	idx *index.Index
 	dev *store.Device
 	cfg Config
-	// mu serialises queries: the cost model emulates one disk whose head
-	// position and statistics are shared state (§4.1 runs queries one at a
-	// time for the same reason).
-	mu sync.Mutex
 
 	baseHasher sig.Hasher
 	hasher     mht.Hasher

@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"authtext/internal/index"
+)
+
+// concurrencyQueries draws a mixed workload of known dictionary terms.
+func concurrencyQueries(col *Collection, n int, seed int64) [][]string {
+	r := rand.New(rand.NewSource(seed))
+	idx := col.Index()
+	out := make([][]string, n)
+	for i := range out {
+		q := make([]string, 1+r.Intn(4))
+		for j := range q {
+			q[j] = idx.Name(index.TermID(r.Intn(idx.M())))
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// Golden comparison for the session refactor: per-query QueryStats from
+// concurrent searches must equal — field for field, including the
+// simulated-I/O model — the values a serialized run of the same queries
+// produces, across every Algorithm×Scheme pair. This pins the invariant
+// the refactor relies on: a store session starts with the same cold head a
+// per-query ResetStats produced, so concurrency cannot perturb the paper's
+// cost accounting.
+func TestQueryStatsConcurrentMatchSerialized(t *testing.T) {
+	col := buildTestCollection(t, 7, 80, 50, nil)
+	queries := concurrencyQueries(col, 32, 11)
+
+	for _, v := range allVariants {
+		v := v
+		t.Run(v.algo.String()+"-"+v.scheme.String(), func(t *testing.T) {
+			// Serialized golden pass: one query at a time.
+			golden := make([]*QueryStats, len(queries))
+			goldenVO := make([][]byte, len(queries))
+			for i, q := range queries {
+				_, voBytes, st, err := col.Search(q, 5, v.algo, v.scheme)
+				if err != nil {
+					t.Fatal(err)
+				}
+				golden[i], goldenVO[i] = st, voBytes
+			}
+
+			// Concurrent pass: all queries in flight across 8 goroutines.
+			stats := make([]*QueryStats, len(queries))
+			vos := make([][]byte, len(queries))
+			errs := make([]error, len(queries))
+			var wg sync.WaitGroup
+			next := make(chan int)
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range next {
+						_, vos[i], stats[i], errs[i] = col.Search(queries[i], 5, v.algo, v.scheme)
+					}
+				}()
+			}
+			for i := range queries {
+				next <- i
+			}
+			close(next)
+			wg.Wait()
+
+			for i := range queries {
+				if errs[i] != nil {
+					t.Fatalf("query %d: %v", i, errs[i])
+				}
+				g, c := golden[i], stats[i]
+				if g.IO != c.IO {
+					t.Errorf("query %d %v: IO diverged under concurrency:\n  serialized %+v\n  concurrent %+v",
+						i, queries[i], g.IO, c.IO)
+				}
+				if g.RandomAccesses != c.RandomAccesses {
+					t.Errorf("query %d: RandomAccesses %d != %d", i, c.RandomAccesses, g.RandomAccesses)
+				}
+				if g.Iterations != c.Iterations {
+					t.Errorf("query %d: Iterations %d != %d", i, c.Iterations, g.Iterations)
+				}
+				if g.EntriesRead != c.EntriesRead {
+					t.Errorf("query %d: EntriesRead %d != %d", i, c.EntriesRead, g.EntriesRead)
+				}
+				if g.VO != c.VO {
+					t.Errorf("query %d: VO breakdown %+v != %+v", i, c.VO, g.VO)
+				}
+				if string(goldenVO[i]) != string(vos[i]) {
+					t.Errorf("query %d: encoded VO bytes diverged under concurrency", i)
+				}
+			}
+		})
+	}
+}
+
+// Concurrent searches must also verify: the VO assembly walks shared
+// collection structures (term signatures, MHT leaves, document hashes)
+// that the immutability contract promises are never written post-build.
+func TestConcurrentSearchResultsVerify(t *testing.T) {
+	col := buildTestCollection(t, 8, 60, 40, nil)
+	queries := concurrencyQueries(col, 12, 13)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				q := queries[(g+i)%len(queries)]
+				v := allVariants[(g+i)%len(allVariants)]
+				res, voBytes, _, err := col.Search(q, 4, v.algo, v.scheme)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if _, err := col.VerifyResult(q, 4, res, voBytes); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("goroutine %d: %v", g, err)
+		}
+	}
+}

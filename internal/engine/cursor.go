@@ -8,12 +8,13 @@ import (
 	"authtext/internal/store"
 )
 
-// listCursor reads an inverted list block by block off the device, charging
-// each block load against the cost model. Decoded entries are retained: the
-// server needs the revealed prefix again for VO assembly, and chain-block
-// headers carry the successor digests the chain proofs require.
+// listCursor reads an inverted list block by block off the device through
+// the query's store session, charging each block load against the cost
+// model. Decoded entries are retained: the server needs the revealed prefix
+// again for VO assembly, and chain-block headers carry the successor
+// digests the chain proofs require.
 type listCursor struct {
-	dev      *store.Device
+	sess     *store.Session
 	ext      store.Extent
 	total    int
 	chain    bool
@@ -29,8 +30,8 @@ type listCursor struct {
 var _ core.Cursor = (*listCursor)(nil)
 var _ core.PrefixReader = (*listCursor)(nil)
 
-func newListCursor(dev *store.Device, ext store.Extent, total int, chain bool, blockSize, hashSize int) *listCursor {
-	c := &listCursor{dev: dev, ext: ext, total: total, chain: chain, hashSize: hashSize, loaded: -1}
+func newListCursor(sess *store.Session, ext store.Extent, total int, chain bool, blockSize, hashSize int) *listCursor {
+	c := &listCursor{sess: sess, ext: ext, total: total, chain: chain, hashSize: hashSize, loaded: -1}
 	if chain {
 		c.perBlock = core.ChainRho(blockSize, hashSize)
 	} else {
@@ -43,7 +44,7 @@ func (c *listCursor) numBlocks() int { return (c.total + c.perBlock - 1) / c.per
 
 // loadBlock reads and decodes block j (which must be loaded+1).
 func (c *listCursor) loadBlock(j int) {
-	raw, err := c.dev.ReadBlock(c.ext.Start + store.Addr(j))
+	raw, err := c.sess.ReadBlock(c.ext.Start + store.Addr(j))
 	if err != nil {
 		// Only reachable through a layout bug: the extent was written by
 		// the same build that sized it.
@@ -116,12 +117,12 @@ func (c *listCursor) LoadAll() []index.Posting {
 // in memory — so this second pass pays full I/O even for blocks the query
 // processing already fetched.
 func (c *listCursor) FullListForProof() []index.Posting {
-	raw, err := c.dev.ReadExtent(c.ext)
+	raw, err := c.sess.ReadExtent(c.ext)
 	if err != nil {
 		panic(fmt.Sprintf("engine: list extent read: %v", err))
 	}
 	out := make([]index.Posting, c.total)
-	blockSize := c.dev.BlockSize()
+	blockSize := c.sess.BlockSize()
 	hdr := 0
 	if c.chain {
 		hdr = c.hashSize + 4
@@ -169,15 +170,17 @@ func (s *recordingSource) OpenList(t index.TermID) (core.Cursor, error) {
 	return c, nil
 }
 
-// docSource provides TRA's random accesses from the document records,
-// caching per query so each document costs at most one random I/O.
+// docSource provides TRA's random accesses from the document records
+// through the query's store session, caching per query so each document
+// costs at most one random I/O.
 type docSource struct {
 	col   *Collection
+	sess  *store.Session
 	cache map[index.DocID]*docRecord
 }
 
-func newDocSource(col *Collection) *docSource {
-	return &docSource{col: col, cache: make(map[index.DocID]*docRecord)}
+func newDocSource(col *Collection, sess *store.Session) *docSource {
+	return &docSource{col: col, sess: sess, cache: make(map[index.DocID]*docRecord)}
 }
 
 func (s *docSource) record(d index.DocID) (*docRecord, error) {
@@ -187,7 +190,7 @@ func (s *docSource) record(d index.DocID) (*docRecord, error) {
 	if int(d) >= len(s.col.layout.Doc) {
 		return nil, fmt.Errorf("engine: unknown document %d", d)
 	}
-	raw, err := s.col.dev.ReadExtent(s.col.layout.Doc[d])
+	raw, err := s.sess.ReadExtent(s.col.layout.Doc[d])
 	if err != nil {
 		return nil, err
 	}

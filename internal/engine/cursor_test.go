@@ -29,7 +29,7 @@ func buildCursorFixture(t *testing.T, n int, blockSize int) (*store.Device, stor
 
 func TestPlainCursorRoundTrip(t *testing.T) {
 	dev, plainExt, _, ps := buildCursorFixture(t, 100, 256)
-	cur := newListCursor(dev, plainExt, len(ps), false, 256, 16)
+	cur := newListCursor(dev.NewSession(), plainExt, len(ps), false, 256, 16)
 	for i := 0; i < len(ps); i++ {
 		p, ok := cur.Peek()
 		if !ok {
@@ -51,7 +51,7 @@ func TestPlainCursorRoundTrip(t *testing.T) {
 func TestChainCursorRoundTripAndDigests(t *testing.T) {
 	dev, _, chainExt, ps := buildCursorFixture(t, 100, 256)
 	rho := core.ChainRho(256, 16)
-	cur := newListCursor(dev, chainExt, len(ps), true, 256, 16)
+	cur := newListCursor(dev.NewSession(), chainExt, len(ps), true, 256, 16)
 	all := cur.LoadAll()
 	if len(all) != len(ps) {
 		t.Fatalf("LoadAll %d entries", len(all))
@@ -78,10 +78,10 @@ func TestChainCursorRoundTripAndDigests(t *testing.T) {
 
 func TestCursorLazyBlockLoads(t *testing.T) {
 	dev, plainExt, _, ps := buildCursorFixture(t, 100, 256) // 32 entries/block
-	dev.ResetStats()
-	cur := newListCursor(dev, plainExt, len(ps), false, 256, 16)
+	sess := dev.NewSession()
+	cur := newListCursor(sess, plainExt, len(ps), false, 256, 16)
 	cur.Peek()
-	if got := dev.Stats().BlockReads; got != 1 {
+	if got := sess.Stats().BlockReads; got != 1 {
 		t.Fatalf("first peek read %d blocks, want 1", got)
 	}
 	// Consuming within the block costs nothing further.
@@ -89,27 +89,28 @@ func TestCursorLazyBlockLoads(t *testing.T) {
 		cur.Advance()
 		cur.Peek()
 	}
-	if got := dev.Stats().BlockReads; got != 1 {
+	if got := sess.Stats().BlockReads; got != 1 {
 		t.Fatalf("within-block consumption read %d blocks", got)
 	}
 	cur.Advance()
 	cur.Peek() // crosses into block 1
-	if got := dev.Stats().BlockReads; got != 2 {
+	if got := sess.Stats().BlockReads; got != 2 {
 		t.Fatalf("block crossing read %d blocks, want 2", got)
 	}
 }
 
 func TestFullListForProofChargesFullScan(t *testing.T) {
 	dev, plainExt, _, ps := buildCursorFixture(t, 100, 256)
-	cur := newListCursor(dev, plainExt, len(ps), false, 256, 16)
+	sess := dev.NewSession()
+	cur := newListCursor(sess, plainExt, len(ps), false, 256, 16)
 	cur.Peek() // one block fetched during "processing"
-	dev.ResetStats()
+	before := sess.Stats()
 	all := cur.FullListForProof()
 	if len(all) != len(ps) {
 		t.Fatal("full scan incomplete")
 	}
 	// §4.1 prevents caching: the proof pass pays for every block again.
-	if got := dev.Stats().BlockReads; got != int64(plainExt.Blocks) {
+	if got := sess.Stats().Sub(before).BlockReads; got != int64(plainExt.Blocks) {
 		t.Fatalf("proof scan read %d blocks, want %d", got, plainExt.Blocks)
 	}
 }

@@ -91,7 +91,7 @@ func TestReadExtentOverflowRejected(t *testing.T) {
 		{Start: store.Addr(math.MaxInt64 - 1), Blocks: 2, Length: 8},
 		{Start: 0, Blocks: -1, Length: 8},
 	} {
-		if _, err := dev.ReadExtent(ext); err == nil {
+		if _, err := dev.NewSession().ReadExtent(ext); err == nil {
 			t.Errorf("extent %+v accepted", ext)
 		}
 	}

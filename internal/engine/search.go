@@ -39,14 +39,18 @@ type QueryStats struct {
 // Search processes a query (tokens are the post-pipeline token stream) for
 // the top r documents using the chosen algorithm and authentication scheme,
 // returning the result, the encoded VO, and the cost statistics.
+//
+// Search is safe for concurrent use: a built Collection is immutable, and
+// all per-query mutable state — the simulated disk head and the I/O
+// statistics — lives in a store.Session private to this call. Each session
+// starts with a cold head, so per-query QueryStats.IO is identical to what
+// the serialized engine reported for the same query.
 func (c *Collection) Search(tokens []string, r int, algo core.Algo, scheme core.Scheme) (*Result, []byte, *QueryStats, error) {
 	if r < 1 {
 		return nil, nil, nil, fmt.Errorf("engine: result size %d", r)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	start := time.Now()
-	c.dev.ResetStats()
+	sess := c.dev.NewSession()
 	stats := &QueryStats{Algo: algo, Scheme: scheme}
 
 	q, err := core.BuildQuery(c.idx, tokens)
@@ -64,7 +68,7 @@ func (c *Collection) Search(tokens []string, r int, algo core.Algo, scheme core.
 
 	res := &Result{Contents: make(map[index.DocID][]byte)}
 	if len(q.Terms) == 0 {
-		return c.finish(res, v, stats, start)
+		return c.finish(res, v, stats, sess, start)
 	}
 
 	chain := scheme == core.SchemeCMHT
@@ -77,13 +81,13 @@ func (c *Collection) Search(tokens []string, r int, algo core.Algo, scheme core.
 		}
 	}
 	src := &recordingSource{open: func(t index.TermID) (*listCursor, error) {
-		return newListCursor(c.dev, exts[t], c.idx.FT(t), chain, c.cfg.Store.BlockSize, c.cfg.HashSize), nil
+		return newListCursor(sess, exts[t], c.idx.FT(t), chain, c.cfg.Store.BlockSize, c.cfg.HashSize), nil
 	}}
 
 	kind := core.KindFor(algo, scheme)
 	switch algo {
 	case core.AlgoTRA:
-		docs := newDocSource(c)
+		docs := newDocSource(c, sess)
 		out, err := core.TRAWithBoost(q, src, docs, r, c.boost, nil)
 		if err != nil {
 			return nil, nil, nil, err
@@ -119,23 +123,23 @@ func (c *Collection) Search(tokens []string, r int, algo core.Algo, scheme core.
 		}
 	}
 	if c.boost != nil {
-		if err := c.assembleAuthorityProof(v, src.cursors); err != nil {
+		if err := c.assembleAuthorityProof(v); err != nil {
 			return nil, nil, nil, err
 		}
 	}
 	for _, e := range res.Entries {
 		res.Contents[e.Doc] = c.idx.Content[e.Doc]
 	}
-	return c.finish(res, v, stats, start)
+	return c.finish(res, v, stats, sess, start)
 }
 
-func (c *Collection) finish(res *Result, v *vo.VO, stats *QueryStats, start time.Time) (*Result, []byte, *QueryStats, error) {
+func (c *Collection) finish(res *Result, v *vo.VO, stats *QueryStats, sess *store.Session, start time.Time) (*Result, []byte, *QueryStats, error) {
 	encoded, bd, err := vo.Encode(v, c.cfg.HashSize)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	stats.VO = bd
-	stats.IO = c.dev.Stats()
+	stats.IO = sess.Stats()
 	stats.ServerWall = time.Since(start)
 	return res, encoded, stats, nil
 }
@@ -395,11 +399,10 @@ func (c *Collection) appendVocabProofs(v *vo.VO, unknown []string) error {
 // assembleAuthorityProof adds the authority-MHT multiproof covering every
 // revealed document (boost extension). The revealed set is the union of the
 // scoring prefixes; the per-document authority values travel as data leaves.
-func (c *Collection) assembleAuthorityProof(v *vo.VO, cursors []*listCursor) error {
+func (c *Collection) assembleAuthorityProof(v *vo.VO) error {
 	seen := make(map[index.DocID]struct{})
 	var docs []int
-	for i, tp := range v.Terms {
-		_ = i
+	for _, tp := range v.Terms {
 		for j := 0; j < int(tp.KScore); j++ {
 			d := index.DocID(tp.Docs[j])
 			if _, ok := seen[d]; !ok {
@@ -408,7 +411,6 @@ func (c *Collection) assembleAuthorityProof(v *vo.VO, cursors []*listCursor) err
 			}
 		}
 	}
-	_ = cursors
 	sort.Ints(docs)
 	proof, err := mht.Prove(c.hasher, c.authorityLeaves, docs)
 	if err != nil {

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"authtext/internal/core"
+	"authtext/internal/workload"
+)
+
+// ConcurrencyPoint is one row of the concurrency experiment: one immutable
+// collection hammered by Goroutines concurrent clients.
+type ConcurrencyPoint struct {
+	Goroutines int
+	// QPS is queries per second of wall time across all clients.
+	QPS float64
+	// Speedup is QPS relative to the single-client baseline.
+	Speedup float64
+	// MeanWall is the mean per-query server wall time (it grows with
+	// contention once clients outnumber cores; QPS is the throughput
+	// figure of merit).
+	MeanWall time.Duration
+	// MeanIO is the mean simulated per-query disk time; it is independent
+	// of concurrency because every query runs on its own store session.
+	MeanIO time.Duration
+}
+
+// ConcurrencyReport is the result of ConcurrencyCompare.
+type ConcurrencyReport struct {
+	Points []ConcurrencyPoint
+}
+
+// ConcurrencyCompare hammers one (unsharded) collection with 1, 2, 4, 8
+// and 16 concurrent clients and reports throughput, per-query wall time
+// and the (concurrency-invariant) simulated I/O time. Every client runs
+// the same TNRA-CMHT workload at r=10; one answer per level is fully
+// verified. Since the read path is lock-free, throughput scales with
+// available cores; the single-client row is the serialized baseline a
+// collection-wide query lock would pin every row to.
+func ConcurrencyCompare(f *Fixture, queries int, w io.Writer) (*ConcurrencyReport, error) {
+	if queries < 1 {
+		queries = 20
+	}
+	qs := workload.Synthetic(f.Col.Index(), queries, 3, 271)
+
+	// Warm-up pass: fault in content and verify one answer end to end.
+	res, voBytes, _, err := f.Col.Search(qs[0], 10, core.AlgoTNRA, core.SchemeCMHT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Col.VerifyResult(qs[0], 10, res, voBytes); err != nil {
+		return nil, fmt.Errorf("experiments: concurrency warm-up answer failed verification: %w", err)
+	}
+
+	rep := &ConcurrencyReport{}
+	fmt.Fprintf(w, "Concurrent clients on one collection (TNRA-CMHT, r=10, GOMAXPROCS=%d)\n", runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "  %-11s %12s %9s %12s %12s\n", "goroutines", "queries/sec", "speedup", "mean-wall", "mean-sim-io")
+	var baseline float64
+	for _, g := range []int{1, 2, 4, 8, 16} {
+		point := ConcurrencyPoint{Goroutines: g}
+		var wg sync.WaitGroup
+		errs := make([]error, g)
+		wallNanos := make([]int64, g)
+		ioNanos := make([]int64, g)
+		start := time.Now()
+		for c := 0; c < g; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < queries; i++ {
+					_, _, st, err := f.Col.Search(qs[(c*queries+i)%len(qs)], 10, core.AlgoTNRA, core.SchemeCMHT)
+					if err != nil {
+						errs[c] = err
+						return
+					}
+					wallNanos[c] += st.ServerWall.Nanoseconds()
+					ioNanos[c] += st.IO.SimTime.Nanoseconds()
+				}
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		total := g * queries
+		point.QPS = float64(total) / elapsed.Seconds()
+		var wallSum, ioSum int64
+		for c := 0; c < g; c++ {
+			wallSum += wallNanos[c]
+			ioSum += ioNanos[c]
+		}
+		point.MeanWall = time.Duration(wallSum / int64(total))
+		point.MeanIO = time.Duration(ioSum / int64(total))
+		if baseline == 0 {
+			baseline = point.QPS
+		}
+		point.Speedup = point.QPS / baseline
+		rep.Points = append(rep.Points, point)
+		fmt.Fprintf(w, "  %-11d %12.0f %8.2fx %12v %12v\n",
+			g, point.QPS, point.Speedup, point.MeanWall.Round(time.Microsecond),
+			point.MeanIO.Round(time.Microsecond))
+	}
+	return rep, nil
+}

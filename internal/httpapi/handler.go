@@ -3,6 +3,7 @@ package httpapi
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"strconv"
@@ -21,6 +22,17 @@ type Backend interface {
 	ClientExport() ([]byte, error)
 	// Health returns the current healthz payload.
 	Health() Health
+}
+
+// BatchBackend is the optional extension a backend implements to execute
+// batch search requests with its own concurrency (the facade server uses a
+// bounded worker pool). When a backend does not implement it, the handler
+// answers batch requests by calling Search once per query, sequentially.
+type BatchBackend interface {
+	Backend
+	// SearchBatch answers the validated queries, returning one outcome per
+	// query in input order.
+	SearchBatch(reqs []SearchRequest) []BatchSearchResult
 }
 
 // ShardBackend is the optional extension a sharded deployment implements
@@ -92,19 +104,83 @@ func NewHandler(b Backend) http.Handler {
 	return mux
 }
 
-// handleSearch accepts POST (JSON body) and GET (q, r, algo, scheme query
-// parameters).
+// handleSearch accepts POST (JSON body, single or batch form) and GET
+// (q, r, algo, scheme query parameters).
 func handleSearch(w http.ResponseWriter, r *http.Request, b Backend) {
-	req, ok := readSearchRequest(w, r)
+	single, batch, ok := readSearchEnvelope(w, r)
 	if !ok {
 		return
 	}
-	resp, err := b.Search(req)
+	if batch != nil {
+		writeJSON(w, http.StatusOK, &BatchSearchResponse{Results: searchBatch(b, batch)})
+		return
+	}
+	resp, err := b.Search(single)
 	if err != nil {
 		writeError(w, err, CodeSearchFailed, http.StatusInternalServerError)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// searchBatch dispatches a validated batch to the backend's own concurrent
+// implementation when it has one, falling back to sequential execution.
+func searchBatch(b Backend, reqs []SearchRequest) []BatchSearchResult {
+	if bb, ok := b.(BatchBackend); ok {
+		return bb.SearchBatch(reqs)
+	}
+	out := make([]BatchSearchResult, len(reqs))
+	for i := range reqs {
+		resp, err := b.Search(&reqs[i])
+		out[i] = BatchOutcome(resp, err)
+	}
+	return out
+}
+
+// searchEnvelope accepts both the single and the batch form of a POST
+// /v1/search body.
+type searchEnvelope struct {
+	SearchRequest
+	Queries []SearchRequest `json:"queries"`
+}
+
+// readSearchEnvelope parses a /v1/search request, writing the error
+// response itself when the request is unusable. Exactly one of the two
+// returns is set on success: a single validated request, or a validated
+// batch.
+func readSearchEnvelope(w http.ResponseWriter, r *http.Request) (*SearchRequest, []SearchRequest, bool) {
+	if r.Method != http.MethodPost {
+		req, ok := readSearchRequest(w, r)
+		return req, nil, ok
+	}
+	var env searchEnvelope
+	if !decodeBody(w, r, &env) {
+		return nil, nil, false
+	}
+	if len(env.Queries) == 0 {
+		if err := env.SearchRequest.Validate(); err != nil {
+			writeErrorBody(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+			return nil, nil, false
+		}
+		return &env.SearchRequest, nil, true
+	}
+	if env.Query != "" {
+		writeErrorBody(w, http.StatusBadRequest, CodeBadRequest, "query and queries are mutually exclusive")
+		return nil, nil, false
+	}
+	if len(env.Queries) > MaxBatchQueries {
+		writeErrorBody(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("batch of %d queries exceeds the maximum of %d", len(env.Queries), MaxBatchQueries))
+		return nil, nil, false
+	}
+	for i := range env.Queries {
+		if err := env.Queries[i].Validate(); err != nil {
+			writeErrorBody(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("query %d: %s", i, err.Error()))
+			return nil, nil, false
+		}
+	}
+	return nil, env.Queries, true
 }
 
 // readSearchRequest parses and validates a search request from POST (JSON
@@ -114,15 +190,7 @@ func readSearchRequest(w http.ResponseWriter, r *http.Request) (*SearchRequest, 
 	var req SearchRequest
 	switch r.Method {
 	case http.MethodPost:
-		body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
-		dec := json.NewDecoder(body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			writeErrorBody(w, http.StatusBadRequest, CodeBadRequest, "bad request body: "+err.Error())
-			return nil, false
-		}
-		if dec.More() {
-			writeErrorBody(w, http.StatusBadRequest, CodeBadRequest, "trailing data after request object")
+		if !decodeBody(w, r, &req) {
 			return nil, false
 		}
 	case http.MethodGet:
@@ -148,6 +216,23 @@ func readSearchRequest(w http.ResponseWriter, r *http.Request) (*SearchRequest, 
 		return nil, false
 	}
 	return &req, true
+}
+
+// decodeBody parses a size-capped JSON POST body into v, rejecting unknown
+// fields and trailing data, writing the error response itself on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErrorBody(w, http.StatusBadRequest, CodeBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	if dec.More() {
+		writeErrorBody(w, http.StatusBadRequest, CodeBadRequest, "trailing data after request object")
+		return false
+	}
+	return true
 }
 
 func allowMethod(w http.ResponseWriter, r *http.Request, method string) bool {

@@ -15,6 +15,7 @@
 package httpapi
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 )
@@ -51,8 +52,13 @@ const (
 	MaxR = 1000
 	// MaxQueryBytes caps the query string length.
 	MaxQueryBytes = 8 << 10
-	// MaxBodyBytes caps the POST body size.
-	MaxBodyBytes = 64 << 10
+	// MaxBodyBytes caps the POST body size. It is sized so that a batch of
+	// MaxBatchQueries maximum-length queries (plus JSON framing) fits:
+	// per-element and per-batch limits, not body truncation, are what
+	// reject an oversized request.
+	MaxBodyBytes = 640 << 10
+	// MaxBatchQueries caps the number of queries in one batch request.
+	MaxBatchQueries = 64
 )
 
 // Machine-readable error codes carried in ErrorBody.Code.
@@ -109,6 +115,43 @@ type SearchResponse struct {
 	Hits   []Hit       `json:"hits"`
 	VO     []byte      `json:"vo"`
 	Stats  SearchStats `json:"stats"`
+}
+
+// BatchSearchRequest is the batch form of a POST to /v1/search: up to
+// MaxBatchQueries queries executed concurrently server-side. A body
+// carrying a non-empty "queries" array is a batch request; "query" and
+// "queries" are mutually exclusive.
+type BatchSearchRequest struct {
+	Queries []SearchRequest `json:"queries"`
+}
+
+// BatchSearchResult is one query's outcome inside a BatchSearchResponse:
+// exactly one of Response and Error is set. A per-query failure does not
+// fail the batch.
+type BatchSearchResult struct {
+	Response *SearchResponse `json:"response,omitempty"`
+	Error    *ErrorBody      `json:"error,omitempty"`
+}
+
+// BatchSearchResponse answers a BatchSearchRequest; Results[i] corresponds
+// to Queries[i].
+type BatchSearchResponse struct {
+	Results []BatchSearchResult `json:"results"`
+}
+
+// BatchOutcome wraps one query's backend outcome for the wire: a
+// *StatusError keeps its code, any other error maps to search_failed.
+func BatchOutcome(resp *SearchResponse, err error) BatchSearchResult {
+	if err == nil {
+		return BatchSearchResult{Response: resp}
+	}
+	code := CodeSearchFailed
+	msg := err.Error()
+	var se *StatusError
+	if errors.As(err, &se) {
+		code, msg = se.Code, se.Message
+	}
+	return BatchSearchResult{Error: &ErrorBody{Code: code, Message: msg}}
 }
 
 // ManifestResponse carries the owner's verification material: Export is

@@ -321,9 +321,11 @@ type SetResult struct {
 }
 
 // Search fans the query out to every shard concurrently and merges the
-// local top-r lists into the global top-r. Each shard serialises its own
-// queries (one simulated disk per shard), so k shards give k-way
-// parallelism for a single query as well as across queries.
+// local top-r lists into the global top-r. Shard collections are
+// immutable and lock-free on the read path, so k shards give k-way
+// parallelism for a single query, and concurrent Search calls additionally
+// overlap inside each shard (intra-shard parallelism) — fan-outs never
+// queue behind one another.
 func (s *Set) Search(tokens []string, r int, algo core.Algo, scheme core.Scheme) (*SetResult, error) {
 	if r < 1 {
 		return nil, fmt.Errorf("shard: result size %d", r)

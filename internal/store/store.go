@@ -10,6 +10,15 @@
 // contiguous extents at build time and read back block-by-block at query
 // time. A read is sequential when it targets the block immediately after the
 // previously read one, random otherwise.
+//
+// The device itself is split into two halves so that a built collection can
+// serve queries concurrently: Device holds the shared, immutable block
+// contents and geometry, while every query opens its own Session carrying
+// the mutable half of the model — the head position and the access
+// statistics. Sessions never share state, so any number of them may read
+// one device in parallel; each starts with a cold head, exactly like the
+// per-query stats reset of the serialized engine, which keeps per-query
+// costs identical to the numbers a one-query-at-a-time server reports.
 package store
 
 import (
@@ -83,14 +92,16 @@ func (s Stats) Sub(other Stats) Stats {
 	}
 }
 
-// Device is a simulated block device. It is not safe for concurrent use;
-// the engine serialises queries, matching the single-disk model of §4.1.
+// Device is the shared, immutable half of the simulated disk: block
+// contents and geometry. All mutation happens on the owner side — at build
+// time through AllocWrite, or through the test-only Corrupt — before the
+// device is published for serving; after that it is read-only and any
+// number of Sessions may read it concurrently. All reads go through a
+// Session, which carries the per-query head position and statistics.
 type Device struct {
-	p        Params
-	data     []byte
-	nblocks  int64
-	lastRead Addr
-	stats    Stats
+	p       Params
+	data    []byte
+	nblocks int64
 
 	transferPerBlock time.Duration
 	randomPenalty    time.Duration
@@ -104,7 +115,7 @@ func NewDevice(p Params) (*Device, error) {
 	if p.TransferBytesPerSec <= 0 {
 		return nil, errors.New("store: non-positive transfer rate")
 	}
-	d := &Device{p: p, lastRead: -2}
+	d := &Device{p: p}
 	d.transferPerBlock = time.Duration(float64(p.BlockSize) / p.TransferBytesPerSec * float64(time.Second))
 	d.randomPenalty = p.Seek + p.Rotation
 	return d, nil
@@ -134,7 +145,8 @@ func (d *Device) SizeBytes() int64 { return d.nblocks * int64(d.p.BlockSize) }
 // AllocWrite appends data to the device, padding to a block boundary, and
 // returns the extent it occupies. Writes are free: the cost model only
 // charges reads, because index construction is an offline, owner-side step
-// whose cost the paper reports separately from query processing.
+// whose cost the paper reports separately from query processing. AllocWrite
+// is a build-time operation and must not run concurrently with sessions.
 func (d *Device) AllocWrite(data []byte) Extent {
 	nb := (len(data) + d.p.BlockSize - 1) / d.p.BlockSize
 	if nb == 0 {
@@ -148,58 +160,75 @@ func (d *Device) AllocWrite(data []byte) Extent {
 	return Extent{Start: Addr(start), Blocks: int32(nb), Length: int64(len(data))}
 }
 
+// Session is one query's private view of the device: the disk-head position
+// and the access statistics that the cost model accumulates per read. A
+// session must not be shared between goroutines, but any number of sessions
+// may read the same device concurrently. The zero session is not usable;
+// obtain one from Device.NewSession.
+type Session struct {
+	d        *Device
+	lastRead Addr
+	stats    Stats
+}
+
+// NewSession opens a fresh read session with a cold head: its first read is
+// charged as random, exactly as a fresh query on the serialized engine was.
+func (d *Device) NewSession() *Session {
+	return &Session{d: d, lastRead: -2}
+}
+
+// BlockSize returns the device's block size in bytes.
+func (s *Session) BlockSize() int { return s.d.p.BlockSize }
+
 // ReadBlock reads one block, charging the cost model, and returns its bytes.
 // The returned slice aliases device memory and must not be modified.
-func (d *Device) ReadBlock(a Addr) ([]byte, error) {
+func (s *Session) ReadBlock(a Addr) ([]byte, error) {
+	d := s.d
 	if a < 0 || int64(a) >= d.nblocks {
 		return nil, fmt.Errorf("store: block %d out of range [0,%d)", a, d.nblocks)
 	}
-	d.charge(a)
+	s.charge(a)
 	off := int64(a) * int64(d.p.BlockSize)
 	return d.data[off : off+int64(d.p.BlockSize)], nil
 }
 
 // ReadExtent reads a whole extent (first block potentially random, the rest
 // sequential) and returns exactly ext.Length payload bytes.
-func (d *Device) ReadExtent(ext Extent) ([]byte, error) {
+func (s *Session) ReadExtent(ext Extent) ([]byte, error) {
+	d := s.d
 	// Subtract instead of adding: Start+Blocks overflows int64 for a
 	// hostile Start near MaxInt64 and would wrap past the bound.
 	if ext.Start < 0 || ext.Blocks < 0 || int64(ext.Start) > d.nblocks-int64(ext.Blocks) {
 		return nil, fmt.Errorf("store: extent %+v out of range", ext)
 	}
 	for i := int32(0); i < ext.Blocks; i++ {
-		d.charge(ext.Start + Addr(i))
+		s.charge(ext.Start + Addr(i))
 	}
 	off := int64(ext.Start) * int64(d.p.BlockSize)
 	return d.data[off : off+ext.Length], nil
 }
 
-func (d *Device) charge(a Addr) {
-	d.stats.BlockReads++
-	d.stats.BytesRead += int64(d.p.BlockSize)
-	if a == d.lastRead+1 {
-		d.stats.SeqReads++
-		d.stats.SimTime += d.transferPerBlock
+func (s *Session) charge(a Addr) {
+	d := s.d
+	s.stats.BlockReads++
+	s.stats.BytesRead += int64(d.p.BlockSize)
+	if a == s.lastRead+1 {
+		s.stats.SeqReads++
+		s.stats.SimTime += d.transferPerBlock
 	} else {
-		d.stats.RandomReads++
-		d.stats.SimTime += d.randomPenalty + d.transferPerBlock
+		s.stats.RandomReads++
+		s.stats.SimTime += d.randomPenalty + d.transferPerBlock
 	}
-	d.lastRead = a
+	s.lastRead = a
 }
 
-// Stats returns a snapshot of the accumulated statistics.
-func (d *Device) Stats() Stats { return d.stats }
-
-// ResetStats zeroes the statistics and forgets the head position, so the
-// next read is charged as random (a fresh query arrives with a cold head).
-func (d *Device) ResetStats() {
-	d.stats = Stats{}
-	d.lastRead = -2
-}
+// Stats returns a snapshot of the statistics this session accumulated.
+func (s *Session) Stats() Stats { return s.stats }
 
 // Corrupt flips one byte at the given block-relative offset. It exists for
 // the failure-injection test suite and the tamper-detection examples; a real
-// deployment obviously has no such API.
+// deployment obviously has no such API. Like AllocWrite, it mutates the
+// shared block contents and must not run concurrently with sessions.
 func (d *Device) Corrupt(a Addr, offset int, xor byte) error {
 	if a < 0 || int64(a) >= d.nblocks {
 		return fmt.Errorf("store: corrupt block %d out of range", a)

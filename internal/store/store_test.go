@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 	"time"
 )
@@ -38,7 +39,7 @@ func TestAllocWriteRoundTrip(t *testing.T) {
 	if ext.Length != 2500 {
 		t.Fatalf("length = %d, want 2500", ext.Length)
 	}
-	got, err := d.ReadExtent(ext)
+	got, err := d.NewSession().ReadExtent(ext)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,33 +60,33 @@ func TestSequentialVsRandomAccounting(t *testing.T) {
 	d := newTestDevice(t)
 	a := d.AllocWrite(bytes.Repeat([]byte{1}, 4096)) // blocks 0-3
 	b := d.AllocWrite(bytes.Repeat([]byte{2}, 4096)) // blocks 4-7
-	d.ResetStats()
+	s := d.NewSession()
 
 	// First read: random. Next three: sequential.
 	for i := int32(0); i < a.Blocks; i++ {
-		if _, err := d.ReadBlock(a.Start + Addr(i)); err != nil {
+		if _, err := s.ReadBlock(a.Start + Addr(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	st := d.Stats()
+	st := s.Stats()
 	if st.RandomReads != 1 || st.SeqReads != 3 {
 		t.Fatalf("after extent a: random=%d seq=%d, want 1/3", st.RandomReads, st.SeqReads)
 	}
 
 	// b starts right after a's last block, so its first read is sequential.
-	if _, err := d.ReadBlock(b.Start); err != nil {
+	if _, err := s.ReadBlock(b.Start); err != nil {
 		t.Fatal(err)
 	}
-	st = d.Stats()
+	st = s.Stats()
 	if st.SeqReads != 4 {
 		t.Fatalf("adjacent extent first block not sequential: %+v", st)
 	}
 
 	// Jumping back is random.
-	if _, err := d.ReadBlock(a.Start); err != nil {
+	if _, err := s.ReadBlock(a.Start); err != nil {
 		t.Fatal(err)
 	}
-	st = d.Stats()
+	st = s.Stats()
 	if st.RandomReads != 2 {
 		t.Fatalf("backward jump not random: %+v", st)
 	}
@@ -95,47 +96,93 @@ func TestSimTimeModel(t *testing.T) {
 	p := Params{BlockSize: 1024, Seek: 4 * time.Millisecond, Rotation: 2 * time.Millisecond, TransferBytesPerSec: 1 << 20}
 	d := MustDevice(p)
 	ext := d.AllocWrite(bytes.Repeat([]byte{1}, 2048))
-	d.ResetStats()
-	if _, err := d.ReadExtent(ext); err != nil {
+	s := d.NewSession()
+	if _, err := s.ReadExtent(ext); err != nil {
 		t.Fatal(err)
 	}
 	// 1 random (4+2 ms + ~1ms transfer) + 1 sequential (~1ms transfer).
 	blockFrac := float64(1024) / float64(1<<20)
 	transfer := time.Duration(blockFrac * float64(time.Second))
 	want := 6*time.Millisecond + 2*transfer
-	got := d.Stats().SimTime
+	got := s.Stats().SimTime
 	if got != want {
 		t.Fatalf("SimTime = %v, want %v", got, want)
 	}
 }
 
-func TestResetStatsForgetsHeadPosition(t *testing.T) {
+func TestNewSessionStartsWithColdHead(t *testing.T) {
 	d := newTestDevice(t)
 	ext := d.AllocWrite(bytes.Repeat([]byte{1}, 2048))
-	if _, err := d.ReadExtent(ext); err != nil {
+	if _, err := d.NewSession().ReadExtent(ext); err != nil {
 		t.Fatal(err)
 	}
-	d.ResetStats()
-	// Reading the block right after the last-read one would normally be
-	// sequential; after a reset it must be random.
-	if _, err := d.ReadBlock(ext.Start); err != nil {
+	// Reading the block right after another session's last-read one would
+	// be sequential on a shared head; a fresh session must charge it as
+	// random.
+	s := d.NewSession()
+	if _, err := s.ReadBlock(ext.Start); err != nil {
 		t.Fatal(err)
 	}
-	if st := d.Stats(); st.RandomReads != 1 || st.SeqReads != 0 {
-		t.Fatalf("reset did not cold the head: %+v", st)
+	if st := s.Stats(); st.RandomReads != 1 || st.SeqReads != 0 {
+		t.Fatalf("fresh session head not cold: %+v", st)
 	}
+}
+
+// Sessions are independent: interleaved reads from two sessions must each
+// see their own head position and their own counters, and concurrent
+// sessions must not race (run with -race to enforce).
+func TestSessionsIndependent(t *testing.T) {
+	d := newTestDevice(t)
+	ext := d.AllocWrite(bytes.Repeat([]byte{7}, 4096)) // blocks 0-3
+	s1, s2 := d.NewSession(), d.NewSession()
+	for i := int32(0); i < ext.Blocks; i++ {
+		if _, err := s1.ReadBlock(ext.Start + Addr(i)); err != nil {
+			t.Fatal(err)
+		}
+		// s2 jumps around between s1's reads; a shared head would turn
+		// s1's sequential reads into random ones.
+		if _, err := s2.ReadBlock(ext.Start + Addr((i*2)%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s1.Stats(); st.RandomReads != 1 || st.SeqReads != 3 {
+		t.Fatalf("s1 head polluted by s2: %+v", st)
+	}
+	if st := s2.Stats(); st.BlockReads != 4 {
+		t.Fatalf("s2 counters wrong: %+v", st)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := d.NewSession()
+			for i := 0; i < 50; i++ {
+				if _, err := s.ReadExtent(ext); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if st := s.Stats(); st.BlockReads != 50*int64(ext.Blocks) {
+				t.Errorf("session counted %d block reads", st.BlockReads)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestReadOutOfRange(t *testing.T) {
 	d := newTestDevice(t)
-	if _, err := d.ReadBlock(0); err == nil {
+	if _, err := d.NewSession().ReadBlock(0); err == nil {
 		t.Fatal("read from empty device succeeded")
 	}
 	d.AllocWrite([]byte("x"))
-	if _, err := d.ReadBlock(5); err == nil {
+	s := d.NewSession()
+	if _, err := s.ReadBlock(5); err == nil {
 		t.Fatal("out-of-range block read succeeded")
 	}
-	if _, err := d.ReadExtent(Extent{Start: 0, Blocks: 9, Length: 1}); err == nil {
+	if _, err := s.ReadExtent(Extent{Start: 0, Blocks: 9, Length: 1}); err == nil {
 		t.Fatal("out-of-range extent read succeeded")
 	}
 }
@@ -161,7 +208,7 @@ func TestCorrupt(t *testing.T) {
 	if err := d.Corrupt(ext.Start, 1, 0xFF); err != nil {
 		t.Fatal(err)
 	}
-	got, err := d.ReadExtent(ext)
+	got, err := d.NewSession().ReadExtent(ext)
 	if err != nil {
 		t.Fatal(err)
 	}

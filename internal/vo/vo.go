@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Category classifies each byte of an encoded VO.
@@ -136,6 +137,15 @@ type positionRun struct {
 	length uint16
 }
 
+// On-wire size of a position run: u32 start + u16 length, then one
+// u32 term id + f32 weight per revealed entry. Decode's pre-scan sizes
+// the reveal arrays from these; keep them in lockstep with the encode
+// loop and the decode parse loop.
+const (
+	runHeaderBytes = 4 + 2
+	runEntryBytes  = 4 + 4
+)
+
 func positionRuns(positions []uint32) []positionRun {
 	var runs []positionRun
 	for i := 0; i < len(positions); {
@@ -164,6 +174,17 @@ var (
 type writer struct {
 	buf   []byte
 	sizes [numCategories]int
+}
+
+// writerPool recycles encoder buffers across queries: Encode runs on the
+// server's hot path, and regrowing a fresh append buffer for every VO was
+// the dominant allocation. Encode copies the finished bytes out before
+// returning the writer, so pooled capacity is retained but never aliased.
+var writerPool = sync.Pool{New: func() interface{} { return &writer{} }}
+
+func (w *writer) reset() {
+	w.buf = w.buf[:0]
+	w.sizes = [numCategories]int{}
 }
 
 func (w *writer) u8(c Category, v uint8) {
@@ -206,9 +227,13 @@ func (w *writer) digests(ds [][]byte, hashSize int) error {
 }
 
 // Encode serialises the VO and returns the bytes and the size breakdown.
-// hashSize fixes the digest width on the wire.
+// hashSize fixes the digest width on the wire. Encode is safe for
+// concurrent use; the returned slice is freshly allocated and owned by the
+// caller.
 func Encode(v *VO, hashSize int) ([]byte, Breakdown, error) {
-	w := &writer{}
+	w := writerPool.Get().(*writer)
+	defer writerPool.Put(w)
+	w.reset()
 	w.bytes(CatMeta, []byte(magic))
 	w.u8(CatMeta, v.Algo)
 	w.u8(CatMeta, v.Scheme)
@@ -339,7 +364,9 @@ func Encode(v *VO, hashSize int) ([]byte, Breakdown, error) {
 		Digest:    w.sizes[CatDigest],
 		Signature: w.sizes[CatSig],
 	}
-	return w.buf, bd, nil
+	out := make([]byte, len(w.buf))
+	copy(out, w.buf)
+	return out, bd, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -401,6 +428,9 @@ func (r *reader) str() (string, error) {
 	return string(b), err
 }
 
+// digests reads n fixed-width digests backed by one flat allocation:
+// digest lists are the bulkiest part of a VO, and per-digest slices made
+// the decoder's allocation count scale with proof size.
 func (r *reader) digests(hashSize int) ([][]byte, error) {
 	n, err := r.u16()
 	if err != nil {
@@ -409,11 +439,16 @@ func (r *reader) digests(hashSize int) ([][]byte, error) {
 	if n == 0 {
 		return nil, nil
 	}
+	total := int(n) * hashSize
+	if r.off+total > len(r.buf) {
+		return nil, ErrTruncated
+	}
+	flat := make([]byte, total)
+	copy(flat, r.buf[r.off:])
+	r.off += total
 	out := make([][]byte, n)
 	for i := range out {
-		if out[i], err = r.bytes(hashSize); err != nil {
-			return nil, err
-		}
+		out[i] = flat[i*hashSize : (i+1)*hashSize : (i+1)*hashSize]
 	}
 	return out, nil
 }
@@ -540,6 +575,26 @@ func Decode(b []byte) (*VO, error) {
 		nRuns, err := r.u16()
 		if err != nil {
 			return nil, err
+		}
+		// Pre-scan the runs to size the reveal arrays with one allocation
+		// each instead of append growth.
+		totalRevealed := 0
+		scan := r.off
+		for runIdx := 0; runIdx < int(nRuns); runIdx++ {
+			if scan+runHeaderBytes > len(r.buf) {
+				return nil, ErrTruncated
+			}
+			length := int(binary.BigEndian.Uint16(r.buf[scan+4:]))
+			scan += runHeaderBytes + runEntryBytes*length
+			totalRevealed += length
+		}
+		if scan > len(r.buf) {
+			return nil, ErrTruncated
+		}
+		if totalRevealed > 0 {
+			d.Positions = make([]uint32, 0, totalRevealed)
+			d.Terms = make([]uint32, 0, totalRevealed)
+			d.Ws = make([]float32, 0, totalRevealed)
 		}
 		for runIdx := 0; runIdx < int(nRuns); runIdx++ {
 			start, err := r.u32()

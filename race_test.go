@@ -2,6 +2,7 @@ package authtext
 
 import (
 	"context"
+	"fmt"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -86,9 +87,9 @@ func TestRemoteClientConcurrentSearch(t *testing.T) {
 	}
 }
 
-// One Server hammered from many goroutines: the engine serialises on its
-// simulated disk, and every concurrent answer must still verify. Run with
-// -race to enforce.
+// One Server hammered from many goroutines: the engine's read path is
+// lock-free (per-query store sessions over an immutable collection), and
+// every concurrent answer must still verify. Run with -race to enforce.
 func TestServerConcurrentSearch(t *testing.T) {
 	owner, err := NewOwner(snapshotTestDocs())
 	if err != nil {
@@ -122,6 +123,81 @@ func TestServerConcurrentSearch(t *testing.T) {
 			}
 		}(g)
 	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("goroutine %d: %v", g, err)
+		}
+	}
+}
+
+// The session-refactor regression: one UNSHARDED collection hammered with
+// parallel Search+Verify across all four Algorithm×Scheme variants, with
+// SearchBatch calls mixed in. The old engine kept disk-head position and
+// I/O statistics in device-wide shared state — Device.Stats/ResetStats
+// raced unless a collection-wide mutex serialized every query. Sessions
+// replaced that API; this test (run with -race in CI) would fail on any
+// return to shared per-device accounting.
+func TestUnshardedParallelSearchVerifyRace(t *testing.T) {
+	owner, err := NewOwner(snapshotTestDocs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := owner.Server(), owner.Client()
+	queries := []string{"merkle tree", "inverted index", "verification object", "threshold", "signed root"}
+	variants := []struct {
+		algo   Algorithm
+		scheme Scheme
+	}{{TRA, MHT}, {TRA, ChainMHT}, {TNRA, MHT}, {TNRA, ChainMHT}}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines+1)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				q := queries[(g+i)%len(queries)]
+				v := variants[(g+i)%len(variants)]
+				res, err := server.Search(q, 3, v.algo, v.scheme)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if err := client.Verify(q, 3, res); err != nil {
+					errs[g] = err
+					return
+				}
+				if len(res.Hits) > 0 && res.Stats.BlockReads == 0 {
+					errs[g] = fmt.Errorf("query %q returned hits without I/O", q)
+					return
+				}
+			}
+		}(g)
+	}
+	// One more goroutine drives the batch API against the same collection.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		batch := make([]BatchQuery, 2*len(queries))
+		for i := range batch {
+			v := variants[i%len(variants)]
+			batch[i] = BatchQuery{Query: queries[i%len(queries)], R: 3, Algorithm: v.algo, Scheme: v.scheme}
+		}
+		for round := 0; round < 4; round++ {
+			for i, item := range server.SearchBatch(batch, 4) {
+				if item.Err != nil {
+					errs[goroutines] = item.Err
+					return
+				}
+				if err := client.Verify(batch[i].Query, 3, item.Result); err != nil {
+					errs[goroutines] = err
+					return
+				}
+			}
+		}
+	}()
 	wg.Wait()
 	for g, err := range errs {
 		if err != nil {

@@ -38,8 +38,19 @@ type RemoteClient struct {
 // RemoteOption customises NewRemoteClient.
 type RemoteOption func(*RemoteClient)
 
-// WithHTTPClient substitutes the transport (default: a client with a 30 s
-// overall timeout).
+// defaultHTTPTimeout bounds every request a remote client makes with the
+// default transport: the server is untrusted, and a stalled or black-holed
+// endpoint must fail the call, not hang the verifier forever.
+const defaultHTTPTimeout = 30 * time.Second
+
+// defaultHTTPClient builds the transport used when the caller supplies
+// none; RemoteClient and ShardedRemoteClient share it.
+func defaultHTTPClient() *http.Client {
+	return &http.Client{Timeout: defaultHTTPTimeout}
+}
+
+// WithHTTPClient substitutes the transport (default: defaultHTTPClient,
+// which enforces a 30 s overall timeout).
 func WithHTTPClient(hc *http.Client) RemoteOption { return func(rc *RemoteClient) { rc.hc = hc } }
 
 // WithClientExport seeds the verification material from an out-of-band
@@ -68,7 +79,7 @@ func NewRemoteClient(baseURL string, opts ...RemoteOption) (*RemoteClient, error
 	if u.Scheme != "http" && u.Scheme != "https" {
 		return nil, fmt.Errorf("authtext: bad server URL %q: scheme must be http or https", baseURL)
 	}
-	rc := &RemoteClient{base: u.String(), hc: &http.Client{Timeout: 30 * time.Second}}
+	rc := &RemoteClient{base: u.String(), hc: defaultHTTPClient()}
 	for _, opt := range opts {
 		opt(rc)
 	}
@@ -141,7 +152,12 @@ func (rc *RemoteClient) Search(ctx context.Context, query string, r int, algo Al
 	if err := rc.do(req, &wire); err != nil {
 		return nil, err
 	}
+	return verifyWireResult(client, &wire, query, r, algo, scheme)
+}
 
+// verifyWireResult converts one wire response and verifies it against the
+// bootstrapped manifest, using the parameters the client asked for.
+func verifyWireResult(client *Client, wire *httpapi.SearchResponse, query string, r int, algo Algorithm, scheme Scheme) (*SearchResult, error) {
 	res := &SearchResult{VO: wire.VO, Hits: make([]Hit, len(wire.Hits))}
 	for i, h := range wire.Hits {
 		res.Hits[i] = Hit{DocID: h.DocID, Score: h.Score, Content: h.Content}
@@ -162,6 +178,77 @@ func (rc *RemoteClient) Search(ctx context.Context, query string, r int, algo Al
 		return nil, err
 	}
 	return res, nil
+}
+
+// SearchBatch sends up to httpapi.MaxBatchQueries queries in one request;
+// the server executes them concurrently. Every answer is verified locally
+// exactly as in Search, and per-query failures (including verification
+// failures) come back in the matching BatchItem rather than failing the
+// whole batch. The returned slice has one item per query, in input order.
+func (rc *RemoteClient) SearchBatch(ctx context.Context, queries []BatchQuery) ([]BatchItem, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	if len(queries) > httpapi.MaxBatchQueries {
+		return nil, fmt.Errorf("authtext: batch of %d queries exceeds the server maximum of %d",
+			len(queries), httpapi.MaxBatchQueries)
+	}
+	wireReqs := make([]httpapi.SearchRequest, len(queries))
+	for i, q := range queries {
+		// Validate locally: the server rejects a malformed batch WHOLE, so
+		// catching a bad element here (with its index) spares the good ones.
+		if q.R < 1 || q.R > httpapi.MaxR {
+			return nil, fmt.Errorf("authtext: query %d: result size r=%d out of range [1, %d]", i, q.R, httpapi.MaxR)
+		}
+		if strings.TrimSpace(q.Query) == "" {
+			return nil, fmt.Errorf("authtext: query %d: empty query", i)
+		}
+		if len(q.Query) > httpapi.MaxQueryBytes {
+			return nil, fmt.Errorf("authtext: query %d exceeds %d bytes", i, httpapi.MaxQueryBytes)
+		}
+		wireReqs[i] = httpapi.SearchRequest{
+			Query: q.Query, R: q.R, Algo: wireAlgo(q.Algorithm), Scheme: wireScheme(q.Scheme),
+		}
+	}
+	rc.mu.Lock()
+	if err := rc.bootstrapLocked(ctx); err != nil {
+		rc.mu.Unlock()
+		return nil, err
+	}
+	client := rc.client
+	rc.mu.Unlock()
+
+	reqBody, err := json.Marshal(&httpapi.BatchSearchRequest{Queries: wireReqs})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rc.base+httpapi.PathSearch, bytes.NewReader(reqBody))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var wire httpapi.BatchSearchResponse
+	if err := rc.do(req, &wire); err != nil {
+		return nil, err
+	}
+	if len(wire.Results) != len(queries) {
+		return nil, fmt.Errorf("authtext: server answered %d results for %d queries", len(wire.Results), len(queries))
+	}
+	out := make([]BatchItem, len(queries))
+	for i := range wire.Results {
+		q := queries[i]
+		switch {
+		case wire.Results[i].Error != nil:
+			out[i].Err = fmt.Errorf("authtext: query %d: server error %s: %s",
+				i, wire.Results[i].Error.Code, wire.Results[i].Error.Message)
+		case wire.Results[i].Response == nil:
+			out[i].Err = fmt.Errorf("authtext: query %d: empty batch result", i)
+		default:
+			out[i].Result, out[i].Err = verifyWireResult(client, wire.Results[i].Response,
+				q.Query, q.R, q.Algorithm, q.Scheme)
+		}
+	}
+	return out, nil
 }
 
 // ServerHealth mirrors the /v1/healthz payload. Shards is 0 for a

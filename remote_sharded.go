@@ -63,7 +63,7 @@ func NewShardedRemoteClient(baseURL string, opts ...ShardedRemoteOption) (*Shard
 	if u.Scheme != "http" && u.Scheme != "https" {
 		return nil, fmt.Errorf("authtext: bad server URL %q: scheme must be http or https", baseURL)
 	}
-	rc := &ShardedRemoteClient{base: u.String(), hc: &http.Client{Timeout: 30 * time.Second}}
+	rc := &ShardedRemoteClient{base: u.String(), hc: defaultHTTPClient()}
 	for _, opt := range opts {
 		opt(rc)
 	}

@@ -12,10 +12,13 @@ import (
 // This file adapts a Server to the /v1 HTTP protocol of
 // internal/httpapi (documented in docs/PROTOCOL.md). The handler serves
 // three endpoints: /v1/search answers queries with their verification
-// objects, /v1/manifest bootstraps clients with the owner's signed
+// objects (single, or batched via a "queries" array executed concurrently
+// server-side), /v1/manifest bootstraps clients with the owner's signed
 // manifest and public key, and /v1/healthz reports liveness and aggregate
-// counters. cmd/authserved is the production wrapper; RemoteClient is the
-// consuming side.
+// counters. Requests are served concurrently — the engine's read path is
+// lock-free, so the handler needs no serialization of its own.
+// cmd/authserved is the production wrapper; RemoteClient is the consuming
+// side.
 
 // QueryLog receives one record per served query; see WithQueryLog.
 type QueryLog func(query string, r int, stats Stats, wall time.Duration)
@@ -24,7 +27,8 @@ type QueryLog func(query string, r int, stats Stats, wall time.Duration)
 type HandlerOption func(*httpBackend)
 
 // WithQueryLog installs a per-query callback (invoked synchronously after
-// each successful search; keep it fast).
+// each successful search; keep it fast). Requests are served concurrently,
+// so the callback MUST be safe for concurrent use.
 func WithQueryLog(fn QueryLog) HandlerOption { return func(b *httpBackend) { b.queryLog = fn } }
 
 // NewHTTPHandler exposes a Server over the versioned HTTP protocol.
@@ -61,14 +65,48 @@ type httpBackend struct {
 }
 
 func (b *httpBackend) Search(req *httpapi.SearchRequest) (*httpapi.SearchResponse, error) {
-	algo, scheme := parseWireAlgo(req.Algo), parseWireScheme(req.Scheme)
 	start := time.Now()
-	res, err := b.srv.Search(req.Query, req.R, algo, scheme)
+	res, err := b.srv.Search(req.Query, req.R, parseWireAlgo(req.Algo), parseWireScheme(req.Scheme))
 	if err != nil {
 		b.failed.Add(1)
 		return nil, err
 	}
-	wall := time.Since(start)
+	return b.record(req, res, time.Since(start)), nil
+}
+
+// SearchBatch implements httpapi.BatchBackend on top of the facade's
+// bounded-worker batch execution; queries in one batch run concurrently.
+func (b *httpBackend) SearchBatch(reqs []httpapi.SearchRequest) []httpapi.BatchSearchResult {
+	queries := make([]BatchQuery, len(reqs))
+	for i, req := range reqs {
+		queries[i] = BatchQuery{
+			Query:     req.Query,
+			R:         req.R,
+			Algorithm: parseWireAlgo(req.Algo),
+			Scheme:    parseWireScheme(req.Scheme),
+		}
+	}
+	items := b.srv.SearchBatch(queries, 0)
+	out := make([]httpapi.BatchSearchResult, len(items))
+	for i, item := range items {
+		if item.Err != nil {
+			b.failed.Add(1)
+			out[i] = httpapi.BatchOutcome(nil, item.Err)
+			continue
+		}
+		// Per-query wall, not the batch's: the engine measures each query's
+		// own server time, which stays meaningful under concurrency.
+		wall := time.Duration(float64(item.Result.Stats.ServerTime) * float64(time.Millisecond))
+		out[i] = httpapi.BatchOutcome(b.record(&reqs[i], item.Result, wall), nil)
+	}
+	return out
+}
+
+// record counts a served query, feeds the query log, and builds the wire
+// response. wall is this query's own wall time — the handler-measured wall
+// for single requests, the engine-measured per-query server time for
+// batched ones (informational, like every stat on the wire).
+func (b *httpBackend) record(req *httpapi.SearchRequest, res *SearchResult, wall time.Duration) *httpapi.SearchResponse {
 	b.served.Add(1)
 	if b.queryLog != nil {
 		b.queryLog(req.Query, req.R, res.Stats, wall)
@@ -85,7 +123,7 @@ func (b *httpBackend) Search(req *httpapi.SearchRequest) (*httpapi.SearchRespons
 	for i, h := range res.Hits {
 		out.Hits[i] = httpapi.Hit{DocID: h.DocID, Score: h.Score, Content: h.Content}
 	}
-	return out, nil
+	return out
 }
 
 func (b *httpBackend) ClientExport() ([]byte, error) {

@@ -19,7 +19,8 @@ import (
 type ShardedHandlerOption func(*shardedHTTPBackend)
 
 // WithShardedQueryLog installs a per-query callback; stats aggregate the
-// whole fan-out.
+// whole fan-out. Requests are served concurrently, so the callback MUST be
+// safe for concurrent use.
 func WithShardedQueryLog(fn func(query string, r int, stats ShardedStats, wall time.Duration)) ShardedHandlerOption {
 	return func(b *shardedHTTPBackend) { b.queryLog = fn }
 }
