@@ -1,6 +1,7 @@
 package authtext
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -93,8 +94,13 @@ type SearchResult struct {
 	Hits []Hit
 	// VO is the encoded verification object; archive it alongside the
 	// result to build an audit trail (§1).
-	VO    []byte
-	Stats Stats
+	VO []byte
+	// Generation is the publication generation that answered (0 for
+	// static collections). The authoritative stamp travels inside the VO
+	// and is cross-checked during verification; this copy is the
+	// convenient, untrusted echo (docs/UPDATES.md).
+	Generation uint64
+	Stats      Stats
 }
 
 // Stats reports the per-query costs the paper measures (§4.1).
@@ -305,7 +311,8 @@ func (s *Server) Search(query string, r int, algo Algorithm, scheme Scheme) (*Se
 	if err != nil {
 		return nil, err
 	}
-	out := &SearchResult{VO: voBytes}
+	manifest, _ := s.col.Manifest()
+	out := &SearchResult{VO: voBytes, Generation: manifest.Generation}
 	for _, e := range res.Entries {
 		out.Hits = append(out.Hits, Hit{DocID: int(e.Doc), Score: e.Score, Content: res.Contents[e.Doc]})
 	}
@@ -325,25 +332,118 @@ func (s *Server) Search(query string, r int, algo Algorithm, scheme Scheme) (*Se
 	return out, nil
 }
 
-// Client verifies query results against the owner's published manifest and
-// public key. It holds no collection data. It is safe for concurrent use:
-// the one-time manifest check is guarded by a sync.Once.
-type Client struct {
-	manifest    *core.Manifest
-	manifestSig []byte
-	verifier    sig.Verifier
-
-	checkOnce sync.Once
-	checkErr  error
+// ErrStaleGeneration classifies rollback: a server (or manifest channel)
+// presenting an older publication generation than one this client already
+// accepted. Test with errors.Is; IsTampered reports true for it.
+// docs/UPDATES.md describes the generation trust rules.
+var ErrStaleGeneration error = &core.VerifyError{
+	Code:   core.CodeStaleGeneration,
+	Detail: "older generation than one already accepted",
 }
 
-// checkManifest runs the one-time manifest signature check. The outcome is
-// cached: a bad manifest fails every subsequent Verify with the same error.
-func (c *Client) checkManifest() error {
-	c.checkOnce.Do(func() {
+// Client verifies query results against the owner's published manifest and
+// public key. It holds no collection data. The public key is pinned at
+// construction and never changes; for live collections (docs/UPDATES.md)
+// the manifest can move FORWARD to later generations via Advance /
+// AdvanceExport — never backward: a regression is rejected as
+// ErrStaleGeneration. Safe for concurrent use.
+type Client struct {
+	// verifier is the pinned public key; everything mutable sits behind mu.
+	verifier sig.Verifier
+
+	mu          sync.Mutex
+	manifest    *core.Manifest
+	manifestSig []byte
+	checked     bool
+	checkErr    error
+	// maxGen is the highest generation this client has accepted; Advance
+	// refuses to go below it.
+	maxGen uint64
+}
+
+// checkManifestLocked runs the one-time manifest signature check (caller
+// holds mu). The outcome is cached until a successful Advance replaces
+// the manifest: a bad manifest fails every subsequent Verify identically.
+func (c *Client) checkManifestLocked() error {
+	if !c.checked {
 		c.checkErr = core.VerifyManifest(c.manifest, c.manifestSig, c.verifier)
-	})
+		c.checked = true
+		if c.checkErr == nil && c.manifest.Generation > c.maxGen {
+			c.maxGen = c.manifest.Generation
+		}
+	}
 	return c.checkErr
+}
+
+// current returns the verified manifest to check a result against.
+func (c *Client) current() (*core.Manifest, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.checkManifestLocked(); err != nil {
+		return nil, err
+	}
+	return c.manifest, nil
+}
+
+// Generation returns the generation of the manifest this client currently
+// verifies against (0 for a static collection).
+func (c *Client) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.manifest.Generation
+}
+
+// Advance moves the client to a newer generation of a live collection:
+// manifestBytes is the owner's canonical manifest encoding (the exact
+// signed bytes) and sigBytes the signature over them. The signature is
+// checked against the PINNED key — the channel delivering the update needs
+// no trust of its own — and the generation must not regress below any the
+// client has accepted (ErrStaleGeneration otherwise; a different manifest
+// re-using an already-accepted generation is rejected the same way, since
+// one generation never has two honest encodings). Advancing to the current
+// generation with identical bytes is a no-op.
+func (c *Client) Advance(manifestBytes, sigBytes []byte) error {
+	m, err := core.DecodeManifest(manifestBytes)
+	if err != nil {
+		return fmt.Errorf("authtext: %w", err)
+	}
+	if err := core.VerifyManifest(m, sigBytes, c.verifier); err != nil {
+		return &core.VerifyError{Code: core.CodeBadSignature, Detail: err.Error()}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Pin maxGen from the bootstrap manifest before comparing, so a
+	// rollback attempted before the first Verify is still caught.
+	if err := c.checkManifestLocked(); err != nil {
+		return err
+	}
+	switch {
+	case m.Generation < c.maxGen:
+		return &core.VerifyError{Code: core.CodeStaleGeneration,
+			Detail: fmt.Sprintf("manifest generation %d, already accepted %d", m.Generation, c.maxGen)}
+	case m.Generation == c.maxGen:
+		if !bytes.Equal(manifestBytes, c.manifest.Encode()) {
+			return &core.VerifyError{Code: core.CodeStaleGeneration,
+				Detail: fmt.Sprintf("conflicting manifest for generation %d", m.Generation)}
+		}
+		return nil
+	}
+	c.manifest = m
+	c.manifestSig = append([]byte(nil), sigBytes...)
+	c.maxGen = m.Generation
+	c.checked, c.checkErr = true, nil
+	return nil
+}
+
+// AdvanceExport is Advance over an ATCX export blob (the /v1/manifest
+// payload). The blob's embedded key is ignored — the signature must verify
+// against this client's pinned key.
+func (c *Client) AdvanceExport(data []byte) error {
+	manifestRaw, sigRaw, _, err := splitClientExport(data)
+	if err != nil {
+		return err
+	}
+	return c.Advance(manifestRaw, sigRaw)
 }
 
 // Verify checks a search result (including its delivered document
@@ -354,7 +454,8 @@ func (c *Client) Verify(query string, r int, res *SearchResult) error {
 	if res == nil {
 		return errors.New("authtext: nil result")
 	}
-	if err := c.checkManifest(); err != nil {
+	manifest, err := c.current()
+	if err != nil {
 		return err
 	}
 	decoded, err := decodeVO(res.VO)
@@ -370,7 +471,7 @@ func (c *Client) Verify(query string, r int, res *SearchResult) error {
 		contents[index.DocID(h.DocID)] = h.Content
 	}
 	return core.Verify(&core.VerifyInput{
-		Manifest: c.manifest,
+		Manifest: manifest,
 		Verifier: c.verifier,
 		Tokens:   textproc.Terms(query),
 		R:        r,

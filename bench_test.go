@@ -21,6 +21,7 @@ import (
 	"authtext/internal/experiments"
 	"authtext/internal/index"
 	"authtext/internal/linkgraph"
+	"authtext/internal/live"
 	"authtext/internal/okapi"
 	"authtext/internal/shard"
 	"authtext/internal/sig"
@@ -740,4 +741,116 @@ func BenchmarkShardedBuild(b *testing.B) {
 			}
 		})
 	}
+}
+
+// Live-update benchmarks: the cost of publishing a generation (with
+// signature reuse) and the read path's indifference to concurrent swaps.
+
+// benchLiveCollection builds a live collection over the tiny profile plus
+// a dictionary-stable document factory (no new terms, so appends reuse
+// signatures; see docs/UPDATES.md).
+func benchLiveCollection(b *testing.B) (*live.Collection, func() index.Document) {
+	b.Helper()
+	signer, err := sig.NewHMACSigner([]byte("live-bench"), 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs := corpus.Generate(corpus.Tiny())
+	lc, _, err := live.New(docs, engine.DefaultConfig(signer))
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := lc.Current().Index()
+	dict := make([]string, idx.M())
+	for t := range dict {
+		dict[t] = idx.Name(index.TermID(t))
+	}
+	seq := 0
+	makeDoc := func() index.Document {
+		toks := make([]string, 60)
+		for i := range toks {
+			toks[i] = dict[(seq*31+i*7)%len(dict)]
+		}
+		seq++
+		return index.Document{Content: []byte(strings.Join(toks, " ")), Tokens: toks}
+	}
+	return lc, makeDoc
+}
+
+// BenchmarkLiveUpdateAppend measures one dictionary-stable single-document
+// append published as a full generation (rebuild + atomic swap).
+func BenchmarkLiveUpdateAppend(b *testing.B) {
+	lc, makeDoc := benchLiveCollection(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, st, err := lc.Update([]index.Document{makeDoc()}, nil); err != nil {
+			b.Fatal(err)
+		} else if i == b.N-1 {
+			b.ReportMetric(float64(st.Reused)/float64(st.Signed+st.Reused)*100, "sig-reuse-%")
+		}
+	}
+}
+
+// BenchmarkLiveSwapUnderSearchLoad measures generation publication while
+// 4 goroutines keep searching the collection — the acceptance shape of
+// docs/UPDATES.md: updates must not stall the lock-free read path.
+func BenchmarkLiveSwapUnderSearchLoad(b *testing.B) {
+	lc, makeDoc := benchLiveCollection(b)
+	queries := workload.Synthetic(lc.Current().Index(), 64, 3, 41)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				if _, _, _, err := lc.Current().Search(queries[(c+i)%len(queries)], 10, core.AlgoTNRA, core.SchemeCMHT); err != nil {
+					return
+				}
+			}
+		}(c)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := lc.Update([]index.Document{makeDoc()}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	stop.Store(true)
+	wg.Wait()
+}
+
+// BenchmarkLiveSearchDuringUpdates is the inverse view: per-search cost
+// while generations keep swapping underneath.
+func BenchmarkLiveSearchDuringUpdates(b *testing.B) {
+	lc, makeDoc := benchLiveCollection(b)
+	queries := workload.Synthetic(lc.Current().Index(), 64, 3, 43)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			if _, _, err := lc.Update([]index.Document{makeDoc()}, nil); err != nil {
+				return
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, _, _, err := lc.Current().Search(queries[i%len(queries)], 10, core.AlgoTNRA, core.SchemeCMHT); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	stop.Store(true)
+	wg.Wait()
 }

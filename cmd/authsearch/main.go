@@ -342,8 +342,13 @@ func runRemote(url string, r int, algo authtext.Algorithm, scheme authtext.Schem
 	if err := rc.Bootstrap(ctx); err != nil {
 		return fmt.Errorf("manifest bootstrap failed: %w", err)
 	}
-	fmt.Printf("connected to %s — %d documents, %d terms; manifest verified\n",
-		url, health.Documents, health.Terms)
+	if health.Generation > 0 {
+		fmt.Printf("connected to %s — %d documents, %d terms, live generation %d; manifest verified\n",
+			url, health.Documents, health.Terms, health.Generation)
+	} else {
+		fmt.Printf("connected to %s — %d documents, %d terms; manifest verified\n",
+			url, health.Documents, health.Terms)
+	}
 	fmt.Printf("ready — %s-%s, top-%d; type a query (empty line to quit)\n", algo, scheme, r)
 	return repl(func(query string) {
 		res, err := rc.Search(ctx, query, r, algo, scheme)
@@ -355,7 +360,11 @@ func runRemote(url string, r int, algo authtext.Algorithm, scheme authtext.Schem
 			}
 			return
 		}
-		printResult("VERIFIED", res, func(docID int) string { return fmt.Sprintf("doc-%d", docID) })
+		label := "VERIFIED"
+		if res.Generation > 0 {
+			label = fmt.Sprintf("VERIFIED @ generation %d", res.Generation)
+		}
+		printResult(label, res, func(docID int) string { return fmt.Sprintf("doc-%d", docID) })
 	})
 }
 

@@ -17,16 +17,23 @@
 //
 // Usage:
 //
-//	authserved [-addr :8470] [-snapshot FILE|DIR | -dir PATH] [-shards N] [-vocab-proofs] [-quiet]
+//	authserved [-addr :8470] [-snapshot FILE|DIR | -dir PATH] [-shards N]
+//	           [-live [-live-snapshots DIR]] [-watch DUR] [-vocab-proofs] [-quiet]
 //
 // With -snapshot the daemon boots in milliseconds from an artifact
 // produced by `authsearch -build -o FILE`; nothing is re-tokenised,
 // re-indexed or re-signed. When the snapshot path is a DIRECTORY written
 // by `authsearch -build -shards N -o DIR`, the daemon serves the sharded
 // protocol (/v1/shards/search, /v1/shards/manifest) with parallel query
-// fan-out over every shard. Without -snapshot the daemon performs the
-// owner role in-process for convenience; adding -shards N splits the
-// corpus into N independently signed shards at startup.
+// fan-out over every shard; when it is a per-generation snapshot
+// directory written by a live owner (gen-NNNNNNNNNNNN.atsn files,
+// docs/UPDATES.md), the daemon serves the latest generation and — with
+// -watch — hot-swaps to newer generations as they appear. Without
+// -snapshot the daemon performs the owner role in-process for
+// convenience; adding -shards N splits the corpus into N independently
+// signed shards at startup, and -live additionally accepts document
+// add/remove batches on /v1/admin/update, publishing a new signed
+// generation per batch (persisted per generation with -live-snapshots).
 package main
 
 import (
@@ -64,12 +71,15 @@ func main() {
 // anything: flag errors and -help exit before any indexing or signing
 // happens.
 type config struct {
-	addr     string
-	dir      string
-	snapshot string
-	shards   int
-	vocab    bool
-	quiet    bool
+	addr      string
+	dir       string
+	snapshot  string
+	shards    int
+	vocab     bool
+	quiet     bool
+	live      bool
+	liveSnaps string
+	watch     time.Duration
 }
 
 // parseFlags parses and cross-validates the command line. It is the only
@@ -84,6 +94,9 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.shards, "shards", 0, "split the corpus into N independently signed shards (build mode)")
 	fs.BoolVar(&cfg.vocab, "vocab-proofs", true, "prove non-membership of out-of-dictionary query terms (build mode)")
 	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress per-query log lines")
+	fs.BoolVar(&cfg.live, "live", false, "accept document updates on /v1/admin/update (build mode); every batch publishes a new signed generation")
+	fs.StringVar(&cfg.liveSnaps, "live-snapshots", "", "with -live: persist every published generation as an ATSN snapshot in this directory")
+	fs.DurationVar(&cfg.watch, "watch", 0, "with -snapshot DIR of per-generation snapshots: poll at this interval and hot-swap to new generations")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -106,6 +119,21 @@ func parseFlags(args []string) (config, error) {
 		if _, err := os.Stat(cfg.snapshot); err != nil {
 			return config{}, fmt.Errorf("snapshot: %w", err)
 		}
+	}
+	if cfg.live && cfg.snapshot != "" {
+		return config{}, errors.New("-live and -snapshot are mutually exclusive: a snapshot boot has no signing key; use -watch to follow a live owner's snapshot directory")
+	}
+	if cfg.liveSnaps != "" && !cfg.live {
+		return config{}, errors.New("-live-snapshots requires -live")
+	}
+	if cfg.live && cfg.shards > 0 && cfg.liveSnaps != "" {
+		return config{}, errors.New("-live-snapshots is not supported for sharded live deployments yet")
+	}
+	if cfg.watch < 0 {
+		return config{}, fmt.Errorf("-watch %s out of range", cfg.watch)
+	}
+	if cfg.watch > 0 && cfg.snapshot == "" {
+		return config{}, errors.New("-watch requires -snapshot DIR (a per-generation snapshot directory)")
 	}
 	return cfg, nil
 }
@@ -178,6 +206,24 @@ func buildHandler(cfg config, logger *log.Logger) (http.Handler, error) {
 
 	if cfg.snapshot != "" {
 		start := time.Now()
+		if cfg.watch > 0 && !authtext.IsLiveSnapshotDir(cfg.snapshot) {
+			// Catch this here (the check needs the filesystem, so it cannot
+			// live in parseFlags) instead of silently serving frozen state
+			// while the operator believes hot-reload is active.
+			return nil, errors.New("-watch requires -snapshot to be a per-generation snapshot directory (gen-NNNNNNNNNNNN.atsn files)")
+		}
+		if authtext.IsLiveSnapshotDir(cfg.snapshot) {
+			replica, err := authtext.OpenLiveSnapshotDir(cfg.snapshot)
+			if err != nil {
+				return nil, err
+			}
+			logger.Printf("opened live snapshot directory %s at generation %d in %s (no re-indexing, no re-signing)",
+				cfg.snapshot, replica.Generation(), time.Since(start).Round(time.Millisecond))
+			if cfg.watch > 0 {
+				go watchReplica(replica, cfg.watch, logger)
+			}
+			return authtext.NewLiveReplicaHTTPHandler(replica, queryLogOpts()...)
+		}
 		if authtext.IsShardedSnapshot(cfg.snapshot) {
 			server, _, err := authtext.OpenShardedSnapshotDir(cfg.snapshot)
 			if err != nil {
@@ -214,6 +260,9 @@ func buildHandler(cfg config, logger *log.Logger) (http.Handler, error) {
 	if cfg.vocab {
 		opts = append(opts, authtext.WithVocabularyProofs())
 	}
+	if cfg.live {
+		return buildLiveHandler(cfg, docs, opts, logger)
+	}
 	if cfg.shards > 0 {
 		logger.Printf("indexing %d documents into %d shards, building authentication structures (RSA-1024)...",
 			len(docs), cfg.shards)
@@ -235,4 +284,79 @@ func buildHandler(cfg config, logger *log.Logger) (http.Handler, error) {
 	logger.Printf("built in %.0f ms: %d signatures, %.1f MB on the simulated disk",
 		buildMs, sigs, float64(devBytes)/(1<<20))
 	return owner.HTTPHandler(queryLogOpts()...)
+}
+
+// buildLiveHandler performs the live owner role in-process: every
+// accepted /v1/admin/update batch publishes a new signed generation, and
+// (single-collection mode) optionally persists it as a snapshot.
+func buildLiveHandler(cfg config, docs []authtext.Document, opts []authtext.Option, logger *log.Logger) (http.Handler, error) {
+	logUpdate := func(rep *authtext.UpdateReport) {
+		logger.Printf("published generation %d: %d documents (+%d/−%d), %d signed / %d reused signatures, rebuild %.0f ms",
+			rep.Generation, rep.Documents, rep.Added, rep.Removed,
+			rep.SignaturesSigned, rep.SignaturesReused, rep.RebuildMillis)
+	}
+	if cfg.shards > 0 {
+		logger.Printf("indexing %d documents into %d live shards (RSA-1024)...", len(docs), cfg.shards)
+		owner, _, err := authtext.NewLiveShardedOwner(docs, cfg.shards,
+			append(opts, authtext.WithShardPartitioner(authtext.PartitionHash))...)
+		if err != nil {
+			return nil, err
+		}
+		logger.Printf("serving %d shards at generation %d; updates on %s", owner.Shards(), owner.Generation(), "/v1/admin/update")
+		shardedOpts := []authtext.ShardedHandlerOption{authtext.WithShardedUpdateLog(logUpdate)}
+		if !cfg.quiet {
+			shardedOpts = append(shardedOpts, authtext.WithShardedQueryLog(
+				func(query string, r int, st authtext.ShardedStats, wall time.Duration) {
+					logger.Printf("query %q r=%d %s-%s shards=%d io=%s vo=%dB wall=%s",
+						query, r, st.Algorithm, st.Scheme, st.Shards, st.IOTime, st.VOBytes,
+						wall.Round(time.Microsecond))
+				}))
+		}
+		return owner.HTTPHandler(shardedOpts...)
+	}
+	logger.Printf("indexing %d live documents (RSA-1024)...", len(docs))
+	owner, _, err := authtext.NewLiveOwner(docs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	handlerOpts := []authtext.HandlerOption{authtext.WithUpdateLog(logUpdate)}
+	if !cfg.quiet {
+		handlerOpts = append(handlerOpts, authtext.WithQueryLog(
+			func(query string, r int, st authtext.Stats, wall time.Duration) {
+				logger.Printf("query %q r=%d %s-%s entries/term=%.1f io=%s vo=%dB wall=%s",
+					query, r, st.Algorithm, st.Scheme, st.EntriesPerTerm, st.IOTime, st.VOBytes,
+					wall.Round(time.Microsecond))
+			}))
+	}
+	if cfg.liveSnaps != "" {
+		// PersistGenerations writes inside the update critical section, so
+		// every published generation gets its own snapshot file even when
+		// admin updates race one another.
+		path, err := owner.PersistGenerations(cfg.liveSnaps, func(gen uint64, err error) {
+			logger.Printf("snapshot of generation %d failed: %v", gen, err)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("initial generation snapshot: %w", err)
+		}
+		logger.Printf("wrote %s (and will persist every future generation)", path)
+	}
+	logger.Printf("serving generation %d; updates on /v1/admin/update", owner.Generation())
+	return owner.HTTPHandler(handlerOpts...)
+}
+
+// watchReplica polls a per-generation snapshot directory and hot-swaps
+// the replica to every new generation that appears.
+func watchReplica(r *authtext.LiveReplica, every time.Duration, logger *log.Logger) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for range ticker.C {
+		swapped, err := r.Reload()
+		if err != nil {
+			logger.Printf("watch: %v", err)
+			continue
+		}
+		if swapped {
+			logger.Printf("watch: swapped to generation %d", r.Generation())
+		}
+	}
 }

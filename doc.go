@@ -60,4 +60,18 @@
 // (ShardedOwner.WriteSnapshotDir / OpenShardedSnapshotDir), and
 // ShardedRemoteClient is the verifying counterpart over HTTP. The design
 // and trust model are documented in docs/SHARDING.md.
+//
+// # Live collections and generations
+//
+// NewLiveOwner builds a collection that accepts updates after
+// publication: every AddDocuments/RemoveDocuments batch rebuilds a fresh
+// immutable collection under the next signed generation — reusing every
+// signature whose underlying structure the batch did not change — and
+// atomically swaps the serving pointer, so concurrent searches always
+// observe one whole generation. Clients follow generations forward only:
+// Client.Advance (and RemoteClient automatically) accepts a newer signed
+// manifest and rejects rollback with ErrStaleGeneration. Each generation
+// persists as its own snapshot (LiveOwner.WriteSnapshotDir), from which
+// OpenLiveSnapshotDir serves a hot-swappable replica. The model, trust
+// rules and measured costs are documented in docs/UPDATES.md.
 package authtext

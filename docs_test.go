@@ -1,0 +1,94 @@
+package authtext_test
+
+import (
+	"go/format"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Documentation checks: the docs are part of the product (ARCHITECTURE.md
+// is the entry point and links into every subsystem spec), so broken
+// intra-repo links and Go snippets that no longer parse fail the build
+// like any other regression. CI runs these in the docs job.
+
+// docFiles returns every tracked markdown file in the repo root, docs/
+// and examples/.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	for _, glob := range []string{"*.md", "docs/*.md", "examples/*.md", "examples/*/*.md"} {
+		matches, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, matches...)
+	}
+	if len(files) < 8 {
+		t.Fatalf("found only %d markdown files; the glob set is probably wrong: %v", len(files), files)
+	}
+	return files
+}
+
+var markdownLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsLinksResolve verifies that every relative markdown link in the
+// documentation points at a file that exists in the repository.
+func TestDocsLinksResolve(t *testing.T) {
+	for _, file := range docFiles(t) {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range markdownLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: link (%s) does not resolve: %v", file, m[1], err)
+			}
+		}
+	}
+}
+
+var goFence = regexp.MustCompile("(?s)```go\n(.*?)```")
+
+// TestDocsGoSnippets runs every ```go block in the documentation through
+// gofmt's parser, so API drift in the docs' code samples fails loudly.
+// Blocks using prose ellipses ("...", "…") are deliberately abridged and
+// are skipped.
+func TestDocsGoSnippets(t *testing.T) {
+	snippets := 0
+	for _, file := range docFiles(t) {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, m := range goFence.FindAllStringSubmatch(string(raw), -1) {
+			src := m[1]
+			if strings.Contains(src, "...") || strings.Contains(src, "…") {
+				continue
+			}
+			snippets++
+			// format.Source accepts a full file or a declaration/statement
+			// list — exactly the two shapes doc snippets take.
+			if _, err := format.Source([]byte(src)); err != nil {
+				t.Errorf("%s: go snippet %d does not parse: %v\n%s", file, i+1, err, src)
+			}
+		}
+	}
+	if snippets == 0 {
+		t.Fatal("no Go snippets found in the docs; the fence regexp is probably wrong")
+	}
+}

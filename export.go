@@ -52,44 +52,54 @@ func appendChunk(b, chunk []byte) []byte {
 	return append(b, chunk...)
 }
 
-// NewClientFromExport reconstructs a Client from an ExportClient blob. The
-// manifest signature is checked against the embedded public key before the
-// client is returned, so a tampered blob is rejected here rather than at
-// first use.
-func NewClientFromExport(data []byte) (*Client, error) {
+// splitClientExport slices an ATCX blob into its three chunks: manifest
+// encoding, manifest signature, PKIX public key DER.
+func splitClientExport(data []byte) (manifestRaw, sigRaw, keyDER []byte, err error) {
 	if len(data) < len(exportMagic) || string(data[:len(exportMagic)]) != exportMagic {
-		return nil, errors.New("authtext: not a client export")
+		return nil, nil, nil, errors.New("authtext: not a client export")
 	}
 	rest := data[len(exportMagic):]
 	chunks := make([][]byte, 3)
 	for i := range chunks {
 		if len(rest) < 2 {
-			return nil, errors.New("authtext: truncated client export")
+			return nil, nil, nil, errors.New("authtext: truncated client export")
 		}
 		n := int(binary.BigEndian.Uint16(rest))
 		rest = rest[2:]
 		if len(rest) < n {
-			return nil, errors.New("authtext: truncated client export")
+			return nil, nil, nil, errors.New("authtext: truncated client export")
 		}
 		chunks[i] = rest[:n]
 		rest = rest[n:]
 	}
 	if len(rest) != 0 {
-		return nil, errors.New("authtext: trailing bytes in client export")
+		return nil, nil, nil, errors.New("authtext: trailing bytes in client export")
 	}
-	manifest, err := core.DecodeManifest(chunks[0])
+	return chunks[0], chunks[1], chunks[2], nil
+}
+
+// NewClientFromExport reconstructs a Client from an ExportClient blob. The
+// manifest signature is checked against the embedded public key before the
+// client is returned, so a tampered blob is rejected here rather than at
+// first use.
+func NewClientFromExport(data []byte) (*Client, error) {
+	manifestRaw, sigRaw, keyDER, err := splitClientExport(data)
+	if err != nil {
+		return nil, err
+	}
+	manifest, err := core.DecodeManifest(manifestRaw)
 	if err != nil {
 		return nil, fmt.Errorf("authtext: %w", err)
 	}
-	verifier, err := sig.ParseRSAVerifier(chunks[2])
+	verifier, err := sig.ParseRSAVerifier(keyDER)
 	if err != nil {
 		return nil, err
 	}
-	sigCopy := append([]byte(nil), chunks[1]...)
+	sigCopy := append([]byte(nil), sigRaw...)
 	if err := core.VerifyManifest(manifest, sigCopy, verifier); err != nil {
 		return nil, err
 	}
-	c := &Client{manifest: manifest, manifestSig: sigCopy, verifier: verifier}
-	c.checkOnce.Do(func() {}) // manifest verified just above
-	return c, nil
+	// Manifest verified just above; seed maxGen from it.
+	return &Client{manifest: manifest, manifestSig: sigCopy, verifier: verifier,
+		checked: true, maxGen: manifest.Generation}, nil
 }

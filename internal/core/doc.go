@@ -15,7 +15,10 @@
 // broken ordering, incomplete result, spurious document, ...), which is
 // what authtext.IsTampered ultimately inspects. The Manifest type is the
 // trust anchor that travels to clients: the signed collection metadata
-// binding every per-list and per-document root.
+// binding every per-list and per-document root. For live collections the
+// manifest additionally carries a signed generation number that every VO
+// must echo; Verify rejects a stamp mismatch as CodeStaleGeneration
+// (docs/UPDATES.md).
 //
 // The package is I/O-free: query algorithms consume abstract list cursors
 // and document-frequency sources, which internal/engine backs with the

@@ -44,6 +44,11 @@ const (
 	// CodeBadConditions: the TNRA termination conditions do not hold over
 	// the revealed prefixes.
 	CodeBadConditions
+	// CodeStaleGeneration: the answer pins a different (usually older)
+	// publication generation than the manifest the client holds — a
+	// replayed or rolled-back answer from a live collection
+	// (docs/UPDATES.md).
+	CodeStaleGeneration
 )
 
 // String implements fmt.Stringer.
@@ -75,6 +80,8 @@ func (c VerifyCode) String() string {
 		return "bad-vocab-proof"
 	case CodeBadConditions:
 		return "tnra-conditions-violated"
+	case CodeStaleGeneration:
+		return "stale-generation"
 	}
 	return fmt.Sprintf("VerifyCode(%d)", int(c))
 }
@@ -88,6 +95,14 @@ type VerifyError struct {
 // Error implements error.
 func (e *VerifyError) Error() string {
 	return fmt.Sprintf("verify: %s: %s", e.Code, e.Detail)
+}
+
+// Is makes two VerifyErrors match under errors.Is when they carry the same
+// code, so sentinel values like authtext.ErrStaleGeneration work without
+// forcing every construction site to thread one shared instance through.
+func (e *VerifyError) Is(target error) bool {
+	t, ok := target.(*VerifyError)
+	return ok && t.Code == e.Code
 }
 
 func vErr(code VerifyCode, format string, args ...interface{}) *VerifyError {

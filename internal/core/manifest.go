@@ -43,6 +43,14 @@ type Manifest struct {
 	Beta          float64
 	AMax          float64
 	AuthorityRoot []byte
+	// Generation numbers the publication state of a live collection
+	// (docs/UPDATES.md). 0 means a static, build-once collection; live
+	// collections start at 1 and every accepted update increments it. The
+	// field is inside the signed encoding, so a server cannot claim a
+	// generation the owner never signed; clients additionally refuse to
+	// move to a manifest with a lower generation than one they have
+	// already accepted (rollback = tampering).
+	Generation uint64
 }
 
 // Encode produces the canonical signed encoding of the manifest.
@@ -75,6 +83,13 @@ func (m *Manifest) Encode() []byte {
 	b = binary.BigEndian.AppendUint64(b, math.Float64bits(m.Beta))
 	b = binary.BigEndian.AppendUint64(b, math.Float64bits(m.AMax))
 	b = appendSized(b, m.AuthorityRoot)
+	// The generation is a trailing extension: static collections
+	// (generation 0) encode exactly the original v1 layout, so their
+	// signatures, snapshots and golden fixtures are unaffected, while live
+	// collections (generation ≥ 1) sign the extra 8 bytes.
+	if m.Generation != 0 {
+		b = binary.BigEndian.AppendUint64(b, m.Generation)
+	}
 	return b
 }
 

@@ -35,6 +35,15 @@ func DecodeManifest(b []byte) (*Manifest, error) {
 	m.Beta = r.f64()
 	m.AMax = r.f64()
 	m.AuthorityRoot = r.sized()
+	// Optional trailing generation (live collections only; see
+	// Manifest.Encode). A zero value would have been omitted by the
+	// encoder, so reject it to keep the encoding canonical.
+	if r.err == nil && len(r.b)-r.off == 8 {
+		m.Generation = r.u64()
+		if m.Generation == 0 {
+			return nil, errors.New("core: non-canonical zero generation field")
+		}
+	}
 	if r.err != nil {
 		return nil, r.err
 	}
@@ -80,6 +89,14 @@ func (r *manifestReader) u32() uint32 {
 		return 0
 	}
 	return binary.BigEndian.Uint32(v)
+}
+
+func (r *manifestReader) u64() uint64 {
+	v := r.take(8)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(v)
 }
 
 func (r *manifestReader) f64() float64 {

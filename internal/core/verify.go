@@ -43,6 +43,16 @@ func Verify(in *VerifyInput) error {
 	if err := m.Validate(); err != nil {
 		return vErr(CodeMalformedVO, "manifest: %v", err)
 	}
+	if in.VO.Generation != m.Generation {
+		// The generation stamp is the server's claim of which publication
+		// state produced this answer. A mismatch with the manifest the
+		// client holds means a replayed (or prematurely served) answer —
+		// flagged here before any cryptographic work. A server that lies
+		// about the stamp instead faces the manifest-pinned checks below
+		// (content tree, collection statistics) under the wrong state.
+		return vErr(CodeStaleGeneration, "answer generation %d, manifest generation %d",
+			in.VO.Generation, m.Generation)
+	}
 	algo, scheme := Algo(in.VO.Algo), Scheme(in.VO.Scheme)
 	if algo != AlgoTRA && algo != AlgoTNRA {
 		return vErr(CodeMalformedVO, "unknown algorithm %d", in.VO.Algo)

@@ -34,6 +34,14 @@ type Config struct {
 	Authority []float64
 	// Beta is the authority weight β (ignored unless Authority is set).
 	Beta float64
+	// Generation numbers the publication state for live collections
+	// (docs/UPDATES.md): 0 builds a static collection with the original
+	// manifest encoding; values ≥ 1 are signed into the manifest and
+	// stamped into every VO the collection serves.
+	Generation uint64
+	// FixedAvgLen pins the Okapi average document length (see
+	// index.Options.FixedAvgLen); 0 computes it from the corpus.
+	FixedAvgLen float64
 }
 
 // DefaultConfig returns the paper's parameters; the caller must supply a
@@ -127,7 +135,8 @@ func BuildCollection(docs []index.Document, cfg Config) (*Collection, error) {
 	if err != nil {
 		return nil, err
 	}
-	idx, err := index.Build(docs, index.Options{Okapi: cfg.Okapi, RemoveSingletons: cfg.RemoveSingletons})
+	idx, err := index.Build(docs, index.Options{Okapi: cfg.Okapi, RemoveSingletons: cfg.RemoveSingletons,
+		FixedAvgLen: cfg.FixedAvgLen})
 	if err != nil {
 		return nil, err
 	}
@@ -237,6 +246,7 @@ func BuildCollection(docs []index.Document, cfg Config) (*Collection, error) {
 		DictMode:           cfg.DictMode,
 		VocabProofsEnabled: cfg.VocabProofs,
 		DocHashRoot:        mht.Root(c.hasher, c.docHash),
+		Generation:         cfg.Generation,
 	}
 	if cfg.DictMode {
 		for k := range kinds {

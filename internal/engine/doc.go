@@ -14,4 +14,10 @@
 // authtext facade exports to clients. The network layer (internal/httpapi,
 // cmd/authserved) moves these same VO bytes unchanged; nothing in engine
 // assumes the client is in-process.
+//
+// Collections are immutable once built. Live deployments
+// (internal/live) therefore never mutate an engine.Collection: they
+// build a fresh one per publication generation — Config.Generation is
+// signed into the manifest and stamped into every VO — and swap which
+// collection serves.
 package engine

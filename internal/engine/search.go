@@ -59,7 +59,7 @@ func (c *Collection) Search(tokens []string, r int, algo core.Algo, scheme core.
 	}
 	stats.QueryTerms = len(q.Terms)
 
-	v := &vo.VO{Algo: uint8(algo), Scheme: uint8(scheme)}
+	v := &vo.VO{Algo: uint8(algo), Scheme: uint8(scheme), Generation: c.manifest.Generation}
 	if c.cfg.VocabProofs {
 		if err := c.appendVocabProofs(v, q.Unknown); err != nil {
 			return nil, nil, nil, err

@@ -227,6 +227,7 @@ func Restore(st *State) (*Collection, error) {
 		DictMode:    m.DictMode,
 		VocabProofs: m.VocabProofsEnabled,
 		Beta:        m.Beta,
+		Generation:  m.Generation,
 	}
 	// Derived leaf tables are pure encodings — rebuild rather than persist.
 	if m.VocabProofsEnabled {

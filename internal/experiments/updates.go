@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"authtext/internal/core"
+	"authtext/internal/corpus"
+	"authtext/internal/engine"
+	"authtext/internal/index"
+	"authtext/internal/live"
+	"authtext/internal/sig"
+	"authtext/internal/workload"
+)
+
+// UpdatePoint is one row of the update experiment: one batch replacing
+// Docs documents (FractionPct of the corpus) published as a new
+// generation.
+type UpdatePoint struct {
+	FractionPct float64
+	Docs        int
+	Generation  uint64
+	// Signed / Reused are the signature counts of the rebuild; ReusePct
+	// is Reused's share of all signatures the generation needed.
+	Signed, Reused int
+	ReusePct       float64
+	// Rebuild is the wall time from accepting the batch to serving the
+	// new generation.
+	Rebuild time.Duration
+}
+
+// UpdateReport is the result of UpdateCompare.
+type UpdateReport struct {
+	InitialBuild time.Duration
+	Points       []UpdatePoint
+	// SwapVisible is the longest any concurrent searcher took to observe
+	// the new generation after an update returned (the reader-visible
+	// swap latency of the atomic pointer).
+	SwapVisible time.Duration
+	// SearchQPS is the searchers' aggregate throughput while the update
+	// was building — queries keep flowing during a rebuild.
+	SearchQPS float64
+}
+
+// UpdateCompare measures the live-collection update pipeline on a
+// generated corpus. The fraction sweep uses dictionary-stable APPEND
+// batches (documents recombined from the existing dictionary — the
+// steady state of a corpus whose vocabulary has saturated): term IDs and
+// document IDs stay put, so the rebuild re-signs only the term lists the
+// batch actually touches. A final worst-case row replaces the OLDEST
+// documents instead, which renumbers every document and term behind the
+// removal point and degrades to a full re-sign — docs/UPDATES.md
+// explains why both regimes exist.
+func UpdateCompare(p corpus.Profile, rsa bool, w io.Writer) (*UpdateReport, error) {
+	var signer sig.Signer
+	var err error
+	if rsa {
+		// RSA is where reuse pays directly: every reused signature is a
+		// private-key operation avoided.
+		signer, err = sig.NewRSASigner(sig.DefaultRSABits)
+	} else {
+		signer, err = sig.NewHMACSigner([]byte("experiments-updates-"+p.Name), 128)
+	}
+	if err != nil {
+		return nil, err
+	}
+	pool := corpus.Generate(p)
+	n := p.Docs
+	lc, handles, err := live.New(pool, engine.DefaultConfig(signer))
+	if err != nil {
+		return nil, err
+	}
+	rep := &UpdateReport{InitialBuild: lc.LastStats().Rebuild}
+	fmt.Fprintf(w, "Live updates on %s (n=%d; initial build %v)\n",
+		p.Name, n, rep.InitialBuild.Round(time.Millisecond))
+	fmt.Fprintf(w, "  %-22s %8s %10s %10s %9s %12s\n",
+		"batch", "docs", "signed", "reused", "reuse%", "rebuild")
+
+	// Dictionary-stable appends: every token is an existing dictionary
+	// term, so no term enters or leaves the dictionary.
+	idx := lc.Current().Index()
+	dict := make([]string, idx.M())
+	for t := range dict {
+		dict[t] = idx.Name(index.TermID(t))
+	}
+	rng := rand.New(rand.NewSource(p.Seed + 99))
+	makeDoc := func() index.Document {
+		toks := make([]string, int(p.AvgLen))
+		for i := range toks {
+			toks[i] = dict[rng.Intn(len(dict))]
+		}
+		return index.Document{Content: []byte(strings.Join(toks, " ")), Tokens: toks}
+	}
+	row := func(label string, st *live.UpdateStats, k int, frac float64) {
+		total := st.Signed + st.Reused
+		point := UpdatePoint{
+			FractionPct: 100 * frac,
+			Docs:        k,
+			Generation:  st.Generation,
+			Signed:      st.Signed,
+			Reused:      st.Reused,
+			ReusePct:    100 * float64(st.Reused) / float64(total),
+			Rebuild:     st.Rebuild,
+		}
+		rep.Points = append(rep.Points, point)
+		fmt.Fprintf(w, "  %-22s %8d %10d %10d %8.1f%% %12v\n",
+			label, k, point.Signed, point.Reused, point.ReusePct,
+			point.Rebuild.Round(time.Millisecond))
+	}
+	for _, frac := range []float64{0.01, 0.05, 0.10, 0.25, 0.50} {
+		k := int(frac * float64(n))
+		if k < 1 {
+			k = 1
+		}
+		batch := make([]index.Document, k)
+		for i := range batch {
+			batch[i] = makeDoc()
+		}
+		newHandles, st, err := lc.Update(batch, nil)
+		if err != nil {
+			return nil, err
+		}
+		handles = append(handles, newHandles...)
+		row(fmt.Sprintf("append %.0f%%", 100*frac), st, k, frac)
+	}
+
+	// Worst case: replacing the oldest documents shifts every document ID
+	// (and usually the dictionary) behind the removal point.
+	k := n / 10
+	if k < 1 {
+		k = 1
+	}
+	batch := make([]index.Document, k)
+	for i := range batch {
+		batch[i] = makeDoc()
+	}
+	st, err := replace(lc, &handles, batch, k)
+	if err != nil {
+		return nil, err
+	}
+	row("replace oldest 10%", st, k, 0.10)
+
+	// Swap latency under concurrent search load: hammer the collection
+	// with searchers while one more replacement batch lands, and measure
+	// how long the new generation takes to become visible to them.
+	const searchers = 8
+	qs := workload.Synthetic(lc.Current().Index(), 64, 3, 977)
+	beforeGen := lc.Generation()
+	var (
+		wg       sync.WaitGroup
+		stop     atomic.Bool
+		queries  atomic.Int64
+		searchNs [searchers]atomic.Int64 // first observation of the new generation
+	)
+	for c := 0; c < searchers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				col := lc.Current()
+				if _, _, _, err := col.Search(qs[(c+i)%len(qs)], 10, core.AlgoTNRA, core.SchemeCMHT); err != nil {
+					return
+				}
+				queries.Add(1)
+				m, _ := col.Manifest()
+				if m.Generation > beforeGen && searchNs[c].Load() == 0 {
+					searchNs[c].Store(time.Now().UnixNano())
+				}
+			}
+		}(c)
+	}
+	time.Sleep(50 * time.Millisecond) // let the hammer spin up
+	updStart := time.Now()
+	_, st, err = lc.Update([]index.Document{makeDoc()}, nil)
+	if err != nil {
+		stop.Store(true)
+		wg.Wait()
+		return nil, err
+	}
+	swapDone := time.Now().UnixNano()
+	time.Sleep(50 * time.Millisecond) // let every searcher observe the swap
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(updStart)
+	rep.SearchQPS = float64(queries.Load()) / elapsed.Seconds()
+	for c := 0; c < searchers; c++ {
+		if ns := searchNs[c].Load(); ns > swapDone {
+			if d := time.Duration(ns - swapDone); d > rep.SwapVisible {
+				rep.SwapVisible = d
+			}
+		}
+	}
+	fmt.Fprintf(w, "  swap under load: rebuild %v, new generation %d visible to all %d searchers within %v, %.0f searches/sec meanwhile\n",
+		st.Rebuild.Round(time.Millisecond), st.Generation, searchers,
+		rep.SwapVisible.Round(time.Microsecond), rep.SearchQPS)
+	return rep, nil
+}
+
+// replace removes the k oldest documents and adds the given replacements
+// as one batch, keeping the handle list current.
+func replace(lc *live.Collection, handles *[]uint64, add []index.Document, k int) (*live.UpdateStats, error) {
+	newHandles, st, err := lc.Update(add, (*handles)[:k])
+	if err != nil {
+		return nil, err
+	}
+	*handles = append(append([]uint64(nil), (*handles)[k:]...), newHandles...)
+	return st, nil
+}

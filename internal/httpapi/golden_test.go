@@ -37,10 +37,11 @@ var goldenCases = []struct {
 	{
 		file: "search_response.json",
 		value: &SearchResponse{
-			Query:  "merkle tree proofs",
-			R:      2,
-			Algo:   AlgoTNRA,
-			Scheme: SchemeCMHT,
+			Query:      "merkle tree proofs",
+			R:          2,
+			Algo:       AlgoTNRA,
+			Scheme:     SchemeCMHT,
+			Generation: 7,
 			Hits: []Hit{
 				{DocID: 7, Score: 3.25, Content: []byte("first document body")},
 				{DocID: 2, Score: 1.5, Content: []byte("second document body")},
@@ -63,15 +64,19 @@ var goldenCases = []struct {
 	{
 		file: "sharded_search_response.json",
 		value: &ShardedSearchResponse{
-			Query:  "merkle tree proofs",
-			R:      2,
-			Algo:   AlgoTNRA,
-			Scheme: SchemeCMHT,
+			Query:      "merkle tree proofs",
+			R:          2,
+			Algo:       AlgoTNRA,
+			Scheme:     SchemeCMHT,
+			Generation: 4,
 			Shards: []SearchResponse{
 				{
 					Query: "merkle tree proofs", R: 2, Algo: AlgoTNRA, Scheme: SchemeCMHT,
-					Hits: []Hit{{DocID: 0, Score: 2.5, Content: []byte("shard zero hit")}},
-					VO:   []byte{0x0a},
+					// Shard rebuilt at set generation 4; its sibling was
+					// carried over unchanged from generation 2.
+					Generation: 4,
+					Hits:       []Hit{{DocID: 0, Score: 2.5, Content: []byte("shard zero hit")}},
+					VO:         []byte{0x0a},
 					Stats: SearchStats{
 						QueryTerms: 3, EntriesRead: 10, EntriesPerTerm: 3.3333,
 						PctListRead: 50, BlockReads: 3, RandomReads: 0,
@@ -80,8 +85,9 @@ var goldenCases = []struct {
 				},
 				{
 					Query: "merkle tree proofs", R: 2, Algo: AlgoTNRA, Scheme: SchemeCMHT,
-					Hits: []Hit{{DocID: 1, Score: 3.75, Content: []byte("shard one hit")}},
-					VO:   []byte{0x0b, 0x0c},
+					Generation: 2,
+					Hits:       []Hit{{DocID: 1, Score: 3.75, Content: []byte("shard one hit")}},
+					VO:         []byte{0x0b, 0x0c},
 					Stats: SearchStats{
 						QueryTerms: 3, EntriesRead: 12, EntriesPerTerm: 4,
 						PctListRead: 40, BlockReads: 4, RandomReads: 1,
@@ -116,10 +122,32 @@ var goldenCases = []struct {
 	{
 		file: "health.json",
 		value: &Health{
-			Status: "ok", Documents: 172961, Terms: 181978, Shards: 4,
+			Status: "ok", Documents: 172961, Terms: 181978, Shards: 4, Generation: 12,
 			UptimeMillis: 86400000, QueriesServed: 1048576, QueriesFailed: 3,
 		},
 		fresh: func() interface{} { return new(Health) },
+	},
+	{
+		file: "update_request.json",
+		value: &UpdateRequest{
+			Add:    []UpdateDocument{{Content: []byte("a freshly published document")}},
+			Remove: []uint64{17, 42},
+		},
+		fresh: func() interface{} { return new(UpdateRequest) },
+	},
+	{
+		file: "update_response.json",
+		value: &UpdateResponse{
+			Generation:       8,
+			Documents:        1023,
+			Added:            []uint64{1025},
+			Removed:          2,
+			SignaturesSigned: 61,
+			SignaturesReused: 4357,
+			ShardsReused:     3,
+			RebuildMillis:    241.5,
+		},
+		fresh: func() interface{} { return new(UpdateResponse) },
 	},
 	{
 		file:  "error_response.json",

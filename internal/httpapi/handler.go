@@ -35,6 +35,18 @@ type BatchBackend interface {
 	SearchBatch(reqs []SearchRequest) []BatchSearchResult
 }
 
+// LiveBackend is the optional extension a live deployment implements on
+// top of Backend: accepting document update batches at /v1/admin/update.
+// A serving-only live deployment (snapshot replica) implements it too and
+// rejects updates with a *StatusError, so the endpoint exists wherever
+// generations do.
+type LiveBackend interface {
+	Backend
+	// Update applies one validated add/remove batch as a single
+	// generation change.
+	Update(req *UpdateRequest) (*UpdateResponse, error)
+}
+
 // ShardBackend is the optional extension a sharded deployment implements
 // on top of Backend: parallel fan-out search over every shard and the
 // sharded (ATSX) verification-material bootstrap.
@@ -79,6 +91,27 @@ func NewHandler(b Backend) http.Handler {
 				return
 			}
 			writeJSON(w, http.StatusOK, &ManifestResponse{Format: FormatATSX, Export: export})
+		})
+	}
+	if lb, ok := b.(LiveBackend); ok {
+		mux.HandleFunc(PathAdminUpdate, func(w http.ResponseWriter, r *http.Request) {
+			if !allowMethod(w, r, http.MethodPost) {
+				return
+			}
+			var req UpdateRequest
+			if !decodeBodyCapped(w, r, &req, MaxUpdateBodyBytes) {
+				return
+			}
+			if err := req.Validate(); err != nil {
+				writeErrorBody(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+				return
+			}
+			resp, err := lb.Update(&req)
+			if err != nil {
+				writeError(w, err, CodeUpdateFailed, http.StatusConflict)
+				return
+			}
+			writeJSON(w, http.StatusOK, resp)
 		})
 	}
 	mux.HandleFunc(PathManifest, func(w http.ResponseWriter, r *http.Request) {
@@ -221,7 +254,11 @@ func readSearchRequest(w http.ResponseWriter, r *http.Request) (*SearchRequest, 
 // decodeBody parses a size-capped JSON POST body into v, rejecting unknown
 // fields and trailing data, writing the error response itself on failure.
 func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
-	body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	return decodeBodyCapped(w, r, v, MaxBodyBytes)
+}
+
+func decodeBodyCapped(w http.ResponseWriter, r *http.Request, v interface{}, limit int64) bool {
+	body := http.MaxBytesReader(w, r.Body, limit)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {

@@ -33,6 +33,10 @@ const (
 	// non-sharded server answers 404).
 	PathShardSearch   = "/v1/shards/search"
 	PathShardManifest = "/v1/shards/manifest"
+	// PathAdminUpdate accepts document add/remove batches on live
+	// deployments (docs/UPDATES.md); anything else answers 404. It is an
+	// OWNER-side endpoint: expose it only on trusted networks.
+	PathAdminUpdate = "/v1/admin/update"
 )
 
 // Canonical algorithm and scheme names on the wire (case-insensitive on
@@ -59,6 +63,12 @@ const (
 	MaxBodyBytes = 640 << 10
 	// MaxBatchQueries caps the number of queries in one batch request.
 	MaxBatchQueries = 64
+	// MaxUpdateDocs caps the documents added or removed in one update
+	// batch.
+	MaxUpdateDocs = 1024
+	// MaxUpdateBodyBytes caps the POST body of an update request
+	// (documents ride in it, so it is larger than MaxBodyBytes).
+	MaxUpdateBodyBytes = 32 << 20
 )
 
 // Machine-readable error codes carried in ErrorBody.Code.
@@ -67,6 +77,7 @@ const (
 	CodeNotFound         = "not_found"
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeSearchFailed     = "search_failed"
+	CodeUpdateFailed     = "update_failed"
 	CodeUnavailable      = "unavailable"
 	CodeInternal         = "internal"
 )
@@ -108,13 +119,18 @@ type SearchStats struct {
 // check the result against the parameters it asked for, not the echo (a
 // tampering server could rewrite both consistently).
 type SearchResponse struct {
-	Query  string      `json:"query"`
-	R      int         `json:"r"`
-	Algo   string      `json:"algo"`
-	Scheme string      `json:"scheme"`
-	Hits   []Hit       `json:"hits"`
-	VO     []byte      `json:"vo"`
-	Stats  SearchStats `json:"stats"`
+	Query  string `json:"query"`
+	R      int    `json:"r"`
+	Algo   string `json:"algo"`
+	Scheme string `json:"scheme"`
+	// Generation is the publication generation that answered (0/absent on
+	// static collections). It is an untrusted hint — the VO carries the
+	// authoritative stamp — that tells clients when to refresh their
+	// manifest from /v1/manifest (docs/UPDATES.md).
+	Generation uint64      `json:"generation,omitempty"`
+	Hits       []Hit       `json:"hits"`
+	VO         []byte      `json:"vo"`
+	Stats      SearchStats `json:"stats"`
 }
 
 // BatchSearchRequest is the batch form of a POST to /v1/search: up to
@@ -196,13 +212,17 @@ type ShardedSearchStats struct {
 // manifest and recomputes the merge; the echoed parameters are as
 // untrusted as in SearchResponse.
 type ShardedSearchResponse struct {
-	Query  string             `json:"query"`
-	R      int                `json:"r"`
-	Algo   string             `json:"algo"`
-	Scheme string             `json:"scheme"`
-	Shards []SearchResponse   `json:"shards"`
-	Merged []MergedHit        `json:"merged"`
-	Stats  ShardedSearchStats `json:"stats"`
+	Query  string `json:"query"`
+	R      int    `json:"r"`
+	Algo   string `json:"algo"`
+	Scheme string `json:"scheme"`
+	// Generation is the shard-set generation that answered (0/absent on
+	// static sets); an untrusted refresh hint like
+	// SearchResponse.Generation.
+	Generation uint64             `json:"generation,omitempty"`
+	Shards     []SearchResponse   `json:"shards"`
+	Merged     []MergedHit        `json:"merged"`
+	Stats      ShardedSearchStats `json:"stats"`
 }
 
 // Health is the healthz payload: liveness plus collection shape and
@@ -210,13 +230,64 @@ type ShardedSearchResponse struct {
 // and the shard count for a sharded one (clients use it to pick the
 // endpoint family).
 type Health struct {
-	Status        string `json:"status"`
-	Documents     int    `json:"documents"`
-	Terms         int    `json:"terms"`
-	Shards        int    `json:"shards,omitempty"`
+	Status    string `json:"status"`
+	Documents int    `json:"documents"`
+	Terms     int    `json:"terms"`
+	Shards    int    `json:"shards,omitempty"`
+	// Generation is the currently served publication generation (0/absent
+	// on static deployments).
+	Generation    uint64 `json:"generation,omitempty"`
 	UptimeMillis  int64  `json:"uptime_millis"`
 	QueriesServed int64  `json:"queries_served"`
 	QueriesFailed int64  `json:"queries_failed"`
+}
+
+// UpdateDocument is one document added by an update batch. Content is
+// base64 on the wire, like Hit.Content.
+type UpdateDocument struct {
+	Content []byte `json:"content"`
+}
+
+// UpdateRequest is a POST to /v1/admin/update: one batch of additions
+// and removals, applied atomically as a single generation change.
+// Remove carries the document handles assigned when the documents were
+// added (UpdateResponse.Added, or the owner's construction-time handles).
+type UpdateRequest struct {
+	Add    []UpdateDocument `json:"add,omitempty"`
+	Remove []uint64         `json:"remove,omitempty"`
+}
+
+// Validate reports the first problem with the batch.
+func (r *UpdateRequest) Validate() error {
+	if len(r.Add) == 0 && len(r.Remove) == 0 {
+		return fmt.Errorf("empty update batch")
+	}
+	if len(r.Add) > MaxUpdateDocs {
+		return fmt.Errorf("%d added documents exceed the maximum of %d", len(r.Add), MaxUpdateDocs)
+	}
+	if len(r.Remove) > MaxUpdateDocs {
+		return fmt.Errorf("%d removals exceed the maximum of %d", len(r.Remove), MaxUpdateDocs)
+	}
+	for i, d := range r.Add {
+		if len(d.Content) == 0 {
+			return fmt.Errorf("added document %d is empty", i)
+		}
+	}
+	return nil
+}
+
+// UpdateResponse reports the accepted batch: the newly published
+// generation, the handles assigned to the added documents (in request
+// order), and the owner-side rebuild costs.
+type UpdateResponse struct {
+	Generation       uint64   `json:"generation"`
+	Documents        int      `json:"documents"`
+	Added            []uint64 `json:"added,omitempty"`
+	Removed          int      `json:"removed"`
+	SignaturesSigned int      `json:"signatures_signed"`
+	SignaturesReused int      `json:"signatures_reused"`
+	ShardsReused     int      `json:"shards_reused,omitempty"`
+	RebuildMillis    float64  `json:"rebuild_millis"`
 }
 
 // ErrorResponse is the envelope of every non-2xx answer.

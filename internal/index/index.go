@@ -59,6 +59,13 @@ type Options struct {
 	// RemoveSingletons drops terms that appear in only one document, the
 	// standard indexing step of §4.1.
 	RemoveSingletons bool
+	// FixedAvgLen, when non-zero, overrides the computed average document
+	// length W_A in every w_{d,t} impact weight. Live collections pin it
+	// at their first generation so that an update leaves the weights —
+	// and therefore the signable list structures — of untouched documents
+	// byte-identical (docs/UPDATES.md); scoring stays consistent because
+	// owner, server and client all take W_A from the signed manifest.
+	FixedAvgLen float64
 }
 
 // DefaultOptions mirrors the paper's setup.
@@ -110,6 +117,12 @@ func Build(docs []Document, opts Options) (*Index, error) {
 	avgLen := float64(totalLen) / float64(n)
 	if avgLen == 0 {
 		return nil, errors.New("index: collection has no indexable terms")
+	}
+	if opts.FixedAvgLen < 0 {
+		return nil, fmt.Errorf("index: negative fixed average length %v", opts.FixedAvgLen)
+	}
+	if opts.FixedAvgLen > 0 {
+		avgLen = opts.FixedAvgLen
 	}
 
 	// First pass: document frequencies.

@@ -1,0 +1,282 @@
+// Package live maintains a mutable, authenticated document collection on
+// top of the immutable engine: every batch of additions and removals
+// rebuilds a fresh engine.Collection under the next publication
+// *generation* and atomically swaps the served pointer, so the lock-free
+// read path of docs/CONCURRENCY.md is never touched — readers always see
+// one whole generation, never a torn mix of two.
+//
+// The owner-side cost of an update is dominated by signing, and signing
+// is exactly what the generation model lets us avoid: the engine signs
+// canonical content-addressed messages, so a CachingSigner reuses every
+// signature whose message an update did not change (unchanged term lists,
+// unchanged document records). The generation number itself lives in the
+// freshly signed manifest, which is what makes rollback detectable:
+// clients refuse to regress to a lower generation (docs/UPDATES.md).
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"authtext/internal/engine"
+	"authtext/internal/index"
+)
+
+// UpdateStats reports what one generation change cost.
+type UpdateStats struct {
+	// Generation is the generation the update published.
+	Generation uint64
+	// Documents is the corpus size after the update.
+	Documents int
+	// Added and Removed count the documents the batch changed.
+	Added, Removed int
+	// Signed is the number of fresh signatures the rebuild needed;
+	// Reused the number served from the signature cache.
+	Signed, Reused int
+	// ShardsReused counts whole shards carried over from the previous
+	// generation without any rebuild (sharded live sets only).
+	ShardsReused int
+	// Rebuild is the wall time from accepting the batch to swapping the
+	// served pointer.
+	Rebuild time.Duration
+}
+
+// entry is one live document: a stable handle plus its immutable content.
+type entry struct {
+	handle uint64
+	doc    index.Document
+}
+
+// Collection is a live single-collection deployment: an atomically
+// swapped engine.Collection plus the owner-side state needed to rebuild
+// it. Searches go through Current and are lock-free; updates serialise on
+// an owner-side mutex that the read path never touches.
+type Collection struct {
+	mu         sync.Mutex // serialises updates (owner side only)
+	cfg        engine.Config
+	signer     *CachingSigner
+	docs       []entry
+	nextHandle uint64
+	lastStats  UpdateStats
+	// pinnedAvgLen freezes the Okapi W_A across generations so that
+	// untouched documents keep byte-identical impact weights — the
+	// precondition for any signature reuse. It re-pins (full re-sign)
+	// when the true average drifts beyond maxAvgLenDrift.
+	pinnedAvgLen float64
+	// publishHook, when set, runs under mu right after every generation
+	// swap — updates are serialised, so a hook that persists generations
+	// sees every one exactly once, in order.
+	publishHook func(*engine.Collection, *UpdateStats)
+
+	cur atomic.Pointer[engine.Collection]
+	gen atomic.Uint64
+}
+
+// maxAvgLenDrift is the relative drift of the true average document
+// length from the pinned W_A beyond which a rebuild re-pins (and
+// re-signs everything). 25% keeps Okapi's length normalisation honest
+// without making routine updates expensive.
+const maxAvgLenDrift = 0.25
+
+// New builds generation 1 from the initial documents. cfg is the engine
+// configuration to use for every generation; its Signer is wrapped in a
+// CachingSigner so later updates reuse unchanged signatures. The returned
+// handles identify the initial documents for later removal.
+func New(docs []index.Document, cfg engine.Config) (*Collection, []uint64, error) {
+	if cfg.Signer == nil {
+		return nil, nil, errors.New("live: config needs a signer")
+	}
+	if cfg.Authority != nil {
+		return nil, nil, errors.New("live: the authority boost is not supported on live collections")
+	}
+	if cfg.Generation != 0 {
+		return nil, nil, errors.New("live: the generation counter is owned by the live collection")
+	}
+	c := &Collection{cfg: cfg, signer: NewCachingSigner(cfg.Signer)}
+	c.cfg.Signer = c.signer
+	handles := c.append(docs)
+	if _, err := c.rebuildLocked(len(docs), 0); err != nil {
+		return nil, nil, err
+	}
+	return c, handles, nil
+}
+
+// append registers documents and returns their handles (caller holds mu
+// or is the constructor).
+func (c *Collection) append(docs []index.Document) []uint64 {
+	handles := make([]uint64, len(docs))
+	for i, d := range docs {
+		c.nextHandle++
+		handles[i] = c.nextHandle
+		c.docs = append(c.docs, entry{handle: c.nextHandle, doc: d})
+	}
+	return handles
+}
+
+// rebuildLocked builds generation gen+1 from c.docs and swaps the served
+// pointer. On error nothing is swapped and the generation does not
+// advance; the caller must restore c.docs.
+func (c *Collection) rebuildLocked(added, removed int) (*UpdateStats, error) {
+	if len(c.docs) == 0 {
+		return nil, errors.New("live: update would empty the collection")
+	}
+	start := time.Now()
+	idocs := make([]index.Document, len(c.docs))
+	for i, e := range c.docs {
+		idocs[i] = e.doc
+	}
+	cfg := c.cfg
+	cfg.Generation = c.gen.Load() + 1
+	cfg.FixedAvgLen = c.pinnedAvgLen // 0 on the first build: compute and pin
+	c.signer.Begin()
+	col, err := engine.BuildCollection(idocs, cfg)
+	if err != nil {
+		c.signer.Abort()
+		return nil, err
+	}
+	if cfg.FixedAvgLen != 0 && avgLenDrift(col, cfg.FixedAvgLen) > maxAvgLenDrift {
+		// The corpus has drifted too far from the pinned W_A: re-pin to
+		// the true average and rebuild. Every weight changes, so this
+		// generation re-signs everything — by design a rare event.
+		cfg.FixedAvgLen = 0
+		col, err = engine.BuildCollection(idocs, cfg)
+		if err != nil {
+			c.signer.Abort()
+			return nil, err
+		}
+	}
+	signed, reused := c.signer.End()
+	c.pinnedAvgLen = col.Index().AvgLen
+	c.cur.Store(col)
+	c.gen.Store(cfg.Generation)
+	c.lastStats = UpdateStats{
+		Generation: cfg.Generation,
+		Documents:  len(c.docs),
+		Added:      added,
+		Removed:    removed,
+		Signed:     signed,
+		Reused:     reused,
+		Rebuild:    time.Since(start),
+	}
+	st := c.lastStats
+	if c.publishHook != nil {
+		c.publishHook(col, &st)
+	}
+	return &st, nil
+}
+
+// SetPublishHook installs fn to run after every future generation swap,
+// while the update lock is still held: generations reach fn exactly
+// once each, in order, with no concurrent invocations. Keep fn fast —
+// it extends the owner-side critical section (never the read path).
+func (c *Collection) SetPublishHook(fn func(*engine.Collection, *UpdateStats)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.publishHook = fn
+}
+
+// Current returns the serving collection of the latest published
+// generation. The pointer is immutable; any number of searches may run
+// against it while updates build the next generation.
+func (c *Collection) Current() *engine.Collection { return c.cur.Load() }
+
+// Generation returns the latest published generation (≥ 1).
+func (c *Collection) Generation() uint64 { return c.gen.Load() }
+
+// LastStats returns the cost report of the most recent generation change.
+func (c *Collection) LastStats() UpdateStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastStats
+}
+
+// Handles returns the handles of the current corpus, in document order.
+func (c *Collection) Handles() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]uint64, len(c.docs))
+	for i, e := range c.docs {
+		out[i] = e.handle
+	}
+	return out
+}
+
+// Update applies one batch — additions and removals together — as a
+// single generation change: handles for the added documents are assigned,
+// the removed handles leave the corpus, the collection rebuilds under
+// generation+1 (reusing unchanged signatures), and the served pointer
+// swaps atomically. An empty batch is rejected rather than burning a
+// generation. On error the corpus, the served collection and the
+// generation are all unchanged.
+func (c *Collection) Update(add []index.Document, remove []uint64) ([]uint64, *UpdateStats, error) {
+	if len(add) == 0 && len(remove) == 0 {
+		return nil, nil, errors.New("live: empty update batch")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev := c.docs
+	prevNext := c.nextHandle
+	kept, err := removeHandles(prev, remove)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Work on a copy so a failed rebuild leaves the corpus untouched.
+	c.docs = append(make([]entry, 0, len(kept)+len(add)), kept...)
+	handles := c.append(add)
+	st, err := c.rebuildLocked(len(add), len(remove))
+	if err != nil {
+		c.docs = prev
+		c.nextHandle = prevNext
+		return nil, nil, err
+	}
+	return handles, st, nil
+}
+
+// avgLenDrift returns the relative deviation of the collection's true
+// average document length from the pinned value.
+func avgLenDrift(col *engine.Collection, pinned float64) float64 {
+	idx := col.Index()
+	var total int64
+	for _, l := range idx.DocLen {
+		total += int64(l)
+	}
+	trueAvg := float64(total) / float64(idx.N)
+	d := (trueAvg - pinned) / pinned
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// removeHandles returns docs without the removed handles, erroring on
+// unknown or duplicate handles (an update that silently "removes" a
+// document that is not there would hide owner-side bugs).
+func removeHandles(docs []entry, remove []uint64) ([]entry, error) {
+	if len(remove) == 0 {
+		return docs, nil
+	}
+	drop := make(map[uint64]bool, len(remove))
+	for _, h := range remove {
+		if drop[h] {
+			return nil, fmt.Errorf("live: handle %d removed twice in one batch", h)
+		}
+		drop[h] = true
+	}
+	kept := make([]entry, 0, len(docs))
+	for _, e := range docs {
+		if drop[e.handle] {
+			delete(drop, e.handle)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if len(drop) != 0 {
+		for h := range drop {
+			return nil, fmt.Errorf("live: unknown document handle %d", h)
+		}
+	}
+	return kept, nil
+}

@@ -1,0 +1,287 @@
+package live
+
+import (
+	"testing"
+
+	"authtext/internal/core"
+	"authtext/internal/engine"
+	"authtext/internal/index"
+	"authtext/internal/shard"
+	"authtext/internal/sig"
+)
+
+func testConfig(t *testing.T) engine.Config {
+	t.Helper()
+	signer, err := sig.NewHMACSigner([]byte("live-test-key"), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine.DefaultConfig(signer)
+}
+
+// vocab is a closed word pool: signature reuse across generations depends
+// on dictionary stability (term IDs are baked into the signed messages),
+// so the tests write documents whose vocabulary never grows.
+var vocab = []string{
+	"merkle", "tree", "signature", "verification", "inverted", "index",
+	"threshold", "algorithm", "random", "access", "digest", "root",
+	"chain", "block", "proof", "query", "result", "server", "client", "owner",
+}
+
+// corpusAt builds n documents whose word choice depends on the document's
+// absolute position start+i, drawing only from vocab. Consecutive
+// positions overlap heavily (no singleton terms in corpora of ≥ 9 docs)
+// and every position yields distinct content (per-position repetition),
+// so hash partitioning spreads documents usefully.
+func corpusAt(start, n int) []index.Document {
+	docs := make([]index.Document, n)
+	for i := range docs {
+		pos := start + i
+		words := make([]byte, 0, 128)
+		for j := 0; j < 8; j++ {
+			words = append(words, vocab[(pos+j)%len(vocab)]...)
+			words = append(words, ' ')
+		}
+		for j := 0; j <= pos%5; j++ {
+			words = append(words, vocab[(pos*7)%len(vocab)]...)
+			words = append(words, ' ')
+		}
+		docs[i] = index.Document{Content: words}
+	}
+	return docs
+}
+
+func corpus(n int) []index.Document { return corpusAt(0, n) }
+
+func searchVerify(t *testing.T, col *engine.Collection, tokens []string) *engine.Result {
+	t.Helper()
+	res, vo, _, err := col.Search(tokens, 5, core.AlgoTNRA, core.SchemeCMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := col.VerifyResult(tokens, 5, res, vo); err != nil {
+		t.Fatalf("self-verification failed: %v", err)
+	}
+	return res
+}
+
+func TestUpdateAdvancesGenerationAndReusesSignatures(t *testing.T) {
+	c, handles, err := New(corpus(20), testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Generation(); got != 1 {
+		t.Fatalf("initial generation = %d, want 1", got)
+	}
+	m, _ := c.Current().Manifest()
+	if m.Generation != 1 {
+		t.Fatalf("manifest generation = %d, want 1", m.Generation)
+	}
+	first := c.LastStats()
+	if first.Reused != 0 || first.Signed == 0 {
+		t.Fatalf("first build stats = %+v, want all signed", first)
+	}
+	searchVerify(t, c.Current(), []string{"merkle", "digest"})
+
+	// Appending one document leaves most term lists and every existing
+	// document record untouched: the rebuild must reuse far more
+	// signatures than it creates.
+	added, st, err := c.Update(corpus(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Generation != 2 || c.Generation() != 2 {
+		t.Fatalf("generation after add = %d (stats %d), want 2", c.Generation(), st.Generation)
+	}
+	if len(added) != 1 {
+		t.Fatalf("added handles = %v", added)
+	}
+	if st.Reused == 0 || st.Reused < st.Signed {
+		t.Fatalf("append reused %d / signed %d signatures, expected mostly reuse", st.Reused, st.Signed)
+	}
+	m2, _ := c.Current().Manifest()
+	if m2.Generation != 2 || m2.N != 21 {
+		t.Fatalf("manifest after add: gen %d n %d", m2.Generation, m2.N)
+	}
+	searchVerify(t, c.Current(), []string{"merkle", "digest"})
+
+	// Removal: the document disappears from the corpus.
+	if _, _, err := c.Update(nil, []uint64{handles[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Generation() != 3 {
+		t.Fatalf("generation after remove = %d, want 3", c.Generation())
+	}
+	m3, _ := c.Current().Manifest()
+	if m3.N != 20 {
+		t.Fatalf("n after remove = %d, want 20", m3.N)
+	}
+}
+
+func TestUpdateRejectsBadBatches(t *testing.T) {
+	c, handles, err := New(corpus(3), testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Update(nil, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, _, err := c.Update(nil, []uint64{999}); err == nil {
+		t.Fatal("unknown handle accepted")
+	}
+	if _, _, err := c.Update(nil, []uint64{handles[0], handles[0]}); err == nil {
+		t.Fatal("duplicate handle accepted")
+	}
+	if _, _, err := c.Update(nil, handles); err == nil {
+		t.Fatal("emptying removal accepted")
+	}
+	// Failed updates must leave generation and corpus untouched.
+	if c.Generation() != 1 {
+		t.Fatalf("generation moved to %d after rejected batches", c.Generation())
+	}
+	if got := len(c.Handles()); got != 3 {
+		t.Fatalf("corpus has %d documents after rejected batches, want 3", got)
+	}
+}
+
+func TestVOCarriesGeneration(t *testing.T) {
+	c, _, err := New(corpus(8), testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Update(corpus(2), nil); err != nil {
+		t.Fatal(err)
+	}
+	col := c.Current()
+	tokens := []string{"merkle", "digest"}
+	res, voBytes, _, err := col.Search(tokens, 3, core.AlgoTRA, core.SchemeCMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := col.VerifyResult(tokens, 3, res, voBytes); err != nil {
+		t.Fatal(err)
+	}
+	// A stale VO (generation 1) must be rejected against the generation-2
+	// manifest with the dedicated code.
+	c2, _, err := New(corpus(10), testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldCol := c2.Current() // generation 1 over the same 10 documents
+	res1, vo1, _, err := oldCol.Search(tokens, 3, core.AlgoTRA, core.SchemeCMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = col.VerifyResult(tokens, 3, res1, vo1)
+	if core.CodeOf(err) != core.CodeStaleGeneration {
+		t.Fatalf("stale VO classified as %v (err %v), want stale-generation", core.CodeOf(err), err)
+	}
+}
+
+func TestShardedUpdateReusesUntouchedShards(t *testing.T) {
+	// HashContent placement is stable, so adding documents leaves most
+	// shards' membership unchanged and they are carried over wholesale.
+	c, _, err := NewSharded(corpus(40), testConfig(t), 4, shard.HashContent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Generation() != 1 {
+		t.Fatalf("initial generation = %d", c.Generation())
+	}
+	set := c.Current()
+	sm, _ := set.Manifest()
+	if sm.Generation != 1 {
+		t.Fatalf("set manifest generation = %d", sm.Generation)
+	}
+
+	extra := []index.Document{{Content: []byte("a single brand new document about verification")}}
+	_, st, err := c.Update(extra, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Generation != 2 {
+		t.Fatalf("generation after add = %d", st.Generation)
+	}
+	if st.ShardsReused == 0 {
+		t.Fatalf("no shards reused on a 1-document add with hash partitioning (stats %+v)", st)
+	}
+	newSet := c.Current()
+	sm2, _ := newSet.Manifest()
+	if sm2.Generation != 2 || int(sm2.GlobalN) != 41 {
+		t.Fatalf("set manifest after add: gen %d globalN %d", sm2.Generation, sm2.GlobalN)
+	}
+	// The whole set must verify end to end at the new generation.
+	tokens := []string{"verification", "merkle"}
+	res, err := newSet.Search(tokens, 5, core.AlgoTNRA, core.SchemeCMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := newSet.VerifyResult(tokens, 5, res); err != nil {
+		t.Fatalf("sharded self-verification failed after update: %v", err)
+	}
+}
+
+func TestCachingSignerEpochPruning(t *testing.T) {
+	signer, err := sig.NewHMACSigner([]byte("prune-key"), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewCachingSigner(signer)
+	if _, err := cs.Sign([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Sign([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	cs.Begin()
+	if _, err := cs.Sign([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	signed, reused := cs.End()
+	if signed != 0 || reused != 1 {
+		t.Fatalf("epoch counts signed=%d reused=%d, want 0/1", signed, reused)
+	}
+	// "b" was pruned; signing it again is a miss.
+	cs.Begin()
+	if _, err := cs.Sign([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	signed, reused = cs.End()
+	if signed != 1 || reused != 0 {
+		t.Fatalf("post-prune counts signed=%d reused=%d, want 1/0", signed, reused)
+	}
+
+	// EndKeep does NOT prune: an epoch that touched only "a" must leave
+	// "b" cached (the reused-shard case).
+	if _, err := cs.Sign([]byte("a")); err != nil { // cache = {a, b}
+		t.Fatal(err)
+	}
+	cs.Begin()
+	if _, err := cs.Sign([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if signed, reused = cs.EndKeep(); signed != 0 || reused != 1 {
+		t.Fatalf("EndKeep counts signed=%d reused=%d, want 0/1", signed, reused)
+	}
+	cs.Begin()
+	if _, err := cs.Sign([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if signed, reused = cs.End(); signed != 0 || reused != 1 {
+		t.Fatalf("\"b\" was evicted by EndKeep: signed=%d reused=%d", signed, reused)
+	}
+
+	// Abort discards the epoch without pruning.
+	cs.Begin()
+	if _, err := cs.Sign([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	cs.Abort()
+	cs.Begin()
+	if _, err := cs.Sign([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if signed, reused = cs.End(); signed != 0 || reused != 1 {
+		t.Fatalf("\"a\" lost across Abort: signed=%d reused=%d", signed, reused)
+	}
+}

@@ -1,0 +1,319 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"authtext/internal/engine"
+	"authtext/internal/index"
+	"authtext/internal/shard"
+	"authtext/internal/sig"
+	"authtext/internal/textproc"
+)
+
+// ShardedCollection is the sharded counterpart of Collection: one live
+// shard set behind an atomic pointer. Every update re-partitions the
+// corpus, rebuilds only the shards whose document membership changed —
+// an untouched shard's engine.Collection is carried over wholesale, its
+// manifest digest staying pinned in the freshly signed set manifest —
+// and swaps the whole set at once, so a fan-out never observes shards
+// from two different publication states.
+//
+// Shard-level reuse depends on the partitioner: HashContent keeps
+// unchanged documents in place, so a small batch touches few shards;
+// RoundRobin reassigns most documents whenever one is removed, degrading
+// to a full rebuild (still with signature-level reuse).
+type ShardedCollection struct {
+	mu         sync.Mutex
+	cfg        engine.Config
+	signer     *CachingSigner
+	part       shard.Partitioner
+	k          int
+	docs       []entry
+	nextHandle uint64
+	lastStats  UpdateStats
+	shardKeys  [][]uint64 // current generation's per-shard handle lists
+	// pinnedAvgLen freezes one corpus-wide Okapi W_A across all shards
+	// and all generations (see Collection.pinnedAvgLen). A side benefit
+	// over static sharded builds: every shard scores against the same
+	// W_A, so cross-shard score comparisons in the merge are exact
+	// rather than per-shard approximations.
+	pinnedAvgLen float64
+
+	cur atomic.Pointer[shard.Set]
+	gen atomic.Uint64
+}
+
+// NewSharded builds generation 1 of a k-shard live set.
+func NewSharded(docs []index.Document, cfg engine.Config, k int, part shard.Partitioner) (*ShardedCollection, []uint64, error) {
+	if cfg.Signer == nil {
+		return nil, nil, errors.New("live: config needs a signer")
+	}
+	if cfg.Authority != nil {
+		return nil, nil, errors.New("live: the authority boost is not supported on live collections")
+	}
+	if cfg.Generation != 0 {
+		return nil, nil, errors.New("live: the generation counter is owned by the live collection")
+	}
+	if part == 0 {
+		part = shard.RoundRobin
+	}
+	c := &ShardedCollection{cfg: cfg, signer: NewCachingSigner(cfg.Signer), part: part, k: k}
+	c.cfg.Signer = c.signer
+	c.pinnedAvgLen = meanDocLen(docs)
+	if c.pinnedAvgLen == 0 {
+		return nil, nil, errors.New("live: collection has no indexable terms")
+	}
+	handles := make([]uint64, len(docs))
+	for i, d := range docs {
+		c.nextHandle++
+		handles[i] = c.nextHandle
+		c.docs = append(c.docs, entry{handle: c.nextHandle, doc: d})
+	}
+	if _, err := c.rebuildLocked(len(docs), 0); err != nil {
+		return nil, nil, err
+	}
+	return c, handles, nil
+}
+
+// Current returns the serving shard set of the latest generation.
+func (c *ShardedCollection) Current() *shard.Set { return c.cur.Load() }
+
+// Generation returns the latest published generation (≥ 1).
+func (c *ShardedCollection) Generation() uint64 { return c.gen.Load() }
+
+// Shards returns the shard count.
+func (c *ShardedCollection) Shards() int { return c.k }
+
+// LastStats returns the cost report of the most recent generation change.
+func (c *ShardedCollection) LastStats() UpdateStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastStats
+}
+
+// Update applies one add/remove batch as a single set-wide generation
+// change; see Collection.Update for the contract.
+func (c *ShardedCollection) Update(add []index.Document, remove []uint64) ([]uint64, *UpdateStats, error) {
+	if len(add) == 0 && len(remove) == 0 {
+		return nil, nil, errors.New("live: empty update batch")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev := c.docs
+	prevNext := c.nextHandle
+	kept, err := removeHandles(prev, remove)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.docs = append(make([]entry, 0, len(kept)+len(add)), kept...)
+	handles := make([]uint64, len(add))
+	for i, d := range add {
+		c.nextHandle++
+		handles[i] = c.nextHandle
+		c.docs = append(c.docs, entry{handle: c.nextHandle, doc: d})
+	}
+	st, err := c.rebuildLocked(len(add), len(remove))
+	if err != nil {
+		c.docs = prev
+		c.nextHandle = prevNext
+		return nil, nil, err
+	}
+	return handles, st, nil
+}
+
+// rebuildLocked builds the next set generation from c.docs and swaps the
+// served pointer, reusing whole shards whose membership is unchanged.
+func (c *ShardedCollection) rebuildLocked(added, removed int) (*UpdateStats, error) {
+	if len(c.docs) == 0 {
+		return nil, errors.New("live: update would empty the collection")
+	}
+	start := time.Now()
+	idocs := make([]index.Document, len(c.docs))
+	for i, e := range c.docs {
+		idocs[i] = e.doc
+	}
+	assign, err := c.part.Assign(idocs, c.k)
+	if err != nil {
+		return nil, err
+	}
+	newGen := c.gen.Load() + 1
+	prevSet := c.cur.Load()
+
+	newKeys := make([][]uint64, c.k)
+	for s, members := range assign {
+		newKeys[s] = make([]uint64, len(members))
+		for i, g := range members {
+			newKeys[s][i] = c.docs[g].handle
+		}
+	}
+
+	// Re-pin the shared W_A when the corpus drifted too far; that changes
+	// every weight in every shard, so shard reuse is off for this build.
+	pinned := c.pinnedAvgLen
+	repin := false
+	if trueAvg := meanDocLenEntries(c.docs); trueAvg > 0 {
+		d := (trueAvg - pinned) / pinned
+		if d < 0 {
+			d = -d
+		}
+		if d > maxAvgLenDrift {
+			pinned = trueAvg
+			repin = true
+		}
+	}
+
+	c.signer.Begin()
+	cols := make([]*engine.Collection, c.k)
+	errs := make([]error, c.k)
+	reusedShards := 0
+	var wg sync.WaitGroup
+	for s := 0; s < c.k; s++ {
+		if prevSet != nil && !repin && handlesEqual(c.shardKeys[s], newKeys[s]) {
+			// Identical membership (documents are immutable under their
+			// handles), identical configuration: the previous generation's
+			// collection is byte-for-byte what a rebuild would produce,
+			// minus the signing. Carry it over.
+			cols[s] = prevSet.Col(s)
+			reusedShards++
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sub := make([]index.Document, len(assign[s]))
+			for i, g := range assign[s] {
+				sub[i] = idocs[g]
+			}
+			scfg := c.cfg
+			scfg.Generation = newGen
+			scfg.FixedAvgLen = pinned
+			cols[s], errs[s] = engine.BuildCollection(sub, scfg)
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			c.signer.Abort()
+			return nil, fmt.Errorf("live: shard %d: %w", s, err)
+		}
+	}
+	// A reused shard never called Sign this epoch; pruning would evict
+	// its still-live signatures, so only fully-signed rebuilds prune.
+	var signed, reused int
+	if reusedShards > 0 {
+		signed, reused = c.signer.EndKeep()
+	} else {
+		signed, reused = c.signer.End()
+	}
+
+	docMaps := make([][]uint32, c.k)
+	for s, members := range assign {
+		docMaps[s] = make([]uint32, len(members))
+		for i, g := range members {
+			docMaps[s][i] = uint32(g)
+		}
+	}
+	set, err := signSet(cols, docMaps, c.cfg, c.signer, c.part, len(c.docs), newGen)
+	if err != nil {
+		return nil, err
+	}
+	c.cur.Store(set)
+	c.gen.Store(newGen)
+	c.shardKeys = newKeys
+	c.pinnedAvgLen = pinned
+	c.lastStats = UpdateStats{
+		Generation:   newGen,
+		Documents:    len(c.docs),
+		Added:        added,
+		Removed:      removed,
+		Signed:       signed,
+		Reused:       reused,
+		ShardsReused: reusedShards,
+		Rebuild:      time.Since(start),
+	}
+	st := c.lastStats
+	return &st, nil
+}
+
+// signSet signs a set manifest over the built shards and assembles the
+// serving Set (Assemble re-validates every pinned digest).
+func signSet(cols []*engine.Collection, docMaps [][]uint32, cfg engine.Config, signer sig.Signer,
+	part shard.Partitioner, globalN int, gen uint64) (*shard.Set, error) {
+	hashSize := cfg.HashSize
+	if hashSize == 0 {
+		hashSize = sig.DefaultHashSize
+	}
+	hasher, err := sig.NewHasher(hashSize)
+	if err != nil {
+		return nil, err
+	}
+	k := len(cols)
+	sm := &shard.SetManifest{
+		K:               uint32(k),
+		Partitioner:     part,
+		GlobalN:         uint32(globalN),
+		HashSize:        uint8(hashSize),
+		ShardDocs:       make([]uint32, k),
+		ManifestDigests: make([][]byte, k),
+		DocMapDigests:   make([][]byte, k),
+		Generation:      gen,
+	}
+	for s, col := range cols {
+		m, _ := col.Manifest()
+		sm.ShardDocs[s] = m.N
+		sm.ManifestDigests[s] = hasher.Sum(m.Encode())
+		sm.DocMapDigests[s] = hasher.Sum(shard.EncodeDocMap(docMaps[s]))
+	}
+	smSig, err := signer.Sign(sm.Encode())
+	if err != nil {
+		return nil, fmt.Errorf("live: sign set manifest: %w", err)
+	}
+	return shard.Assemble(cols, sm, smSig, signer.Verifier(), docMaps)
+}
+
+// meanDocLen computes the post-pipeline mean token count of the corpus —
+// the W_A that index.Build would compute — without building anything.
+func meanDocLen(docs []index.Document) float64 {
+	var total int64
+	for _, d := range docs {
+		total += int64(docTokenLen(d))
+	}
+	if len(docs) == 0 {
+		return 0
+	}
+	return float64(total) / float64(len(docs))
+}
+
+func meanDocLenEntries(docs []entry) float64 {
+	var total int64
+	for _, e := range docs {
+		total += int64(docTokenLen(e.doc))
+	}
+	if len(docs) == 0 {
+		return 0
+	}
+	return float64(total) / float64(len(docs))
+}
+
+func docTokenLen(d index.Document) int {
+	if d.Tokens != nil {
+		return len(textproc.RemoveStopwords(d.Tokens))
+	}
+	return len(textproc.Terms(string(d.Content)))
+}
+
+func handlesEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,121 @@
+package live
+
+import (
+	"sync"
+
+	"authtext/internal/sig"
+)
+
+// CachingSigner wraps a sig.Signer with a signature cache keyed by the
+// exact message bytes. Rebuilding a live collection re-signs only the
+// messages that actually changed: the engine signs canonical,
+// content-addressed messages (term-root messages carry the term's name,
+// id, ft and Merkle root; doc-root messages the document's id, length,
+// content hash and root), so any structure untouched by an update
+// reproduces its previous message byte for byte and hits the cache. The
+// manifest always misses — its generation number changes every update.
+//
+// The cache is epoch-pruned: Begin marks the start of a rebuild, and End
+// drops every entry the rebuild did not touch, so memory tracks the
+// current corpus rather than the union of all generations ever built.
+//
+// Reusing a signature this way is sound: a cache hit requires the signed
+// message — and therefore the committed content — to be identical, and
+// freshness is not the per-structure signatures' job but the
+// generation-scoped manifest's (docs/UPDATES.md discusses the split).
+type CachingSigner struct {
+	inner sig.Signer
+
+	mu     sync.Mutex
+	cache  map[string][]byte
+	epoch  map[string][]byte // entries touched since Begin
+	signed int               // misses (real signatures) since Begin
+	reused int               // hits since Begin
+}
+
+// NewCachingSigner wraps inner. The cache starts empty, so the first
+// build signs everything.
+func NewCachingSigner(inner sig.Signer) *CachingSigner {
+	return &CachingSigner{inner: inner, cache: make(map[string][]byte)}
+}
+
+// Begin starts a rebuild epoch and resets the reuse counters.
+func (s *CachingSigner) Begin() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch = make(map[string][]byte)
+	s.signed, s.reused = 0, 0
+}
+
+// End finishes the epoch: the cache shrinks to exactly the entries the
+// rebuild used, and the (signed, reused) counts are returned.
+func (s *CachingSigner) End() (signed, reused int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.epoch != nil {
+		s.cache = s.epoch
+		s.epoch = nil
+	}
+	return s.signed, s.reused
+}
+
+// EndKeep finishes the epoch WITHOUT pruning. Use it when the rebuild
+// legitimately skipped signing for structures that are still live —
+// whole shards reused from the previous generation never call Sign, so
+// pruning would evict exactly the signatures the next rebuild of that
+// shard needs. The cost is that entries for since-changed structures
+// linger until a fully-signed rebuild prunes them.
+func (s *CachingSigner) EndKeep() (signed, reused int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch = nil // Sign already wrote every epoch entry into cache too
+	return s.signed, s.reused
+}
+
+// Abort abandons a failed rebuild's epoch: counters are discarded and
+// nothing is pruned — the pre-Begin entries still describe the serving
+// generation (signatures the failed build did create stay cached too;
+// they are valid, merely possibly useless).
+func (s *CachingSigner) Abort() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch = nil
+	s.signed, s.reused = 0, 0
+}
+
+// Sign implements sig.Signer: a cache hit returns the previous signature
+// without touching the underlying key; a miss signs and caches. Safe for
+// concurrent use (shard builds sign from several goroutines).
+func (s *CachingSigner) Sign(msg []byte) ([]byte, error) {
+	key := string(msg)
+	s.mu.Lock()
+	if sigBytes, ok := s.cache[key]; ok {
+		s.reused++
+		if s.epoch != nil {
+			s.epoch[key] = sigBytes
+		}
+		s.mu.Unlock()
+		return sigBytes, nil
+	}
+	s.mu.Unlock()
+	// Sign outside the lock: RSA signatures are the expensive part and
+	// parallel shard builds must not serialise on the cache.
+	sigBytes, err := s.inner.Sign(msg)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.signed++
+	s.cache[key] = sigBytes
+	if s.epoch != nil {
+		s.epoch[key] = sigBytes
+	}
+	s.mu.Unlock()
+	return sigBytes, nil
+}
+
+// Verifier implements sig.Signer.
+func (s *CachingSigner) Verifier() sig.Verifier { return s.inner.Verifier() }
+
+// Size implements sig.Signer.
+func (s *CachingSigner) Size() int { return s.inner.Size() }

@@ -31,6 +31,12 @@ type SetManifest struct {
 	ManifestDigests [][]byte
 	// DocMapDigests[i] = h(EncodeDocMap(local→global map of shard i)).
 	DocMapDigests [][]byte
+	// Generation numbers the publication state of a live shard set
+	// (docs/UPDATES.md): 0 for static sets, ≥ 1 for live ones. Signed
+	// like every other field; shards rebuilt at set generation g carry
+	// g in their own manifests, shards reused from an earlier generation
+	// keep theirs — the binding facts stay the per-shard digests above.
+	Generation uint64
 }
 
 // setManifestDomain domain-separates the signature from every other signed
@@ -49,6 +55,11 @@ func (m *SetManifest) Encode() []byte {
 		b = binary.BigEndian.AppendUint32(b, m.ShardDocs[i])
 		b = append(b, m.ManifestDigests[i]...)
 		b = append(b, m.DocMapDigests[i]...)
+	}
+	// Trailing extension, mirroring core.Manifest: static sets
+	// (generation 0) keep the original encoding byte for byte.
+	if m.Generation != 0 {
+		b = binary.BigEndian.AppendUint64(b, m.Generation)
 	}
 	return b
 }
@@ -119,6 +130,13 @@ func DecodeSetManifest(b []byte) (*SetManifest, error) {
 		rest = rest[m.HashSize:]
 		m.DocMapDigests[i] = append([]byte(nil), rest[:m.HashSize]...)
 		rest = rest[m.HashSize:]
+	}
+	if len(rest) == 8 {
+		m.Generation = binary.BigEndian.Uint64(rest)
+		if m.Generation == 0 {
+			return nil, errors.New("shard: non-canonical zero generation field")
+		}
+		rest = rest[8:]
 	}
 	if len(rest) != 0 {
 		return nil, errors.New("shard: trailing bytes in set manifest")

@@ -12,7 +12,10 @@
 // internal/httpapi), and Decode rebuilds it on the client for
 // internal/core's Verify. Decode validates structure only; all security
 // decisions are Verify's. A VO that fails to decode is treated as
-// tampering by the facade, never trusted.
+// tampering by the facade, never trusted. VOs from live collections
+// carry the publication generation that produced them (flagged optional
+// field, so static collections' VO bytes are unchanged); Verify
+// cross-checks it against the manifest (docs/UPDATES.md).
 //
 // The wire format uses the entry sizes of Table 1 — 4-byte identifiers and
 // frequencies, 16-byte digests, 128-byte signatures — so measured VO sizes

@@ -48,7 +48,12 @@ func (b Breakdown) DataDigestShare() (dataPct, digestPct float64) {
 type VO struct {
 	Algo   uint8 // core.Algo value
 	Scheme uint8 // core.Scheme value
-	Terms  []TermProof
+	// Generation echoes the serving collection's manifest generation
+	// (0 for static collections). The client cross-checks it against its
+	// own manifest, so an answer assembled under a different publication
+	// state is flagged before any cryptographic work happens.
+	Generation uint64
+	Terms      []TermProof
 	// Docs carries document-MHT proofs (TRA only), ascending by Doc.
 	Docs []DocProof
 	// ContentProof authenticates result-document contents against the
@@ -202,6 +207,11 @@ func (w *writer) u32(c Category, v uint32) {
 	w.sizes[c] += 4
 }
 
+func (w *writer) u64(c Category, v uint64) {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, v)
+	w.sizes[c] += 8
+}
+
 func (w *writer) f32(c Category, v float32) { w.u32(c, math.Float32bits(v)) }
 
 func (w *writer) bytes(c Category, b []byte) {
@@ -249,7 +259,13 @@ func Encode(v *VO, hashSize int) ([]byte, Breakdown, error) {
 	if v.AuthorityProof != nil {
 		flags |= 4
 	}
+	if v.Generation != 0 {
+		flags |= 8
+	}
 	w.u8(CatMeta, flags)
+	if v.Generation != 0 {
+		w.u64(CatMeta, v.Generation)
+	}
 
 	w.u16(CatMeta, uint16(len(v.Terms)))
 	for i := range v.Terms {
@@ -404,6 +420,15 @@ func (r *reader) u32() (uint32, error) {
 	return v, nil
 }
 
+func (r *reader) u64() (uint64, error) {
+	if r.off+8 > len(r.buf) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
 func (r *reader) f32() (float32, error) {
 	v, err := r.u32()
 	return math.Float32frombits(v), err
@@ -489,6 +514,14 @@ func Decode(b []byte) (*VO, error) {
 	flags, err := r.u8()
 	if err != nil {
 		return nil, err
+	}
+	if flags&8 != 0 {
+		if v.Generation, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if v.Generation == 0 {
+			return nil, fmt.Errorf("vo: non-canonical zero generation")
+		}
 	}
 
 	nTerms, err := r.u16()

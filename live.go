@@ -1,0 +1,197 @@
+package authtext
+
+import (
+	"net/http"
+
+	"authtext/internal/index"
+	"authtext/internal/live"
+)
+
+// Live collections accept document updates after publication: every batch
+// of additions and removals becomes a new, fully authenticated publication
+// state — a *generation* — built as a fresh immutable collection and
+// atomically swapped into the serving path, exactly the mutation pattern
+// docs/CONCURRENCY.md legislates. The generation number is signed inside
+// the manifest and stamped into every VO, so clients can tell which state
+// an answer speaks for and refuse to be rolled back to an older one.
+// docs/UPDATES.md describes the model, its trust rules and its costs.
+
+// DocHandle identifies a document inside a live collection for later
+// removal. Handles are assigned on addition, are never reused, and stay
+// valid across generations until the document is removed.
+type DocHandle uint64
+
+// UpdateReport summarises one accepted update batch.
+type UpdateReport struct {
+	// Generation is the newly published generation.
+	Generation uint64
+	// Documents is the corpus size after the update.
+	Documents int
+	// Added and Removed count the batch's changes.
+	Added, Removed int
+	// SignaturesSigned counts fresh signatures the rebuild required;
+	// SignaturesReused the ones carried over from the previous generation
+	// (identical signed messages — unchanged term lists and document
+	// records).
+	SignaturesSigned, SignaturesReused int
+	// ShardsReused counts whole shards carried over without a rebuild
+	// (sharded deployments only).
+	ShardsReused int
+	// RebuildMillis is the wall time from accepting the batch to swapping
+	// the served pointer.
+	RebuildMillis float64
+}
+
+func updateReport(st *live.UpdateStats) *UpdateReport {
+	return &UpdateReport{
+		Generation:       st.Generation,
+		Documents:        st.Documents,
+		Added:            st.Added,
+		Removed:          st.Removed,
+		SignaturesSigned: st.Signed,
+		SignaturesReused: st.Reused,
+		ShardsReused:     st.ShardsReused,
+		RebuildMillis:    float64(st.Rebuild.Microseconds()) / 1000,
+	}
+}
+
+// LiveOwner owns a live collection: it holds the signing key, accepts
+// update batches, and publishes a new signed generation for each.
+// All construction Options of NewOwner apply, except the authority boost
+// (not yet supported on live collections). Safe for concurrent use:
+// updates serialise against each other, never against searches.
+type LiveOwner struct {
+	lc *live.Collection
+}
+
+// NewLiveOwner indexes the documents and publishes generation 1. The
+// returned handles identify the initial documents, in input order.
+func NewLiveOwner(docs []Document, opts ...Option) (*LiveOwner, []DocHandle, error) {
+	cfg, idocs, _, err := prepareBuild(docs, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	lc, handles, err := live.New(idocs, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &LiveOwner{lc: lc}, docHandles(handles), nil
+}
+
+func docHandles(hs []uint64) []DocHandle {
+	out := make([]DocHandle, len(hs))
+	for i, h := range hs {
+		out[i] = DocHandle(h)
+	}
+	return out
+}
+
+func rawHandles(hs []DocHandle) []uint64 {
+	out := make([]uint64, len(hs))
+	for i, h := range hs {
+		out[i] = uint64(h)
+	}
+	return out
+}
+
+// AddDocuments publishes a new generation containing the given documents
+// in addition to the current corpus.
+func (o *LiveOwner) AddDocuments(docs []Document) ([]DocHandle, *UpdateReport, error) {
+	return o.Update(docs, nil)
+}
+
+// RemoveDocuments publishes a new generation without the given documents.
+func (o *LiveOwner) RemoveDocuments(handles ...DocHandle) (*UpdateReport, error) {
+	_, rep, err := o.Update(nil, handles)
+	return rep, err
+}
+
+// Update applies additions and removals as one atomic generation change.
+// On error nothing is published and the serving state is unchanged.
+func (o *LiveOwner) Update(add []Document, remove []DocHandle) ([]DocHandle, *UpdateReport, error) {
+	idocs := make([]index.Document, len(add))
+	for i, d := range add {
+		idocs[i] = index.Document{Content: d.Content, Tokens: d.Tokens}
+	}
+	handles, st, err := o.lc.Update(idocs, rawHandles(remove))
+	if err != nil {
+		return nil, nil, err
+	}
+	return docHandles(handles), updateReport(st), nil
+}
+
+// Generation returns the latest published generation (≥ 1).
+func (o *LiveOwner) Generation() uint64 { return o.lc.Generation() }
+
+// Handles returns the handles of the current corpus, in document order.
+func (o *LiveOwner) Handles() []DocHandle { return docHandles(o.lc.Handles()) }
+
+// LastUpdate reports the cost of the most recent generation change
+// (the initial build for a freshly constructed owner).
+func (o *LiveOwner) LastUpdate() *UpdateReport {
+	st := o.lc.LastStats()
+	return updateReport(&st)
+}
+
+// Server returns the live serving half. One LiveServer tracks every
+// future generation; Snapshot pins the current one.
+func (o *LiveOwner) Server() *LiveServer { return &LiveServer{lc: o.lc} }
+
+// Client returns a verification client pinned to the owner's public key,
+// positioned at the current generation. Advance it with ManifestUpdate
+// payloads (or let a RemoteClient advance itself from /v1/manifest).
+func (o *LiveOwner) Client() *Client {
+	col := o.lc.Current()
+	m, msig := col.Manifest()
+	return &Client{manifest: m, manifestSig: msig, verifier: col.Verifier()}
+}
+
+// ManifestUpdate returns the current generation's canonical manifest
+// encoding and signature — the payload Client.Advance consumes. Publish
+// it over any channel; its trust comes from the signature, not the
+// transport.
+func (o *LiveOwner) ManifestUpdate() (manifest, sig []byte) {
+	m, msig := o.lc.Current().Manifest()
+	return m.Encode(), msig
+}
+
+// ExportClient serialises the current generation's verification material
+// as an ATCX blob (RSA-signed collections only, like Owner.ExportClient).
+func (o *LiveOwner) ExportClient() ([]byte, error) { return o.Client().Export() }
+
+// HTTPHandler exposes the live collection over the versioned HTTP
+// protocol with the admin update endpoint enabled: searches serve the
+// latest generation, /v1/admin/update applies batches through this owner,
+// and /v1/manifest always publishes the current generation's export.
+func (o *LiveOwner) HTTPHandler(opts ...HandlerOption) (http.Handler, error) {
+	return newLiveHTTPHandler(o.Server(), o, opts...)
+}
+
+// LiveServer serves queries from the latest published generation of a
+// live collection. Safe for concurrent use; a search in flight during a
+// generation swap completes entirely against the generation it started
+// on (its VO names that generation), never a mix.
+type LiveServer struct {
+	lc *live.Collection
+}
+
+// Snapshot pins the current generation and returns an ordinary Server
+// for it: batches or multi-query sessions that must see one consistent
+// state use the pinned server for all their queries.
+func (s *LiveServer) Snapshot() *Server { return &Server{col: s.lc.Current()} }
+
+// Generation returns the latest published generation.
+func (s *LiveServer) Generation() uint64 { return s.lc.Generation() }
+
+// Search runs a top-r query against the latest generation (see
+// Server.Search).
+func (s *LiveServer) Search(query string, r int, algo Algorithm, scheme Scheme) (*SearchResult, error) {
+	return s.Snapshot().Search(query, r, algo, scheme)
+}
+
+// SearchBatch executes the batch against ONE generation: the whole batch
+// is answered by the generation current when it started (see
+// Server.SearchBatch for the execution model).
+func (s *LiveServer) SearchBatch(queries []BatchQuery, workers int) []BatchItem {
+	return s.Snapshot().SearchBatch(queries, workers)
+}

@@ -1,0 +1,228 @@
+package authtext
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"authtext/internal/engine"
+	"authtext/internal/live"
+	"authtext/internal/snapshot"
+)
+
+// Per-generation snapshot layout: a live snapshot directory holds one
+// ordinary ATSN snapshot per published generation,
+//
+//	dir/gen-000000000001.atsn
+//	dir/gen-000000000002.atsn
+//	...
+//
+// written atomically (temp file + rename). The newest file IS the current
+// state — no separate pointer file to go stale — and a serving process
+// resumes at the latest generation by scanning the directory. The trust
+// model is OpenSnapshot's: the directory is untrusted, and a replica
+// additionally refuses to reload a generation lower than one it already
+// served (rollback on disk is still rollback). docs/UPDATES.md and
+// docs/SNAPSHOT.md describe the layout.
+
+// liveSnapshotPattern names one generation's snapshot file. Zero-padding
+// to 12 digits keeps lexicographic and numeric order identical.
+const liveSnapshotPattern = "gen-%012d.atsn"
+
+func liveSnapshotName(gen uint64) string { return fmt.Sprintf(liveSnapshotPattern, gen) }
+
+// parseLiveSnapshotName inverts liveSnapshotName (0, false for foreign
+// files).
+func parseLiveSnapshotName(name string) (uint64, bool) {
+	var gen uint64
+	if _, err := fmt.Sscanf(name, liveSnapshotPattern, &gen); err != nil || gen == 0 {
+		return 0, false
+	}
+	if name != liveSnapshotName(gen) {
+		return 0, false
+	}
+	return gen, true
+}
+
+// WriteSnapshotDir persists the CURRENT generation as
+// dir/gen-NNNNNNNNNNNN.atsn (creating dir if needed) and returns the
+// written path. Earlier generations' files are left in place — prune them
+// with any retention policy you like; a replica always picks the highest
+// generation. The write is atomic: a crash mid-write leaves no partial
+// snapshot under a generation name.
+func (o *LiveOwner) WriteSnapshotDir(dir string) (string, error) {
+	return writeGenerationSnapshot(o.lc.Current(), dir)
+}
+
+// PersistGenerations writes the current generation's snapshot to dir now
+// and arranges for every FUTURE generation to be written too, from
+// inside the update critical section — so even updates racing each other
+// each leave their own gen-*.atsn file, in order. onError (optional)
+// receives snapshot failures of future generations; the update itself
+// still succeeds (serving beats durability here, and the next
+// generation's snapshot re-establishes the latest state on disk).
+func (o *LiveOwner) PersistGenerations(dir string, onError func(gen uint64, err error)) (string, error) {
+	path, err := o.WriteSnapshotDir(dir)
+	if err != nil {
+		return "", err
+	}
+	o.lc.SetPublishHook(func(col *engine.Collection, st *live.UpdateStats) {
+		if _, err := writeGenerationSnapshot(col, dir); err != nil && onError != nil {
+			onError(st.Generation, err)
+		}
+	})
+	return path, nil
+}
+
+// writeGenerationSnapshot atomically writes col's generation snapshot
+// into dir and returns the path.
+func writeGenerationSnapshot(col *engine.Collection, dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	m, _ := col.Manifest()
+	path := filepath.Join(dir, liveSnapshotName(m.Generation))
+	tmp, err := os.CreateTemp(dir, ".gen-*.tmp")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name())
+	if err := snapshot.Write(tmp, col); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// IsLiveSnapshotDir reports whether path is a directory holding
+// per-generation snapshots (used by the CLIs to route -snapshot PATH).
+func IsLiveSnapshotDir(path string) bool {
+	gen, _, err := latestGenerationSnapshot(path)
+	return err == nil && gen > 0
+}
+
+// latestGenerationSnapshot scans dir for the highest-generation snapshot.
+func latestGenerationSnapshot(dir string) (uint64, string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, "", err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if _, ok := parseLiveSnapshotName(e.Name()); ok {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return 0, "", errors.New("authtext: no generation snapshots in directory")
+	}
+	sort.Strings(names) // zero-padded: lexicographic == numeric
+	latest := names[len(names)-1]
+	gen, _ := parseLiveSnapshotName(latest)
+	return gen, filepath.Join(dir, latest), nil
+}
+
+// replicaState is one loaded generation of a LiveReplica.
+type replicaState struct {
+	server *Server
+	client *Client
+	gen    uint64
+	export []byte // ATCX blob; nil for fast-signer snapshots
+}
+
+// LiveReplica serves a live collection from its snapshot directory
+// without holding the signing key: it opens the latest generation and,
+// on Reload, hot-swaps to any newer generation that has appeared —
+// `authserved -watch` is its production wrapper. It refuses to move
+// backward: a directory whose latest generation shrank fails Reload
+// rather than silently serving rolled-back state.
+type LiveReplica struct {
+	dir string
+
+	mu  sync.Mutex // serialises Reload
+	cur atomic.Pointer[replicaState]
+}
+
+// OpenLiveSnapshotDir opens the latest generation in dir and returns the
+// serving replica. Every generation file is cross-checked against its
+// name: a snapshot whose signed manifest pins a different generation than
+// its filename claims is rejected.
+func OpenLiveSnapshotDir(dir string) (*LiveReplica, error) {
+	r := &LiveReplica{dir: dir}
+	if _, err := r.Reload(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// loadGeneration opens one generation snapshot and validates its
+// manifest-vs-filename consistency.
+func loadGeneration(path string, wantGen uint64) (*replicaState, error) {
+	server, client, err := OpenSnapshotFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if got := client.Generation(); got != wantGen {
+		return nil, fmt.Errorf("authtext: %s: snapshot manifest pins generation %d, filename claims %d",
+			filepath.Base(path), got, wantGen)
+	}
+	st := &replicaState{server: server, client: client, gen: wantGen}
+	// Fast-signer snapshots have no publishable key; serve without a
+	// manifest endpoint rather than failing the whole replica.
+	if export, err := client.Export(); err == nil {
+		st.export = export
+	}
+	return st, nil
+}
+
+// Reload checks the directory for a newer generation and atomically
+// swaps to it, returning whether a swap happened. Reload is cheap when
+// nothing changed (one directory scan).
+func (r *LiveReplica) Reload() (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	gen, path, err := latestGenerationSnapshot(r.dir)
+	if err != nil {
+		return false, err
+	}
+	cur := r.cur.Load()
+	if cur != nil {
+		if gen == cur.gen {
+			return false, nil
+		}
+		if gen < cur.gen {
+			return false, fmt.Errorf("authtext: snapshot directory rolled back: serving generation %d, latest on disk is %d",
+				cur.gen, gen)
+		}
+	}
+	st, err := loadGeneration(path, gen)
+	if err != nil {
+		return false, err
+	}
+	r.cur.Store(st)
+	return true, nil
+}
+
+// Server returns the serving half of the current generation. The result
+// is pinned: it keeps answering from its generation even after a Reload
+// swaps the replica forward.
+func (r *LiveReplica) Server() *Server { return r.cur.Load().server }
+
+// Client returns the verification client of the current generation.
+func (r *LiveReplica) Client() *Client { return r.cur.Load().client }
+
+// Generation returns the currently served generation.
+func (r *LiveReplica) Generation() uint64 { return r.cur.Load().gen }

@@ -1,0 +1,464 @@
+package authtext
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"authtext/internal/core"
+	"authtext/internal/vo"
+)
+
+// Live-collection suite: generation swaps are atomic (searches observe
+// whole generations, never a torn mix), signatures are reused across
+// updates, and every update-shaped tampering vector — rollback, stale
+// answers, removed documents reappearing, mixed-generation shard sets —
+// classifies via IsTampered / ErrStaleGeneration.
+
+// liveVocab is closed so that updates do not shift dictionary term IDs
+// (which would disable signature reuse; see internal/live).
+var liveVocab = []string{
+	"merkle", "tree", "signature", "verification", "inverted", "index",
+	"threshold", "algorithm", "random", "access", "digest", "root",
+	"chain", "block", "proof", "query", "result", "server", "client", "owner",
+}
+
+// liveDoc builds the document at absolute position pos.
+func liveDoc(pos int) Document {
+	var b []byte
+	for j := 0; j < 8; j++ {
+		b = append(b, liveVocab[(pos+j)%len(liveVocab)]...)
+		b = append(b, ' ')
+	}
+	for j := 0; j <= pos%5; j++ {
+		b = append(b, liveVocab[(pos*7)%len(liveVocab)]...)
+		b = append(b, ' ')
+	}
+	return Document{Content: b}
+}
+
+func liveDocs(start, n int) []Document {
+	docs := make([]Document, n)
+	for i := range docs {
+		docs[i] = liveDoc(start + i)
+	}
+	return docs
+}
+
+const liveQuery = "merkle digest proof"
+
+func liveSearchVerify(t *testing.T, srv *LiveServer, c *Client, algo Algorithm, scheme Scheme) *SearchResult {
+	t.Helper()
+	res, err := srv.Search(liveQuery, 3, algo, scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Verify(liveQuery, 3, res); err != nil {
+		t.Fatalf("honest live result failed verification: %v", err)
+	}
+	return res
+}
+
+func TestLiveUpdateVerifyAndRollback(t *testing.T) {
+	owner, handles, err := NewLiveOwner(liveDocs(0, 16), WithFastSigner([]byte("live-root")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := owner.Server()
+	client := owner.Client()
+	if got := client.Generation(); got != 1 {
+		t.Fatalf("client generation = %d, want 1", got)
+	}
+	liveSearchVerify(t, srv, client, TNRA, ChainMHT)
+
+	// Keep generation 1's manifest and a generation-1 answer (for both
+	// algorithms) around: they become the rollback/replay material.
+	gen1Manifest, gen1Sig := owner.ManifestUpdate()
+	oldTRA, err := srv.Search(liveQuery, 3, TRA, ChainMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldTNRA, err := srv.Search(liveQuery, 3, TNRA, ChainMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Publish generation 2: remove one document, add two.
+	added, rep, err := owner.Update(liveDocs(16, 2), []DocHandle{handles[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Generation != 2 || owner.Generation() != 2 || len(added) != 2 {
+		t.Fatalf("update report %+v, added %v", rep, added)
+	}
+	if srv.Generation() != 2 {
+		t.Fatalf("server generation = %d, want 2", srv.Generation())
+	}
+
+	// The old client (still at generation 1) advances with the owner's
+	// signed manifest and then verifies generation-2 answers.
+	m2, s2 := owner.ManifestUpdate()
+	if err := client.Advance(m2, s2); err != nil {
+		t.Fatalf("advance to generation 2: %v", err)
+	}
+	res2 := liveSearchVerify(t, srv, client, TRA, ChainMHT)
+	if res2.Generation != 2 {
+		t.Fatalf("result generation = %d, want 2", res2.Generation)
+	}
+
+	// Rollback: re-presenting generation 1's manifest is tampering.
+	err = client.Advance(gen1Manifest, gen1Sig)
+	if !errors.Is(err, ErrStaleGeneration) || !IsTampered(err) {
+		t.Fatalf("manifest rollback classified as %v", err)
+	}
+
+	// Replay: generation-1 answers (including the removed document's
+	// hits) against the advanced client are stale for TRA and TNRA alike.
+	for name, old := range map[string]*SearchResult{"TRA": oldTRA, "TNRA": oldTNRA} {
+		err := client.Verify(liveQuery, 3, old)
+		if !errors.Is(err, ErrStaleGeneration) || !IsTampered(err) {
+			t.Fatalf("%s replay of generation 1 classified as %v", name, err)
+		}
+	}
+
+	// A LYING server that rewrites the VO's generation stamp to match the
+	// current manifest still fails verification: the rest of the proof
+	// material speaks for the old state.
+	for name, old := range map[string]*SearchResult{"TRA": oldTRA, "TNRA": oldTNRA} {
+		decoded, err := vo.Decode(old.VO)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded.Generation = 2
+		forged, _, err := vo.Encode(decoded, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := &SearchResult{Hits: old.Hits, VO: forged, Generation: 2}
+		err = client.Verify(liveQuery, 3, res)
+		if err == nil {
+			t.Fatalf("%s: forged generation stamp accepted", name)
+		}
+		if !IsTampered(err) || errors.Is(err, ErrStaleGeneration) {
+			t.Fatalf("%s: forged stamp classified as %v (code %v)", name, err, core.CodeOf(err))
+		}
+	}
+
+	// Unrelated clients bootstrapping fresh at the current generation are
+	// unaffected by any of this.
+	liveSearchVerify(t, srv, owner.Client(), TNRA, MHT)
+}
+
+func TestLiveEquivocationRejected(t *testing.T) {
+	// Two different corpora published under the same generation number:
+	// a client that accepted one must not accept the other.
+	ownerA, _, err := NewLiveOwner(liveDocs(0, 10), WithFastSigner([]byte("equivocate")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownerB, _, err := NewLiveOwner(liveDocs(5, 10), WithFastSigner([]byte("equivocate")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := ownerA.Client()
+	if err := client.Verify(liveQuery, 3, mustSearch(t, ownerA.Server(), liveQuery)); err != nil {
+		t.Fatal(err)
+	}
+	mB, sB := ownerB.ManifestUpdate()
+	err = client.Advance(mB, sB)
+	if !errors.Is(err, ErrStaleGeneration) || !IsTampered(err) {
+		t.Fatalf("equivocating generation-1 manifest classified as %v", err)
+	}
+}
+
+func mustSearch(t *testing.T, srv *LiveServer, q string) *SearchResult {
+	t.Helper()
+	res, err := srv.Search(q, 3, TNRA, ChainMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestLiveConcurrentSearchHammer is the acceptance-criterion hammer: a
+// live server keeps answering verified queries while updates land. Every
+// answer verifies against its own generation's manifest — a torn mix of
+// two generations would fail with a non-stale tampering code, which the
+// test treats as fatal. Honest races (an answer from generation g
+// verified after the client advanced past g) classify as stale and are
+// retried, never misreported as any other violation.
+func TestLiveConcurrentSearchHammer(t *testing.T) {
+	const (
+		searchers  = 4
+		updates    = 8
+		docsPerGen = 2
+	)
+	owner, handles, err := NewLiveOwner(liveDocs(0, 24), WithFastSigner([]byte("hammer")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := owner.Server()
+
+	var (
+		wg       sync.WaitGroup
+		done     atomic.Bool
+		verified atomic.Int64
+		retried  atomic.Int64
+	)
+	errc := make(chan error, searchers+1)
+	for w := 0; w < searchers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := owner.Client()
+			lastGen := uint64(0)
+			// Keep hammering for a minimum number of iterations even after
+			// the updater finishes, so fast updates still overlap searches.
+			for i := 0; i < 50 || !done.Load(); i++ {
+				res, err := srv.Search(liveQuery, 3, TNRA, ChainMHT)
+				if err != nil {
+					errc <- fmt.Errorf("searcher %d: %v", w, err)
+					return
+				}
+				if res.Generation < lastGen {
+					errc <- fmt.Errorf("searcher %d: generation went backward %d -> %d", w, lastGen, res.Generation)
+					return
+				}
+				lastGen = res.Generation
+				if res.Generation > client.Generation() {
+					if err := client.Advance(owner.ManifestUpdate()); err != nil && !errors.Is(err, ErrStaleGeneration) {
+						errc <- fmt.Errorf("searcher %d: advance: %v", w, err)
+						return
+					}
+				}
+				switch err := client.Verify(liveQuery, 3, res); {
+				case err == nil:
+					verified.Add(1)
+				case errors.Is(err, ErrStaleGeneration):
+					// Honest race: the collection moved while this answer
+					// was in flight. Retry.
+					retried.Add(1)
+				default:
+					errc <- fmt.Errorf("searcher %d: generation %d answer failed as %v", w, res.Generation, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer done.Store(true)
+		next := 24
+		for u := 0; u < updates; u++ {
+			add := liveDocs(next, docsPerGen)
+			next += docsPerGen
+			newHandles, _, err := owner.Update(add, handles[:1])
+			if err != nil {
+				errc <- fmt.Errorf("update %d: %v", u, err)
+				return
+			}
+			handles = append(handles[1:], newHandles...)
+		}
+	}()
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if owner.Generation() != uint64(1+updates) {
+		t.Fatalf("final generation %d, want %d", owner.Generation(), 1+updates)
+	}
+	if verified.Load() == 0 {
+		t.Fatal("hammer verified no answers")
+	}
+	t.Logf("hammer: %d verified, %d stale-retried across %d generations", verified.Load(), retried.Load(), owner.Generation())
+}
+
+func TestLiveShardedMixedGenerationRejected(t *testing.T) {
+	owner, _, err := NewLiveShardedOwner(liveDocs(0, 32), 4,
+		WithFastSigner([]byte("live-shards")), WithShardPartitioner(PartitionHash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := owner.Client() // generation 1
+	old, err := owner.Server().Search(liveQuery, 3, TNRA, ChainMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Verify(liveQuery, 3, old); err != nil {
+		t.Fatal(err)
+	}
+	export1, err := owner.ExportClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := owner.Update(liveDocs(32, 3), nil); err != nil {
+		t.Fatal(err)
+	}
+	if owner.Generation() != 2 {
+		t.Fatalf("generation = %d", owner.Generation())
+	}
+	export2, err := owner.ExportClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.AdvanceExport(export2); err != nil {
+		t.Fatalf("advance to set generation 2: %v", err)
+	}
+	fresh, err := owner.Server().Search(liveQuery, 3, TNRA, ChainMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Verify(liveQuery, 3, fresh); err != nil {
+		t.Fatalf("generation-2 sharded answer failed: %v", err)
+	}
+
+	// Mixed-generation answer: swap one rebuilt shard's response for its
+	// generation-1 predecessor. The client must reject it as tampering.
+	rebuilt := -1
+	for i, sr := range fresh.PerShard {
+		if sr.Generation == 2 && old.PerShard[i].Generation == 1 {
+			rebuilt = i
+			break
+		}
+	}
+	if rebuilt < 0 {
+		t.Fatal("no shard was rebuilt at generation 2; widen the update batch")
+	}
+	mixed := *fresh
+	mixed.PerShard = append([]*SearchResult(nil), fresh.PerShard...)
+	mixed.PerShard[rebuilt] = old.PerShard[rebuilt]
+	err = client.Verify(liveQuery, 3, &mixed)
+	if err == nil {
+		t.Fatal("mixed-generation sharded answer accepted")
+	}
+	if !IsTampered(err) {
+		t.Fatalf("mixed-generation answer classified as non-tampering: %v", err)
+	}
+
+	// Whole-set rollback to generation 1 is tampering.
+	err = client.AdvanceExport(export1)
+	if !errors.Is(err, ErrStaleGeneration) || !IsTampered(err) {
+		t.Fatalf("set rollback classified as %v", err)
+	}
+}
+
+func TestLiveSnapshotDirAndReplica(t *testing.T) {
+	dir := t.TempDir()
+	owner, _, err := NewLiveOwner(liveDocs(0, 12), WithFastSigner([]byte("live-snap")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path1, err := owner.WriteSnapshotDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path1) != "gen-000000000001.atsn" {
+		t.Fatalf("generation-1 snapshot named %s", filepath.Base(path1))
+	}
+	replica, err := OpenLiveSnapshotDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replica.Generation() != 1 {
+		t.Fatalf("replica generation = %d", replica.Generation())
+	}
+	res, err := replica.Server().Search(liveQuery, 3, TNRA, ChainMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.Client().Verify(liveQuery, 3, res); err != nil {
+		t.Fatalf("replica answer failed verification: %v", err)
+	}
+
+	// PersistGenerations makes every future generation land on disk from
+	// inside the update critical section; generation 2 needs no explicit
+	// WriteSnapshotDir call.
+	if _, err := owner.PersistGenerations(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := owner.Update(liveDocs(12, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, liveSnapshotName(2))); err != nil {
+		t.Fatalf("generation 2 snapshot not persisted by the publish hook: %v", err)
+	}
+	swapped, err := replica.Reload()
+	if err != nil || !swapped {
+		t.Fatalf("reload = (%v, %v), want swap", swapped, err)
+	}
+	if replica.Generation() != 2 {
+		t.Fatalf("replica generation after reload = %d", replica.Generation())
+	}
+	if swapped, err := replica.Reload(); err != nil || swapped {
+		t.Fatalf("idle reload = (%v, %v)", swapped, err)
+	}
+
+	// Rolling the directory back under a running replica fails Reload.
+	if err := os.Remove(filepath.Join(dir, liveSnapshotName(2))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replica.Reload(); err == nil {
+		t.Fatal("rolled-back snapshot directory accepted")
+	}
+}
+
+// TestLiveSnapshotLayoutStable pins the per-generation layout: the file
+// naming scheme is load-bearing (replicas pick the lexicographically
+// greatest name), and a snapshot whose signed manifest disagrees with its
+// filename must be rejected.
+func TestLiveSnapshotLayoutStable(t *testing.T) {
+	if got := liveSnapshotName(1); got != "gen-000000000001.atsn" {
+		t.Fatalf("layout changed: generation 1 file is %q", got)
+	}
+	if got := liveSnapshotName(987654321012); got != "gen-987654321012.atsn" {
+		t.Fatalf("layout changed: %q", got)
+	}
+	for name, want := range map[string]uint64{
+		"gen-000000000007.atsn": 7,
+		"gen-999999999999.atsn": 999999999999,
+	} {
+		got, ok := parseLiveSnapshotName(name)
+		if !ok || got != want {
+			t.Fatalf("parse(%q) = (%d, %v), want %d", name, got, ok, want)
+		}
+	}
+	for _, bad := range []string{
+		"gen-0000000001.atsn",    // wrong width
+		"gen-000000000000.atsn",  // generation 0 never exists
+		"gen-00000000000a.atsn",  // non-numeric
+		"generation-1.atsn",      // foreign prefix
+		"gen-000000000001.atsnx", // foreign suffix
+	} {
+		if _, ok := parseLiveSnapshotName(bad); ok {
+			t.Fatalf("foreign name %q parsed as a generation snapshot", bad)
+		}
+	}
+
+	// Manifest-vs-filename cross-check: renaming a generation file to
+	// claim a different generation is detected at open.
+	dir := t.TempDir()
+	owner, _, err := NewLiveOwner(liveDocs(0, 10), WithFastSigner([]byte("layout")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := owner.WriteSnapshotDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := filepath.Join(dir, liveSnapshotName(9))
+	if err := os.Rename(path, forged); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLiveSnapshotDir(dir); err == nil {
+		t.Fatal("renamed generation snapshot accepted")
+	}
+}

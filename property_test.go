@@ -2,6 +2,7 @@ package authtext_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -196,6 +197,103 @@ func TestPropertyShardedRoundTrip(t *testing.T) {
 						if err := client.Verify(query, r, sres); err != nil {
 							t.Errorf("original sharded client on snapshot result %s-%s %q r=%d: %v", algo, scheme, query, r, err)
 						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPropertyLiveUpdateSequence drives a live collection through a
+// random add/remove/search/verify sequence: after every accepted update
+// the advancing client verifies fresh answers across all
+// Algorithm×Scheme combinations, and a stale answer saved from any
+// earlier generation is rejected as tampering once the client advances.
+func TestPropertyLiveUpdateSequence(t *testing.T) {
+	algorithms := []authtext.Algorithm{authtext.TRA, authtext.TNRA}
+	schemes := []authtext.Scheme{authtext.MHT, authtext.ChainMHT}
+	trials := 4
+	steps := 8
+	if testing.Short() {
+		trials, steps = 2, 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprint("seed=", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(7000 + trial)))
+			docs, vocab := propCorpus(rng)
+			docAt := func() authtext.Document {
+				words := make([]string, 6+rng.Intn(12))
+				for i := range words {
+					words[i] = vocab[rng.Intn(len(vocab))]
+				}
+				return authtext.Document{Content: []byte(strings.Join(words, " "))}
+			}
+			owner, handles, err := authtext.NewLiveOwner(docs,
+				authtext.WithFastSigner([]byte(fmt.Sprint("prop-live-", trial))),
+				authtext.WithSingletonTerms())
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := owner.Server()
+			client := owner.Client()
+			var stale *authtext.SearchResult
+			var staleQuery string
+
+			for step := 0; step < steps; step++ {
+				// Random batch: adds, removes, or both (never emptying).
+				var add []authtext.Document
+				var remove []authtext.DocHandle
+				for n := rng.Intn(3); n >= 0; n-- {
+					add = append(add, docAt())
+				}
+				if len(handles) > 3 {
+					for n := rng.Intn(2); n >= 0 && len(handles) > 3; n-- {
+						i := rng.Intn(len(handles))
+						remove = append(remove, handles[i])
+						handles = append(handles[:i], handles[i+1:]...)
+					}
+				}
+				added, rep, err := owner.Update(add, remove)
+				if err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				handles = append(handles, added...)
+				if rep.Generation != uint64(step+2) {
+					t.Fatalf("step %d published generation %d", step, rep.Generation)
+				}
+				if err := client.Advance(owner.ManifestUpdate()); err != nil {
+					t.Fatalf("step %d advance: %v", step, err)
+				}
+
+				query := propQuery(rng, vocab)
+				r := 1 + rng.Intn(8)
+				for _, algo := range algorithms {
+					for _, scheme := range schemes {
+						res, err := srv.Search(query, r, algo, scheme)
+						if err != nil {
+							t.Fatalf("step %d %s-%s: %v", step, algo, scheme, err)
+						}
+						if res.Generation != rep.Generation {
+							t.Fatalf("step %d answer generation %d, want %d", step, res.Generation, rep.Generation)
+						}
+						if err := client.Verify(query, r, res); err != nil {
+							t.Errorf("step %d %s-%s honest result rejected: %v", step, algo, scheme, err)
+						}
+					}
+				}
+				// An answer saved from an earlier generation must be stale
+				// for the advanced client.
+				if stale != nil {
+					err := client.Verify(staleQuery, 3, stale)
+					if !errors.Is(err, authtext.ErrStaleGeneration) {
+						t.Errorf("step %d: stale answer classified as %v", step, err)
+					}
+				}
+				if rng.Intn(2) == 0 {
+					staleQuery = propQuery(rng, vocab)
+					if stale, err = srv.Search(staleQuery, 3, authtext.TRA, authtext.ChainMHT); err != nil {
+						t.Fatal(err)
 					}
 				}
 			}

@@ -117,6 +117,44 @@ func (rc *RemoteClient) bootstrapLocked(ctx context.Context) error {
 	return nil
 }
 
+// Generation returns the publication generation this client currently
+// verifies against (0 before bootstrap or for static collections). It
+// only moves forward: a server that presents an older generation is
+// rejected with ErrStaleGeneration.
+func (rc *RemoteClient) Generation() uint64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.client == nil {
+		return 0
+	}
+	return rc.client.Generation()
+}
+
+// refreshManifest advances the verification client to the server's
+// current manifest — called when a response names a newer generation than
+// the client holds. Client.AdvanceExport enforces the trust rules: the
+// new manifest must verify against the PINNED key and must not regress.
+func (rc *RemoteClient) refreshManifest(ctx context.Context, client *Client) error {
+	var m httpapi.ManifestResponse
+	if err := rc.get(ctx, httpapi.PathManifest, &m); err != nil {
+		return err
+	}
+	if m.Format != httpapi.FormatATCX {
+		return fmt.Errorf("authtext: server manifest format %q not supported", m.Format)
+	}
+	return client.AdvanceExport(m.Export)
+}
+
+// maybeAdvance refreshes the manifest when a response claims a newer
+// generation. Claims of OLDER generations are not acted on — verification
+// rejects them as stale via the VO stamp.
+func (rc *RemoteClient) maybeAdvance(ctx context.Context, client *Client, respGen uint64) error {
+	if respGen > client.Generation() {
+		return rc.refreshManifest(ctx, client)
+	}
+	return nil
+}
+
 // Search asks the server for the top-r documents and verifies the answer
 // locally against the owner's manifest — using the parameters this client
 // asked for, never the server's echo. It returns the result only if
@@ -143,22 +181,36 @@ func (rc *RemoteClient) Search(ctx context.Context, query string, r int, algo Al
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rc.base+httpapi.PathSearch, bytes.NewReader(reqBody))
-	if err != nil {
-		return nil, err
+	// Up to two retries absorb honest generation races: if the collection
+	// is updated between the search response and the manifest refresh,
+	// the answer is older than the manifest we now hold and would fail
+	// verification as stale — re-asking gets a current-generation answer
+	// from an honest server, while a rolled-back server keeps answering
+	// old generations and still ends in ErrStaleGeneration.
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, rc.base+httpapi.PathSearch, bytes.NewReader(reqBody))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		var wire httpapi.SearchResponse
+		if err := rc.do(req, &wire); err != nil {
+			return nil, err
+		}
+		if err := rc.maybeAdvance(ctx, client, wire.Generation); err != nil {
+			return nil, err
+		}
+		if wire.Generation < client.Generation() && attempt < 2 {
+			continue
+		}
+		return verifyWireResult(client, &wire, query, r, algo, scheme)
 	}
-	req.Header.Set("Content-Type", "application/json")
-	var wire httpapi.SearchResponse
-	if err := rc.do(req, &wire); err != nil {
-		return nil, err
-	}
-	return verifyWireResult(client, &wire, query, r, algo, scheme)
 }
 
 // verifyWireResult converts one wire response and verifies it against the
 // bootstrapped manifest, using the parameters the client asked for.
 func verifyWireResult(client *Client, wire *httpapi.SearchResponse, query string, r int, algo Algorithm, scheme Scheme) (*SearchResult, error) {
-	res := &SearchResult{VO: wire.VO, Hits: make([]Hit, len(wire.Hits))}
+	res := &SearchResult{VO: wire.VO, Generation: wire.Generation, Hits: make([]Hit, len(wire.Hits))}
 	for i, h := range wire.Hits {
 		res.Hits[i] = Hit{DocID: h.DocID, Score: h.Score, Content: h.Content}
 	}
@@ -222,17 +274,35 @@ func (rc *RemoteClient) SearchBatch(ctx context.Context, queries []BatchQuery) (
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rc.base+httpapi.PathSearch, bytes.NewReader(reqBody))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
 	var wire httpapi.BatchSearchResponse
-	if err := rc.do(req, &wire); err != nil {
-		return nil, err
-	}
-	if len(wire.Results) != len(queries) {
-		return nil, fmt.Errorf("authtext: server answered %d results for %d queries", len(wire.Results), len(queries))
+	// Retry loop as in Search: a live server answers the whole batch from
+	// one generation; if updates raced the manifest refresh, re-ask.
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, rc.base+httpapi.PathSearch, bytes.NewReader(reqBody))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		wire = httpapi.BatchSearchResponse{}
+		if err := rc.do(req, &wire); err != nil {
+			return nil, err
+		}
+		if len(wire.Results) != len(queries) {
+			return nil, fmt.Errorf("authtext: server answered %d results for %d queries", len(wire.Results), len(queries))
+		}
+		var maxWireGen uint64
+		for i := range wire.Results {
+			if r := wire.Results[i].Response; r != nil && r.Generation > maxWireGen {
+				maxWireGen = r.Generation
+			}
+		}
+		if err := rc.maybeAdvance(ctx, client, maxWireGen); err != nil {
+			return nil, err
+		}
+		if maxWireGen != 0 && maxWireGen < client.Generation() && attempt < 2 {
+			continue
+		}
+		break
 	}
 	out := make([]BatchItem, len(queries))
 	for i := range wire.Results {
@@ -252,12 +322,13 @@ func (rc *RemoteClient) SearchBatch(ctx context.Context, queries []BatchQuery) (
 }
 
 // ServerHealth mirrors the /v1/healthz payload. Shards is 0 for a
-// single-collection server.
+// single-collection server; Generation is 0 for a static one.
 type ServerHealth struct {
 	Status        string
 	Documents     int
 	Terms         int
 	Shards        int
+	Generation    uint64
 	UptimeMillis  int64
 	QueriesServed int64
 	QueriesFailed int64
@@ -275,6 +346,7 @@ func (rc *RemoteClient) Health(ctx context.Context) (*ServerHealth, error) {
 		Documents:     h.Documents,
 		Terms:         h.Terms,
 		Shards:        h.Shards,
+		Generation:    h.Generation,
 		UptimeMillis:  h.UptimeMillis,
 		QueriesServed: h.QueriesServed,
 		QueriesFailed: h.QueriesFailed,

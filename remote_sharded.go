@@ -110,6 +110,32 @@ func (rc *ShardedRemoteClient) Shards() int {
 	return rc.client.Shards()
 }
 
+// Generation returns the set generation this client currently verifies
+// against (0 before bootstrap or for static sets). It only moves forward.
+func (rc *ShardedRemoteClient) Generation() uint64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.client == nil {
+		return 0
+	}
+	return rc.client.Generation()
+}
+
+// refreshManifest advances the verification client to the server's
+// current shard-set manifest (see RemoteClient.refreshManifest);
+// ShardedClient.AdvanceExport enforces pinned-key verification and
+// rollback rejection.
+func (rc *ShardedRemoteClient) refreshManifest(ctx context.Context, client *ShardedClient) error {
+	var m httpapi.ManifestResponse
+	if err := httpGetJSON(ctx, rc.hc, rc.base, httpapi.PathShardManifest, &m); err != nil {
+		return err
+	}
+	if m.Format != httpapi.FormatATSX {
+		return fmt.Errorf("authtext: server sharded manifest format %q not supported", m.Format)
+	}
+	return client.AdvanceExport(m.Export)
+}
+
 // Search asks the sharded deployment for the global top-r and verifies
 // the complete answer locally — every shard's VO against its pinned
 // manifest, then the merged ranking by recomputation — using the
@@ -132,19 +158,34 @@ func (rc *ShardedRemoteClient) Search(ctx context.Context, query string, r int, 
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rc.base+httpapi.PathShardSearch, bytes.NewReader(reqBody))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
+	// Retry loop as in RemoteClient.Search: absorb honest races where the
+	// set is updated between the answer and the manifest refresh.
 	var wire httpapi.ShardedSearchResponse
-	if err := httpDoJSON(rc.hc, req, &wire); err != nil {
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, rc.base+httpapi.PathShardSearch, bytes.NewReader(reqBody))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		wire = httpapi.ShardedSearchResponse{}
+		if err := httpDoJSON(rc.hc, req, &wire); err != nil {
+			return nil, err
+		}
+		if wire.Generation > client.Generation() {
+			if err := rc.refreshManifest(ctx, client); err != nil {
+				return nil, err
+			}
+		}
+		if wire.Generation < client.Generation() && attempt < 2 {
+			continue
+		}
+		break
 	}
 
 	res := &ShardedResult{
-		PerShard: make([]*SearchResult, len(wire.Shards)),
-		Merged:   make([]ShardedHit, len(wire.Merged)),
+		PerShard:   make([]*SearchResult, len(wire.Shards)),
+		Merged:     make([]ShardedHit, len(wire.Merged)),
+		Generation: wire.Generation,
 		Stats: ShardedStats{
 			Shards:      wire.Stats.Shards,
 			Algorithm:   algo,
@@ -158,7 +199,8 @@ func (rc *ShardedRemoteClient) Search(ctx context.Context, query string, r int, 
 		},
 	}
 	for i := range wire.Shards {
-		sr := &SearchResult{VO: wire.Shards[i].VO, Hits: make([]Hit, len(wire.Shards[i].Hits))}
+		sr := &SearchResult{VO: wire.Shards[i].VO, Generation: wire.Shards[i].Generation,
+			Hits: make([]Hit, len(wire.Shards[i].Hits))}
 		for j, h := range wire.Shards[i].Hits {
 			sr.Hits[j] = Hit{DocID: h.DocID, Score: h.Score, Content: h.Content}
 		}
@@ -199,6 +241,7 @@ func (rc *ShardedRemoteClient) Health(ctx context.Context) (*ServerHealth, error
 		Documents:     h.Documents,
 		Terms:         h.Terms,
 		Shards:        h.Shards,
+		Generation:    h.Generation,
 		UptimeMillis:  h.UptimeMillis,
 		QueriesServed: h.QueriesServed,
 		QueriesFailed: h.QueriesFailed,

@@ -23,13 +23,28 @@ import (
 // QueryLog receives one record per served query; see WithQueryLog.
 type QueryLog func(query string, r int, stats Stats, wall time.Duration)
 
-// HandlerOption customises NewHTTPHandler.
-type HandlerOption func(*httpBackend)
+// handlerOptions collects the optional callbacks a handler can carry.
+type handlerOptions struct {
+	queryLog  QueryLog
+	updateLog func(*UpdateReport)
+}
+
+// HandlerOption customises NewHTTPHandler and the live handlers.
+type HandlerOption func(*handlerOptions)
 
 // WithQueryLog installs a per-query callback (invoked synchronously after
 // each successful search; keep it fast). Requests are served concurrently,
 // so the callback MUST be safe for concurrent use.
-func WithQueryLog(fn QueryLog) HandlerOption { return func(b *httpBackend) { b.queryLog = fn } }
+func WithQueryLog(fn QueryLog) HandlerOption { return func(o *handlerOptions) { o.queryLog = fn } }
+
+// WithUpdateLog installs a callback invoked synchronously after every
+// accepted /v1/admin/update batch, with the served generation already
+// swapped. Live handlers only (static handlers never update); use it for
+// logging or to persist per-generation snapshots. MUST be safe for
+// concurrent use.
+func WithUpdateLog(fn func(*UpdateReport)) HandlerOption {
+	return func(o *handlerOptions) { o.updateLog = fn }
+}
 
 // NewHTTPHandler exposes a Server over the versioned HTTP protocol.
 // clientExport is the blob from Owner.ExportClient, served verbatim at
@@ -39,7 +54,7 @@ func WithQueryLog(fn QueryLog) HandlerOption { return func(b *httpBackend) { b.q
 func NewHTTPHandler(srv *Server, clientExport []byte, opts ...HandlerOption) http.Handler {
 	b := &httpBackend{srv: srv, export: clientExport, start: time.Now()}
 	for _, opt := range opts {
-		opt(b)
+		opt(&b.opts)
 	}
 	return httpapi.NewHandler(b)
 }
@@ -56,12 +71,12 @@ func (o *Owner) HTTPHandler(opts ...HandlerOption) (http.Handler, error) {
 
 // httpBackend implements httpapi.Backend on top of a Server.
 type httpBackend struct {
-	srv      *Server
-	export   []byte
-	start    time.Time
-	queryLog QueryLog
-	served   atomic.Int64
-	failed   atomic.Int64
+	srv    *Server
+	export []byte
+	start  time.Time
+	opts   handlerOptions
+	served atomic.Int64
+	failed atomic.Int64
 }
 
 func (b *httpBackend) Search(req *httpapi.SearchRequest) (*httpapi.SearchResponse, error) {
@@ -108,17 +123,24 @@ func (b *httpBackend) SearchBatch(reqs []httpapi.SearchRequest) []httpapi.BatchS
 // batched ones (informational, like every stat on the wire).
 func (b *httpBackend) record(req *httpapi.SearchRequest, res *SearchResult, wall time.Duration) *httpapi.SearchResponse {
 	b.served.Add(1)
-	if b.queryLog != nil {
-		b.queryLog(req.Query, req.R, res.Stats, wall)
+	if b.opts.queryLog != nil {
+		b.opts.queryLog(req.Query, req.R, res.Stats, wall)
 	}
+	return wireSearchResponse(req, res, wall)
+}
+
+// wireSearchResponse converts one facade result to the wire form (shared
+// by the static and live backends).
+func wireSearchResponse(req *httpapi.SearchRequest, res *SearchResult, wall time.Duration) *httpapi.SearchResponse {
 	out := &httpapi.SearchResponse{
-		Query:  req.Query,
-		R:      req.R,
-		Algo:   req.Algo,
-		Scheme: req.Scheme,
-		Hits:   make([]httpapi.Hit, len(res.Hits)),
-		VO:     res.VO,
-		Stats:  wireStats(res.Stats, wall),
+		Query:      req.Query,
+		R:          req.R,
+		Algo:       req.Algo,
+		Scheme:     req.Scheme,
+		Generation: res.Generation,
+		Hits:       make([]httpapi.Hit, len(res.Hits)),
+		VO:         res.VO,
+		Stats:      wireStats(res.Stats, wall),
 	}
 	for i, h := range res.Hits {
 		out.Hits[i] = httpapi.Hit{DocID: h.DocID, Score: h.Score, Content: h.Content}
@@ -135,10 +157,12 @@ func (b *httpBackend) ClientExport() ([]byte, error) {
 
 func (b *httpBackend) Health() httpapi.Health {
 	idx := b.srv.col.Index()
+	m, _ := b.srv.col.Manifest()
 	return httpapi.Health{
 		Status:        "ok",
 		Documents:     idx.N,
 		Terms:         idx.M(),
+		Generation:    m.Generation,
 		UptimeMillis:  time.Since(b.start).Milliseconds(),
 		QueriesServed: b.served.Load(),
 		QueriesFailed: b.failed.Load(),

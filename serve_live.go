@@ -1,0 +1,269 @@
+package authtext
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"authtext/internal/httpapi"
+)
+
+// This file adapts live deployments to the /v1 HTTP protocol. On top of
+// the static endpoints, a live handler:
+//
+//   - answers every search from the LATEST generation (each request pins
+//     one generation for its whole execution — batches included — so no
+//     response mixes states);
+//   - serves the CURRENT generation's export at /v1/manifest, which is
+//     how remote clients advance when they see a newer generation in a
+//     response;
+//   - reports the generation in /v1/healthz;
+//   - accepts add/remove batches at /v1/admin/update when owner-backed
+//     (a snapshot replica serves the same surface but rejects updates).
+//
+// docs/PROTOCOL.md documents the wire format, docs/UPDATES.md the model.
+
+// liveSource is the serving side a live backend draws from: an
+// owner-backed LiveServer or a snapshot-fed LiveReplica.
+type liveSource interface {
+	currentServer() *Server
+	currentExport() ([]byte, error)
+	Generation() uint64
+}
+
+func (s *LiveServer) currentServer() *Server { return s.Snapshot() }
+
+func (s *LiveServer) currentExport() ([]byte, error) {
+	col := s.lc.Current()
+	m, msig := col.Manifest()
+	c := &Client{manifest: m, manifestSig: msig, verifier: col.Verifier()}
+	return c.Export()
+}
+
+func (r *LiveReplica) currentServer() *Server { return r.Server() }
+
+func (r *LiveReplica) currentExport() ([]byte, error) {
+	st := r.cur.Load()
+	if st.export == nil {
+		return nil, errNoExportableKey
+	}
+	return st.export, nil
+}
+
+var errNoExportableKey = &httpapi.StatusError{
+	Status:  http.StatusServiceUnavailable,
+	Code:    httpapi.CodeUnavailable,
+	Message: "this server has no publishable verification key (fast-signer build?)",
+}
+
+// liveUpdater applies admin update batches; nil on serving-only
+// deployments.
+type liveUpdater func(add []Document, remove []DocHandle) ([]DocHandle, *UpdateReport, error)
+
+// newLiveHTTPHandler wires a live source (and optionally an updater) onto
+// the /v1 protocol.
+func newLiveHTTPHandler(src liveSource, owner *LiveOwner, opts ...HandlerOption) (http.Handler, error) {
+	// Fail construction, not the first request, when the key cannot be
+	// published (mirrors Owner.HTTPHandler's contract).
+	if _, err := src.currentExport(); err != nil {
+		return nil, err
+	}
+	b := &liveHTTPBackend{src: src, start: time.Now()}
+	if owner != nil {
+		b.update = owner.Update
+	}
+	for _, opt := range opts {
+		opt(&b.opts)
+	}
+	return httpapi.NewHandler(b), nil
+}
+
+// NewLiveReplicaHTTPHandler exposes a snapshot-fed replica over the /v1
+// protocol: the live serving surface (generation in responses and
+// healthz, current generation's manifest) without the update endpoint —
+// POSTs to /v1/admin/update answer 403, because updates happen at the
+// owner that writes the snapshots.
+func NewLiveReplicaHTTPHandler(r *LiveReplica, opts ...HandlerOption) (http.Handler, error) {
+	return newLiveHTTPHandler(r, nil, opts...)
+}
+
+// liveHTTPBackend implements the httpapi backend surface over a live
+// source.
+type liveHTTPBackend struct {
+	src    liveSource
+	update liveUpdater // nil: serving-only
+	start  time.Time
+	opts   handlerOptions
+	served atomic.Int64
+	failed atomic.Int64
+}
+
+func (b *liveHTTPBackend) Search(req *httpapi.SearchRequest) (*httpapi.SearchResponse, error) {
+	start := time.Now()
+	res, err := b.src.currentServer().Search(req.Query, req.R, parseWireAlgo(req.Algo), parseWireScheme(req.Scheme))
+	if err != nil {
+		b.failed.Add(1)
+		return nil, err
+	}
+	b.served.Add(1)
+	wall := time.Since(start)
+	if b.opts.queryLog != nil {
+		b.opts.queryLog(req.Query, req.R, res.Stats, wall)
+	}
+	return wireSearchResponse(req, res, wall), nil
+}
+
+// SearchBatch pins ONE generation for the whole batch.
+func (b *liveHTTPBackend) SearchBatch(reqs []httpapi.SearchRequest) []httpapi.BatchSearchResult {
+	srv := b.src.currentServer()
+	queries := make([]BatchQuery, len(reqs))
+	for i, req := range reqs {
+		queries[i] = BatchQuery{
+			Query:     req.Query,
+			R:         req.R,
+			Algorithm: parseWireAlgo(req.Algo),
+			Scheme:    parseWireScheme(req.Scheme),
+		}
+	}
+	items := srv.SearchBatch(queries, 0)
+	out := make([]httpapi.BatchSearchResult, len(items))
+	for i, item := range items {
+		if item.Err != nil {
+			b.failed.Add(1)
+			out[i] = httpapi.BatchOutcome(nil, item.Err)
+			continue
+		}
+		b.served.Add(1)
+		wall := time.Duration(float64(item.Result.Stats.ServerTime) * float64(time.Millisecond))
+		if b.opts.queryLog != nil {
+			b.opts.queryLog(reqs[i].Query, reqs[i].R, item.Result.Stats, wall)
+		}
+		out[i] = httpapi.BatchOutcome(wireSearchResponse(&reqs[i], item.Result, wall), nil)
+	}
+	return out
+}
+
+func (b *liveHTTPBackend) Update(req *httpapi.UpdateRequest) (*httpapi.UpdateResponse, error) {
+	if b.update == nil {
+		return nil, &httpapi.StatusError{
+			Status:  http.StatusForbidden,
+			Code:    httpapi.CodeUpdateFailed,
+			Message: "this replica is serving-only; apply updates at the owner",
+		}
+	}
+	add := make([]Document, len(req.Add))
+	for i, d := range req.Add {
+		add[i] = Document{Content: d.Content}
+	}
+	remove := make([]DocHandle, len(req.Remove))
+	for i, h := range req.Remove {
+		remove[i] = DocHandle(h)
+	}
+	handles, rep, err := b.update(add, remove)
+	if err != nil {
+		// Update failures are batch-shaped (unknown handle, emptying
+		// removal, unindexable content): the server state is unchanged,
+		// so report them as the caller's problem.
+		return nil, &httpapi.StatusError{
+			Status:  http.StatusBadRequest,
+			Code:    httpapi.CodeUpdateFailed,
+			Message: err.Error(),
+		}
+	}
+	if b.opts.updateLog != nil {
+		b.opts.updateLog(rep)
+	}
+	resp := &httpapi.UpdateResponse{
+		Generation:       rep.Generation,
+		Documents:        rep.Documents,
+		Added:            rawHandles(handles),
+		Removed:          rep.Removed,
+		SignaturesSigned: rep.SignaturesSigned,
+		SignaturesReused: rep.SignaturesReused,
+		ShardsReused:     rep.ShardsReused,
+		RebuildMillis:    rep.RebuildMillis,
+	}
+	return resp, nil
+}
+
+func (b *liveHTTPBackend) ClientExport() ([]byte, error) { return b.src.currentExport() }
+
+func (b *liveHTTPBackend) Health() httpapi.Health {
+	srv := b.src.currentServer()
+	idx := srv.col.Index()
+	return httpapi.Health{
+		Status:        "ok",
+		Documents:     idx.N,
+		Terms:         idx.M(),
+		Generation:    b.src.Generation(),
+		UptimeMillis:  time.Since(b.start).Milliseconds(),
+		QueriesServed: b.served.Load(),
+		QueriesFailed: b.failed.Load(),
+	}
+}
+
+// newLiveShardedHTTPHandler wires a live sharded owner onto the /v1
+// protocol: the sharded serving surface plus /v1/admin/update.
+func newLiveShardedHTTPHandler(srv *LiveShardedServer, owner *LiveShardedOwner, opts ...ShardedHandlerOption) (http.Handler, error) {
+	if _, err := owner.ExportClient(); err != nil {
+		return nil, err
+	}
+	b := &liveShardedHTTPBackend{srv: srv, owner: owner, start: time.Now()}
+	for _, opt := range opts {
+		opt(&b.opts)
+	}
+	return httpapi.NewHandler(b), nil
+}
+
+// liveShardedHTTPBackend implements the sharded backend surface over a
+// live sharded owner.
+type liveShardedHTTPBackend struct {
+	srv    *LiveShardedServer
+	owner  *LiveShardedOwner
+	start  time.Time
+	opts   shardedHandlerOptions
+	served atomic.Int64
+	failed atomic.Int64
+}
+
+func (b *liveShardedHTTPBackend) Search(req *httpapi.SearchRequest) (*httpapi.SearchResponse, error) {
+	return nil, &httpapi.StatusError{
+		Status:  http.StatusNotFound,
+		Code:    httpapi.CodeNotFound,
+		Message: "this server is sharded; query " + httpapi.PathShardSearch,
+	}
+}
+
+func (b *liveShardedHTTPBackend) ClientExport() ([]byte, error) {
+	return nil, &httpapi.StatusError{
+		Status:  http.StatusNotFound,
+		Code:    httpapi.CodeNotFound,
+		Message: "this server is sharded; fetch " + httpapi.PathShardManifest,
+	}
+}
+
+func (b *liveShardedHTTPBackend) ShardSearch(req *httpapi.SearchRequest) (*httpapi.ShardedSearchResponse, error) {
+	// Pin one generation for the whole fan-out.
+	pinned := &shardedHTTPBackend{srv: b.srv.Snapshot(), opts: b.opts}
+	resp, err := pinned.ShardSearch(req)
+	if err != nil {
+		b.failed.Add(1)
+		return nil, err
+	}
+	b.served.Add(1)
+	return resp, nil
+}
+
+func (b *liveShardedHTTPBackend) ShardExport() ([]byte, error) { return b.owner.ExportClient() }
+
+func (b *liveShardedHTTPBackend) Update(req *httpapi.UpdateRequest) (*httpapi.UpdateResponse, error) {
+	inner := &liveHTTPBackend{update: b.owner.Update, opts: handlerOptions{}}
+	if b.opts.updateLog != nil {
+		inner.opts.updateLog = b.opts.updateLog
+	}
+	return inner.Update(req)
+}
+
+func (b *liveShardedHTTPBackend) Health() httpapi.Health {
+	return shardedHealth(b.srv.Snapshot(), b.start, b.served.Load(), b.failed.Load())
+}

@@ -15,14 +15,27 @@ import (
 // /v1/search endpoint is not served — a sharded answer needs the sharded
 // wire format — and answers 404 with a pointer to the sharded path.
 
-// ShardedHandlerOption customises NewShardedHTTPHandler.
-type ShardedHandlerOption func(*shardedHTTPBackend)
+// shardedHandlerOptions collects the optional callbacks of a sharded
+// handler.
+type shardedHandlerOptions struct {
+	queryLog  func(query string, r int, stats ShardedStats, wall time.Duration)
+	updateLog func(*UpdateReport)
+}
+
+// ShardedHandlerOption customises NewShardedHTTPHandler and the live
+// sharded handler.
+type ShardedHandlerOption func(*shardedHandlerOptions)
 
 // WithShardedQueryLog installs a per-query callback; stats aggregate the
 // whole fan-out. Requests are served concurrently, so the callback MUST be
 // safe for concurrent use.
 func WithShardedQueryLog(fn func(query string, r int, stats ShardedStats, wall time.Duration)) ShardedHandlerOption {
-	return func(b *shardedHTTPBackend) { b.queryLog = fn }
+	return func(o *shardedHandlerOptions) { o.queryLog = fn }
+}
+
+// WithShardedUpdateLog is WithUpdateLog for sharded live handlers.
+func WithShardedUpdateLog(fn func(*UpdateReport)) ShardedHandlerOption {
+	return func(o *shardedHandlerOptions) { o.updateLog = fn }
 }
 
 // NewShardedHTTPHandler exposes a ShardedServer over the versioned HTTP
@@ -31,7 +44,7 @@ func WithShardedQueryLog(fn func(query string, r int, stats ShardedStats, wall t
 func NewShardedHTTPHandler(srv *ShardedServer, export []byte, opts ...ShardedHandlerOption) http.Handler {
 	b := &shardedHTTPBackend{srv: srv, export: export, start: time.Now()}
 	for _, opt := range opts {
-		opt(b)
+		opt(&b.opts)
 	}
 	return httpapi.NewHandler(b)
 }
@@ -48,12 +61,12 @@ func (o *ShardedOwner) HTTPHandler(opts ...ShardedHandlerOption) (http.Handler, 
 
 // shardedHTTPBackend implements httpapi.ShardBackend on a ShardedServer.
 type shardedHTTPBackend struct {
-	srv      *ShardedServer
-	export   []byte
-	start    time.Time
-	queryLog func(query string, r int, stats ShardedStats, wall time.Duration)
-	served   atomic.Int64
-	failed   atomic.Int64
+	srv    *ShardedServer
+	export []byte
+	start  time.Time
+	opts   shardedHandlerOptions
+	served atomic.Int64
+	failed atomic.Int64
 }
 
 // Search implements the non-sharded endpoint: not available here.
@@ -84,16 +97,17 @@ func (b *shardedHTTPBackend) ShardSearch(req *httpapi.SearchRequest) (*httpapi.S
 	}
 	wall := time.Since(start)
 	b.served.Add(1)
-	if b.queryLog != nil {
-		b.queryLog(req.Query, req.R, res.Stats, wall)
+	if b.opts.queryLog != nil {
+		b.opts.queryLog(req.Query, req.R, res.Stats, wall)
 	}
 	out := &httpapi.ShardedSearchResponse{
-		Query:  req.Query,
-		R:      req.R,
-		Algo:   req.Algo,
-		Scheme: req.Scheme,
-		Shards: make([]httpapi.SearchResponse, len(res.PerShard)),
-		Merged: make([]httpapi.MergedHit, len(res.Merged)),
+		Query:      req.Query,
+		R:          req.R,
+		Algo:       req.Algo,
+		Scheme:     req.Scheme,
+		Generation: res.Generation,
+		Shards:     make([]httpapi.SearchResponse, len(res.PerShard)),
+		Merged:     make([]httpapi.MergedHit, len(res.Merged)),
 		Stats: httpapi.ShardedSearchStats{
 			Shards:       res.Stats.Shards,
 			EntriesRead:  res.Stats.EntriesRead,
@@ -104,13 +118,14 @@ func (b *shardedHTTPBackend) ShardSearch(req *httpapi.SearchRequest) (*httpapi.S
 	}
 	for i, sr := range res.PerShard {
 		w := httpapi.SearchResponse{
-			Query:  req.Query,
-			R:      req.R,
-			Algo:   req.Algo,
-			Scheme: req.Scheme,
-			Hits:   make([]httpapi.Hit, len(sr.Hits)),
-			VO:     sr.VO,
-			Stats:  wireStats(sr.Stats, wall),
+			Query:      req.Query,
+			R:          req.R,
+			Algo:       req.Algo,
+			Scheme:     req.Scheme,
+			Generation: sr.Generation,
+			Hits:       make([]httpapi.Hit, len(sr.Hits)),
+			VO:         sr.VO,
+			Stats:      wireStats(sr.Stats, wall),
 		}
 		for j, h := range sr.Hits {
 			w.Hits[j] = httpapi.Hit{DocID: h.DocID, Score: h.Score, Content: h.Content}
@@ -135,19 +150,27 @@ func (b *shardedHTTPBackend) ShardExport() ([]byte, error) {
 }
 
 func (b *shardedHTTPBackend) Health() httpapi.Health {
+	return shardedHealth(b.srv, b.start, b.served.Load(), b.failed.Load())
+}
+
+// shardedHealth builds the healthz payload for a (possibly live) sharded
+// server.
+func shardedHealth(srv *ShardedServer, start time.Time, served, failed int64) httpapi.Health {
 	docs, terms := 0, 0
-	for i := 0; i < b.srv.Shards(); i++ {
-		idx := b.srv.set.Col(i).Index()
+	for i := 0; i < srv.Shards(); i++ {
+		idx := srv.set.Col(i).Index()
 		docs += idx.N
 		terms += idx.M()
 	}
+	sm, _ := srv.set.Manifest()
 	return httpapi.Health{
 		Status:        "ok",
 		Documents:     docs,
 		Terms:         terms,
-		Shards:        b.srv.Shards(),
-		UptimeMillis:  time.Since(b.start).Milliseconds(),
-		QueriesServed: b.served.Load(),
-		QueriesFailed: b.failed.Load(),
+		Shards:        srv.Shards(),
+		Generation:    sm.Generation,
+		UptimeMillis:  time.Since(start).Milliseconds(),
+		QueriesServed: served,
+		QueriesFailed: failed,
 	}
 }

@@ -151,7 +151,10 @@ type ShardedResult struct {
 	// Merged is the claimed global top-r. The client recomputes it from
 	// the verified per-shard results; it carries no proof of its own.
 	Merged []ShardedHit
-	Stats  ShardedStats
+	// Generation is the shard-set generation that answered (0 for static
+	// sets) — an untrusted echo, like SearchResult.Generation.
+	Generation uint64
+	Stats      ShardedStats
 }
 
 // Search runs a top-r similarity query against every shard concurrently
@@ -162,9 +165,11 @@ func (s *ShardedServer) Search(query string, r int, algo Algorithm, scheme Schem
 	if err != nil {
 		return nil, err
 	}
+	sm, _ := s.set.Manifest()
 	out := &ShardedResult{
-		PerShard: make([]*SearchResult, len(setRes.PerShard)),
-		Merged:   make([]ShardedHit, len(setRes.Merged)),
+		PerShard:   make([]*SearchResult, len(setRes.PerShard)),
+		Merged:     make([]ShardedHit, len(setRes.Merged)),
+		Generation: sm.Generation,
 		Stats: ShardedStats{
 			Shards:    s.set.K(),
 			Algorithm: algo,
@@ -173,7 +178,8 @@ func (s *ShardedServer) Search(query string, r int, algo Algorithm, scheme Schem
 		},
 	}
 	for i, sr := range setRes.PerShard {
-		res := &SearchResult{VO: sr.VO}
+		shardMan, _ := s.set.Col(i).Manifest()
+		res := &SearchResult{VO: sr.VO, Generation: shardMan.Generation}
 		for _, e := range sr.Result.Entries {
 			res.Hits = append(res.Hits, Hit{DocID: int(e.Doc), Score: e.Score, Content: sr.Result.Contents[e.Doc]})
 		}
@@ -211,16 +217,21 @@ func (s *ShardedServer) Search(query string, r int, algo Algorithm, scheme Schem
 
 // ShardedClient verifies fanned-out query results. It holds no collection
 // data: only the signed set manifest, each shard's signed manifest, the
-// doc maps and the owner's public key. Safe for concurrent use.
+// doc maps and the owner's public key. Like Client, the key is pinned at
+// construction and the manifests can move forward — never backward — to
+// later generations of a live shard set via AdvanceExport. Safe for
+// concurrent use.
 type ShardedClient struct {
+	verifier sig.Verifier
+
+	mu          sync.Mutex
 	manifest    *shard.SetManifest
 	manifestSig []byte
-	verifier    sig.Verifier
 	shards      []*Client
 	docMaps     [][]uint32
-
-	checkOnce sync.Once
-	checkErr  error
+	checked     bool
+	checkErr    error
+	maxGen      uint64
 }
 
 func newShardedClientFromSet(set *shard.Set) *ShardedClient {
@@ -241,17 +252,92 @@ func newShardedClientFromSet(set *shard.Set) *ShardedClient {
 }
 
 // Shards returns the shard count the set manifest commits to.
-func (c *ShardedClient) Shards() int { return len(c.shards) }
+func (c *ShardedClient) Shards() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.shards)
+}
 
-// checkManifest runs the one-time set-manifest signature check (cached,
-// like Client.checkManifest).
-func (c *ShardedClient) checkManifest() error {
-	c.checkOnce.Do(func() {
+// Generation returns the generation of the set manifest this client
+// currently verifies against (0 for a static shard set).
+func (c *ShardedClient) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.manifest.Generation
+}
+
+// checkManifestLocked runs the one-time set-manifest signature check
+// (cached, like Client.checkManifestLocked; caller holds mu).
+func (c *ShardedClient) checkManifestLocked() error {
+	if !c.checked {
 		if err := shard.VerifySetManifest(c.manifest, c.manifestSig, c.verifier); err != nil {
 			c.checkErr = &core.VerifyError{Code: core.CodeBadSignature, Detail: err.Error()}
 		}
-	})
+		c.checked = true
+		if c.checkErr == nil && c.manifest.Generation > c.maxGen {
+			c.maxGen = c.manifest.Generation
+		}
+	}
 	return c.checkErr
+}
+
+// state returns the verified manifest plus the per-shard verification
+// material for one Verify pass.
+func (c *ShardedClient) state() (*shard.SetManifest, []*Client, [][]uint32, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.checkManifestLocked(); err != nil {
+		return nil, nil, nil, err
+	}
+	return c.manifest, c.shards, c.docMaps, nil
+}
+
+// AdvanceExport moves the client to a newer generation of a live shard
+// set, given the owner's current ATSX export (the /v1/shards/manifest
+// payload). The set-manifest signature must verify against the PINNED key
+// — the blob's embedded key is not trusted — and the generation must not
+// regress below any already accepted (ErrStaleGeneration otherwise, which
+// IsTampered classifies as tampering). Re-presenting the already-accepted
+// generation byte-identically is a no-op.
+func (c *ShardedClient) AdvanceExport(data []byte) error {
+	ex, err := parseShardedExport(data)
+	if err != nil {
+		return err
+	}
+	// parseShardedExport verified against the embedded key; rollback
+	// protection needs the pinned one.
+	if err := shard.VerifySetManifest(ex.manifest, ex.manifestSig, c.verifier); err != nil {
+		return &core.VerifyError{Code: core.CodeBadSignature, Detail: err.Error()}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.checkManifestLocked(); err != nil {
+		return err
+	}
+	switch {
+	case ex.manifest.Generation < c.maxGen:
+		return &core.VerifyError{Code: core.CodeStaleGeneration,
+			Detail: fmt.Sprintf("set manifest generation %d, already accepted %d", ex.manifest.Generation, c.maxGen)}
+	case ex.manifest.Generation == c.maxGen:
+		if !bytes.Equal(ex.manifest.Encode(), c.manifest.Encode()) {
+			return &core.VerifyError{Code: core.CodeStaleGeneration,
+				Detail: fmt.Sprintf("conflicting set manifest for generation %d", ex.manifest.Generation)}
+		}
+		return nil
+	}
+	c.manifest = ex.manifest
+	c.manifestSig = ex.manifestSig
+	c.docMaps = ex.docMaps
+	c.shards = make([]*Client, ex.manifest.K)
+	for i := range c.shards {
+		// Shard manifests are bound to the (pinned-key-verified) set
+		// manifest by digest, checked in parseShardedExport.
+		c.shards[i] = &Client{manifest: ex.shardMans[i], manifestSig: ex.shardSigs[i],
+			verifier: c.verifier, checked: true, maxGen: ex.shardMans[i].Generation}
+	}
+	c.maxGen = ex.manifest.Generation
+	c.checked, c.checkErr = true, nil
+	return nil
 }
 
 // Verify checks a sharded search result end to end: the set-manifest
@@ -263,21 +349,22 @@ func (c *ShardedClient) Verify(query string, r int, res *ShardedResult) error {
 	if res == nil {
 		return errors.New("authtext: nil result")
 	}
-	if err := c.checkManifest(); err != nil {
+	_, shards, docMaps, err := c.state()
+	if err != nil {
 		return err
 	}
-	if len(res.PerShard) != len(c.shards) {
+	if len(res.PerShard) != len(shards) {
 		return &core.VerifyError{Code: core.CodeIncomplete,
-			Detail: fmt.Sprintf("%d shard responses for a %d-shard collection", len(res.PerShard), len(c.shards))}
+			Detail: fmt.Sprintf("%d shard responses for a %d-shard collection", len(res.PerShard), len(shards))}
 	}
-	perShard := make([][]core.ResultEntry, len(c.shards))
+	perShard := make([][]core.ResultEntry, len(shards))
 	contents := make(map[[2]int][]byte)
 	for i, sr := range res.PerShard {
 		if sr == nil {
 			return &core.VerifyError{Code: core.CodeIncomplete,
 				Detail: fmt.Sprintf("shard %d returned no response", i)}
 		}
-		if err := c.shards[i].Verify(query, r, sr); err != nil {
+		if err := shards[i].Verify(query, r, sr); err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
 		entries := make([]core.ResultEntry, len(sr.Hits))
@@ -291,7 +378,7 @@ func (c *ShardedClient) Verify(query string, r int, res *ShardedResult) error {
 	for i, h := range res.Merged {
 		merged[i] = shard.MergedHit{Shard: h.Shard, Doc: index.DocID(h.DocID), Global: uint32(h.GlobalID), Score: h.Score}
 	}
-	if err := shard.VerifyMerge(perShard, c.docMaps, r, merged); err != nil {
+	if err := shard.VerifyMerge(perShard, docMaps, r, merged); err != nil {
 		return err
 	}
 	// The merged entries must deliver the same (verified) content as the

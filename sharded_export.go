@@ -172,11 +172,13 @@ func NewShardedClientFromExport(data []byte) (*ShardedClient, error) {
 		docMaps:     ex.docMaps,
 	}
 	for i := range c.shards {
-		sc := &Client{manifest: ex.shardMans[i], manifestSig: ex.shardSigs[i], verifier: ex.verifier}
-		sc.checkOnce.Do(func() {}) // verified by parseShardedExport
-		c.shards[i] = sc
+		// Verified by parseShardedExport.
+		c.shards[i] = &Client{manifest: ex.shardMans[i], manifestSig: ex.shardSigs[i],
+			verifier: ex.verifier, checked: true, maxGen: ex.shardMans[i].Generation}
 	}
-	c.checkOnce.Do(func() {}) // set manifest verified by parseShardedExport
+	// Set manifest verified by parseShardedExport.
+	c.checked = true
+	c.maxGen = ex.manifest.Generation
 	return c, nil
 }
 
