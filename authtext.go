@@ -299,6 +299,26 @@ func (o *Owner) Stats() (buildMillis float64, signatures int, deviceBytes int64)
 // executes many queries with a bounded worker pool.
 type Server struct {
 	col *engine.Collection
+	// cache, when non-nil, serves repeat queries from pre-built answers
+	// (see cache.go for the safety argument). Set before serving starts.
+	cache *VOCache
+}
+
+// SetVOCache attaches a VO cache (nil detaches). Call before the server
+// starts answering queries; the cache itself is safe for concurrent use
+// and may be shared between servers.
+func (s *Server) SetVOCache(c *VOCache) { s.cache = c }
+
+// withCache returns a shallow copy of s serving through c. Snapshot
+// accessors that hand out a SHARED *Server use it so attaching a cache
+// never mutates a server other goroutines are reading.
+func (s *Server) withCache(c *VOCache) *Server {
+	if c == nil {
+		return s
+	}
+	cp := *s
+	cp.cache = c
+	return &cp
 }
 
 // Search runs a top-r similarity query. The query text goes through the
@@ -307,11 +327,18 @@ type Server struct {
 // concurrent use, and per-query Stats are unaffected by concurrency.
 func (s *Server) Search(query string, r int, algo Algorithm, scheme Scheme) (*SearchResult, error) {
 	tokens := textproc.Terms(query)
+	manifest, _ := s.col.Manifest()
+	var key string
+	if s.cache != nil {
+		key = cacheKey(cacheKindSingle, tokens, r, algo, scheme, manifest.Generation)
+		if res, ok := s.cache.getResult(key); ok {
+			return res, nil
+		}
+	}
 	res, voBytes, st, err := s.col.Search(tokens, r, algo.core(), scheme.core())
 	if err != nil {
 		return nil, err
 	}
-	manifest, _ := s.col.Manifest()
 	out := &SearchResult{VO: voBytes, Generation: manifest.Generation}
 	for _, e := range res.Entries {
 		out.Hits = append(out.Hits, Hit{DocID: int(e.Doc), Score: e.Score, Content: res.Contents[e.Doc]})
@@ -328,6 +355,9 @@ func (s *Server) Search(query string, r int, algo Algorithm, scheme Scheme) (*Se
 		IOTime:         StatsDuration(float64(st.IO.SimTime.Microseconds()) / 1000),
 		ServerTime:     StatsDuration(float64(st.ServerWall.Microseconds()) / 1000),
 		VOBytes:        len(voBytes),
+	}
+	if s.cache != nil {
+		s.cache.putResult(key, manifest.Generation, out)
 	}
 	return out, nil
 }

@@ -1,4 +1,4 @@
-package authtext
+package authtext_test
 
 // One benchmark per table and figure of the paper's evaluation (§4), plus
 // ablations for the design choices DESIGN.md calls out (chain-MHT vs plain
@@ -14,6 +14,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"authtext"
 
 	"authtext/internal/core"
 	"authtext/internal/corpus"
@@ -174,6 +176,60 @@ func BenchmarkSearchTRAMHT(b *testing.B)   { benchSearchVariant(b, core.AlgoTRA,
 func BenchmarkSearchTRACMHT(b *testing.B)  { benchSearchVariant(b, core.AlgoTRA, core.SchemeCMHT) }
 func BenchmarkSearchTNRAMHT(b *testing.B)  { benchSearchVariant(b, core.AlgoTNRA, core.SchemeMHT) }
 func BenchmarkSearchTNRACMHT(b *testing.B) { benchSearchVariant(b, core.AlgoTNRA, core.SchemeCMHT) }
+
+// BenchmarkCachedSearchHit is the repeat-query path through the facade
+// with a warm VO cache: lookup + defensive copy, no engine work, no VO
+// encode. Compare against BenchmarkFacadeSearchUncached (the same facade
+// call without a cache) and the BenchmarkSearch* engine variants above.
+func BenchmarkCachedSearchHit(b *testing.B) {
+	f := benchFixture(b)
+	queries := benchQueries(b, f)
+	srv := authtext.ServerForTest(f.Col)
+	srv.SetVOCache(authtext.NewVOCache(64 << 20))
+	qs := make([]string, len(queries))
+	for i, q := range queries {
+		qs[i] = strings.Join(q, " ")
+		// Warm the cache: every benchmark iteration below is a hit.
+		if _, err := srv.Search(qs[i], 10, authtext.TNRA, authtext.ChainMHT); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := srv.Search(qs[i%len(qs)], 10, authtext.TNRA, authtext.ChainMHT)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.VO) == 0 {
+			b.Fatal("empty answer")
+		}
+	}
+}
+
+// BenchmarkFacadeSearchUncached is the same facade call with no cache
+// attached — what every one of those queries costs without the cache,
+// the honest baseline for BenchmarkCachedSearchHit.
+func BenchmarkFacadeSearchUncached(b *testing.B) {
+	f := benchFixture(b)
+	queries := benchQueries(b, f)
+	srv := authtext.ServerForTest(f.Col)
+	qs := make([]string, len(queries))
+	for i, q := range queries {
+		qs[i] = strings.Join(q, " ")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := srv.Search(qs[i%len(qs)], 10, authtext.TNRA, authtext.ChainMHT)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.VO) == 0 {
+			b.Fatal("empty answer")
+		}
+	}
+}
 
 func benchVerifyVariant(b *testing.B, algo core.Algo, scheme core.Scheme) {
 	f := benchFixture(b)
@@ -626,10 +682,10 @@ func BenchmarkSerializedSearch8(b *testing.B) { benchConcurrentSearch(b, 8, true
 func BenchmarkSearchBatch8(b *testing.B) {
 	f := benchFixture(b)
 	queries := benchQueries(b, f)
-	srv := &Server{col: f.Col}
-	batch := make([]BatchQuery, 64)
+	srv := authtext.ServerForTest(f.Col)
+	batch := make([]authtext.BatchQuery, 64)
 	for i := range batch {
-		batch[i] = BatchQuery{Query: strings.Join(queries[i%len(queries)], " "), R: 10, Algorithm: TNRA, Scheme: ChainMHT}
+		batch[i] = authtext.BatchQuery{Query: strings.Join(queries[i%len(queries)], " "), R: 10, Algorithm: authtext.TNRA, Scheme: authtext.ChainMHT}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	authbench [-profile tiny|small|medium|wsj]
-//	          [-fig all|4|13|14|15|table2|space|headline|snapshot|shards|concurrency|updates]
+//	          [-fig all|4|13|14|15|table2|space|headline|snapshot|shards|concurrency|updates|cache]
 //	          [-queries N] [-rsa] [-out FILE]
 //
 // The medium profile (20,000 documents) reproduces the shape of every
@@ -35,7 +35,7 @@ func main() {
 
 func run() error {
 	profileName := flag.String("profile", "medium", "corpus profile: tiny, small, medium, wsj")
-	fig := flag.String("fig", "all", "experiment: all, 4, 13, 14, 15, table2, space, headline, snapshot, shards, concurrency, updates")
+	fig := flag.String("fig", "all", "experiment: all, 4, 13, 14, 15, table2, space, headline, snapshot, shards, concurrency, updates, cache")
 	queries := flag.Int("queries", 0, "queries per sweep point (0 = profile default)")
 	rsa := flag.Bool("rsa", false, "sign with RSA-1024 instead of the fast keyed-hash signer")
 	outPath := flag.String("out", "", "write output to this file as well as stdout")
@@ -148,6 +148,12 @@ func run() error {
 	}
 	if has("updates") {
 		if _, err := experiments.UpdateCompare(profile, *rsa, w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if has("cache") {
+		if _, err := experiments.CacheCompare(profile, opts.Queries, w); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)

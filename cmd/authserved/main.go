@@ -18,7 +18,8 @@
 // Usage:
 //
 //	authserved [-addr :8470] [-snapshot FILE|DIR | -dir PATH] [-shards N]
-//	           [-live [-live-snapshots DIR]] [-watch DUR] [-vocab-proofs] [-quiet]
+//	           [-live [-live-snapshots DIR]] [-watch DUR] [-cache-mb N]
+//	           [-vocab-proofs] [-quiet]
 //
 // With -snapshot the daemon boots in milliseconds from an artifact
 // produced by `authsearch -build -o FILE`; nothing is re-tokenised,
@@ -80,6 +81,7 @@ type config struct {
 	live      bool
 	liveSnaps string
 	watch     time.Duration
+	cacheMB   int
 }
 
 // parseFlags parses and cross-validates the command line. It is the only
@@ -97,6 +99,7 @@ func parseFlags(args []string) (config, error) {
 	fs.BoolVar(&cfg.live, "live", false, "accept document updates on /v1/admin/update (build mode); every batch publishes a new signed generation")
 	fs.StringVar(&cfg.liveSnaps, "live-snapshots", "", "with -live: persist every published generation as an ATSN snapshot in this directory")
 	fs.DurationVar(&cfg.watch, "watch", 0, "with -snapshot DIR of per-generation snapshots: poll at this interval and hot-swap to new generations")
+	fs.IntVar(&cfg.cacheMB, "cache-mb", 0, "serve repeat queries from an in-memory VO cache bounded by N MiB of encoded answers (0 disables); document updates invalidate it automatically")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -134,6 +137,9 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.watch > 0 && cfg.snapshot == "" {
 		return config{}, errors.New("-watch requires -snapshot DIR (a per-generation snapshot directory)")
+	}
+	if cfg.cacheMB < 0 {
+		return config{}, fmt.Errorf("-cache-mb %d out of range", cfg.cacheMB)
 	}
 	return cfg, nil
 }
@@ -180,28 +186,37 @@ func run(cfg config) error {
 // buildHandler produces the /v1 handler: warm start from a snapshot, or
 // cold build from documents.
 func buildHandler(cfg config, logger *log.Logger) (http.Handler, error) {
+	cache := newCache(cfg, logger)
 	queryLogOpts := func() []authtext.HandlerOption {
-		if cfg.quiet {
-			return nil
+		var out []authtext.HandlerOption
+		if cache != nil {
+			out = append(out, authtext.WithVOCache(cache))
 		}
-		return []authtext.HandlerOption{authtext.WithQueryLog(
+		if cfg.quiet {
+			return out
+		}
+		return append(out, authtext.WithQueryLog(
 			func(query string, r int, st authtext.Stats, wall time.Duration) {
 				logger.Printf("query %q r=%d %s-%s terms=%d entries/term=%.1f io=%s vo=%dB wall=%s",
 					query, r, st.Algorithm, st.Scheme, st.QueryTerms, st.EntriesPerTerm,
 					st.IOTime, st.VOBytes, wall.Round(time.Microsecond))
-			})}
+			}))
 	}
 
 	shardedLogOpts := func() []authtext.ShardedHandlerOption {
-		if cfg.quiet {
-			return nil
+		var out []authtext.ShardedHandlerOption
+		if cache != nil {
+			out = append(out, authtext.WithShardedVOCache(cache))
 		}
-		return []authtext.ShardedHandlerOption{authtext.WithShardedQueryLog(
+		if cfg.quiet {
+			return out
+		}
+		return append(out, authtext.WithShardedQueryLog(
 			func(query string, r int, st authtext.ShardedStats, wall time.Duration) {
 				logger.Printf("query %q r=%d %s-%s shards=%d entries=%d io=%s vo=%dB wall=%s",
 					query, r, st.Algorithm, st.Scheme, st.Shards, st.EntriesRead,
 					st.IOTime, st.VOBytes, wall.Round(time.Microsecond))
-			})}
+			}))
 	}
 
 	if cfg.snapshot != "" {
@@ -261,7 +276,7 @@ func buildHandler(cfg config, logger *log.Logger) (http.Handler, error) {
 		opts = append(opts, authtext.WithVocabularyProofs())
 	}
 	if cfg.live {
-		return buildLiveHandler(cfg, docs, opts, logger)
+		return buildLiveHandler(cfg, docs, opts, cache, logger)
 	}
 	if cfg.shards > 0 {
 		logger.Printf("indexing %d documents into %d shards, building authentication structures (RSA-1024)...",
@@ -286,10 +301,23 @@ func buildHandler(cfg config, logger *log.Logger) (http.Handler, error) {
 	return owner.HTTPHandler(queryLogOpts()...)
 }
 
+// newCache builds the serve-side VO cache -cache-mb asks for (nil when
+// disabled). Every deployment shape takes it the same way: cached answers
+// are generation-keyed, so live updates and watched reloads invalidate
+// them automatically, and clients verify hits exactly like misses.
+func newCache(cfg config, logger *log.Logger) *authtext.VOCache {
+	if cfg.cacheMB <= 0 {
+		return nil
+	}
+	cache := authtext.NewVOCache(int64(cfg.cacheMB) << 20)
+	logger.Printf("VO cache enabled: %d MiB (stats on /v1/healthz)", cfg.cacheMB)
+	return cache
+}
+
 // buildLiveHandler performs the live owner role in-process: every
 // accepted /v1/admin/update batch publishes a new signed generation, and
 // (single-collection mode) optionally persists it as a snapshot.
-func buildLiveHandler(cfg config, docs []authtext.Document, opts []authtext.Option, logger *log.Logger) (http.Handler, error) {
+func buildLiveHandler(cfg config, docs []authtext.Document, opts []authtext.Option, cache *authtext.VOCache, logger *log.Logger) (http.Handler, error) {
 	logUpdate := func(rep *authtext.UpdateReport) {
 		logger.Printf("published generation %d: %d documents (+%d/−%d), %d signed / %d reused signatures, rebuild %.0f ms",
 			rep.Generation, rep.Documents, rep.Added, rep.Removed,
@@ -304,6 +332,9 @@ func buildLiveHandler(cfg config, docs []authtext.Document, opts []authtext.Opti
 		}
 		logger.Printf("serving %d shards at generation %d; updates on %s", owner.Shards(), owner.Generation(), "/v1/admin/update")
 		shardedOpts := []authtext.ShardedHandlerOption{authtext.WithShardedUpdateLog(logUpdate)}
+		if cache != nil {
+			shardedOpts = append(shardedOpts, authtext.WithShardedVOCache(cache))
+		}
 		if !cfg.quiet {
 			shardedOpts = append(shardedOpts, authtext.WithShardedQueryLog(
 				func(query string, r int, st authtext.ShardedStats, wall time.Duration) {
@@ -320,6 +351,9 @@ func buildLiveHandler(cfg config, docs []authtext.Document, opts []authtext.Opti
 		return nil, err
 	}
 	handlerOpts := []authtext.HandlerOption{authtext.WithUpdateLog(logUpdate)}
+	if cache != nil {
+		handlerOpts = append(handlerOpts, authtext.WithVOCache(cache))
+	}
 	if !cfg.quiet {
 		handlerOpts = append(handlerOpts, authtext.WithQueryLog(
 			func(query string, r int, st authtext.Stats, wall time.Duration) {

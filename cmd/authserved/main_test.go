@@ -72,6 +72,44 @@ func TestBuildHandlerServesVerifiableCollection(t *testing.T) {
 	}
 }
 
+// A daemon booted with -cache-mb serves verifiable answers from its VO
+// cache and reports the counters on healthz.
+func TestBuildHandlerWithCache(t *testing.T) {
+	dir := writeCorpus(t)
+	logger := log.New(io.Discard, "", 0)
+	handler, err := buildHandler(config{dir: dir, vocab: true, quiet: true, cacheMB: 16}, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	rc, err := authtext.NewRemoteClient(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := rc.Search(context.Background(), "inverted index", 2, authtext.TNRA, authtext.ChainMHT); err != nil {
+			t.Fatalf("search %d failed: %v", i, err)
+		}
+	}
+	health, err := http.Get(srv.URL + httpapi.PathHealthz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer health.Body.Close()
+	var h httpapi.Health
+	if err := json.NewDecoder(health.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Cache == nil {
+		t.Fatalf("healthz missing cache block: %+v", h)
+	}
+	if h.Cache.Hits != 2 || h.Cache.Misses != 1 || h.Cache.CapacityBytes != 16<<20 {
+		t.Fatalf("cache counters = %+v", *h.Cache)
+	}
+}
+
 func TestBuildHandlerDemoCorpus(t *testing.T) {
 	handler, err := buildHandler(config{quiet: true}, log.New(io.Discard, "", 0))
 	if err != nil {
@@ -246,6 +284,12 @@ func TestParseFlagsBeforeBuild(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"-shards", "-1"}); err == nil {
 		t.Error("negative -shards accepted")
+	}
+	if _, err := parseFlags([]string{"-cache-mb", "-1"}); err == nil {
+		t.Error("negative -cache-mb accepted")
+	}
+	if cfg, err := parseFlags([]string{"-cache-mb", "64"}); err != nil || cfg.cacheMB != 64 {
+		t.Errorf("-cache-mb 64: cfg=%+v err=%v", cfg, err)
 	}
 	if _, err := parseFlags([]string{"-shards", "2", "-snapshot", "x"}); err == nil {
 		t.Error("-shards with -snapshot accepted")

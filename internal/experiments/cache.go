@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"authtext"
+	"authtext/internal/corpus"
+	"authtext/internal/index"
+	"authtext/internal/workload"
+)
+
+// The cache experiment goes beyond the paper's workloads: production
+// query streams are heavily head-skewed (a small pool of hot queries
+// replayed Zipf-fashion), which is exactly what the server-side VO cache
+// (authtext.VOCache) feeds on. CacheCompare measures what it buys — and
+// what document updates, which invalidate the cache wholesale by bumping
+// the generation, take back — across skew exponents and update rates.
+
+// CachePoint is one row of the cache experiment: one Zipfian stream at
+// one skew/update-rate setting, served once uncached and once cached.
+type CachePoint struct {
+	// ZipfS is the stream's skew exponent (larger = hotter head).
+	ZipfS float64
+	// UpdatesPer1000 is the number of single-document update batches
+	// interleaved per 1000 queries; each bumps the generation and thereby
+	// invalidates every cached answer.
+	UpdatesPer1000 int
+	// HitRate is hits/(hits+misses) over the cached run.
+	HitRate float64
+	// MedianUncached, MedianHit and MedianMiss are median per-query wall
+	// latencies: the no-cache baseline, cache hits, and cache misses
+	// (engine answer + cache fill).
+	MedianUncached time.Duration
+	MedianHit      time.Duration
+	MedianMiss     time.Duration
+	// Speedup is MedianUncached / MedianHit — what a repeat query gains.
+	Speedup float64
+}
+
+// CacheReport is the result of CacheCompare.
+type CacheReport struct {
+	Points []CachePoint
+}
+
+// CacheCompare builds one live collection (fast signer: update cost is
+// not the quantity under test) and replays Zipfian query streams against
+// it, sweeping the skew exponent and the update rate. Every stream runs
+// twice — without and with a VO cache — and the cached run classifies
+// each query as hit or miss from the cache's own counters. One cached
+// answer per point is fully verified client-side, pinning the protocol
+// guarantee the cache must preserve.
+func CacheCompare(p corpus.Profile, queries int, w io.Writer) (*CacheReport, error) {
+	if queries < 1 {
+		queries = 40
+	}
+	streamLen := queries * 10
+	if streamLen < 400 {
+		streamLen = 400
+	}
+
+	idocs := corpus.Generate(p)
+	docs := make([]authtext.Document, len(idocs))
+	for i, d := range idocs {
+		docs[i] = authtext.Document{Content: d.Content, Tokens: d.Tokens}
+	}
+	// The facade hides its index, so build a plain one for workload
+	// generation (cheap next to the authenticated build).
+	idx, err := index.Build(idocs, index.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &CacheReport{}
+	fmt.Fprintf(w, "Hot-query VO cache on Zipfian streams (TNRA-CMHT, r=10, %d queries/run)\n", streamLen)
+	fmt.Fprintf(w, "  %-7s %-9s %9s %13s %13s %13s %9s\n",
+		"zipf-s", "upd/1000", "hit-rate", "med-uncached", "med-hit", "med-miss", "speedup")
+	for _, s := range []float64{1.1, 1.3, 1.5} {
+		for _, upd := range []int{0, 20} {
+			point, err := cachePoint(docs, idx, streamLen, s, upd)
+			if err != nil {
+				return nil, err
+			}
+			rep.Points = append(rep.Points, point)
+			fmt.Fprintf(w, "  %-7.1f %-9d %8.1f%% %13v %13v %13v %8.1fx\n",
+				point.ZipfS, point.UpdatesPer1000, 100*point.HitRate,
+				point.MedianUncached.Round(time.Microsecond),
+				point.MedianHit.Round(time.Microsecond),
+				point.MedianMiss.Round(time.Microsecond),
+				point.Speedup)
+		}
+	}
+	fmt.Fprintln(w, "  (an update bumps the generation: every cached answer stops matching at once)")
+	return rep, nil
+}
+
+// cachePoint measures one (skew, update-rate) setting on a fresh live
+// collection.
+func cachePoint(docs []authtext.Document, idx *index.Index, streamLen int, zipfS float64, updPer1000 int) (CachePoint, error) {
+	point := CachePoint{ZipfS: zipfS, UpdatesPer1000: updPer1000}
+
+	owner, _, err := authtext.NewLiveOwner(docs, authtext.WithFastSigner([]byte("cache-experiment")))
+	if err != nil {
+		return point, err
+	}
+	srv := owner.Server()
+	stream := workload.Zipfian(idx, streamLen, 50, 3, zipfS, 97)
+	qs := make([]string, len(stream))
+	for i, tokens := range stream {
+		qs[i] = strings.Join(tokens, " ")
+	}
+	// Update positions: every updEvery-th query publishes one extra
+	// document, invalidating the cache mid-stream.
+	updEvery := 0
+	if updPer1000 > 0 {
+		updEvery = 1000 / updPer1000
+	}
+
+	// Uncached baseline over the same stream (no updates: the pure serve
+	// cost repeat queries would pay without a cache).
+	uncached := make([]time.Duration, 0, len(qs))
+	for _, q := range qs {
+		start := time.Now()
+		if _, err := srv.Search(q, 10, authtext.TNRA, authtext.ChainMHT); err != nil {
+			return point, err
+		}
+		uncached = append(uncached, time.Since(start))
+	}
+
+	cache := authtext.NewVOCache(32 << 20)
+	srv.SetVOCache(cache)
+	client := owner.Client()
+	verified := false
+	var hitLat, missLat []time.Duration
+	for i, q := range qs {
+		if updEvery > 0 && i > 0 && i%updEvery == 0 {
+			if _, _, err := owner.AddDocuments([]authtext.Document{
+				{Content: fmt.Appendf(nil, "cache experiment filler document %d", i)},
+			}); err != nil {
+				return point, err
+			}
+			// Keep the verifying client current, as a real deployment's
+			// manifest channel would.
+			m, msig := owner.ManifestUpdate()
+			if err := client.Advance(m, msig); err != nil {
+				return point, err
+			}
+		}
+		before := cache.Stats().Hits
+		start := time.Now()
+		res, err := srv.Search(q, 10, authtext.TNRA, authtext.ChainMHT)
+		lat := time.Since(start)
+		if err != nil {
+			return point, err
+		}
+		if cache.Stats().Hits > before {
+			hitLat = append(hitLat, lat)
+			if !verified {
+				// Pin the transparency claim: a cached answer verifies like
+				// any other.
+				if err := client.Verify(q, 10, res); err != nil {
+					return point, fmt.Errorf("experiments: cached answer failed verification: %w", err)
+				}
+				verified = true
+			}
+		} else {
+			missLat = append(missLat, lat)
+		}
+	}
+
+	st := cache.Stats()
+	point.HitRate = st.HitRate()
+	point.MedianUncached = median(uncached)
+	point.MedianHit = median(hitLat)
+	point.MedianMiss = median(missLat)
+	if point.MedianHit > 0 {
+		point.Speedup = float64(point.MedianUncached) / float64(point.MedianHit)
+	}
+	return point, nil
+}
+
+// median returns the middle element (0 on an empty slice).
+func median(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	return sorted[len(sorted)/2]
+}

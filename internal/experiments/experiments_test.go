@@ -273,3 +273,38 @@ func TestShardCompare(t *testing.T) {
 		t.Fatal("missing table header")
 	}
 }
+
+func TestCacheCompare(t *testing.T) {
+	var buf bytes.Buffer
+	rep, err := CacheCompare(corpus.Tiny(), 5, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 6 {
+		t.Fatalf("%d points, want 6 (3 skews x 2 update rates)", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.HitRate <= 0 || p.HitRate >= 1 {
+			t.Fatalf("implausible hit rate: %+v", p)
+		}
+		if p.MedianHit <= 0 || p.MedianMiss <= 0 || p.MedianUncached <= 0 {
+			t.Fatalf("degenerate point: %+v", p)
+		}
+		// The acceptance bar of the cache experiment: repeat queries must be
+		// dramatically cheaper than uncached serving.
+		if p.Speedup < 5 {
+			t.Errorf("zipf=%.1f upd=%d: speedup %.1fx below 5x", p.ZipfS, p.UpdatesPer1000, p.Speedup)
+		}
+	}
+	// Updates cost hit rate: at equal skew, the updating run must not beat
+	// the static one.
+	for i := 0; i+1 < len(rep.Points); i += 2 {
+		if rep.Points[i+1].HitRate > rep.Points[i].HitRate {
+			t.Errorf("zipf=%.1f: hit rate rose under updates (%.2f > %.2f)",
+				rep.Points[i].ZipfS, rep.Points[i+1].HitRate, rep.Points[i].HitRate)
+		}
+	}
+	if !strings.Contains(buf.String(), "hit-rate") {
+		t.Fatal("missing table header")
+	}
+}

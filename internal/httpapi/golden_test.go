@@ -128,6 +128,22 @@ var goldenCases = []struct {
 		fresh: func() interface{} { return new(Health) },
 	},
 	{
+		// A caching server's healthz: the optional cache block is present
+		// and fully populated (it is omitted entirely when caching is off —
+		// health.json above pins that shape).
+		file: "health_cached.json",
+		value: &Health{
+			Status: "ok", Documents: 172961, Terms: 181978, Generation: 12,
+			UptimeMillis: 86400000, QueriesServed: 1048576, QueriesFailed: 3,
+			Cache: &CacheHealth{
+				Entries: 812, Bytes: 9371648, CapacityBytes: 67108864,
+				Hits: 914131, Misses: 134445, HitRate: 0.8718,
+				Evictions: 1041, Invalidations: 3200,
+			},
+		},
+		fresh: func() interface{} { return new(Health) },
+	},
+	{
 		file: "update_request.json",
 		value: &UpdateRequest{
 			Add:    []UpdateDocument{{Content: []byte("a freshly published document")}},

@@ -240,6 +240,23 @@ type Health struct {
 	UptimeMillis  int64  `json:"uptime_millis"`
 	QueriesServed int64  `json:"queries_served"`
 	QueriesFailed int64  `json:"queries_failed"`
+	// Cache reports the server-side VO cache, absent when caching is
+	// disabled (docs/PROTOCOL.md "Caching").
+	Cache *CacheHealth `json:"cache,omitempty"`
+}
+
+// CacheHealth reports the server-side VO cache inside Health. Purely
+// informational: the cache serves byte-identical responses whose integrity
+// clients verify themselves, so nothing here participates in the protocol.
+type CacheHealth struct {
+	Entries       int64   `json:"entries"`
+	Bytes         int64   `json:"bytes"`
+	CapacityBytes int64   `json:"capacity_bytes"`
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	HitRate       float64 `json:"hit_rate"`
+	Evictions     int64   `json:"evictions"`
+	Invalidations int64   `json:"invalidations"`
 }
 
 // UpdateDocument is one document added by an update batch. Content is

@@ -1,0 +1,232 @@
+// Package vocache is a sharded, byte-bounded LRU cache for encoded
+// verification objects and the responses built around them.
+//
+// A collection generation is immutable, so the answer to (query terms, r,
+// algorithm, scheme, generation) is a pure function — caching it server-side
+// is safe exactly because the client verifies the bytes, not the server's
+// honesty: a stale or corrupted entry fails verification (or classifies as
+// ErrStaleGeneration) instead of being silently trusted. The generation is
+// therefore part of every key: a document update bumps the generation, new
+// queries build new keys, and entries of dead generations simply stop
+// matching — invalidation without any hot-path eviction logic. DropBelow
+// exists only as memory hygiene for the update path.
+//
+// The cache is safe for concurrent use. Keys are hashed onto independently
+// locked shards so that a hot serve path contends on 1/shards of the map;
+// each shard bounds its own byte budget and evicts least-recently-used
+// entries when a Put overflows it.
+package vocache
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultShards is the shard count used by New.
+const DefaultShards = 16
+
+// Cache is a sharded LRU bounded by the summed Cost of its entries.
+type Cache struct {
+	shards []cacheShard
+	seed   maphash.Seed
+	cap    int64
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Entries and Bytes describe the current population; CapacityBytes is
+	// the configured bound.
+	Entries       int64
+	Bytes         int64
+	CapacityBytes int64
+	// Hits and Misses count Get outcomes; Evictions counts entries dropped
+	// by the LRU bound, Invalidations entries dropped by DropBelow.
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	Invalidations int64
+}
+
+// HitRate returns Hits/(Hits+Misses), 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	bytes int64
+	cap   int64
+}
+
+type entry struct {
+	key  string
+	gen  uint64
+	cost int64
+	val  any
+}
+
+// New returns a cache bounded by maxBytes across DefaultShards shards.
+// maxBytes below one block per shard is rounded up so that every shard can
+// hold at least one typical entry.
+func New(maxBytes int64) *Cache {
+	const minPerShard = 64 << 10
+	perShard := maxBytes / DefaultShards
+	if perShard < minPerShard {
+		perShard = minPerShard
+	}
+	c := &Cache{
+		shards: make([]cacheShard, DefaultShards),
+		seed:   maphash.MakeSeed(),
+		cap:    perShard * DefaultShards,
+	}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{ll: list.New(), items: make(map[string]*list.Element), cap: perShard}
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	return &c.shards[maphash.String(c.seed, key)%uint64(len(c.shards))]
+}
+
+// Get returns the cached value for key, promoting it to most recently
+// used. The cache never copies values: callers must treat what they get
+// back as immutable.
+func (c *Cache) Get(key string) (any, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	v := el.Value.(*entry).val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put stores val under key with the given byte cost and generation stamp,
+// evicting least-recently-used entries until the shard budget holds. An
+// entry whose cost alone exceeds the shard budget is not cached. Putting
+// an existing key replaces its value.
+func (c *Cache) Put(key string, gen uint64, cost int64, val any) {
+	if cost < 0 {
+		return
+	}
+	s := c.shard(key)
+	if cost > s.cap {
+		return
+	}
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		e := el.Value.(*entry)
+		s.bytes += cost - e.cost
+		e.gen, e.cost, e.val = gen, cost, val
+		s.ll.MoveToFront(el)
+	} else {
+		s.items[key] = s.ll.PushFront(&entry{key: key, gen: gen, cost: cost, val: val})
+		s.bytes += cost
+	}
+	var evicted int64
+	for s.bytes > s.cap {
+		back := s.ll.Back()
+		if back == nil {
+			break
+		}
+		s.removeLocked(back)
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
+}
+
+// removeLocked unlinks one element (caller holds s.mu).
+func (s *cacheShard) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	s.ll.Remove(el)
+	delete(s.items, e.key)
+	s.bytes -= e.cost
+}
+
+// DropBelow removes every entry whose generation stamp is below gen and
+// reports how many were dropped. Correctness never needs it — dead
+// generations can no longer be looked up, because the generation is part
+// of the key — it only returns their memory ahead of LRU aging. Callers
+// invoke it from the (already expensive) update path, never per query.
+func (c *Cache) DropBelow(gen uint64) int {
+	var dropped int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; {
+			next := el.Next()
+			if el.Value.(*entry).gen < gen {
+				s.removeLocked(el)
+				dropped++
+			}
+			el = next
+		}
+		s.mu.Unlock()
+	}
+	if dropped > 0 {
+		c.invalidations.Add(dropped)
+	}
+	return int(dropped)
+}
+
+// Range calls fn for every cached entry until fn returns false. The value
+// passed to fn is the stored one, not a copy — tests use this to poison
+// entries in place; production code must not mutate through it. Each shard
+// is locked only while its own entries are visited.
+func (c *Cache) Range(fn func(key string, gen uint64, val any) bool) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*entry)
+			if !fn(e.key, e.gen, e.val) {
+				s.mu.Unlock()
+				return
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Stats snapshots the counters. Entries and Bytes are summed across shards
+// under their locks; the monotonic counters are atomic reads.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		CapacityBytes: c.cap,
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += int64(len(s.items))
+		st.Bytes += s.bytes
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,134 @@
+package vocache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(1 << 20)
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("k1", 3, 100, "v1")
+	v, ok := c.Get("k1")
+	if !ok || v.(string) != "v1" {
+		t.Fatalf("got %v, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 100 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Fatalf("hit rate %v", st.HitRate())
+	}
+	// Replacement updates the value and the byte accounting.
+	c.Put("k1", 4, 40, "v2")
+	if v, _ := c.Get("k1"); v.(string) != "v2" {
+		t.Fatalf("replacement lost: %v", v)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != 40 {
+		t.Fatalf("post-replace stats %+v", st)
+	}
+}
+
+func TestLRUEvictionRespectsByteBudget(t *testing.T) {
+	c := New(1) // rounds up to the per-shard minimum
+	perShard := c.Stats().CapacityBytes / DefaultShards
+	// All keys land on distinct-or-same shards; drive ONE shard over budget
+	// by reusing a single key prefix until its shard exceeds its cap.
+	cost := perShard / 3
+	var keys []string
+	for i := 0; i < 64; i++ {
+		keys = append(keys, fmt.Sprintf("key-%d", i))
+		c.Put(keys[i], 1, cost, i)
+	}
+	st := c.Stats()
+	if st.Bytes > st.CapacityBytes {
+		t.Fatalf("cache over budget: %d > %d", st.Bytes, st.CapacityBytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite overflow")
+	}
+	// Recently used entries survive longer than old ones on their shard:
+	// at least the most recent Put must still be present.
+	if _, ok := c.Get(keys[len(keys)-1]); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+}
+
+func TestOversizedEntryNotCached(t *testing.T) {
+	c := New(1)
+	per := c.Stats().CapacityBytes / DefaultShards
+	c.Put("huge", 1, per+1, "x")
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("entry larger than a shard budget was cached")
+	}
+}
+
+func TestDropBelowRemovesOldGenerations(t *testing.T) {
+	c := New(1 << 20)
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("old-%d", i), 1, 10, i)
+		c.Put(fmt.Sprintf("new-%d", i), 2, 10, i)
+	}
+	if n := c.DropBelow(2); n != 10 {
+		t.Fatalf("dropped %d entries, want 10", n)
+	}
+	st := c.Stats()
+	if st.Entries != 10 || st.Invalidations != 10 {
+		t.Fatalf("stats %+v", st)
+	}
+	if _, ok := c.Get("old-3"); ok {
+		t.Fatal("old-generation entry survived DropBelow")
+	}
+	if _, ok := c.Get("new-3"); !ok {
+		t.Fatal("current-generation entry dropped")
+	}
+}
+
+func TestRangeVisitsEntries(t *testing.T) {
+	c := New(1 << 20)
+	c.Put("a", 1, 5, "x")
+	c.Put("b", 2, 5, "y")
+	seen := map[string]uint64{}
+	c.Range(func(key string, gen uint64, val any) bool {
+		seen[key] = gen
+		return true
+	})
+	if len(seen) != 2 || seen["a"] != 1 || seen["b"] != 2 {
+		t.Fatalf("range saw %v", seen)
+	}
+}
+
+// Concurrent hammer: 8 writers and 8 readers on overlapping keys, run
+// under -race in CI.
+func TestConcurrentGetPut(t *testing.T) {
+	c := New(1 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(2)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Put(fmt.Sprintf("k-%d", (g+i)%32), uint64(i), 64, i)
+			}
+		}(g)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Get(fmt.Sprintf("k-%d", (g*3+i)%32))
+				if i%50 == 0 {
+					c.DropBelow(uint64(i / 2))
+					c.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes > st.CapacityBytes {
+		t.Fatalf("over budget after hammer: %+v", st)
+	}
+}

@@ -6,6 +6,12 @@
 //     biased terms (common words hitting long inverted lists) with uniform
 //     ones, reproducing the two properties of the TREC-2/3 ad-hoc topics
 //     that drive Fig 15 (DESIGN.md §3.2 documents the substitution).
+//
+// Beyond the paper, Zipfian produces the repeat-heavy streams of
+// production traffic: a fixed pool of distinct queries replayed with
+// Zipf-distributed popularity (the same rand.Zipf machinery
+// internal/corpus uses for term frequencies), which is the workload the
+// server-side VO cache is sized against.
 package workload
 
 import (
@@ -36,6 +42,38 @@ func Synthetic(idx *index.Index, count, qsize int, seed int64) [][]string {
 			q = append(q, idx.Name(index.TermID(t)))
 		}
 		out[i] = q
+	}
+	return out
+}
+
+// ZipfRanks returns count pool indices in [0, poolSize) drawn from a Zipf
+// law with exponent s (must be > 1; larger s = heavier head). Rank 0 is the
+// most popular. Callers that already have a pool of queries (or anything
+// else) use the ranks to replay it with production-shaped repetition.
+func ZipfRanks(count, poolSize int, s float64, seed int64) []int {
+	if poolSize < 1 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, s, 1, uint64(poolSize-1))
+	out := make([]int, count)
+	for i := range out {
+		out[i] = int(zipf.Uint64())
+	}
+	return out
+}
+
+// Zipfian returns a repeat-heavy stream of count queries: a pool of
+// poolSize distinct qsize-term queries (drawn like Synthetic) replayed
+// with Zipf(s)-distributed popularity. Entries of the returned stream
+// alias pool queries, so repeats are pointer-identical — exactly what a
+// query cache sees from head-skewed traffic.
+func Zipfian(idx *index.Index, count, poolSize, qsize int, s float64, seed int64) [][]string {
+	pool := Synthetic(idx, poolSize, qsize, seed)
+	ranks := ZipfRanks(count, len(pool), s, seed+1)
+	out := make([][]string, count)
+	for i, r := range ranks {
+		out[i] = pool[r]
 	}
 	return out
 }

@@ -93,6 +93,59 @@ func TestTRECLikeProperties(t *testing.T) {
 	}
 }
 
+func TestZipfRanksShape(t *testing.T) {
+	ranks := ZipfRanks(5000, 50, 1.3, 11)
+	if len(ranks) != 5000 {
+		t.Fatalf("%d ranks, want 5000", len(ranks))
+	}
+	counts := make([]int, 50)
+	for _, r := range ranks {
+		if r < 0 || r >= 50 {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	// Head-skew: rank 0 must dominate the tail by a wide margin, and the
+	// top 5 ranks must cover most of the stream.
+	if counts[0] < counts[49]*4 {
+		t.Fatalf("no head skew: head=%d tail=%d", counts[0], counts[49])
+	}
+	head := counts[0] + counts[1] + counts[2] + counts[3] + counts[4]
+	if float64(head)/float64(len(ranks)) < 0.5 {
+		t.Fatalf("top-5 ranks cover only %d/%d of the stream", head, len(ranks))
+	}
+	// Determinism (failures must reproduce).
+	again := ZipfRanks(5000, 50, 1.3, 11)
+	for i := range ranks {
+		if ranks[i] != again[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestZipfianStreamRepeatsPoolQueries(t *testing.T) {
+	idx := buildIdx(t)
+	stream := Zipfian(idx, 400, 20, 3, 1.3, 5)
+	if len(stream) != 400 {
+		t.Fatalf("%d queries, want 400", len(stream))
+	}
+	distinct := map[string]bool{}
+	for _, q := range stream {
+		if len(q) != 3 {
+			t.Fatalf("query size %d, want 3", len(q))
+		}
+		distinct[q[0]+" "+q[1]+" "+q[2]] = true
+	}
+	// The stream replays a bounded pool: far fewer distinct queries than
+	// stream entries (that repetition is what a VO cache feeds on).
+	if len(distinct) > 20 {
+		t.Fatalf("%d distinct queries from a pool of 20", len(distinct))
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("degenerate stream: %d distinct queries", len(distinct))
+	}
+}
+
 func TestTriangularBounds(t *testing.T) {
 	idx := buildIdx(t)
 	_ = idx

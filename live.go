@@ -172,13 +172,23 @@ func (o *LiveOwner) HTTPHandler(opts ...HandlerOption) (http.Handler, error) {
 // generation swap completes entirely against the generation it started
 // on (its VO names that generation), never a mix.
 type LiveServer struct {
-	lc *live.Collection
+	lc    *live.Collection
+	cache *VOCache
 }
+
+// SetVOCache attaches a VO cache carried into every Snapshot (nil
+// detaches). Generation-stamped keys make it safe across updates: a swap
+// invalidates every cached answer by construction, and an entry of the
+// old generation that is somehow replayed still verifies (or classifies
+// ErrStaleGeneration) client-side. Call before serving starts.
+func (s *LiveServer) SetVOCache(c *VOCache) { s.cache = c }
 
 // Snapshot pins the current generation and returns an ordinary Server
 // for it: batches or multi-query sessions that must see one consistent
 // state use the pinned server for all their queries.
-func (s *LiveServer) Snapshot() *Server { return &Server{col: s.lc.Current()} }
+func (s *LiveServer) Snapshot() *Server {
+	return (&Server{col: s.lc.Current()}).withCache(s.cache)
+}
 
 // Generation returns the latest published generation.
 func (s *LiveServer) Generation() uint64 { return s.lc.Generation() }

@@ -102,12 +102,17 @@ func (o *LiveShardedOwner) HTTPHandler(opts ...ShardedHandlerOption) (http.Handl
 // set generation. A query in flight during a swap completes entirely
 // against the set it started on.
 type LiveShardedServer struct {
-	lc *live.ShardedCollection
+	lc    *live.ShardedCollection
+	cache *VOCache
 }
+
+// SetVOCache attaches a VO cache carried into every Snapshot (nil
+// detaches; see LiveServer.SetVOCache for the update-safety argument).
+func (s *LiveShardedServer) SetVOCache(c *VOCache) { s.cache = c }
 
 // Snapshot pins the current set generation as an ordinary ShardedServer.
 func (s *LiveShardedServer) Snapshot() *ShardedServer {
-	return &ShardedServer{set: s.lc.Current()}
+	return (&ShardedServer{set: s.lc.Current()}).withCache(s.cache)
 }
 
 // Generation returns the latest published set generation.

@@ -154,6 +154,9 @@ type LiveReplica struct {
 
 	mu  sync.Mutex // serialises Reload
 	cur atomic.Pointer[replicaState]
+	// cache is carried into every Server() copy; the shared replicaState
+	// server is never mutated (withCache copies).
+	cache *VOCache
 }
 
 // OpenLiveSnapshotDir opens the latest generation in dir and returns the
@@ -216,10 +219,16 @@ func (r *LiveReplica) Reload() (bool, error) {
 	return true, nil
 }
 
+// SetVOCache attaches a VO cache carried into every Server() result (nil
+// detaches). Call before serving starts. Reloads need no cache work:
+// generation-stamped keys mean entries of superseded generations simply
+// stop matching.
+func (r *LiveReplica) SetVOCache(c *VOCache) { r.cache = c }
+
 // Server returns the serving half of the current generation. The result
 // is pinned: it keeps answering from its generation even after a Reload
 // swaps the replica forward.
-func (r *LiveReplica) Server() *Server { return r.cur.Load().server }
+func (r *LiveReplica) Server() *Server { return r.cur.Load().server.withCache(r.cache) }
 
 // Client returns the verification client of the current generation.
 func (r *LiveReplica) Client() *Client { return r.cur.Load().client }

@@ -204,6 +204,105 @@ func TestPropertyShardedRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPropertyCachedZipfianStream interleaves a Zipf-skewed query stream
+// with random document-update batches on a live server that serves
+// through a VO cache. The invariant under test is the cache transparency
+// claim from docs/ARCHITECTURE.md: every response — cache hit or miss,
+// before or after any number of generation swaps — verifies against a
+// current client, and any answer saved from a superseded generation is
+// classified exactly as ErrStaleGeneration. 1000 iterations, -race
+// clean.
+func TestPropertyCachedZipfianStream(t *testing.T) {
+	algorithms := []authtext.Algorithm{authtext.TRA, authtext.TNRA}
+	schemes := []authtext.Scheme{authtext.MHT, authtext.ChainMHT}
+	iterations := 1000
+	if testing.Short() {
+		iterations = 200
+	}
+	rng := rand.New(rand.NewSource(4096))
+	docs, vocab := propCorpus(rng)
+	owner, _, err := authtext.NewLiveOwner(docs,
+		authtext.WithFastSigner([]byte("prop-cache")),
+		authtext.WithSingletonTerms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := owner.Server()
+	cache := authtext.NewVOCache(4 << 20)
+	srv.SetVOCache(cache)
+	client := owner.Client()
+
+	// A hot pool of queries replayed with Zipfian skew: the head queries
+	// recur constantly (cache hits), the tail keeps missing.
+	pool := make([]string, 24)
+	for i := range pool {
+		pool[i] = propQuery(rng, vocab)
+	}
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(len(pool)-1))
+
+	type saved struct {
+		query string
+		r     int
+		res   *authtext.SearchResult
+		gen   uint64
+	}
+	var old *saved
+	generation := uint64(1)
+	for i := 0; i < iterations; i++ {
+		// ~10% of iterations publish an update batch, swapping the
+		// generation under the cache mid-stream.
+		if rng.Intn(10) == 0 {
+			words := make([]string, 5+rng.Intn(10))
+			for w := range words {
+				words[w] = vocab[rng.Intn(len(vocab))]
+			}
+			_, rep, err := owner.Update([]authtext.Document{{Content: []byte(strings.Join(words, " "))}}, nil)
+			if err != nil {
+				t.Fatalf("iter %d update: %v", i, err)
+			}
+			generation = rep.Generation
+			if err := client.Advance(owner.ManifestUpdate()); err != nil {
+				t.Fatalf("iter %d advance: %v", i, err)
+			}
+		}
+
+		query := pool[zipf.Uint64()]
+		r := 1 + rng.Intn(8)
+		algo := algorithms[rng.Intn(len(algorithms))]
+		scheme := schemes[rng.Intn(len(schemes))]
+		res, err := srv.Search(query, r, algo, scheme)
+		if err != nil {
+			t.Fatalf("iter %d %s-%s %q r=%d: %v", i, algo, scheme, query, r, err)
+		}
+		if res.Generation != generation {
+			t.Fatalf("iter %d: answer generation %d, current is %d (cache leaked across a swap)", i, res.Generation, generation)
+		}
+		if err := client.Verify(query, r, res); err != nil {
+			t.Fatalf("iter %d %s-%s %q r=%d: response rejected: %v", i, algo, scheme, query, r, err)
+		}
+
+		// A response saved earlier must still verify while its generation
+		// is current, and classify as ErrStaleGeneration once superseded.
+		if old != nil {
+			err := client.Verify(old.query, old.r, old.res)
+			switch {
+			case old.gen == generation && err != nil:
+				t.Fatalf("iter %d: same-generation saved answer rejected: %v", i, err)
+			case old.gen != generation && !errors.Is(err, authtext.ErrStaleGeneration):
+				t.Fatalf("iter %d: stale saved answer (gen %d vs %d) classified as %v", i, old.gen, generation, err)
+			}
+		}
+		if rng.Intn(4) == 0 {
+			old = &saved{query: query, r: r, res: res, gen: generation}
+		}
+	}
+	st := cache.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("stream never exercised both cache paths: %+v", st)
+	}
+	t.Logf("cache after %d iterations: %+v (hit rate %.1f%%)", iterations, st, 100*st.HitRate())
+}
+
 // TestPropertyLiveUpdateSequence drives a live collection through a
 // random add/remove/search/verify sequence: after every accepted update
 // the advancing client verifies fresh answers across all

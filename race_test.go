@@ -2,9 +2,11 @@ package authtext
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -203,6 +205,96 @@ func TestUnshardedParallelSearchVerifyRace(t *testing.T) {
 		if err != nil {
 			t.Errorf("goroutine %d: %v", g, err)
 		}
+	}
+}
+
+// The cache-under-update regression: 16 goroutines hammer one cached
+// LiveServer — the Zipf head repeating (cache hits) alongside unique
+// tails (misses and fills) — while updates swap the generation under
+// them. The cache is lock-sharded and the generation lives inside every
+// key, so the only acceptable outcomes per response are a clean verify
+// or ErrStaleGeneration from a client that hasn't caught up; anything
+// else (a torn entry, a cross-generation hit, a tampered VO) fails. Run
+// with -race to enforce.
+func TestCachedLiveServerConcurrentHammer(t *testing.T) {
+	owner, _, err := NewLiveOwner(snapshotTestDocs(),
+		WithFastSigner([]byte("cache-hammer")), WithSingletonTerms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := owner.Server()
+	cache := NewVOCache(8 << 20)
+	srv.SetVOCache(cache)
+	hot := []string{"merkle tree", "inverted index", "verification object", "signed root"}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	var verified atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := owner.Client()
+			for i := 0; i < 30; i++ {
+				q := hot[(g+i)%len(hot)]
+				if i%7 == 0 {
+					// A cold tail query keeps the miss/fill path busy too.
+					q = fmt.Sprintf("unique%dtail%d", g, i)
+				}
+				algo := TNRA
+				if (g+i)%2 == 0 {
+					algo = TRA
+				}
+				res, err := srv.Search(q, 3, algo, ChainMHT)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				err = client.Verify(q, 3, res)
+				if errors.Is(err, ErrStaleGeneration) {
+					// The generation moved under us; catch up and retry once.
+					if err := client.Advance(owner.ManifestUpdate()); err != nil {
+						errs[g] = err
+						return
+					}
+					err = client.Verify(q, 3, res)
+					if errors.Is(err, ErrStaleGeneration) {
+						continue // moved again between Search and Advance
+					}
+				}
+				if err != nil {
+					errs[g] = fmt.Errorf("iter %d %q: %w", i, q, err)
+					return
+				}
+				verified.Add(1)
+			}
+		}(g)
+	}
+	// The updater swaps generations under the readers the whole time.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for u := 0; u < 12; u++ {
+			doc := Document{Content: fmt.Appendf(nil, "hammer update document %d merkle", u)}
+			if _, _, err := owner.Update([]Document{doc}, nil); err != nil {
+				errs[0] = err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("goroutine %d: %v", g, err)
+		}
+	}
+	st := cache.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("hammer never exercised both cache paths: %+v", st)
+	}
+	if verified.Load() == 0 {
+		t.Error("no response ever verified")
 	}
 }
 

@@ -27,6 +27,7 @@ type QueryLog func(query string, r int, stats Stats, wall time.Duration)
 type handlerOptions struct {
 	queryLog  QueryLog
 	updateLog func(*UpdateReport)
+	cache     *VOCache
 }
 
 // HandlerOption customises NewHTTPHandler and the live handlers.
@@ -46,6 +47,14 @@ func WithUpdateLog(fn func(*UpdateReport)) HandlerOption {
 	return func(o *handlerOptions) { o.updateLog = fn }
 }
 
+// WithVOCache serves repeat queries from the given VO cache (cache.go).
+// A cache hit returns a response byte-identical to the miss that
+// populated it — the stats echo the original engine costs — and
+// /v1/healthz reports the cache counters. On live deployments the cache
+// survives generation swaps: updates invalidate it by construction
+// (generation-stamped keys), so no coordination is needed.
+func WithVOCache(c *VOCache) HandlerOption { return func(o *handlerOptions) { o.cache = c } }
+
 // NewHTTPHandler exposes a Server over the versioned HTTP protocol.
 // clientExport is the blob from Owner.ExportClient, served verbatim at
 // /v1/manifest so remote clients can bootstrap; pass nil to run a search
@@ -56,6 +65,9 @@ func NewHTTPHandler(srv *Server, clientExport []byte, opts ...HandlerOption) htt
 	for _, opt := range opts {
 		opt(&b.opts)
 	}
+	// WithVOCache layers over a cache the server may already carry.
+	b.srv = b.srv.withCache(b.opts.cache)
+	b.cache = b.srv.cache
 	return httpapi.NewHandler(b)
 }
 
@@ -75,6 +87,9 @@ type httpBackend struct {
 	export []byte
 	start  time.Time
 	opts   handlerOptions
+	// cache is the effective VO cache (the handler option, or the one the
+	// server already carried); nil when caching is off. Healthz reports it.
+	cache  *VOCache
 	served atomic.Int64
 	failed atomic.Int64
 }
@@ -120,18 +135,23 @@ func (b *httpBackend) SearchBatch(reqs []httpapi.SearchRequest) []httpapi.BatchS
 // record counts a served query, feeds the query log, and builds the wire
 // response. wall is this query's own wall time — the handler-measured wall
 // for single requests, the engine-measured per-query server time for
-// batched ones (informational, like every stat on the wire).
+// batched ones. It feeds only the query log: the wire response is a pure
+// function of the result object, so a cache hit serializes byte-identically
+// to the miss that populated it.
 func (b *httpBackend) record(req *httpapi.SearchRequest, res *SearchResult, wall time.Duration) *httpapi.SearchResponse {
 	b.served.Add(1)
 	if b.opts.queryLog != nil {
 		b.opts.queryLog(req.Query, req.R, res.Stats, wall)
 	}
-	return wireSearchResponse(req, res, wall)
+	return wireSearchResponse(req, res)
 }
 
 // wireSearchResponse converts one facade result to the wire form (shared
-// by the static and live backends).
-func wireSearchResponse(req *httpapi.SearchRequest, res *SearchResult, wall time.Duration) *httpapi.SearchResponse {
+// by the static and live backends). Deliberately a pure function of
+// (req, res): ServerMillis echoes the engine-measured per-query time, not
+// a handler wall clock, so replaying a cached result yields the identical
+// bytes.
+func wireSearchResponse(req *httpapi.SearchRequest, res *SearchResult) *httpapi.SearchResponse {
 	out := &httpapi.SearchResponse{
 		Query:      req.Query,
 		R:          req.R,
@@ -140,7 +160,7 @@ func wireSearchResponse(req *httpapi.SearchRequest, res *SearchResult, wall time
 		Generation: res.Generation,
 		Hits:       make([]httpapi.Hit, len(res.Hits)),
 		VO:         res.VO,
-		Stats:      wireStats(res.Stats, wall),
+		Stats:      wireStats(res.Stats),
 	}
 	for i, h := range res.Hits {
 		out.Hits[i] = httpapi.Hit{DocID: h.DocID, Score: h.Score, Content: h.Content}
@@ -158,7 +178,7 @@ func (b *httpBackend) ClientExport() ([]byte, error) {
 func (b *httpBackend) Health() httpapi.Health {
 	idx := b.srv.col.Index()
 	m, _ := b.srv.col.Manifest()
-	return httpapi.Health{
+	h := httpapi.Health{
 		Status:        "ok",
 		Documents:     idx.N,
 		Terms:         idx.M(),
@@ -167,9 +187,13 @@ func (b *httpBackend) Health() httpapi.Health {
 		QueriesServed: b.served.Load(),
 		QueriesFailed: b.failed.Load(),
 	}
+	if b.cache != nil {
+		h.Cache = b.cache.health()
+	}
+	return h
 }
 
-func wireStats(st Stats, wall time.Duration) httpapi.SearchStats {
+func wireStats(st Stats) httpapi.SearchStats {
 	return httpapi.SearchStats{
 		QueryTerms:     st.QueryTerms,
 		EntriesRead:    st.EntriesRead,
@@ -179,6 +203,6 @@ func wireStats(st Stats, wall time.Duration) httpapi.SearchStats {
 		RandomReads:    st.RandomReads,
 		IOMillis:       float64(st.IOTime),
 		VOBytes:        st.VOBytes,
-		ServerMillis:   float64(wall.Microseconds()) / 1000,
+		ServerMillis:   float64(st.ServerTime),
 	}
 }

@@ -29,9 +29,14 @@ type liveSource interface {
 	currentServer() *Server
 	currentExport() ([]byte, error)
 	Generation() uint64
+	// voCache is the cache the source itself carries (SetVOCache), nil
+	// when none; a WithVOCache handler option overrides it.
+	voCache() *VOCache
 }
 
 func (s *LiveServer) currentServer() *Server { return s.Snapshot() }
+
+func (s *LiveServer) voCache() *VOCache { return s.cache }
 
 func (s *LiveServer) currentExport() ([]byte, error) {
 	col := s.lc.Current()
@@ -41,6 +46,8 @@ func (s *LiveServer) currentExport() ([]byte, error) {
 }
 
 func (r *LiveReplica) currentServer() *Server { return r.Server() }
+
+func (r *LiveReplica) voCache() *VOCache { return r.cache }
 
 func (r *LiveReplica) currentExport() ([]byte, error) {
 	st := r.cur.Load()
@@ -75,6 +82,10 @@ func newLiveHTTPHandler(src liveSource, owner *LiveOwner, opts ...HandlerOption)
 	for _, opt := range opts {
 		opt(&b.opts)
 	}
+	b.cache = b.opts.cache
+	if b.cache == nil {
+		b.cache = src.voCache()
+	}
 	return httpapi.NewHandler(b), nil
 }
 
@@ -94,13 +105,22 @@ type liveHTTPBackend struct {
 	update liveUpdater // nil: serving-only
 	start  time.Time
 	opts   handlerOptions
+	// cache is the effective VO cache (handler option wins over the
+	// source's own); nil when caching is off.
+	cache  *VOCache
 	served atomic.Int64
 	failed atomic.Int64
 }
 
+// server pins the current generation, serving through the effective
+// cache. withCache copies: the shared snapshot server is never mutated.
+func (b *liveHTTPBackend) server() *Server {
+	return b.src.currentServer().withCache(b.opts.cache)
+}
+
 func (b *liveHTTPBackend) Search(req *httpapi.SearchRequest) (*httpapi.SearchResponse, error) {
 	start := time.Now()
-	res, err := b.src.currentServer().Search(req.Query, req.R, parseWireAlgo(req.Algo), parseWireScheme(req.Scheme))
+	res, err := b.server().Search(req.Query, req.R, parseWireAlgo(req.Algo), parseWireScheme(req.Scheme))
 	if err != nil {
 		b.failed.Add(1)
 		return nil, err
@@ -110,12 +130,12 @@ func (b *liveHTTPBackend) Search(req *httpapi.SearchRequest) (*httpapi.SearchRes
 	if b.opts.queryLog != nil {
 		b.opts.queryLog(req.Query, req.R, res.Stats, wall)
 	}
-	return wireSearchResponse(req, res, wall), nil
+	return wireSearchResponse(req, res), nil
 }
 
 // SearchBatch pins ONE generation for the whole batch.
 func (b *liveHTTPBackend) SearchBatch(reqs []httpapi.SearchRequest) []httpapi.BatchSearchResult {
-	srv := b.src.currentServer()
+	srv := b.server()
 	queries := make([]BatchQuery, len(reqs))
 	for i, req := range reqs {
 		queries[i] = BatchQuery{
@@ -138,7 +158,7 @@ func (b *liveHTTPBackend) SearchBatch(reqs []httpapi.SearchRequest) []httpapi.Ba
 		if b.opts.queryLog != nil {
 			b.opts.queryLog(reqs[i].Query, reqs[i].R, item.Result.Stats, wall)
 		}
-		out[i] = httpapi.BatchOutcome(wireSearchResponse(&reqs[i], item.Result, wall), nil)
+		out[i] = httpapi.BatchOutcome(wireSearchResponse(&reqs[i], item.Result), nil)
 	}
 	return out
 }
@@ -170,6 +190,12 @@ func (b *liveHTTPBackend) Update(req *httpapi.UpdateRequest) (*httpapi.UpdateRes
 			Message: err.Error(),
 		}
 	}
+	if b.cache != nil {
+		// Hygiene, not correctness: superseded generations' entries can no
+		// longer be looked up (the generation is in the key); dropping them
+		// just returns their memory ahead of LRU aging.
+		b.cache.dropBelow(rep.Generation)
+	}
 	if b.opts.updateLog != nil {
 		b.opts.updateLog(rep)
 	}
@@ -191,7 +217,7 @@ func (b *liveHTTPBackend) ClientExport() ([]byte, error) { return b.src.currentE
 func (b *liveHTTPBackend) Health() httpapi.Health {
 	srv := b.src.currentServer()
 	idx := srv.col.Index()
-	return httpapi.Health{
+	h := httpapi.Health{
 		Status:        "ok",
 		Documents:     idx.N,
 		Terms:         idx.M(),
@@ -200,6 +226,10 @@ func (b *liveHTTPBackend) Health() httpapi.Health {
 		QueriesServed: b.served.Load(),
 		QueriesFailed: b.failed.Load(),
 	}
+	if b.cache != nil {
+		h.Cache = b.cache.health()
+	}
+	return h
 }
 
 // newLiveShardedHTTPHandler wires a live sharded owner onto the /v1
@@ -212,6 +242,10 @@ func newLiveShardedHTTPHandler(srv *LiveShardedServer, owner *LiveShardedOwner, 
 	for _, opt := range opts {
 		opt(&b.opts)
 	}
+	b.cache = b.opts.cache
+	if b.cache == nil {
+		b.cache = srv.cache
+	}
 	return httpapi.NewHandler(b), nil
 }
 
@@ -222,6 +256,7 @@ type liveShardedHTTPBackend struct {
 	owner  *LiveShardedOwner
 	start  time.Time
 	opts   shardedHandlerOptions
+	cache  *VOCache
 	served atomic.Int64
 	failed atomic.Int64
 }
@@ -243,8 +278,9 @@ func (b *liveShardedHTTPBackend) ClientExport() ([]byte, error) {
 }
 
 func (b *liveShardedHTTPBackend) ShardSearch(req *httpapi.SearchRequest) (*httpapi.ShardedSearchResponse, error) {
-	// Pin one generation for the whole fan-out.
-	pinned := &shardedHTTPBackend{srv: b.srv.Snapshot(), opts: b.opts}
+	// Pin one generation for the whole fan-out (the handler-option cache,
+	// when set, overrides the server's own via the withCache copy).
+	pinned := &shardedHTTPBackend{srv: b.srv.Snapshot().withCache(b.opts.cache), opts: b.opts}
 	resp, err := pinned.ShardSearch(req)
 	if err != nil {
 		b.failed.Add(1)
@@ -257,7 +293,7 @@ func (b *liveShardedHTTPBackend) ShardSearch(req *httpapi.SearchRequest) (*httpa
 func (b *liveShardedHTTPBackend) ShardExport() ([]byte, error) { return b.owner.ExportClient() }
 
 func (b *liveShardedHTTPBackend) Update(req *httpapi.UpdateRequest) (*httpapi.UpdateResponse, error) {
-	inner := &liveHTTPBackend{update: b.owner.Update, opts: handlerOptions{}}
+	inner := &liveHTTPBackend{update: b.owner.Update, opts: handlerOptions{}, cache: b.cache}
 	if b.opts.updateLog != nil {
 		inner.opts.updateLog = b.opts.updateLog
 	}
@@ -265,5 +301,9 @@ func (b *liveShardedHTTPBackend) Update(req *httpapi.UpdateRequest) (*httpapi.Up
 }
 
 func (b *liveShardedHTTPBackend) Health() httpapi.Health {
-	return shardedHealth(b.srv.Snapshot(), b.start, b.served.Load(), b.failed.Load())
+	h := shardedHealth(b.srv.Snapshot(), b.start, b.served.Load(), b.failed.Load())
+	if b.cache != nil {
+		h.Cache = b.cache.health()
+	}
+	return h
 }

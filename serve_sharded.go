@@ -20,6 +20,7 @@ import (
 type shardedHandlerOptions struct {
 	queryLog  func(query string, r int, stats ShardedStats, wall time.Duration)
 	updateLog func(*UpdateReport)
+	cache     *VOCache
 }
 
 // ShardedHandlerOption customises NewShardedHTTPHandler and the live
@@ -38,6 +39,13 @@ func WithShardedUpdateLog(fn func(*UpdateReport)) ShardedHandlerOption {
 	return func(o *shardedHandlerOptions) { o.updateLog = fn }
 }
 
+// WithShardedVOCache is WithVOCache for sharded handlers: a hit serves
+// the complete fan-out answer (every shard's VO plus the merge) without
+// touching any shard.
+func WithShardedVOCache(c *VOCache) ShardedHandlerOption {
+	return func(o *shardedHandlerOptions) { o.cache = c }
+}
+
 // NewShardedHTTPHandler exposes a ShardedServer over the versioned HTTP
 // protocol. export is the ATSX blob from ShardedOwner.ExportClient, served
 // at /v1/shards/manifest; pass nil to require out-of-band bootstrap.
@@ -46,6 +54,8 @@ func NewShardedHTTPHandler(srv *ShardedServer, export []byte, opts ...ShardedHan
 	for _, opt := range opts {
 		opt(&b.opts)
 	}
+	b.srv = b.srv.withCache(b.opts.cache)
+	b.cache = b.srv.cache
 	return httpapi.NewHandler(b)
 }
 
@@ -65,6 +75,7 @@ type shardedHTTPBackend struct {
 	export []byte
 	start  time.Time
 	opts   shardedHandlerOptions
+	cache  *VOCache
 	served atomic.Int64
 	failed atomic.Int64
 }
@@ -100,6 +111,9 @@ func (b *shardedHTTPBackend) ShardSearch(req *httpapi.SearchRequest) (*httpapi.S
 	if b.opts.queryLog != nil {
 		b.opts.queryLog(req.Query, req.R, res.Stats, wall)
 	}
+	// The wire response is a pure function of (req, res) — ServerMillis is
+	// the engine-measured fan-out wall stored in the result — so a cache
+	// hit serializes byte-identically to the miss that populated it.
 	out := &httpapi.ShardedSearchResponse{
 		Query:      req.Query,
 		R:          req.R,
@@ -113,7 +127,7 @@ func (b *shardedHTTPBackend) ShardSearch(req *httpapi.SearchRequest) (*httpapi.S
 			EntriesRead:  res.Stats.EntriesRead,
 			VOBytes:      res.Stats.VOBytes,
 			IOMillis:     float64(res.Stats.IOTime),
-			ServerMillis: float64(wall.Microseconds()) / 1000,
+			ServerMillis: float64(res.Stats.Wall.Microseconds()) / 1000,
 		},
 	}
 	for i, sr := range res.PerShard {
@@ -125,7 +139,7 @@ func (b *shardedHTTPBackend) ShardSearch(req *httpapi.SearchRequest) (*httpapi.S
 			Generation: sr.Generation,
 			Hits:       make([]httpapi.Hit, len(sr.Hits)),
 			VO:         sr.VO,
-			Stats:      wireStats(sr.Stats, wall),
+			Stats:      wireStats(sr.Stats),
 		}
 		for j, h := range sr.Hits {
 			w.Hits[j] = httpapi.Hit{DocID: h.DocID, Score: h.Score, Content: h.Content}
@@ -150,7 +164,11 @@ func (b *shardedHTTPBackend) ShardExport() ([]byte, error) {
 }
 
 func (b *shardedHTTPBackend) Health() httpapi.Health {
-	return shardedHealth(b.srv, b.start, b.served.Load(), b.failed.Load())
+	h := shardedHealth(b.srv, b.start, b.served.Load(), b.failed.Load())
+	if b.cache != nil {
+		h.Cache = b.cache.health()
+	}
+	return h
 }
 
 // shardedHealth builds the healthz payload for a (possibly live) sharded

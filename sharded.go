@@ -104,6 +104,25 @@ func (o *ShardedOwner) Stats() (buildMillis float64, signatures int, deviceBytes
 // ShardedServer answers queries by parallel fan-out over every shard.
 type ShardedServer struct {
 	set *shard.Set
+	// cache, when non-nil, serves repeat queries with the whole merged
+	// fan-out answer (see cache.go). Set before serving starts.
+	cache *VOCache
+}
+
+// SetVOCache attaches a VO cache (nil detaches). Call before the server
+// starts answering queries. The cached unit is the complete fan-out
+// answer — per-shard results plus merge — so a hit skips every shard.
+func (s *ShardedServer) SetVOCache(c *VOCache) { s.cache = c }
+
+// withCache returns a shallow copy of s serving through c (see
+// Server.withCache).
+func (s *ShardedServer) withCache(c *VOCache) *ShardedServer {
+	if c == nil {
+		return s
+	}
+	cp := *s
+	cp.cache = c
+	return &cp
 }
 
 // Shards returns the shard count.
@@ -161,11 +180,18 @@ type ShardedResult struct {
 // and merges the local rankings into the global top-r.
 func (s *ShardedServer) Search(query string, r int, algo Algorithm, scheme Scheme) (*ShardedResult, error) {
 	tokens := textproc.Terms(query)
+	sm, _ := s.set.Manifest()
+	var key string
+	if s.cache != nil {
+		key = cacheKey(cacheKindSharded, tokens, r, algo, scheme, sm.Generation)
+		if res, ok := s.cache.getSharded(key); ok {
+			return res, nil
+		}
+	}
 	setRes, err := s.set.Search(tokens, r, algo.core(), scheme.core())
 	if err != nil {
 		return nil, err
 	}
-	sm, _ := s.set.Manifest()
 	out := &ShardedResult{
 		PerShard:   make([]*SearchResult, len(setRes.PerShard)),
 		Merged:     make([]ShardedHit, len(setRes.Merged)),
@@ -193,6 +219,7 @@ func (s *ShardedServer) Search(query string, r int, algo Algorithm, scheme Schem
 			BlockReads:     sr.Stats.IO.BlockReads,
 			RandomReads:    sr.Stats.IO.RandomReads,
 			IOTime:         StatsDuration(float64(sr.Stats.IO.SimTime.Microseconds()) / 1000),
+			ServerTime:     StatsDuration(float64(sr.Stats.ServerWall.Microseconds()) / 1000),
 			VOBytes:        len(sr.VO),
 		}
 		out.PerShard[i] = res
@@ -211,6 +238,9 @@ func (s *ShardedServer) Search(query string, r int, algo Algorithm, scheme Schem
 			Score:    m.Score,
 			Content:  setRes.PerShard[m.Shard].Result.Contents[m.Doc],
 		}
+	}
+	if s.cache != nil {
+		s.cache.putSharded(key, sm.Generation, out)
 	}
 	return out, nil
 }
