@@ -302,12 +302,20 @@ type Server struct {
 	// cache, when non-nil, serves repeat queries from pre-built answers
 	// (see cache.go for the safety argument). Set before serving starts.
 	cache *VOCache
+	// metrics, when non-nil, receives per-stage cost observations
+	// (metrics.go). Set before serving starts.
+	metrics *Metrics
 }
 
 // SetVOCache attaches a VO cache (nil detaches). Call before the server
 // starts answering queries; the cache itself is safe for concurrent use
 // and may be shared between servers.
 func (s *Server) SetVOCache(c *VOCache) { s.cache = c }
+
+// SetMetrics attaches a metric registry (nil detaches). Call before the
+// server starts answering queries; one Metrics may be shared between
+// servers.
+func (s *Server) SetMetrics(m *Metrics) { s.metrics = m }
 
 // withCache returns a shallow copy of s serving through c. Snapshot
 // accessors that hand out a SHARED *Server use it so attaching a cache
@@ -321,6 +329,16 @@ func (s *Server) withCache(c *VOCache) *Server {
 	return &cp
 }
 
+// withMetrics is withCache for the metric registry.
+func (s *Server) withMetrics(m *Metrics) *Server {
+	if m == nil {
+		return s
+	}
+	cp := *s
+	cp.metrics = m
+	return &cp
+}
+
 // Search runs a top-r similarity query. The query text goes through the
 // same pipeline as the documents (lowercasing, stopword removal);
 // out-of-dictionary terms are ignored per §3.1. Search is safe for
@@ -331,7 +349,11 @@ func (s *Server) Search(query string, r int, algo Algorithm, scheme Scheme) (*Se
 	var key string
 	if s.cache != nil {
 		key = cacheKey(cacheKindSingle, tokens, r, algo, scheme, manifest.Generation)
-		if res, ok := s.cache.getResult(key); ok {
+		lookupStart := time.Now()
+		res, ok := s.cache.getResult(key)
+		s.metrics.observeCacheLookup(time.Since(lookupStart))
+		if ok {
+			s.metrics.recordSearchHit()
 			return res, nil
 		}
 	}
@@ -356,6 +378,7 @@ func (s *Server) Search(query string, r int, algo Algorithm, scheme Scheme) (*Se
 		ServerTime:     StatsDuration(float64(st.ServerWall.Microseconds()) / 1000),
 		VOBytes:        len(voBytes),
 	}
+	s.metrics.recordSearch(st.ServerWall, st.EncodeWall)
 	if s.cache != nil {
 		s.cache.putResult(key, manifest.Generation, out)
 	}

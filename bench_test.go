@@ -231,6 +231,33 @@ func BenchmarkFacadeSearchUncached(b *testing.B) {
 	}
 }
 
+// BenchmarkFacadeSearchMetrics is BenchmarkFacadeSearchUncached with a
+// full metric registry attached — the acceptance gate for observability
+// overhead on the hot path. The delta against the uncached baseline is
+// the cost of the per-search instrumentation (pre-bound atomic handles;
+// the budget is < 5%).
+func BenchmarkFacadeSearchMetrics(b *testing.B) {
+	f := benchFixture(b)
+	queries := benchQueries(b, f)
+	srv := authtext.ServerForTest(f.Col)
+	srv.SetMetrics(authtext.NewMetrics())
+	qs := make([]string, len(queries))
+	for i, q := range queries {
+		qs[i] = strings.Join(q, " ")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := srv.Search(qs[i%len(qs)], 10, authtext.TNRA, authtext.ChainMHT)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.VO) == 0 {
+			b.Fatal("empty answer")
+		}
+	}
+}
+
 func benchVerifyVariant(b *testing.B, algo core.Algo, scheme core.Scheme) {
 	f := benchFixture(b)
 	queries := benchQueries(b, f)

@@ -5,7 +5,7 @@
 //
 //	authbench [-profile tiny|small|medium|wsj]
 //	          [-fig all|4|13|14|15|table2|space|headline|snapshot|shards|concurrency|updates|cache]
-//	          [-queries N] [-rsa] [-out FILE]
+//	          [-queries N] [-rsa] [-out FILE] [-metrics-dump]
 //
 // The medium profile (20,000 documents) reproduces the shape of every
 // figure in minutes; wsj runs at full paper scale (172,961 documents).
@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"authtext"
 	"authtext/internal/corpus"
 	"authtext/internal/experiments"
 )
@@ -39,7 +40,14 @@ func run() error {
 	queries := flag.Int("queries", 0, "queries per sweep point (0 = profile default)")
 	rsa := flag.Bool("rsa", false, "sign with RSA-1024 instead of the fast keyed-hash signer")
 	outPath := flag.String("out", "", "write output to this file as well as stdout")
+	metricsDump := flag.Bool("metrics-dump", false, "print the final metrics snapshot (Prometheus text format) after the run")
 	flag.Parse()
+
+	var metrics *authtext.Metrics
+	if *metricsDump {
+		metrics = authtext.NewMetrics()
+		experiments.SetMetricsSink(metrics)
+	}
 
 	profile, err := corpus.ProfileByName(*profileName)
 	if err != nil {
@@ -159,5 +167,11 @@ func run() error {
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "total experiment time: %v\n", time.Since(start).Round(time.Millisecond))
+	if metrics != nil {
+		fmt.Fprintf(w, "\n--- metrics snapshot (%s) ---\n", time.Since(start).Round(time.Millisecond))
+		if err := metrics.WritePrometheus(w); err != nil {
+			return err
+		}
+	}
 	return nil
 }

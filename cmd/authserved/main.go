@@ -9,6 +9,7 @@
 //	POST /v1/search   top-r query → hits + verification object
 //	GET  /v1/manifest signed manifest + public key (client bootstrap)
 //	GET  /v1/healthz  liveness, collection shape, serving counters
+//	GET  /v1/metrics  Prometheus text exposition (docs/OBSERVABILITY.md)
 //
 // Remote users verify every answer locally with authtext.RemoteClient (or
 // `authsearch -remote URL`); nothing the daemon returns needs to be
@@ -19,7 +20,8 @@
 //
 //	authserved [-addr :8470] [-snapshot FILE|DIR | -dir PATH] [-shards N]
 //	           [-live [-live-snapshots DIR]] [-watch DUR] [-cache-mb N]
-//	           [-vocab-proofs] [-quiet]
+//	           [-vocab-proofs] [-quiet] [-log-format text|json]
+//	           [-log-level LEVEL] [-pprof-addr ADDR]
 //
 // With -snapshot the daemon boots in milliseconds from an artifact
 // produced by `authsearch -build -o FILE`; nothing is re-tokenised,
@@ -35,6 +37,12 @@
 // signed shards at startup, and -live additionally accepts document
 // add/remove batches on /v1/admin/update, publishing a new signed
 // generation per batch (persisted per generation with -live-snapshots).
+//
+// Every deployment shape serves its metric registry at /v1/metrics and
+// logs one structured record per request (request IDs included; -quiet
+// silences only the per-query lines). -log-format json switches the whole
+// log stream to JSON for ingestion; -pprof-addr starts net/http/pprof on
+// a SEPARATE listener so profiling is never exposed on the serving port.
 package main
 
 import (
@@ -42,10 +50,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -82,6 +92,17 @@ type config struct {
 	liveSnaps string
 	watch     time.Duration
 	cacheMB   int
+	logFormat string
+	logLevel  slog.Level
+	pprofAddr string
+}
+
+// logLevels maps the -log-level spellings to slog levels.
+var logLevels = map[string]slog.Level{
+	"debug": slog.LevelDebug,
+	"info":  slog.LevelInfo,
+	"warn":  slog.LevelWarn,
+	"error": slog.LevelError,
 }
 
 // parseFlags parses and cross-validates the command line. It is the only
@@ -90,6 +111,7 @@ type config struct {
 func parseFlags(args []string) (config, error) {
 	fs := flag.NewFlagSet("authserved", flag.ContinueOnError)
 	var cfg config
+	var logLevel string
 	fs.StringVar(&cfg.addr, "addr", ":8470", "listen address")
 	fs.StringVar(&cfg.dir, "dir", "", "directory of .txt files to index (default: demo corpus)")
 	fs.StringVar(&cfg.snapshot, "snapshot", "", "boot from this snapshot file (or sharded snapshot directory) instead of building a collection")
@@ -100,6 +122,9 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&cfg.liveSnaps, "live-snapshots", "", "with -live: persist every published generation as an ATSN snapshot in this directory")
 	fs.DurationVar(&cfg.watch, "watch", 0, "with -snapshot DIR of per-generation snapshots: poll at this interval and hot-swap to new generations")
 	fs.IntVar(&cfg.cacheMB, "cache-mb", 0, "serve repeat queries from an in-memory VO cache bounded by N MiB of encoded answers (0 disables); document updates invalidate it automatically")
+	fs.StringVar(&cfg.logFormat, "log-format", "text", "log output format: text or json")
+	fs.StringVar(&logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
+	fs.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this SEPARATE address (empty disables); never expose it publicly")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -141,14 +166,39 @@ func parseFlags(args []string) (config, error) {
 	if cfg.cacheMB < 0 {
 		return config{}, fmt.Errorf("-cache-mb %d out of range", cfg.cacheMB)
 	}
+	if cfg.logFormat != "text" && cfg.logFormat != "json" {
+		return config{}, fmt.Errorf("-log-format %q: must be text or json", cfg.logFormat)
+	}
+	level, ok := logLevels[strings.ToLower(logLevel)]
+	if !ok {
+		return config{}, fmt.Errorf("-log-level %q: must be debug, info, warn or error", logLevel)
+	}
+	cfg.logLevel = level
+	if cfg.pprofAddr != "" && cfg.pprofAddr == cfg.addr {
+		return config{}, errors.New("-pprof-addr must differ from -addr: profiling stays off the serving listener")
+	}
 	return cfg, nil
 }
 
+// newLogger builds the process-wide structured logger the -log-format and
+// -log-level flags ask for.
+func newLogger(cfg config) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: cfg.logLevel}
+	if cfg.logFormat == "json" {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts))
+}
+
 func run(cfg config) error {
-	logger := log.New(os.Stderr, "authserved ", log.LstdFlags)
+	logger := newLogger(cfg)
 	handler, err := buildHandler(cfg, logger)
 	if err != nil {
 		return err
+	}
+
+	if cfg.pprofAddr != "" {
+		go servePprof(cfg.pprofAddr, logger)
 	}
 
 	srv := &http.Server{
@@ -163,14 +213,14 @@ func run(cfg config) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s", cfg.addr)
+		logger.Info("listening", "addr", cfg.addr)
 		errc <- srv.ListenAndServe()
 	}()
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		logger.Printf("shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -183,12 +233,34 @@ func run(cfg config) error {
 	}
 }
 
+// servePprof runs the net/http/pprof handlers on their own mux and
+// listener, so the profiling surface never shares a port with the public
+// protocol (and an empty -pprof-addr costs nothing).
+func servePprof(addr string, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("pprof listening", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("pprof listener failed", "addr", addr, "err", err)
+	}
+}
+
 // buildHandler produces the /v1 handler: warm start from a snapshot, or
-// cold build from documents.
-func buildHandler(cfg config, logger *log.Logger) (http.Handler, error) {
+// cold build from documents. Every shape carries the same observability:
+// a metric registry on /v1/metrics and one structured log record per
+// request.
+func buildHandler(cfg config, logger *slog.Logger) (http.Handler, error) {
+	metrics := authtext.NewMetrics()
 	cache := newCache(cfg, logger)
 	queryLogOpts := func() []authtext.HandlerOption {
-		var out []authtext.HandlerOption
+		out := []authtext.HandlerOption{
+			authtext.WithMetrics(metrics),
+			authtext.WithRequestLog(logger),
+		}
 		if cache != nil {
 			out = append(out, authtext.WithVOCache(cache))
 		}
@@ -197,14 +269,20 @@ func buildHandler(cfg config, logger *log.Logger) (http.Handler, error) {
 		}
 		return append(out, authtext.WithQueryLog(
 			func(query string, r int, st authtext.Stats, wall time.Duration) {
-				logger.Printf("query %q r=%d %s-%s terms=%d entries/term=%.1f io=%s vo=%dB wall=%s",
-					query, r, st.Algorithm, st.Scheme, st.QueryTerms, st.EntriesPerTerm,
-					st.IOTime, st.VOBytes, wall.Round(time.Microsecond))
+				logger.Info("query",
+					"q", query, "r", r,
+					"algo", st.Algorithm.String(), "scheme", st.Scheme.String(),
+					"terms", st.QueryTerms, "entries_per_term", st.EntriesPerTerm,
+					"io_ms", float64(st.IOTime), "vo_bytes", st.VOBytes,
+					"wall", wall.Round(time.Microsecond))
 			}))
 	}
 
 	shardedLogOpts := func() []authtext.ShardedHandlerOption {
-		var out []authtext.ShardedHandlerOption
+		out := []authtext.ShardedHandlerOption{
+			authtext.WithShardedMetrics(metrics),
+			authtext.WithShardedRequestLog(logger),
+		}
 		if cache != nil {
 			out = append(out, authtext.WithShardedVOCache(cache))
 		}
@@ -213,9 +291,12 @@ func buildHandler(cfg config, logger *log.Logger) (http.Handler, error) {
 		}
 		return append(out, authtext.WithShardedQueryLog(
 			func(query string, r int, st authtext.ShardedStats, wall time.Duration) {
-				logger.Printf("query %q r=%d %s-%s shards=%d entries=%d io=%s vo=%dB wall=%s",
-					query, r, st.Algorithm, st.Scheme, st.Shards, st.EntriesRead,
-					st.IOTime, st.VOBytes, wall.Round(time.Microsecond))
+				logger.Info("query",
+					"q", query, "r", r,
+					"algo", st.Algorithm.String(), "scheme", st.Scheme.String(),
+					"shards", st.Shards, "entries", st.EntriesRead,
+					"io_ms", float64(st.IOTime), "vo_bytes", st.VOBytes,
+					"wall", wall.Round(time.Microsecond))
 			}))
 	}
 
@@ -232,8 +313,9 @@ func buildHandler(cfg config, logger *log.Logger) (http.Handler, error) {
 			if err != nil {
 				return nil, err
 			}
-			logger.Printf("opened live snapshot directory %s at generation %d in %s (no re-indexing, no re-signing)",
-				cfg.snapshot, replica.Generation(), time.Since(start).Round(time.Millisecond))
+			logger.Info("opened live snapshot directory (no re-indexing, no re-signing)",
+				"path", cfg.snapshot, "generation", replica.Generation(),
+				"elapsed", time.Since(start).Round(time.Millisecond))
 			if cfg.watch > 0 {
 				go watchReplica(replica, cfg.watch, logger)
 			}
@@ -250,8 +332,9 @@ func buildHandler(cfg config, logger *log.Logger) (http.Handler, error) {
 			if err != nil {
 				return nil, err
 			}
-			logger.Printf("opened sharded snapshot %s (%d shards) in %s (no re-indexing, no re-signing)",
-				cfg.snapshot, server.Shards(), time.Since(start).Round(time.Millisecond))
+			logger.Info("opened sharded snapshot (no re-indexing, no re-signing)",
+				"path", cfg.snapshot, "shards", server.Shards(),
+				"elapsed", time.Since(start).Round(time.Millisecond))
 			return authtext.NewShardedHTTPHandler(server, export, shardedLogOpts()...), nil
 		}
 		server, client, err := authtext.OpenSnapshotFile(cfg.snapshot)
@@ -262,8 +345,8 @@ func buildHandler(cfg config, logger *log.Logger) (http.Handler, error) {
 		if err != nil {
 			return nil, fmt.Errorf("snapshot has no publishable key (fast-signer build?): %w", err)
 		}
-		logger.Printf("opened snapshot %s in %s (no re-indexing, no re-signing)",
-			cfg.snapshot, time.Since(start).Round(time.Millisecond))
+		logger.Info("opened snapshot (no re-indexing, no re-signing)",
+			"path", cfg.snapshot, "elapsed", time.Since(start).Round(time.Millisecond))
 		return authtext.NewHTTPHandler(server, export, queryLogOpts()...), nil
 	}
 
@@ -276,28 +359,29 @@ func buildHandler(cfg config, logger *log.Logger) (http.Handler, error) {
 		opts = append(opts, authtext.WithVocabularyProofs())
 	}
 	if cfg.live {
-		return buildLiveHandler(cfg, docs, opts, cache, logger)
+		return buildLiveHandler(cfg, docs, opts, queryLogOpts(), shardedLogOpts(), logger)
 	}
 	if cfg.shards > 0 {
-		logger.Printf("indexing %d documents into %d shards, building authentication structures (RSA-1024)...",
-			len(docs), cfg.shards)
+		logger.Info("indexing into shards, building authentication structures (RSA-1024)",
+			"documents", len(docs), "shards", cfg.shards)
 		owner, err := authtext.NewShardedOwner(docs, cfg.shards, opts...)
 		if err != nil {
 			return nil, err
 		}
 		buildMs, sigs, devBytes := owner.Stats()
-		logger.Printf("built %d shards in %.0f ms (parallel): %d signatures, %.1f MB on the simulated disks",
-			owner.Shards(), buildMs, sigs, float64(devBytes)/(1<<20))
+		logger.Info("built shards (parallel)",
+			"shards", owner.Shards(), "build_ms", buildMs, "signatures", sigs,
+			"device_mb", float64(devBytes)/(1<<20))
 		return owner.HTTPHandler(shardedLogOpts()...)
 	}
-	logger.Printf("indexing %d documents and building authentication structures (RSA-1024)...", len(docs))
+	logger.Info("indexing and building authentication structures (RSA-1024)", "documents", len(docs))
 	owner, err := authtext.NewOwner(docs, opts...)
 	if err != nil {
 		return nil, err
 	}
 	buildMs, sigs, devBytes := owner.Stats()
-	logger.Printf("built in %.0f ms: %d signatures, %.1f MB on the simulated disk",
-		buildMs, sigs, float64(devBytes)/(1<<20))
+	logger.Info("built collection",
+		"build_ms", buildMs, "signatures", sigs, "device_mb", float64(devBytes)/(1<<20))
 	return owner.HTTPHandler(queryLogOpts()...)
 }
 
@@ -305,92 +389,76 @@ func buildHandler(cfg config, logger *log.Logger) (http.Handler, error) {
 // disabled). Every deployment shape takes it the same way: cached answers
 // are generation-keyed, so live updates and watched reloads invalidate
 // them automatically, and clients verify hits exactly like misses.
-func newCache(cfg config, logger *log.Logger) *authtext.VOCache {
+func newCache(cfg config, logger *slog.Logger) *authtext.VOCache {
 	if cfg.cacheMB <= 0 {
 		return nil
 	}
 	cache := authtext.NewVOCache(int64(cfg.cacheMB) << 20)
-	logger.Printf("VO cache enabled: %d MiB (stats on /v1/healthz)", cfg.cacheMB)
+	logger.Info("VO cache enabled (stats on /v1/healthz and /v1/metrics)", "mib", cfg.cacheMB)
 	return cache
 }
 
 // buildLiveHandler performs the live owner role in-process: every
 // accepted /v1/admin/update batch publishes a new signed generation, and
-// (single-collection mode) optionally persists it as a snapshot.
-func buildLiveHandler(cfg config, docs []authtext.Document, opts []authtext.Option, cache *authtext.VOCache, logger *log.Logger) (http.Handler, error) {
+// (single-collection mode) optionally persists it as a snapshot. The
+// option sets arrive from buildHandler so the observability wiring
+// (metrics, request log, cache, query log) is identical across shapes.
+func buildLiveHandler(cfg config, docs []authtext.Document, opts []authtext.Option,
+	handlerOpts []authtext.HandlerOption, shardedOpts []authtext.ShardedHandlerOption,
+	logger *slog.Logger) (http.Handler, error) {
 	logUpdate := func(rep *authtext.UpdateReport) {
-		logger.Printf("published generation %d: %d documents (+%d/−%d), %d signed / %d reused signatures, rebuild %.0f ms",
-			rep.Generation, rep.Documents, rep.Added, rep.Removed,
-			rep.SignaturesSigned, rep.SignaturesReused, rep.RebuildMillis)
+		logger.Info("published generation",
+			"generation", rep.Generation, "documents", rep.Documents,
+			"added", rep.Added, "removed", rep.Removed,
+			"signatures_signed", rep.SignaturesSigned, "signatures_reused", rep.SignaturesReused,
+			"rebuild_ms", rep.RebuildMillis)
 	}
 	if cfg.shards > 0 {
-		logger.Printf("indexing %d documents into %d live shards (RSA-1024)...", len(docs), cfg.shards)
+		logger.Info("indexing into live shards (RSA-1024)", "documents", len(docs), "shards", cfg.shards)
 		owner, _, err := authtext.NewLiveShardedOwner(docs, cfg.shards,
 			append(opts, authtext.WithShardPartitioner(authtext.PartitionHash))...)
 		if err != nil {
 			return nil, err
 		}
-		logger.Printf("serving %d shards at generation %d; updates on %s", owner.Shards(), owner.Generation(), "/v1/admin/update")
-		shardedOpts := []authtext.ShardedHandlerOption{authtext.WithShardedUpdateLog(logUpdate)}
-		if cache != nil {
-			shardedOpts = append(shardedOpts, authtext.WithShardedVOCache(cache))
-		}
-		if !cfg.quiet {
-			shardedOpts = append(shardedOpts, authtext.WithShardedQueryLog(
-				func(query string, r int, st authtext.ShardedStats, wall time.Duration) {
-					logger.Printf("query %q r=%d %s-%s shards=%d io=%s vo=%dB wall=%s",
-						query, r, st.Algorithm, st.Scheme, st.Shards, st.IOTime, st.VOBytes,
-						wall.Round(time.Microsecond))
-				}))
-		}
-		return owner.HTTPHandler(shardedOpts...)
+		logger.Info("serving live shards",
+			"shards", owner.Shards(), "generation", owner.Generation(), "update_path", "/v1/admin/update")
+		return owner.HTTPHandler(append(shardedOpts, authtext.WithShardedUpdateLog(logUpdate))...)
 	}
-	logger.Printf("indexing %d live documents (RSA-1024)...", len(docs))
+	logger.Info("indexing live documents (RSA-1024)", "documents", len(docs))
 	owner, _, err := authtext.NewLiveOwner(docs, opts...)
 	if err != nil {
 		return nil, err
-	}
-	handlerOpts := []authtext.HandlerOption{authtext.WithUpdateLog(logUpdate)}
-	if cache != nil {
-		handlerOpts = append(handlerOpts, authtext.WithVOCache(cache))
-	}
-	if !cfg.quiet {
-		handlerOpts = append(handlerOpts, authtext.WithQueryLog(
-			func(query string, r int, st authtext.Stats, wall time.Duration) {
-				logger.Printf("query %q r=%d %s-%s entries/term=%.1f io=%s vo=%dB wall=%s",
-					query, r, st.Algorithm, st.Scheme, st.EntriesPerTerm, st.IOTime, st.VOBytes,
-					wall.Round(time.Microsecond))
-			}))
 	}
 	if cfg.liveSnaps != "" {
 		// PersistGenerations writes inside the update critical section, so
 		// every published generation gets its own snapshot file even when
 		// admin updates race one another.
 		path, err := owner.PersistGenerations(cfg.liveSnaps, func(gen uint64, err error) {
-			logger.Printf("snapshot of generation %d failed: %v", gen, err)
+			logger.Error("generation snapshot failed", "generation", gen, "err", err)
 		})
 		if err != nil {
 			return nil, fmt.Errorf("initial generation snapshot: %w", err)
 		}
-		logger.Printf("wrote %s (and will persist every future generation)", path)
+		logger.Info("persisting generations", "path", path)
 	}
-	logger.Printf("serving generation %d; updates on /v1/admin/update", owner.Generation())
-	return owner.HTTPHandler(handlerOpts...)
+	logger.Info("serving live collection",
+		"generation", owner.Generation(), "update_path", "/v1/admin/update")
+	return owner.HTTPHandler(append(handlerOpts, authtext.WithUpdateLog(logUpdate))...)
 }
 
 // watchReplica polls a per-generation snapshot directory and hot-swaps
 // the replica to every new generation that appears.
-func watchReplica(r *authtext.LiveReplica, every time.Duration, logger *log.Logger) {
+func watchReplica(r *authtext.LiveReplica, every time.Duration, logger *slog.Logger) {
 	ticker := time.NewTicker(every)
 	defer ticker.Stop()
 	for range ticker.C {
 		swapped, err := r.Reload()
 		if err != nil {
-			logger.Printf("watch: %v", err)
+			logger.Warn("watch reload failed", "err", err)
 			continue
 		}
 		if swapped {
-			logger.Printf("watch: swapped to generation %d", r.Generation())
+			logger.Info("watch swapped generation", "generation", r.Generation())
 		}
 	}
 }

@@ -1,11 +1,11 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
-	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -15,6 +15,7 @@ import (
 	"authtext"
 	"authtext/internal/demo"
 	"authtext/internal/httpapi"
+	"authtext/internal/obs"
 )
 
 func writeCorpus(t *testing.T) string {
@@ -38,7 +39,7 @@ func writeCorpus(t *testing.T) string {
 // -dir ...` exposes on a real socket.
 func TestBuildHandlerServesVerifiableCollection(t *testing.T) {
 	dir := writeCorpus(t)
-	logger := log.New(io.Discard, "", 0)
+	logger := discardLogger()
 	handler, err := buildHandler(config{dir: dir, vocab: true, quiet: true}, logger)
 	if err != nil {
 		t.Fatal(err)
@@ -76,7 +77,7 @@ func TestBuildHandlerServesVerifiableCollection(t *testing.T) {
 // cache and reports the counters on healthz.
 func TestBuildHandlerWithCache(t *testing.T) {
 	dir := writeCorpus(t)
-	logger := log.New(io.Discard, "", 0)
+	logger := discardLogger()
 	handler, err := buildHandler(config{dir: dir, vocab: true, quiet: true, cacheMB: 16}, logger)
 	if err != nil {
 		t.Fatal(err)
@@ -111,7 +112,7 @@ func TestBuildHandlerWithCache(t *testing.T) {
 }
 
 func TestBuildHandlerDemoCorpus(t *testing.T) {
-	handler, err := buildHandler(config{quiet: true}, log.New(io.Discard, "", 0))
+	handler, err := buildHandler(config{quiet: true}, discardLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestBuildHandlerFromSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	handler, err := buildHandler(config{snapshot: path, quiet: true}, log.New(io.Discard, "", 0))
+	handler, err := buildHandler(config{snapshot: path, quiet: true}, discardLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func writeShardCorpus(t *testing.T) string {
 // parallel fan-out, verifiable by a ShardedRemoteClient.
 func TestBuildHandlerSharded(t *testing.T) {
 	dir := writeShardCorpus(t)
-	handler, err := buildHandler(config{dir: dir, shards: 3, vocab: true, quiet: true}, log.New(io.Discard, "", 0))
+	handler, err := buildHandler(config{dir: dir, shards: 3, vocab: true, quiet: true}, discardLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestBuildHandlerFromShardedSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	handler, err := buildHandler(config{snapshot: dir, quiet: true}, log.New(io.Discard, "", 0))
+	handler, err := buildHandler(config{snapshot: dir, quiet: true}, discardLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,5 +304,120 @@ func TestParseFlagsBeforeBuild(t *testing.T) {
 	}
 	if cfg.addr != ":0" || !cfg.quiet || !cfg.vocab {
 		t.Fatalf("cfg = %+v", cfg)
+	}
+}
+
+func discardLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+// The observability flags validate like every other flag: before any
+// build work, with clear usage errors.
+func TestParseFlagsObservability(t *testing.T) {
+	if _, err := parseFlags([]string{"-log-format", "xml"}); err == nil {
+		t.Error("-log-format xml accepted")
+	}
+	if _, err := parseFlags([]string{"-log-level", "loud"}); err == nil {
+		t.Error("-log-level loud accepted")
+	}
+	if _, err := parseFlags([]string{"-addr", ":8470", "-pprof-addr", ":8470"}); err == nil {
+		t.Error("-pprof-addr colliding with -addr accepted")
+	}
+	cfg, err := parseFlags([]string{"-log-format", "json", "-log-level", "Debug", "-pprof-addr", ":6060"})
+	if err != nil {
+		t.Fatalf("valid observability flags rejected: %v", err)
+	}
+	if cfg.logFormat != "json" || cfg.logLevel != slog.LevelDebug || cfg.pprofAddr != ":6060" {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg, err := parseFlags(nil); err != nil || cfg.logFormat != "text" || cfg.logLevel != slog.LevelInfo || cfg.pprofAddr != "" {
+		t.Fatalf("defaults: cfg=%+v err=%v", cfg, err)
+	}
+}
+
+// TestMetricsEndToEnd is the CI smoke check for the whole observability
+// path: boot a live daemon handler with a cache, drive searches (with a
+// repeat for a cache hit) and one update batch through HTTP, then scrape
+// /v1/metrics and assert the core series moved. It asserts by parsed
+// value, not by grepping exposition text.
+func TestMetricsEndToEnd(t *testing.T) {
+	dir := writeCorpus(t)
+	handler, err := buildHandler(config{dir: dir, vocab: true, quiet: true, live: true, cacheMB: 8}, discardLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	rc, err := authtext.NewRemoteClient(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ { // 1 miss + 2 cache hits
+		if _, err := rc.Search(ctx, "inverted index", 2, authtext.TNRA, authtext.ChainMHT); err != nil {
+			t.Fatalf("search %d: %v", i, err)
+		}
+	}
+	update, err := json.Marshal(&httpapi.UpdateRequest{
+		Add: []httpapi.UpdateDocument{{Content: []byte("a fresh merkle tree document")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := http.Post(srv.URL+httpapi.PathAdminUpdate, "application/json", bytes.NewReader(update))
+	if err != nil {
+		t.Fatal(err)
+	}
+	up.Body.Close()
+	if up.StatusCode != http.StatusOK {
+		t.Fatalf("update: status %d", up.StatusCode)
+	}
+
+	resp, err := http.Get(srv.URL + httpapi.PathMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", httpapi.PathMetrics, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, obs.ContentType)
+	}
+	samples, err := obs.Parse(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+
+	wantPositive := []struct {
+		name   string
+		labels []obs.Label
+	}{
+		{"authtext_http_requests_total", []obs.Label{obs.L("endpoint", "search"), obs.L("code", "200")}},
+		{"authtext_http_request_seconds_count", []obs.Label{obs.L("endpoint", "search")}},
+		{"authtext_http_response_bytes_total", []obs.Label{obs.L("endpoint", "search")}},
+		{"authtext_search_stage_seconds_count", []obs.Label{obs.L("stage", "engine")}},
+		{"authtext_search_stage_seconds_count", []obs.Label{obs.L("stage", "vo_encode")}},
+		{"authtext_search_stage_seconds_count", []obs.Label{obs.L("stage", "cache_lookup")}},
+		{"authtext_search_stage_seconds_count", []obs.Label{obs.L("stage", "wire_encode")}},
+		{"authtext_searches_total", []obs.Label{obs.L("kind", "single")}},
+		{"authtext_vocache_hits_total", nil},
+		{"authtext_vocache_misses_total", nil},
+		{"authtext_vocache_capacity_bytes", nil},
+		{"authtext_live_generation", nil},
+		{"authtext_live_swaps_total", nil},
+		{"authtext_live_swap_seconds_count", nil},
+	}
+	for _, w := range wantPositive {
+		s, ok := obs.FindSample(samples, w.name, w.labels...)
+		if !ok {
+			t.Errorf("series %s %v missing from scrape", w.name, w.labels)
+			continue
+		}
+		if s.Value <= 0 {
+			t.Errorf("%s = %g, want > 0", s.Key(), s.Value)
+		}
+	}
+	if s, ok := obs.FindSample(samples, "authtext_vocache_hits_total"); ok && s.Value != 2 {
+		t.Errorf("cache hits = %g, want 2", s.Value)
 	}
 }

@@ -34,6 +34,9 @@ type QueryStats struct {
 	Iterations     int
 	RandomAccesses int
 	ServerWall     time.Duration
+	// EncodeWall is the slice of ServerWall spent serializing the VO;
+	// ServerWall-EncodeWall is index traversal + proof assembly.
+	EncodeWall time.Duration
 }
 
 // Search processes a query (tokens are the post-pipeline token stream) for
@@ -134,10 +137,12 @@ func (c *Collection) Search(tokens []string, r int, algo core.Algo, scheme core.
 }
 
 func (c *Collection) finish(res *Result, v *vo.VO, stats *QueryStats, sess *store.Session, start time.Time) (*Result, []byte, *QueryStats, error) {
+	encStart := time.Now()
 	encoded, bd, err := vo.Encode(v, c.cfg.HashSize)
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	stats.EncodeWall = time.Since(encStart)
 	stats.VO = bd
 	stats.IO = sess.Stats()
 	stats.ServerWall = time.Since(start)

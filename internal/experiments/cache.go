@@ -20,6 +20,17 @@ import (
 // what document updates, which invalidate the cache wholesale by bumping
 // the generation, take back — across skew exponents and update rates.
 
+// metricsSink, when set, receives the telemetry of every live server the
+// cache experiment builds, so `authbench -metrics-dump` can print (and CI
+// can assert on) a final snapshot after the run.
+var metricsSink *authtext.Metrics
+
+// SetMetricsSink attaches m to every collection the experiments build
+// from now on. The first experiment cache bound wins for the vocache
+// series (Metrics.BindVOCache semantics); search, stage and live series
+// aggregate across all points.
+func SetMetricsSink(m *authtext.Metrics) { metricsSink = m }
+
 // CachePoint is one row of the cache experiment: one Zipfian stream at
 // one skew/update-rate setting, served once uncached and once cached.
 type CachePoint struct {
@@ -107,6 +118,10 @@ func cachePoint(docs []authtext.Document, idx *index.Index, streamLen int, zipfS
 		return point, err
 	}
 	srv := owner.Server()
+	if metricsSink != nil {
+		owner.SetMetrics(metricsSink)
+		srv.SetMetrics(metricsSink)
+	}
 	stream := workload.Zipfian(idx, streamLen, 50, 3, zipfS, 97)
 	qs := make([]string, len(stream))
 	for i, tokens := range stream {
@@ -132,6 +147,7 @@ func cachePoint(docs []authtext.Document, idx *index.Index, streamLen int, zipfS
 
 	cache := authtext.NewVOCache(32 << 20)
 	srv.SetVOCache(cache)
+	metricsSink.BindVOCache(cache)
 	client := owner.Client()
 	verified := false
 	var hitLat, missLat []time.Duration

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 )
 
 // Backend is the search engine behind a Handler. Implementations must be
@@ -62,13 +63,21 @@ type ShardBackend interface {
 // NewHandler wires the /v1 endpoints onto a Backend. When the backend also
 // implements ShardBackend, the /v1/shards endpoints are registered too;
 // otherwise they answer 404 like any unknown path. Every response body —
-// including errors — is a JSON document.
-func NewHandler(b Backend) http.Handler {
+// including errors — is a JSON document. Options attach a metric registry
+// (served at /v1/metrics, with every request counted and timed) and a
+// structured request logger (middleware.go).
+func NewHandler(b Backend, opts ...HandlerOpt) http.Handler {
+	var cfg handlerConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	endpoints := []string{"search", "manifest", "healthz"}
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathSearch, func(w http.ResponseWriter, r *http.Request) {
 		handleSearch(w, r, b)
 	})
 	if sb, ok := b.(ShardBackend); ok {
+		endpoints = append(endpoints, "shards_search", "shards_manifest")
 		mux.HandleFunc(PathShardSearch, func(w http.ResponseWriter, r *http.Request) {
 			req, ok := readSearchRequest(w, r)
 			if !ok {
@@ -94,6 +103,7 @@ func NewHandler(b Backend) http.Handler {
 		})
 	}
 	if lb, ok := b.(LiveBackend); ok {
+		endpoints = append(endpoints, "admin_update")
 		mux.HandleFunc(PathAdminUpdate, func(w http.ResponseWriter, r *http.Request) {
 			if !allowMethod(w, r, http.MethodPost) {
 				return
@@ -134,7 +144,15 @@ func NewHandler(b Backend) http.Handler {
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeErrorBody(w, http.StatusNotFound, CodeNotFound, "no such endpoint: "+r.URL.Path)
 	})
-	return mux
+	var ins *httpInstruments
+	if cfg.reg != nil {
+		mux.Handle(PathMetrics, cfg.reg.Handler())
+		ins = newHTTPInstruments(cfg.reg, endpoints)
+	}
+	if ins == nil && cfg.log == nil {
+		return mux
+	}
+	return instrument(mux, ins, cfg.log)
 }
 
 // handleSearch accepts POST (JSON body, single or batch form) and GET
@@ -284,9 +302,14 @@ func allowMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
+	start := time.Now()
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	_ = enc.Encode(v) // the status line is gone; nothing left to report to
+	if rr, ok := w.(*respRecorder); ok {
+		// The wire_encode stage: JSON serialisation of the response body.
+		rr.encode += time.Since(start)
+	}
 }
 
 // writeError maps an error to the wire: *StatusError chooses its own

@@ -29,6 +29,10 @@ const (
 	PathSearch   = "/v1/search"
 	PathManifest = "/v1/manifest"
 	PathHealthz  = "/v1/healthz"
+	// PathMetrics serves the metric registry in the Prometheus text
+	// exposition format when the handler is built with a registry
+	// (docs/OBSERVABILITY.md); otherwise it answers 404.
+	PathMetrics = "/v1/metrics"
 	// Sharded endpoints, served only by sharded deployments (a
 	// non-sharded server answers 404).
 	PathShardSearch   = "/v1/shards/search"

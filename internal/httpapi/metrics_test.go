@@ -1,0 +1,208 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"authtext/internal/obs"
+)
+
+// newMetricsHandler builds a handler over the fake backend with a fresh
+// registry attached, returning both.
+func newMetricsHandler(opts ...HandlerOpt) (http.Handler, *obs.Registry) {
+	reg := obs.NewRegistry()
+	h := NewHandler(&fakeBackend{}, append([]HandlerOpt{WithMetricsRegistry(reg)}, opts...)...)
+	return h, reg
+}
+
+// scrape GETs /v1/metrics and returns the exposition body.
+func scrape(t *testing.T, h http.Handler) []byte {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, PathMetrics, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", PathMetrics, w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, obs.ContentType)
+	}
+	return w.Body.Bytes()
+}
+
+// TestMetricsGoldenExposition pins the exposition format of a freshly
+// built handler: every pre-registered request series at zero, in
+// deterministic order. Scraping is side-effect-free (the /v1/metrics
+// endpoint is not instrumented), so two scrapes of an idle handler are
+// byte-identical and the fixture needs no scrubbing. Regenerate with
+// UPDATE_GOLDEN=1 go test ./internal/httpapi -run Golden.
+func TestMetricsGoldenExposition(t *testing.T) {
+	h, _ := newMetricsHandler()
+	body := scrape(t, h)
+	if !bytes.Equal(body, scrape(t, h)) {
+		t.Fatal("two scrapes of an idle handler differ: scraping is not side-effect-free")
+	}
+
+	path := filepath.Join("testdata", "metrics.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatalf("exposition drifted from %s.\nIf the change is intentional, regenerate with UPDATE_GOLDEN=1.\n--- got ---\n%s", path, body)
+	}
+
+	// The fixture must round-trip through the parser: every sample line
+	// readable, names and labels preserved.
+	samples, err := obs.Parse(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("golden fixture does not parse: %v", err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("golden fixture parsed to zero samples")
+	}
+	for _, s := range samples {
+		if s.Value != 0 {
+			t.Fatalf("idle handler exposed non-zero sample %s = %g", s.Key(), s.Value)
+		}
+	}
+}
+
+// TestMetricsRequestInstrumentation drives traffic through the handler and
+// checks the request series move — and that scrapes do not count
+// themselves.
+func TestMetricsRequestInstrumentation(t *testing.T) {
+	h, _ := newMetricsHandler()
+
+	do(t, h, http.MethodPost, PathSearch, `{"query":"merkle","r":2}`)
+	do(t, h, http.MethodPost, PathSearch, `{"query":"merkle","r":2}`)
+	do(t, h, http.MethodGet, PathHealthz, "")
+	do(t, h, http.MethodGet, "/no/such/path", "")
+
+	first := parseSamples(t, scrape(t, h))
+	assertSample(t, first, "authtext_http_requests_total", 2, obs.L("endpoint", "search"), obs.L("code", "200"))
+	assertSample(t, first, "authtext_http_requests_total", 1, obs.L("endpoint", "healthz"), obs.L("code", "200"))
+	assertSample(t, first, "authtext_http_requests_total", 1, obs.L("endpoint", "other"), obs.L("code", "404"))
+	assertSample(t, first, "authtext_http_request_seconds_count", 2, obs.L("endpoint", "search"))
+	if s, ok := obs.FindSample(first, "authtext_http_response_bytes_total", obs.L("endpoint", "search")); !ok || s.Value <= 0 {
+		t.Fatalf("response bytes not recorded: %+v", s)
+	}
+	if s, ok := obs.FindSample(first, "authtext_search_stage_seconds_count", obs.L("stage", "wire_encode")); !ok || s.Value < 3 {
+		t.Fatalf("wire_encode stage not recorded per JSON response: %+v", s)
+	}
+
+	// A scrape must not move any series: re-scrape and compare sample for
+	// sample.
+	second := parseSamples(t, scrape(t, h))
+	if len(first) != len(second) {
+		t.Fatalf("scrape changed the series set: %d -> %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i].Key() != second[i].Key() || first[i].Value != second[i].Value {
+			t.Fatalf("scrape moved %s: %g -> %g", first[i].Key(), first[i].Value, second[i].Value)
+		}
+	}
+}
+
+// TestMetricsEndpointWithoutRegistry checks the endpoint stays a plain 404
+// when no registry is attached.
+func TestMetricsEndpointWithoutRegistry(t *testing.T) {
+	h := NewHandler(&fakeBackend{})
+	req := httptest.NewRequest(http.MethodGet, PathMetrics, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", w.Code)
+	}
+}
+
+var hexID = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+// TestRequestIDMintedAndEchoed checks the three request-ID cases: absent
+// (minted), usable inbound (honored), junk inbound (replaced).
+func TestRequestIDMintedAndEchoed(t *testing.T) {
+	h, _ := newMetricsHandler()
+
+	w := do(t, h, http.MethodGet, PathHealthz, "")
+	if id := w.Header().Get(RequestIDHeader); !hexID.MatchString(id) {
+		t.Fatalf("minted ID %q is not 16 hex digits", id)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, PathHealthz, nil)
+	req.Header.Set(RequestIDHeader, "proxy-abc-123")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if id := rec.Header().Get(RequestIDHeader); id != "proxy-abc-123" {
+		t.Fatalf("usable inbound ID not honored: got %q", id)
+	}
+
+	for _, junk := range []string{"has space", "ctrl\x01char", strings.Repeat("x", maxRequestIDLen+1)} {
+		req := httptest.NewRequest(http.MethodGet, PathHealthz, nil)
+		req.Header.Set(RequestIDHeader, junk)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if id := rec.Header().Get(RequestIDHeader); !hexID.MatchString(id) {
+			t.Fatalf("junk inbound ID %q echoed instead of replaced (got %q)", junk, id)
+		}
+	}
+}
+
+// TestRequestLogRecords checks the structured request log carries the
+// documented attributes, and that /v1/metrics scrapes are not logged.
+func TestRequestLogRecords(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	h, _ := newMetricsHandler(WithRequestLog(logger))
+
+	req := httptest.NewRequest(http.MethodGet, PathHealthz, nil)
+	req.Header.Set(RequestIDHeader, "fixed-id-1")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	scrape(t, h)
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want exactly 1 log record (scrapes unlogged), got %d: %s", len(lines), buf.String())
+	}
+	var rec1 map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec1); err != nil {
+		t.Fatal(err)
+	}
+	if rec1["request_id"] != "fixed-id-1" || rec1["endpoint"] != "healthz" ||
+		rec1["method"] != http.MethodGet || rec1["status"] != float64(http.StatusOK) {
+		t.Fatalf("log record missing fields: %v", rec1)
+	}
+}
+
+func parseSamples(t *testing.T, body []byte) []obs.Sample {
+	t.Helper()
+	samples, err := obs.Parse(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, body)
+	}
+	return samples
+}
+
+func assertSample(t *testing.T, samples []obs.Sample, name string, want float64, labels ...obs.Label) {
+	t.Helper()
+	s, ok := obs.FindSample(samples, name, labels...)
+	if !ok {
+		t.Fatalf("series %s %v not found", name, labels)
+	}
+	if s.Value != want {
+		t.Fatalf("%s = %g, want %g", s.Key(), s.Value, want)
+	}
+}

@@ -1,0 +1,306 @@
+// Package obs is the serving fleet's observability core: atomic counters,
+// gauges and fixed-bucket histograms collected in a Registry and exposed
+// in the Prometheus text format (prom.go) at /v1/metrics. It is stdlib
+// only, like the rest of the repository, and deliberately tiny: the point
+// is always-on, per-stage cost decomposition of the paper's protocol
+// (index traversal vs. VO construction vs. verification, §4.1 of Pang &
+// Mouratidis) without pulling a client library into the module.
+//
+// Concurrency model: instrument handles (Counter, Gauge, Histogram) are
+// lock-free atomics on the hot path; Registry lookups take a mutex and are
+// meant for construction time — callers on hot paths hold on to the
+// returned handle instead of re-looking it up per event. Exposition reads
+// every atomic without stopping writers, so a scrape observes a consistent
+// enough point-in-time snapshot (each individual value is atomic; cross-
+// metric skew is inherent to scraping a live system).
+//
+// Nothing in this package participates in the authentication protocol:
+// metrics are operational data, exactly as trustworthy as the server
+// publishing them — which is to say, not at all. Clients keep verifying
+// every answer; the registry just tells operators where the time goes.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Metric types in the exposition format.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// Counter is a monotonically increasing event count. The value is a
+// uint64 and wraps on overflow like any Go unsigned integer — after
+// 2^64-1 increments it returns to 0, which Prometheus-style consumers
+// handle as a counter reset (obs_test.go pins the behaviour).
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (generation numbers, entry
+// counts, ratios). Stored as IEEE float64 bits in a uint64 atomic.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by delta (CAS loop).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution with cumulative Prometheus
+// semantics: bucket i counts observations v <= Bounds[i], and an implicit
+// +Inf bucket counts everything. Observe is lock-free.
+type Histogram struct {
+	bounds []float64       // strictly increasing upper bounds, +Inf implicit
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// DefLatencyBuckets spans 25µs to 2.5s — wide enough for a cache hit
+// (microseconds) and a cold sharded fan-out (milliseconds to seconds) to
+// land in distinct buckets.
+var DefLatencyBuckets = []float64{
+	0.000025, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v; equality lands IN the bucket
+	// (le semantics).
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// BucketCounts returns the per-bucket (non-cumulative) counts, the last
+// element being the +Inf bucket. For tests and debugging.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// series is one labelled instance inside a family.
+type series struct {
+	labels  string // rendered {a="b"} suffix, "" when unlabelled
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64 // value function (counterFunc / gaugeFunc)
+}
+
+// family is all series sharing one metric name (and therefore one TYPE).
+type family struct {
+	name   string
+	help   string
+	typ    string
+	series map[string]*series
+}
+
+// Registry holds metric families and renders them (prom.go). The zero
+// value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup returns (creating if needed) the series for name+labels,
+// enforcing that one name keeps one metric type.
+func (r *Registry) lookup(name, help, typ string, labels []Label) *series {
+	ls := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	s, ok := f.series[ls]
+	if !ok {
+		s = &series{labels: ls}
+		f.series[ls] = s
+	}
+	return s
+}
+
+// Counter returns the counter for name+labels, registering it on first
+// use. Repeated calls with the same name and labels return the same
+// counter, so components can share series without coordination.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.lookup(name, help, typeCounter, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.counter == nil && s.fn == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge for name+labels, registering it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.lookup(name, help, typeGauge, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.gauge == nil && s.fn == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// Histogram returns the histogram for name+labels with the given bucket
+// upper bounds (+Inf implicit), registering it on first use. The bounds of
+// the first registration win; they must be strictly increasing.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly increasing at %d", name, i))
+		}
+	}
+	s := r.lookup(name, help, typeHistogram, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.hist == nil {
+		s.hist = &Histogram{bounds: append([]float64(nil), bounds...)}
+		s.hist.counts = make([]atomic.Uint64, len(bounds)+1)
+	}
+	return s.hist
+}
+
+// CounterFunc registers a counter whose value is read by calling fn at
+// scrape time — for components (like the VO cache) that already keep
+// their own atomic counters: exposing THE SAME source that other surfaces
+// report means the two can never disagree. Re-registering the same
+// name+labels keeps the first function.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.lookup(name, help, typeCounter, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.fn == nil && s.counter == nil {
+		s.fn = fn
+	}
+}
+
+// GaugeFunc is CounterFunc for gauge-typed values.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.lookup(name, help, typeGauge, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.fn == nil && s.gauge == nil {
+		s.fn = fn
+	}
+}
+
+// renderLabels builds the canonical {a="b",c="d"} suffix (sorted by label
+// name; "" for no labels) used both as the series key and on the wire.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes per the exposition format: backslash, double
+// quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Bucket edges are le (inclusive): an observation exactly on a bound must
+// land IN that bound's bucket, below the first bound in bucket 0, and
+// above the last bound in +Inf.
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edges", "t", []float64{1, 2, 5})
+	for _, v := range []float64{
+		0.5, // below first bound -> bucket 0
+		1,   // exactly on first bound -> bucket 0 (le)
+		1.5, // -> bucket 1
+		2,   // exactly on bound -> bucket 1
+		5,   // exactly on last bound -> bucket 2
+		5.1, // above last bound -> +Inf bucket
+	} {
+		h.Observe(v)
+	}
+	got := h.BucketCounts()
+	want := []uint64{2, 2, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if math.Abs(h.Sum()-15.1) > 1e-9 {
+		t.Fatalf("sum = %g, want 15.1", h.Sum())
+	}
+}
+
+// Cumulative exposition: each _bucket line carries the sum of everything
+// at or below its le, and _count equals the +Inf bucket.
+func TestHistogramCumulativeExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "t", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`lat_bucket{le="1"} 1`,
+		`lat_bucket{le="2"} 2`,
+		`lat_bucket{le="+Inf"} 3`,
+		`lat_sum 101`,
+		`lat_count 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Counters are uint64 and wrap on overflow (a Prometheus consumer treats
+// the wrap as a counter reset); the registry must not lose the series.
+func TestCounterOverflow(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("wrap_total", "t")
+	c.Add(math.MaxUint64)
+	if c.Value() != math.MaxUint64 {
+		t.Fatalf("value = %d, want MaxUint64", c.Value())
+	}
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatalf("value after overflow = %d, want 0 (wraparound)", c.Value())
+	}
+	c.Add(3)
+	if c.Value() != 3 {
+		t.Fatalf("value = %d, want 3", c.Value())
+	}
+}
+
+// Same name+labels returns the same instrument; different labels fork a
+// new series in the same family.
+func TestRegistryIdempotentLookup(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs_total", "t", L("endpoint", "search"))
+	b := r.Counter("reqs_total", "t", L("endpoint", "search"))
+	c := r.Counter("reqs_total", "t", L("endpoint", "healthz"))
+	if a != b {
+		t.Fatal("same labels returned distinct counters")
+	}
+	if a == c {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	a.Add(2)
+	c.Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `reqs_total{endpoint="healthz"} 1`) ||
+		!strings.Contains(out, `reqs_total{endpoint="search"} 2`) {
+		t.Fatalf("bad exposition:\n%s", out)
+	}
+}
+
+// Write → Parse must reproduce every value exactly: counters, gauges,
+// value-functions, histograms with labels, and escaped label values.
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rt_requests_total", "t", L("endpoint", "search"), L("code", "200")).Add(17)
+	r.Gauge("rt_generation", "t").Set(42)
+	r.GaugeFunc("rt_entries", "t", func() float64 { return 7 })
+	r.CounterFunc("rt_hits_total", "t", func() float64 { return 1234 })
+	h := r.Histogram("rt_seconds", "t", []float64{0.001, 0.01, 0.1}, L("stage", `we"ird\label`))
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(3)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse of own output failed: %v\n%s", err, buf.String())
+	}
+	want := map[string]float64{
+		`rt_requests_total{code="200",endpoint="search"}`: 17,
+		`rt_generation`: 42,
+		`rt_entries`:    7,
+		`rt_hits_total`: 1234,
+		`rt_seconds_bucket{le="0.001",stage="we\"ird\\label"}`: 1,
+		`rt_seconds_bucket{le="0.01",stage="we\"ird\\label"}`:  1,
+		`rt_seconds_bucket{le="0.1",stage="we\"ird\\label"}`:   2,
+		`rt_seconds_bucket{le="+Inf",stage="we\"ird\\label"}`:  3,
+		`rt_seconds_sum{stage="we\"ird\\label"}`:               3.0505,
+		`rt_seconds_count{stage="we\"ird\\label"}`:             3,
+	}
+	got := map[string]float64{}
+	for _, s := range samples {
+		got[s.Key()] = s.Value
+	}
+	for k, v := range want {
+		gv, ok := got[k]
+		if !ok {
+			t.Errorf("missing series %s in parsed output; have %v", k, keys(got))
+			continue
+		}
+		if math.Abs(gv-v) > 1e-9 {
+			t.Errorf("%s = %g, want %g", k, gv, v)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("parsed %d series, want %d: %v", len(got), len(want), keys(got))
+	}
+}
+
+func keys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// FindSample matches on name plus a label subset.
+func TestFindSample(t *testing.T) {
+	samples := []Sample{
+		{Name: "x_total", Labels: map[string]string{"endpoint": "search", "code": "200"}, Value: 5},
+		{Name: "x_total", Labels: map[string]string{"endpoint": "healthz", "code": "200"}, Value: 1},
+	}
+	s, ok := FindSample(samples, "x_total", L("endpoint", "healthz"))
+	if !ok || s.Value != 1 {
+		t.Fatalf("FindSample = %+v, %v", s, ok)
+	}
+	if _, ok := FindSample(samples, "x_total", L("endpoint", "missing")); ok {
+		t.Fatal("matched a series that does not exist")
+	}
+}
+
+// Concurrent observers and scrapers must not race (run under -race in CI).
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cc_total", "t")
+	g := r.Gauge("cc_gauge", "t")
+	h := r.Histogram("cc_seconds", "t", DefLatencyBuckets)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j%100) / 1000)
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				var buf bytes.Buffer
+				if err := r.WritePrometheus(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := Parse(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}

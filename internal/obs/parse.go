@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A minimal parser for the exposition format written by WritePrometheus.
+// It exists so tests (and the authserved integration test CI runs) can
+// assert on scraped metrics by value instead of grepping text, and so the
+// encoder can be round-trip-tested: parse(write(registry)) must yield
+// exactly the registry's values.
+
+// Sample is one parsed series value. Labels are sorted by name; histogram
+// series appear as their component samples (name_bucket with an le label,
+// name_sum, name_count).
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Key renders the sample identity (name + sorted labels) in the same
+// canonical form the encoder writes.
+func (s Sample) Key() string {
+	ls := make([]Label, 0, len(s.Labels))
+	for n, v := range s.Labels {
+		ls = append(ls, Label{Name: n, Value: v})
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	return s.Name + renderLabels(ls)
+}
+
+// Parse reads an exposition-format document and returns every sample.
+// Comment (#) and blank lines are skipped; malformed sample lines are
+// errors — a scrape endpoint that emits garbage should fail tests loudly.
+func Parse(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value separator in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp after the value is legal in the format; we never write
+	// one, but tolerate it by taking the first field.
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(tok string) (float64, error) {
+	switch tok {
+	case "+Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	}
+	return strconv.ParseFloat(tok, 64)
+}
+
+func parseLabels(body string, into map[string]string) error {
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 {
+			return fmt.Errorf("label without '=' in %q", body)
+		}
+		name := strings.TrimSpace(body[i : i+eq])
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return fmt.Errorf("unquoted label value in %q", body)
+		}
+		i++
+		var b strings.Builder
+		for i < len(body) {
+			c := body[i]
+			if c == '\\' && i+1 < len(body) {
+				switch body[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(body[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if i >= len(body) || body[i] != '"' {
+			return fmt.Errorf("unterminated label value in %q", body)
+		}
+		i++
+		into[name] = b.String()
+		if i < len(body) && body[i] == ',' {
+			i++
+		}
+	}
+	return nil
+}
+
+// FindSample returns the first sample matching name and every given label
+// (extra labels on the sample are allowed), or false.
+func FindSample(samples []Sample, name string, labels ...Label) (Sample, bool) {
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for _, l := range labels {
+			if s.Labels[l.Name] != l.Value {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s, true
+		}
+	}
+	return Sample{}, false
+}

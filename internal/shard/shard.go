@@ -318,6 +318,9 @@ type SetResult struct {
 	// Wall is the fan-out wall time (slowest shard, since shards run in
 	// parallel).
 	Wall time.Duration
+	// MergeWall is the slice of Wall spent in MergeTopK after the fan-out
+	// barrier.
+	MergeWall time.Duration
 }
 
 // Search fans the query out to every shard concurrently and merges the
@@ -357,7 +360,9 @@ func (s *Set) Search(tokens []string, r int, algo core.Algo, scheme core.Scheme)
 	for i := range out.PerShard {
 		perShard[i] = out.PerShard[i].Result.Entries
 	}
+	mergeStart := time.Now()
 	out.Merged = MergeTopK(perShard, s.docMaps, r)
+	out.MergeWall = time.Since(mergeStart)
 	out.Wall = time.Since(start)
 	return out, nil
 }

@@ -62,6 +62,17 @@ func updateReport(st *live.UpdateStats) *UpdateReport {
 // updates serialise against each other, never against searches.
 type LiveOwner struct {
 	lc *live.Collection
+	// metrics, when non-nil, receives generation telemetry for every
+	// accepted update (metrics.go). Set before updates start.
+	metrics *Metrics
+}
+
+// SetMetrics attaches a metric registry recording generation swaps,
+// rebuild latency and signature reuse for every accepted update (nil
+// detaches). The current generation is published immediately.
+func (o *LiveOwner) SetMetrics(m *Metrics) {
+	o.metrics = m
+	m.setGeneration(o.lc.Generation())
 }
 
 // NewLiveOwner indexes the documents and publishes generation 1. The
@@ -117,7 +128,9 @@ func (o *LiveOwner) Update(add []Document, remove []DocHandle) ([]DocHandle, *Up
 	if err != nil {
 		return nil, nil, err
 	}
-	return docHandles(handles), updateReport(st), nil
+	rep := updateReport(st)
+	o.metrics.recordUpdate(rep)
+	return docHandles(handles), rep, nil
 }
 
 // Generation returns the latest published generation (≥ 1).
@@ -172,8 +185,9 @@ func (o *LiveOwner) HTTPHandler(opts ...HandlerOption) (http.Handler, error) {
 // generation swap completes entirely against the generation it started
 // on (its VO names that generation), never a mix.
 type LiveServer struct {
-	lc    *live.Collection
-	cache *VOCache
+	lc      *live.Collection
+	cache   *VOCache
+	metrics *Metrics
 }
 
 // SetVOCache attaches a VO cache carried into every Snapshot (nil
@@ -183,11 +197,18 @@ type LiveServer struct {
 // ErrStaleGeneration) client-side. Call before serving starts.
 func (s *LiveServer) SetVOCache(c *VOCache) { s.cache = c }
 
+// SetMetrics attaches a metric registry carried into every Snapshot (nil
+// detaches). Call before serving starts.
+func (s *LiveServer) SetMetrics(m *Metrics) {
+	s.metrics = m
+	m.setGeneration(s.lc.Generation())
+}
+
 // Snapshot pins the current generation and returns an ordinary Server
 // for it: batches or multi-query sessions that must see one consistent
 // state use the pinned server for all their queries.
 func (s *LiveServer) Snapshot() *Server {
-	return (&Server{col: s.lc.Current()}).withCache(s.cache)
+	return (&Server{col: s.lc.Current()}).withCache(s.cache).withMetrics(s.metrics)
 }
 
 // Generation returns the latest published generation.

@@ -16,6 +16,17 @@ import (
 // swaps atomically, so a fan-out never mixes generations.
 type LiveShardedOwner struct {
 	lc *live.ShardedCollection
+	// metrics, when non-nil, receives generation telemetry for every
+	// accepted update (metrics.go). Set before updates start.
+	metrics *Metrics
+}
+
+// SetMetrics attaches a metric registry recording set-generation swaps,
+// rebuild latency and signature reuse (nil detaches). The current
+// generation is published immediately.
+func (o *LiveShardedOwner) SetMetrics(m *Metrics) {
+	o.metrics = m
+	m.setGeneration(o.lc.Generation())
 }
 
 // NewLiveShardedOwner partitions the documents into shards and publishes
@@ -61,7 +72,9 @@ func (o *LiveShardedOwner) Update(add []Document, remove []DocHandle) ([]DocHand
 	if err != nil {
 		return nil, nil, err
 	}
-	return docHandles(handles), updateReport(st), nil
+	rep := updateReport(st)
+	o.metrics.recordUpdate(rep)
+	return docHandles(handles), rep, nil
 }
 
 // Generation returns the latest published set generation (≥ 1).
@@ -102,17 +115,25 @@ func (o *LiveShardedOwner) HTTPHandler(opts ...ShardedHandlerOption) (http.Handl
 // set generation. A query in flight during a swap completes entirely
 // against the set it started on.
 type LiveShardedServer struct {
-	lc    *live.ShardedCollection
-	cache *VOCache
+	lc      *live.ShardedCollection
+	cache   *VOCache
+	metrics *Metrics
 }
 
 // SetVOCache attaches a VO cache carried into every Snapshot (nil
 // detaches; see LiveServer.SetVOCache for the update-safety argument).
 func (s *LiveShardedServer) SetVOCache(c *VOCache) { s.cache = c }
 
+// SetMetrics attaches a metric registry carried into every Snapshot (nil
+// detaches). Call before serving starts.
+func (s *LiveShardedServer) SetMetrics(m *Metrics) {
+	s.metrics = m
+	m.setGeneration(s.lc.Generation())
+}
+
 // Snapshot pins the current set generation as an ordinary ShardedServer.
 func (s *LiveShardedServer) Snapshot() *ShardedServer {
-	return (&ShardedServer{set: s.lc.Current()}).withCache(s.cache)
+	return (&ShardedServer{set: s.lc.Current()}).withCache(s.cache).withMetrics(s.metrics)
 }
 
 // Generation returns the latest published set generation.

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"authtext/internal/engine"
 	"authtext/internal/live"
@@ -157,6 +158,9 @@ type LiveReplica struct {
 	// cache is carried into every Server() copy; the shared replicaState
 	// server is never mutated (withCache copies).
 	cache *VOCache
+	// metrics is carried into every Server() copy and receives reload
+	// telemetry (generation gauge, snapshot open time).
+	metrics *Metrics
 }
 
 // OpenLiveSnapshotDir opens the latest generation in dir and returns the
@@ -211,11 +215,13 @@ func (r *LiveReplica) Reload() (bool, error) {
 				cur.gen, gen)
 		}
 	}
+	openStart := time.Now()
 	st, err := loadGeneration(path, gen)
 	if err != nil {
 		return false, err
 	}
 	r.cur.Store(st)
+	r.metrics.recordSnapshotOpen(gen, time.Since(openStart))
 	return true, nil
 }
 
@@ -225,10 +231,20 @@ func (r *LiveReplica) Reload() (bool, error) {
 // stop matching.
 func (r *LiveReplica) SetVOCache(c *VOCache) { r.cache = c }
 
+// SetMetrics attaches a metric registry carried into every Server() result
+// and recording reload telemetry (nil detaches). Call before serving
+// starts. The currently served generation is published immediately.
+func (r *LiveReplica) SetMetrics(m *Metrics) {
+	r.metrics = m
+	m.setGeneration(r.Generation())
+}
+
 // Server returns the serving half of the current generation. The result
 // is pinned: it keeps answering from its generation even after a Reload
 // swaps the replica forward.
-func (r *LiveReplica) Server() *Server { return r.cur.Load().server.withCache(r.cache) }
+func (r *LiveReplica) Server() *Server {
+	return r.cur.Load().server.withCache(r.cache).withMetrics(r.metrics)
+}
 
 // Client returns the verification client of the current generation.
 func (r *LiveReplica) Client() *Client { return r.cur.Load().client }

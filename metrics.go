@@ -1,0 +1,236 @@
+package authtext
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"authtext/internal/obs"
+)
+
+// Metrics is the serving fleet's metric registry: per-stage search cost
+// decomposition, live-path generation telemetry, VO-cache counters and
+// client-side verification costs, exposed in the Prometheus text format at
+// /v1/metrics (docs/OBSERVABILITY.md is the catalog). One Metrics may be
+// shared by any number of servers, handlers and clients — series are
+// atomics, and every instrument is pre-bound at construction so the hot
+// search path never takes the registry lock.
+//
+// A nil *Metrics is valid everywhere one is accepted and records nothing:
+// servers without metrics attached pay only a nil check.
+type Metrics struct {
+	reg *obs.Registry
+
+	stageEngine      *obs.Histogram
+	stageVOEncode    *obs.Histogram
+	stageCacheLookup *obs.Histogram
+	stageMerge       *obs.Histogram
+
+	searchSingle  *obs.Counter
+	searchSharded *obs.Counter
+
+	liveGeneration  *obs.Gauge
+	liveSwaps       *obs.Counter
+	liveSwapSeconds *obs.Histogram
+	liveReuseRatio  *obs.Gauge
+	snapshotOpen    *obs.Histogram
+
+	clientVerify *obs.Histogram
+	clientTamper *obs.Counter
+
+	cacheOnce sync.Once
+}
+
+// swapBuckets spans 1ms to 30s: generation rebuilds are index builds, not
+// request-scale events.
+var swapBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30}
+
+// NewMetrics returns a registry with every server-side instrument
+// registered (so /v1/metrics serves the full catalog from the first
+// scrape, zero-valued until traffic arrives).
+func NewMetrics() *Metrics {
+	r := obs.NewRegistry()
+	m := &Metrics{reg: r}
+
+	const stageHelp = "Per-stage server cost decomposition of one search (seconds)."
+	stage := func(name string) *obs.Histogram {
+		return r.Histogram("authtext_search_stage_seconds", stageHelp,
+			obs.DefLatencyBuckets, obs.L("stage", name))
+	}
+	m.stageEngine = stage("engine")
+	m.stageVOEncode = stage("vo_encode")
+	m.stageCacheLookup = stage("cache_lookup")
+	m.stageMerge = stage("merge")
+	// The wire_encode stage is observed by the HTTP layer against the same
+	// family; registering it here keeps the catalog complete pre-traffic.
+	stage("wire_encode")
+
+	const searchHelp = "Searches answered, by collection kind."
+	m.searchSingle = r.Counter("authtext_searches_total", searchHelp, obs.L("kind", "single"))
+	m.searchSharded = r.Counter("authtext_searches_total", searchHelp, obs.L("kind", "sharded"))
+
+	m.liveGeneration = r.Gauge("authtext_live_generation",
+		"Latest published (or loaded) collection generation.")
+	m.liveSwaps = r.Counter("authtext_live_swaps_total",
+		"Generation swaps served: accepted update batches plus replica reloads.")
+	m.liveSwapSeconds = r.Histogram("authtext_live_swap_seconds",
+		"Wall time from accepting an update batch to swapping the served generation (seconds).",
+		swapBuckets)
+	m.liveReuseRatio = r.Gauge("authtext_live_signature_reuse_ratio",
+		"Signatures reused from the previous generation over total signatures, for the last update.")
+	m.snapshotOpen = r.Histogram("authtext_live_snapshot_open_seconds",
+		"Wall time to open and verify a snapshot during a replica reload (seconds).",
+		swapBuckets)
+
+	m.clientVerify = r.Histogram("authtext_client_verify_seconds",
+		"Client-side result verification wall time (seconds).", obs.DefLatencyBuckets)
+	m.clientTamper = r.Counter("authtext_client_tamper_rejections_total",
+		"Results rejected by client verification as tampered.")
+	return m
+}
+
+// WritePrometheus renders every series in the Prometheus text exposition
+// format (the /v1/metrics payload).
+func (m *Metrics) WritePrometheus(w io.Writer) error { return m.reg.WritePrometheus(w) }
+
+// Handler serves the registry in the exposition format (GET only). Handlers
+// built with WithMetrics mount it at /v1/metrics automatically; use this to
+// mount the same registry elsewhere.
+func (m *Metrics) Handler() http.Handler { return m.reg.Handler() }
+
+// BindVOCache registers the cache's counters as scrape-time series
+// (authtext_vocache_*). The series read the SAME atomics /v1/healthz
+// reports, so the two surfaces can never disagree. The first bound cache
+// wins; binding again (or binding a second cache) is a no-op — which is
+// the right behaviour for the supported topology of one shared cache.
+// Handlers built with both WithMetrics and WithVOCache bind automatically.
+func (m *Metrics) BindVOCache(c *VOCache) {
+	if m == nil || c == nil {
+		return
+	}
+	m.cacheOnce.Do(func() {
+		counter := func(name, help string, get func(VOCacheStats) int64) {
+			m.reg.CounterFunc(name, help, func() float64 { return float64(get(c.Stats())) })
+		}
+		gauge := func(name, help string, get func(VOCacheStats) int64) {
+			m.reg.GaugeFunc(name, help, func() float64 { return float64(get(c.Stats())) })
+		}
+		counter("authtext_vocache_hits_total", "VO cache lookups answered from memory.",
+			func(s VOCacheStats) int64 { return s.Hits })
+		counter("authtext_vocache_misses_total", "VO cache lookups that fell through to the engine.",
+			func(s VOCacheStats) int64 { return s.Misses })
+		counter("authtext_vocache_evictions_total", "VO cache entries dropped by the LRU bound.",
+			func(s VOCacheStats) int64 { return s.Evictions })
+		counter("authtext_vocache_invalidations_total", "VO cache entries reclaimed after a generation bump.",
+			func(s VOCacheStats) int64 { return s.Invalidations })
+		gauge("authtext_vocache_entries", "VO cache resident entries.",
+			func(s VOCacheStats) int64 { return s.Entries })
+		gauge("authtext_vocache_bytes", "VO cache resident bytes.",
+			func(s VOCacheStats) int64 { return s.Bytes })
+		gauge("authtext_vocache_capacity_bytes", "VO cache configured byte bound.",
+			func(s VOCacheStats) int64 { return s.CapacityBytes })
+	})
+}
+
+// registry exposes the underlying registry to the HTTP layer (same module;
+// internal/httpapi registers its request instruments on it).
+func (m *Metrics) registry() *obs.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+// --- recording helpers (all nil-safe; callers hold pre-bound handles) ---
+
+func (m *Metrics) observeCacheLookup(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.stageCacheLookup.Observe(d.Seconds())
+}
+
+// recordSearchHit counts a single-collection search answered from the VO
+// cache (no engine stages to observe).
+func (m *Metrics) recordSearchHit() {
+	if m == nil {
+		return
+	}
+	m.searchSingle.Inc()
+}
+
+// recordShardedSearchHit is recordSearchHit for fan-out answers.
+func (m *Metrics) recordShardedSearchHit() {
+	if m == nil {
+		return
+	}
+	m.searchSharded.Inc()
+}
+
+// recordSearch observes one single-collection answer's stage costs.
+func (m *Metrics) recordSearch(serverWall, encodeWall time.Duration) {
+	if m == nil {
+		return
+	}
+	m.searchSingle.Inc()
+	m.stageEngine.Observe((serverWall - encodeWall).Seconds())
+	m.stageVOEncode.Observe(encodeWall.Seconds())
+}
+
+// recordShardedSearch observes one fan-out answer: every shard's stage
+// costs (k observations — real per-collection work) plus the merge.
+func (m *Metrics) recordShardedSearch(shardWalls, shardEncodes []time.Duration, mergeWall time.Duration) {
+	if m == nil {
+		return
+	}
+	m.searchSharded.Inc()
+	for i := range shardWalls {
+		m.stageEngine.Observe((shardWalls[i] - shardEncodes[i]).Seconds())
+		m.stageVOEncode.Observe(shardEncodes[i].Seconds())
+	}
+	m.stageMerge.Observe(mergeWall.Seconds())
+}
+
+// recordUpdate observes one accepted live update batch.
+func (m *Metrics) recordUpdate(rep *UpdateReport) {
+	if m == nil || rep == nil {
+		return
+	}
+	m.liveGeneration.Set(float64(rep.Generation))
+	m.liveSwaps.Inc()
+	m.liveSwapSeconds.Observe(rep.RebuildMillis / 1000)
+	if total := rep.SignaturesSigned + rep.SignaturesReused; total > 0 {
+		m.liveReuseRatio.Set(float64(rep.SignaturesReused) / float64(total))
+	}
+}
+
+// recordSnapshotOpen observes one replica reload.
+func (m *Metrics) recordSnapshotOpen(generation uint64, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.liveGeneration.Set(float64(generation))
+	m.liveSwaps.Inc()
+	m.snapshotOpen.Observe(d.Seconds())
+}
+
+// setGeneration records the serving generation without counting a swap
+// (initial publication / handler construction).
+func (m *Metrics) setGeneration(g uint64) {
+	if m == nil {
+		return
+	}
+	m.liveGeneration.Set(float64(g))
+}
+
+// observeVerify records one client-side verification outcome.
+func (m *Metrics) observeVerify(d time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	m.clientVerify.Observe(d.Seconds())
+	if IsTampered(err) {
+		m.clientTamper.Inc()
+	}
+}

@@ -28,6 +28,9 @@ import (
 type RemoteClient struct {
 	base string
 	hc   *http.Client
+	// metrics, when non-nil, records verify latency and tamper rejections
+	// (WithClientMetrics).
+	metrics *Metrics
 
 	mu     sync.Mutex
 	client *Client // verification half, nil until bootstrapped
@@ -52,6 +55,14 @@ func defaultHTTPClient() *http.Client {
 // WithHTTPClient substitutes the transport (default: defaultHTTPClient,
 // which enforces a 30 s overall timeout).
 func WithHTTPClient(hc *http.Client) RemoteOption { return func(rc *RemoteClient) { rc.hc = hc } }
+
+// WithClientMetrics records client-side verification latency
+// (authtext_client_verify_seconds) and tamper rejections
+// (authtext_client_tamper_rejections_total) in m, making the paper's
+// three-party cost split — server, transport, verifier — observable end to
+// end. The registry may be a fresh NewMetrics or one shared with a server
+// in the same process.
+func WithClientMetrics(m *Metrics) RemoteOption { return func(rc *RemoteClient) { rc.metrics = m } }
 
 // WithClientExport seeds the verification material from an out-of-band
 // copy of the owner's ATCX export instead of fetching /v1/manifest. Use it
@@ -203,13 +214,14 @@ func (rc *RemoteClient) Search(ctx context.Context, query string, r int, algo Al
 		if wire.Generation < client.Generation() && attempt < 2 {
 			continue
 		}
-		return verifyWireResult(client, &wire, query, r, algo, scheme)
+		return verifyWireResult(client, rc.metrics, &wire, query, r, algo, scheme)
 	}
 }
 
 // verifyWireResult converts one wire response and verifies it against the
-// bootstrapped manifest, using the parameters the client asked for.
-func verifyWireResult(client *Client, wire *httpapi.SearchResponse, query string, r int, algo Algorithm, scheme Scheme) (*SearchResult, error) {
+// bootstrapped manifest, using the parameters the client asked for. m
+// (nil-safe) records the verification cost and outcome.
+func verifyWireResult(client *Client, m *Metrics, wire *httpapi.SearchResponse, query string, r int, algo Algorithm, scheme Scheme) (*SearchResult, error) {
 	res := &SearchResult{VO: wire.VO, Generation: wire.Generation, Hits: make([]Hit, len(wire.Hits))}
 	for i, h := range wire.Hits {
 		res.Hits[i] = Hit{DocID: h.DocID, Score: h.Score, Content: h.Content}
@@ -226,7 +238,10 @@ func verifyWireResult(client *Client, wire *httpapi.SearchResponse, query string
 		IOTime:         StatsDuration(wire.Stats.IOMillis),
 		VOBytes:        len(wire.VO),
 	}
-	if err := client.Verify(query, r, res); err != nil {
+	verifyStart := time.Now()
+	err := client.Verify(query, r, res)
+	m.observeVerify(time.Since(verifyStart), err)
+	if err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -314,7 +329,7 @@ func (rc *RemoteClient) SearchBatch(ctx context.Context, queries []BatchQuery) (
 		case wire.Results[i].Response == nil:
 			out[i].Err = fmt.Errorf("authtext: query %d: empty batch result", i)
 		default:
-			out[i].Result, out[i].Err = verifyWireResult(client, wire.Results[i].Response,
+			out[i].Result, out[i].Err = verifyWireResult(client, rc.metrics, wire.Results[i].Response,
 				q.Query, q.R, q.Algorithm, q.Scheme)
 		}
 	}

@@ -24,6 +24,9 @@ import (
 type ShardedRemoteClient struct {
 	base string
 	hc   *http.Client
+	// metrics, when non-nil, records verify latency and tamper rejections
+	// (WithShardedClientMetrics).
+	metrics *Metrics
 
 	mu     sync.Mutex
 	client *ShardedClient // verification half, nil until bootstrapped
@@ -37,6 +40,13 @@ type ShardedRemoteOption func(*ShardedRemoteClient)
 // WithShardedHTTPClient substitutes the transport (default: 30 s timeout).
 func WithShardedHTTPClient(hc *http.Client) ShardedRemoteOption {
 	return func(rc *ShardedRemoteClient) { rc.hc = hc }
+}
+
+// WithShardedClientMetrics is WithClientMetrics for sharded clients: the
+// verify histogram covers the complete fan-out check (every shard's VO
+// plus the merge recomputation).
+func WithShardedClientMetrics(m *Metrics) ShardedRemoteOption {
+	return func(rc *ShardedRemoteClient) { rc.metrics = m }
 }
 
 // WithShardedClientExport seeds the verification material from an
@@ -223,7 +233,10 @@ func (rc *ShardedRemoteClient) Search(ctx context.Context, query string, r int, 
 		}
 		res.Merged[i] = h
 	}
-	if err := client.Verify(query, r, res); err != nil {
+	verifyStart := time.Now()
+	err = client.Verify(query, r, res)
+	rc.metrics.observeVerify(time.Since(verifyStart), err)
+	if err != nil {
 		return nil, err
 	}
 	return res, nil

@@ -2,6 +2,7 @@ package authtext
 
 import (
 	"errors"
+	"log/slog"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -28,6 +29,20 @@ type handlerOptions struct {
 	queryLog  QueryLog
 	updateLog func(*UpdateReport)
 	cache     *VOCache
+	metrics   *Metrics
+	reqLog    *slog.Logger
+}
+
+// httpapiOpts translates the observability options to the HTTP layer's.
+func (o *handlerOptions) httpapiOpts() []httpapi.HandlerOpt {
+	var out []httpapi.HandlerOpt
+	if o.metrics != nil {
+		out = append(out, httpapi.WithMetricsRegistry(o.metrics.registry()))
+	}
+	if o.reqLog != nil {
+		out = append(out, httpapi.WithRequestLog(o.reqLog))
+	}
+	return out
 }
 
 // HandlerOption customises NewHTTPHandler and the live handlers.
@@ -55,6 +70,22 @@ func WithUpdateLog(fn func(*UpdateReport)) HandlerOption {
 // (generation-stamped keys), so no coordination is needed.
 func WithVOCache(c *VOCache) HandlerOption { return func(o *handlerOptions) { o.cache = c } }
 
+// WithMetrics records the full request lifecycle in m — request counts and
+// latency per endpoint, per-stage search timings, cache and live-path
+// telemetry — and serves the registry at /v1/metrics in the Prometheus
+// text format (docs/OBSERVABILITY.md is the catalog). When the handler
+// also carries a VO cache, the cache series are bound to the SAME counters
+// /v1/healthz reports.
+func WithMetrics(m *Metrics) HandlerOption { return func(o *handlerOptions) { o.metrics = m } }
+
+// WithRequestLog emits one structured slog record per request (request ID,
+// method, path, status, duration, bytes; the X-Request-ID header is
+// honored and echoed). The logger MUST be safe for concurrent use — slog
+// loggers are.
+func WithRequestLog(logger *slog.Logger) HandlerOption {
+	return func(o *handlerOptions) { o.reqLog = logger }
+}
+
 // NewHTTPHandler exposes a Server over the versioned HTTP protocol.
 // clientExport is the blob from Owner.ExportClient, served verbatim at
 // /v1/manifest so remote clients can bootstrap; pass nil to run a search
@@ -65,10 +96,16 @@ func NewHTTPHandler(srv *Server, clientExport []byte, opts ...HandlerOption) htt
 	for _, opt := range opts {
 		opt(&b.opts)
 	}
-	// WithVOCache layers over a cache the server may already carry.
-	b.srv = b.srv.withCache(b.opts.cache)
+	// WithVOCache layers over a cache the server may already carry, and
+	// WithMetrics over a registry set via SetMetrics.
+	b.srv = b.srv.withCache(b.opts.cache).withMetrics(b.opts.metrics)
 	b.cache = b.srv.cache
-	return httpapi.NewHandler(b)
+	if b.opts.metrics != nil {
+		m, _ := b.srv.col.Manifest()
+		b.opts.metrics.setGeneration(m.Generation)
+	}
+	b.srv.metrics.BindVOCache(b.cache)
+	return httpapi.NewHandler(b, b.opts.httpapiOpts()...)
 }
 
 // HTTPHandler is the owner-side convenience: it exports the verification

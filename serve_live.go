@@ -86,7 +86,27 @@ func newLiveHTTPHandler(src liveSource, owner *LiveOwner, opts ...HandlerOption)
 	if b.cache == nil {
 		b.cache = src.voCache()
 	}
-	return httpapi.NewHandler(b), nil
+	if m := b.opts.metrics; m != nil {
+		// Attach the registry to the serving source (unless it already has
+		// one) so snapshots, updates and reloads record into it, and bind the
+		// effective cache so /v1/metrics and /v1/healthz read the same
+		// counters.
+		switch s := src.(type) {
+		case *LiveServer:
+			if s.metrics == nil {
+				s.SetMetrics(m)
+			}
+		case *LiveReplica:
+			if s.metrics == nil {
+				s.SetMetrics(m)
+			}
+		}
+		if owner != nil && owner.metrics == nil {
+			owner.SetMetrics(m)
+		}
+		m.BindVOCache(b.cache)
+	}
+	return httpapi.NewHandler(b, b.opts.httpapiOpts()...), nil
 }
 
 // NewLiveReplicaHTTPHandler exposes a snapshot-fed replica over the /v1
@@ -113,9 +133,10 @@ type liveHTTPBackend struct {
 }
 
 // server pins the current generation, serving through the effective
-// cache. withCache copies: the shared snapshot server is never mutated.
+// cache and metrics. withCache/withMetrics copy: the shared snapshot
+// server is never mutated.
 func (b *liveHTTPBackend) server() *Server {
-	return b.src.currentServer().withCache(b.opts.cache)
+	return b.src.currentServer().withCache(b.opts.cache).withMetrics(b.opts.metrics)
 }
 
 func (b *liveHTTPBackend) Search(req *httpapi.SearchRequest) (*httpapi.SearchResponse, error) {
@@ -246,7 +267,16 @@ func newLiveShardedHTTPHandler(srv *LiveShardedServer, owner *LiveShardedOwner, 
 	if b.cache == nil {
 		b.cache = srv.cache
 	}
-	return httpapi.NewHandler(b), nil
+	if m := b.opts.metrics; m != nil {
+		if srv.metrics == nil {
+			srv.SetMetrics(m)
+		}
+		if owner.metrics == nil {
+			owner.SetMetrics(m)
+		}
+		m.BindVOCache(b.cache)
+	}
+	return httpapi.NewHandler(b, b.opts.httpapiOpts()...), nil
 }
 
 // liveShardedHTTPBackend implements the sharded backend surface over a

@@ -1,6 +1,7 @@
 package authtext
 
 import (
+	"log/slog"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -21,6 +22,20 @@ type shardedHandlerOptions struct {
 	queryLog  func(query string, r int, stats ShardedStats, wall time.Duration)
 	updateLog func(*UpdateReport)
 	cache     *VOCache
+	metrics   *Metrics
+	reqLog    *slog.Logger
+}
+
+// httpapiOpts translates the observability options to the HTTP layer's.
+func (o *shardedHandlerOptions) httpapiOpts() []httpapi.HandlerOpt {
+	var out []httpapi.HandlerOpt
+	if o.metrics != nil {
+		out = append(out, httpapi.WithMetricsRegistry(o.metrics.registry()))
+	}
+	if o.reqLog != nil {
+		out = append(out, httpapi.WithRequestLog(o.reqLog))
+	}
+	return out
 }
 
 // ShardedHandlerOption customises NewShardedHTTPHandler and the live
@@ -46,6 +61,16 @@ func WithShardedVOCache(c *VOCache) ShardedHandlerOption {
 	return func(o *shardedHandlerOptions) { o.cache = c }
 }
 
+// WithShardedMetrics is WithMetrics for sharded handlers.
+func WithShardedMetrics(m *Metrics) ShardedHandlerOption {
+	return func(o *shardedHandlerOptions) { o.metrics = m }
+}
+
+// WithShardedRequestLog is WithRequestLog for sharded handlers.
+func WithShardedRequestLog(logger *slog.Logger) ShardedHandlerOption {
+	return func(o *shardedHandlerOptions) { o.reqLog = logger }
+}
+
 // NewShardedHTTPHandler exposes a ShardedServer over the versioned HTTP
 // protocol. export is the ATSX blob from ShardedOwner.ExportClient, served
 // at /v1/shards/manifest; pass nil to require out-of-band bootstrap.
@@ -54,9 +79,14 @@ func NewShardedHTTPHandler(srv *ShardedServer, export []byte, opts ...ShardedHan
 	for _, opt := range opts {
 		opt(&b.opts)
 	}
-	b.srv = b.srv.withCache(b.opts.cache)
+	b.srv = b.srv.withCache(b.opts.cache).withMetrics(b.opts.metrics)
 	b.cache = b.srv.cache
-	return httpapi.NewHandler(b)
+	if b.opts.metrics != nil {
+		sm, _ := b.srv.set.Manifest()
+		b.opts.metrics.setGeneration(sm.Generation)
+	}
+	b.srv.metrics.BindVOCache(b.cache)
+	return httpapi.NewHandler(b, b.opts.httpapiOpts()...)
 }
 
 // HTTPHandler is the owner-side convenience: export the verification

@@ -107,12 +107,19 @@ type ShardedServer struct {
 	// cache, when non-nil, serves repeat queries with the whole merged
 	// fan-out answer (see cache.go). Set before serving starts.
 	cache *VOCache
+	// metrics, when non-nil, receives per-stage cost observations
+	// (metrics.go). Set before serving starts.
+	metrics *Metrics
 }
 
 // SetVOCache attaches a VO cache (nil detaches). Call before the server
 // starts answering queries. The cached unit is the complete fan-out
 // answer — per-shard results plus merge — so a hit skips every shard.
 func (s *ShardedServer) SetVOCache(c *VOCache) { s.cache = c }
+
+// SetMetrics attaches a metric registry (nil detaches). Call before the
+// server starts answering queries.
+func (s *ShardedServer) SetMetrics(m *Metrics) { s.metrics = m }
 
 // withCache returns a shallow copy of s serving through c (see
 // Server.withCache).
@@ -122,6 +129,16 @@ func (s *ShardedServer) withCache(c *VOCache) *ShardedServer {
 	}
 	cp := *s
 	cp.cache = c
+	return &cp
+}
+
+// withMetrics is withCache for the metric registry.
+func (s *ShardedServer) withMetrics(m *Metrics) *ShardedServer {
+	if m == nil {
+		return s
+	}
+	cp := *s
+	cp.metrics = m
 	return &cp
 }
 
@@ -184,7 +201,11 @@ func (s *ShardedServer) Search(query string, r int, algo Algorithm, scheme Schem
 	var key string
 	if s.cache != nil {
 		key = cacheKey(cacheKindSharded, tokens, r, algo, scheme, sm.Generation)
-		if res, ok := s.cache.getSharded(key); ok {
+		lookupStart := time.Now()
+		res, ok := s.cache.getSharded(key)
+		s.metrics.observeCacheLookup(time.Since(lookupStart))
+		if ok {
+			s.metrics.recordShardedSearchHit()
 			return res, nil
 		}
 	}
@@ -238,6 +259,14 @@ func (s *ShardedServer) Search(query string, r int, algo Algorithm, scheme Schem
 			Score:    m.Score,
 			Content:  setRes.PerShard[m.Shard].Result.Contents[m.Doc],
 		}
+	}
+	if s.metrics != nil {
+		walls := make([]time.Duration, len(setRes.PerShard))
+		encodes := make([]time.Duration, len(setRes.PerShard))
+		for i, sr := range setRes.PerShard {
+			walls[i], encodes[i] = sr.Stats.ServerWall, sr.Stats.EncodeWall
+		}
+		s.metrics.recordShardedSearch(walls, encodes, setRes.MergeWall)
 	}
 	if s.cache != nil {
 		s.cache.putSharded(key, sm.Generation, out)
