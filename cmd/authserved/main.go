@@ -51,6 +51,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -174,10 +175,28 @@ func parseFlags(args []string) (config, error) {
 		return config{}, fmt.Errorf("-log-level %q: must be debug, info, warn or error", logLevel)
 	}
 	cfg.logLevel = level
-	if cfg.pprofAddr != "" && cfg.pprofAddr == cfg.addr {
-		return config{}, errors.New("-pprof-addr must differ from -addr: profiling stays off the serving listener")
+	if cfg.pprofAddr != "" && sameListenPort(cfg.pprofAddr, cfg.addr) {
+		return config{}, errors.New("-pprof-addr must use a different port than -addr: profiling stays off the serving listener")
 	}
 	return cfg, nil
+}
+
+// sameListenPort reports whether two listen addresses would contend for
+// the same port: string equality misses spellings like ":8470" vs
+// "0.0.0.0:8470". Ports are compared literally; equal ports collide when
+// the hosts match or either side binds a wildcard interface. Port "0"
+// (kernel-assigned) never collides. Unparsable addresses fail at bind
+// time with a clearer error than flag validation could give.
+func sameListenPort(a, b string) bool {
+	hostA, portA, errA := net.SplitHostPort(a)
+	hostB, portB, errB := net.SplitHostPort(b)
+	if errA != nil || errB != nil || portA != portB || portA == "0" {
+		return false
+	}
+	wildcard := func(h string) bool {
+		return h == "" || h == "0.0.0.0" || h == "::" || h == "[::]"
+	}
+	return hostA == hostB || wildcard(hostA) || wildcard(hostB)
 }
 
 // newLogger builds the process-wide structured logger the -log-format and
@@ -197,8 +216,12 @@ func run(cfg config) error {
 		return err
 	}
 
+	// The operator explicitly asked for profiling, so a pprof listener
+	// that cannot bind is fatal — logging and carrying on would leave the
+	// process running with profiling silently absent.
+	pprofErrc := make(chan error, 1)
 	if cfg.pprofAddr != "" {
-		go servePprof(cfg.pprofAddr, logger)
+		go func() { pprofErrc <- servePprof(cfg.pprofAddr, logger) }()
 	}
 
 	srv := &http.Server{
@@ -219,6 +242,8 @@ func run(cfg config) error {
 	select {
 	case err := <-errc:
 		return err
+	case err := <-pprofErrc:
+		return fmt.Errorf("pprof listener on %s: %w", cfg.pprofAddr, err)
 	case <-ctx.Done():
 		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -235,8 +260,9 @@ func run(cfg config) error {
 
 // servePprof runs the net/http/pprof handlers on their own mux and
 // listener, so the profiling surface never shares a port with the public
-// protocol (and an empty -pprof-addr costs nothing).
-func servePprof(addr string, logger *slog.Logger) {
+// protocol (and an empty -pprof-addr costs nothing). It only returns on
+// listener failure, which run treats as fatal.
+func servePprof(addr string, logger *slog.Logger) error {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -244,9 +270,7 @@ func servePprof(addr string, logger *slog.Logger) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	logger.Info("pprof listening", "addr", addr)
-	if err := http.ListenAndServe(addr, mux); err != nil {
-		logger.Error("pprof listener failed", "addr", addr, "err", err)
-	}
+	return http.ListenAndServe(addr, mux)
 }
 
 // buildHandler produces the /v1 handler: warm start from a snapshot, or

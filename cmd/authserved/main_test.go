@@ -321,6 +321,22 @@ func TestParseFlagsObservability(t *testing.T) {
 	if _, err := parseFlags([]string{"-addr", ":8470", "-pprof-addr", ":8470"}); err == nil {
 		t.Error("-pprof-addr colliding with -addr accepted")
 	}
+	// Collision detection compares ports, not flag spellings: ":8470" and
+	// "0.0.0.0:8470" bind the same socket.
+	if _, err := parseFlags([]string{"-addr", ":8470", "-pprof-addr", "0.0.0.0:8470"}); err == nil {
+		t.Error("-pprof-addr 0.0.0.0:8470 colliding with -addr :8470 accepted")
+	}
+	if _, err := parseFlags([]string{"-addr", "localhost:8470", "-pprof-addr", "[::]:8470"}); err == nil {
+		t.Error("-pprof-addr wildcard host colliding with -addr port accepted")
+	}
+	// Distinct explicit hosts on one port, and kernel-assigned port 0, are
+	// legitimate.
+	if _, err := parseFlags([]string{"-addr", "127.0.0.1:8470", "-pprof-addr", "127.0.0.2:8470"}); err != nil {
+		t.Errorf("distinct hosts on one port rejected: %v", err)
+	}
+	if _, err := parseFlags([]string{"-addr", ":0", "-pprof-addr", ":0"}); err != nil {
+		t.Errorf("kernel-assigned ports rejected: %v", err)
+	}
 	cfg, err := parseFlags([]string{"-log-format", "json", "-log-level", "Debug", "-pprof-addr", ":6060"})
 	if err != nil {
 		t.Fatalf("valid observability flags rejected: %v", err)

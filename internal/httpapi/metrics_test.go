@@ -118,14 +118,44 @@ func TestMetricsRequestInstrumentation(t *testing.T) {
 }
 
 // TestMetricsEndpointWithoutRegistry checks the endpoint stays a plain 404
-// when no registry is attached.
+// when no registry is attached — and that this 404 is instrumented like
+// any other unknown path (request ID stamped, log record emitted): the
+// scrape-bypass in instrument only applies when a registry is mounted.
 func TestMetricsEndpointWithoutRegistry(t *testing.T) {
-	h := NewHandler(&fakeBackend{})
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	h := NewHandler(&fakeBackend{}, WithRequestLog(logger))
 	req := httptest.NewRequest(http.MethodGet, PathMetrics, nil)
 	w := httptest.NewRecorder()
 	h.ServeHTTP(w, req)
 	if w.Code != http.StatusNotFound {
 		t.Fatalf("status = %d, want 404", w.Code)
+	}
+	if id := w.Header().Get(RequestIDHeader); !hexID.MatchString(id) {
+		t.Fatalf("uninstrumented-registry 404 missing request ID (got %q)", id)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("no log record for /v1/metrics 404: %v (%q)", err, buf.String())
+	}
+	if rec["path"] != PathMetrics || rec["status"] != float64(http.StatusNotFound) {
+		t.Fatalf("log record = %v", rec)
+	}
+}
+
+// The recorder must expose the wrapped writer to http.ResponseController
+// so Flusher/Hijacker/deadline capabilities survive instrumentation.
+func TestRespRecorderUnwrap(t *testing.T) {
+	w := httptest.NewRecorder()
+	rr := &respRecorder{ResponseWriter: w}
+	if got := rr.Unwrap(); got != http.ResponseWriter(w) {
+		t.Fatalf("Unwrap() = %v, want the wrapped writer", got)
+	}
+	if err := http.NewResponseController(rr).Flush(); err != nil {
+		t.Fatalf("Flush through ResponseController: %v", err)
+	}
+	if !w.Flushed {
+		t.Fatal("Flush did not reach the underlying writer")
 	}
 }
 

@@ -145,11 +145,19 @@ func (rr *respRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Unwrap exposes the wrapped writer to http.ResponseController, so
+// Flusher/Hijacker/deadline capabilities of the underlying connection
+// survive the instrumentation wrap.
+func (rr *respRecorder) Unwrap() http.ResponseWriter { return rr.ResponseWriter }
+
 // instrument wraps next with request-ID handling plus (when configured)
 // metrics and logging.
 func instrument(next http.Handler, ins *httpInstruments, logger *slog.Logger) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == PathMetrics {
+		if ins != nil && r.URL.Path == PathMetrics {
+			// A registry is mounted here: serve the scrape uninstrumented.
+			// Without one the path is an ordinary 404 and is logged and
+			// stamped like any other unknown path.
 			next.ServeHTTP(w, r)
 			return
 		}

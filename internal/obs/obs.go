@@ -195,12 +195,18 @@ func (r *Registry) lookup(name, help, typ string, labels []Label) *series {
 
 // Counter returns the counter for name+labels, registering it on first
 // use. Repeated calls with the same name and labels return the same
-// counter, so components can share series without coordination.
+// counter, so components can share series without coordination. A series
+// first registered via CounterFunc cannot also be a direct counter;
+// asking for one panics (like lookup's type-mismatch panic) instead of
+// returning a nil handle that would blow up on the first Inc.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	s := r.lookup(name, help, typeCounter, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if s.counter == nil && s.fn == nil {
+	if s.fn != nil {
+		panic(fmt.Sprintf("obs: metric %s%s registered via CounterFunc, requested as Counter", name, s.labels))
+	}
+	if s.counter == nil {
 		s.counter = &Counter{}
 	}
 	return s.counter
@@ -211,7 +217,10 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	s := r.lookup(name, help, typeGauge, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if s.gauge == nil && s.fn == nil {
+	if s.fn != nil {
+		panic(fmt.Sprintf("obs: metric %s%s registered via GaugeFunc, requested as Gauge", name, s.labels))
+	}
+	if s.gauge == nil {
 		s.gauge = &Gauge{}
 	}
 	return s.gauge
@@ -240,12 +249,17 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 // scrape time — for components (like the VO cache) that already keep
 // their own atomic counters: exposing THE SAME source that other surfaces
 // report means the two can never disagree. Re-registering the same
-// name+labels keeps the first function.
+// name+labels keeps the first function; a series already registered as a
+// direct counter panics (silently dropping fn would leave the series
+// reporting the wrong source forever).
 func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
 	s := r.lookup(name, help, typeCounter, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if s.fn == nil && s.counter == nil {
+	if s.counter != nil {
+		panic(fmt.Sprintf("obs: metric %s%s registered as Counter, requested as CounterFunc", name, s.labels))
+	}
+	if s.fn == nil {
 		s.fn = fn
 	}
 }
@@ -255,7 +269,10 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 	s := r.lookup(name, help, typeGauge, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if s.fn == nil && s.gauge == nil {
+	if s.gauge != nil {
+		panic(fmt.Sprintf("obs: metric %s%s registered as Gauge, requested as GaugeFunc", name, s.labels))
+	}
+	if s.fn == nil {
 		s.fn = fn
 	}
 }

@@ -2,10 +2,12 @@ package obs
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // Bucket edges are le (inclusive): an observation exactly on a bound must
@@ -227,4 +229,127 @@ func TestConcurrentObserveAndScrape(t *testing.T) {
 	if h.Count() != 8000 {
 		t.Fatalf("histogram count = %d, want 8000", h.Count())
 	}
+}
+
+// Registering NEW series while a scrape renders must not race either:
+// the HTTP layer mints a counter series per first-seen status code at
+// request time, so lookup inserts into family maps that WritePrometheus
+// iterates. Regression test (run under -race in CI) for the encoder
+// iterating live maps after dropping the registry mutex.
+func TestConcurrentRegisterAndScrape(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("reg_requests_total", "t",
+					L("code", fmt.Sprintf("%d%02d", n, j))).Inc()
+				r.Gauge("reg_gauge", "t", L("g", fmt.Sprintf("%d-%d", n, j))).Set(1)
+				r.Histogram("reg_seconds", "t", DefLatencyBuckets,
+					L("h", fmt.Sprintf("%d-%d", n, j))).Observe(0.001)
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				var buf bytes.Buffer
+				if err := r.WritePrometheus(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, s := range samples {
+		if s.Name == "reg_requests_total" {
+			n++
+		}
+	}
+	if n != 800 {
+		t.Fatalf("reg_requests_total series = %d, want 800", n)
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// Deterministic version of the register-during-scrape race: park the
+// render mid-flush (the encoder's buffered writer flushes once early
+// families exceed its buffer), mint new series in a late-sorting family
+// while it sleeps, then let the render finish. The park is a plain
+// time.Sleep, NOT a channel handshake — a handshake would give the mints
+// a happens-before edge into the rest of the render and hide the race
+// from the detector. Renders must work from a snapshot taken under the
+// registry mutex; iterating the live series maps here is a
+// write-vs-iterate race the -race CI run flags.
+func TestScrapeDuringSeriesMint(t *testing.T) {
+	r := NewRegistry()
+	// Enough early-sorting series that the underlying writer is reached
+	// (4 KiB bufio flush) before the zz family renders.
+	for i := 0; i < 400; i++ {
+		r.Counter("aa_total", "t", L("i", fmt.Sprintf("%04d", i))).Inc()
+	}
+	r.Counter("zz_total", "t", L("code", "200")).Inc()
+	reached := make(chan struct{})
+	var once sync.Once
+	w := writerFunc(func(p []byte) (int, error) {
+		once.Do(func() {
+			close(reached)
+			time.Sleep(250 * time.Millisecond)
+		})
+		return len(p), nil
+	})
+	done := make(chan error, 1)
+	go func() { done <- r.WritePrometheus(w) }()
+	<-reached
+	// The renderer is asleep mid-render; these inserts land well inside
+	// its window even on a slow single-core machine.
+	for i := 0; i < 100; i++ {
+		r.Counter("zz_total", "t", L("code", fmt.Sprintf("%d", 400+i))).Inc()
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A series registered via a value function and a direct instrument are
+// mutually exclusive; both orders must panic with a message naming the
+// series instead of handing back a nil handle (or silently dropping fn).
+func TestFuncInstrumentConflictPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	r.CounterFunc("fc_total", "t", func() float64 { return 1 }, L("a", "b"))
+	mustPanic("Counter after CounterFunc", func() { r.Counter("fc_total", "t", L("a", "b")) })
+	r.GaugeFunc("fg", "t", func() float64 { return 1 })
+	mustPanic("Gauge after GaugeFunc", func() { r.Gauge("fg", "t") })
+	r.Counter("dc_total", "t")
+	mustPanic("CounterFunc after Counter", func() { r.CounterFunc("dc_total", "t", func() float64 { return 1 }) })
+	r.Gauge("dg", "t")
+	mustPanic("GaugeFunc after Gauge", func() { r.GaugeFunc("dg", "t", func() float64 { return 1 }) })
+	// Different labels on the same name stay independent.
+	r.Counter("fc_total", "t", L("a", "other")).Inc()
 }

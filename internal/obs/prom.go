@@ -19,22 +19,23 @@ import (
 // ContentType is the Content-Type of the exposition format.
 const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 
+// famSnapshot is a point-in-time copy of one family, taken under the
+// registry mutex. Rendering works from snapshots because lookup inserts
+// new series into the live family maps at request time (e.g. the first
+// sighting of a status code mints a new counter series), so iterating
+// those maps after releasing the lock would be a concurrent map
+// iteration+write — a fatal runtime error. The copied series carry
+// instrument pointers whose values are atomics, safe to read while the
+// hot path keeps writing.
+type famSnapshot struct {
+	name, help, typ string
+	series          []series
+}
+
 // WritePrometheus renders every registered family to w.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	r.mu.Lock()
-	names := make([]string, 0, len(r.families))
-	for name := range r.families {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	fams := make([]*family, len(names))
-	for i, name := range names {
-		fams[i] = r.families[name]
-	}
-	r.mu.Unlock()
-
 	bw := bufio.NewWriter(w)
-	for _, f := range fams {
+	for _, f := range r.snapshot() {
 		if err := writeFamily(bw, f); err != nil {
 			return err
 		}
@@ -42,36 +43,58 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return bw.Flush()
 }
 
-func writeFamily(w *bufio.Writer, f *family) error {
+// snapshot copies every family (sorted by name) and its series (sorted by
+// rendered labels) while holding the registry mutex.
+func (r *Registry) snapshot() []famSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]famSnapshot, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		snap := famSnapshot{name: f.name, help: f.help, typ: f.typ,
+			series: make([]series, 0, len(keys))}
+		for _, k := range keys {
+			snap.series = append(snap.series, *f.series[k])
+		}
+		fams = append(fams, snap)
+	}
+	return fams
+}
+
+func writeFamily(w *bufio.Writer, f famSnapshot) error {
 	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
 		return err
 	}
-	keys := make([]string, 0, len(f.series))
-	for k := range f.series {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		s := f.series[k]
-		if err := writeSeries(w, f, s); err != nil {
+	for i := range f.series {
+		if err := writeSeries(w, f.name, &f.series[i]); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func writeSeries(w *bufio.Writer, f *family, s *series) error {
+func writeSeries(w *bufio.Writer, name string, s *series) error {
 	switch {
 	case s.hist != nil:
-		return writeHistogram(w, f.name, s)
+		return writeHistogram(w, name, s)
 	case s.fn != nil:
-		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatValue(s.fn()))
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, s.labels, formatValue(s.fn()))
 		return err
 	case s.counter != nil:
-		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatValue(float64(s.counter.Value())))
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, s.labels, formatValue(float64(s.counter.Value())))
 		return err
 	case s.gauge != nil:
-		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatValue(s.gauge.Value()))
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, s.labels, formatValue(s.gauge.Value()))
 		return err
 	}
 	return nil
