@@ -5,7 +5,7 @@
 //
 //	authbench [-profile tiny|small|medium|wsj]
 //	          [-fig all|4|13|14|15|table2|space|headline|snapshot|shards|concurrency|updates|cache]
-//	          [-queries N] [-rsa] [-out FILE] [-metrics-dump]
+//	          [-queries N] [-rsa] [-out FILE] [-metrics-dump] [-reuse-floor PCT]
 //
 // The medium profile (20,000 documents) reproduces the shape of every
 // figure in minutes; wsj runs at full paper scale (172,961 documents).
@@ -41,6 +41,8 @@ func run() error {
 	rsa := flag.Bool("rsa", false, "sign with RSA-1024 instead of the fast keyed-hash signer")
 	outPath := flag.String("out", "", "write output to this file as well as stdout")
 	metricsDump := flag.Bool("metrics-dump", false, "print the final metrics snapshot (Prometheus text format) after the run")
+	reuseFloor := flag.Float64("reuse-floor", 0,
+		"with -fig updates: fail unless the 'replace oldest 10%' row reuses at least this percentage of signatures")
 	flag.Parse()
 
 	var metrics *authtext.Metrics
@@ -155,10 +157,18 @@ func run() error {
 		fmt.Fprintln(w)
 	}
 	if has("updates") {
-		if _, err := experiments.UpdateCompare(profile, *rsa, w); err != nil {
+		urep, err := experiments.UpdateCompare(profile, *rsa, w)
+		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w)
+		if *reuseFloor > 0 {
+			if err := checkReuseFloor(urep, *reuseFloor, w); err != nil {
+				return err
+			}
+		}
+	} else if *reuseFloor > 0 {
+		return fmt.Errorf("-reuse-floor needs the updates experiment (-fig updates)")
 	}
 	if has("cache") {
 		if _, err := experiments.CacheCompare(profile, opts.Queries, w); err != nil {
@@ -174,4 +184,23 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// checkReuseFloor enforces the removal-reuse regression gate: the
+// "replace oldest 10%" row must reuse at least floor percent of its
+// signatures (the regime that collapsed to 0% when removals renumbered
+// surviving documents).
+func checkReuseFloor(rep *experiments.UpdateReport, floor float64, w io.Writer) error {
+	for _, pt := range rep.Points {
+		if pt.Label != "replace oldest 10%" {
+			continue
+		}
+		if pt.ReusePct < floor {
+			return fmt.Errorf("reuse floor: %q reused %.1f%% of signatures, floor is %.1f%%",
+				pt.Label, pt.ReusePct, floor)
+		}
+		fmt.Fprintf(w, "reuse floor: %q reused %.1f%% >= %.1f%% — ok\n\n", pt.Label, pt.ReusePct, floor)
+		return nil
+	}
+	return fmt.Errorf("reuse floor: no %q row in the updates experiment", "replace oldest 10%")
 }

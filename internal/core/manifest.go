@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"authtext/internal/sig"
 )
@@ -51,6 +52,44 @@ type Manifest struct {
 	// move to a manifest with a lower generation than one they have
 	// already accepted (rollback = tampering).
 	Generation uint64
+	// Live counts the non-tombstoned documents when Tombstones is present;
+	// 0 (with a nil Tombstones) means all N slots are live. N stays the
+	// slot count — the size every signed structure was built against — so
+	// term frequencies, tree shapes and Okapi weights remain consistent
+	// with the per-structure signatures across removals.
+	Live uint32
+	// Tombstones is the removal bitmap of a live collection: bit d set
+	// means document slot d was removed after being signed into the
+	// collection. The bitmap is part of the signed encoding, so a server
+	// can neither resurrect a removed document nor suppress a live one.
+	// Removed slots keep their postings and signed records (which is what
+	// lets CachingSigner reuse them); search and verification skip them
+	// deterministically. nil when no document is tombstoned.
+	Tombstones []byte
+}
+
+// tombstoneLen is the canonical bitmap length for n document slots.
+func tombstoneLen(n uint32) int { return int(n+7) / 8 }
+
+// LiveDocs returns the number of live (non-tombstoned) documents.
+func (m *Manifest) LiveDocs() int {
+	if len(m.Tombstones) == 0 {
+		return int(m.N)
+	}
+	return int(m.Live)
+}
+
+// IsTombstoned reports whether document slot d was removed. Out-of-range
+// slots report false; callers bound d by N independently.
+func (m *Manifest) IsTombstoned(d uint32) bool {
+	if len(m.Tombstones) == 0 {
+		return false
+	}
+	byteIdx := int(d >> 3)
+	if byteIdx >= len(m.Tombstones) {
+		return false
+	}
+	return m.Tombstones[byteIdx]&(1<<(d&7)) != 0
 }
 
 // Encode produces the canonical signed encoding of the manifest.
@@ -74,6 +113,9 @@ func (m *Manifest) Encode() []byte {
 	if m.Boosted {
 		flags |= 4
 	}
+	if len(m.Tombstones) != 0 {
+		flags |= 8
+	}
 	b = append(b, flags)
 	b = appendSized(b, m.DocHashRoot)
 	for _, r := range m.DictRoots {
@@ -86,9 +128,17 @@ func (m *Manifest) Encode() []byte {
 	// The generation is a trailing extension: static collections
 	// (generation 0) encode exactly the original v1 layout, so their
 	// signatures, snapshots and golden fixtures are unaffected, while live
-	// collections (generation ≥ 1) sign the extra 8 bytes.
+	// collections (generation ≥ 1) sign the extra 8 bytes. The tombstone
+	// bitmap extends further, and only when a slot is actually tombstoned
+	// (flag bit 8): a live collection with no removals still encodes the
+	// generation-only layout, so pre-tombstone snapshots stay valid.
 	if m.Generation != 0 {
 		b = binary.BigEndian.AppendUint64(b, m.Generation)
+	}
+	if len(m.Tombstones) != 0 {
+		b = binary.BigEndian.AppendUint32(b, m.Live)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(m.Tombstones)))
+		b = append(b, m.Tombstones...)
 	}
 	return b
 }
@@ -132,6 +182,40 @@ func (m *Manifest) Validate() error {
 		if m.AMax < 0 || m.AMax > 1 || math.IsNaN(m.AMax) {
 			return fmt.Errorf("core: manifest authority max %v", m.AMax)
 		}
+	}
+	if len(m.Tombstones) != 0 {
+		if m.Generation == 0 {
+			return errors.New("core: manifest tombstones on a static collection")
+		}
+		if len(m.Tombstones) != tombstoneLen(m.N) {
+			return fmt.Errorf("core: manifest tombstone bitmap is %d bytes for %d slots",
+				len(m.Tombstones), m.N)
+		}
+		// Canonical form: bits past slot N−1 must be clear, at least one
+		// slot tombstoned (else the bitmap would be omitted), at least one
+		// live (an empty collection is unservable), and Live must agree
+		// with the bitmap so the two signed views cannot diverge.
+		dead := 0
+		for i, bb := range m.Tombstones {
+			if i == len(m.Tombstones)-1 && m.N%8 != 0 {
+				if bb>>(m.N%8) != 0 {
+					return errors.New("core: manifest tombstone bitmap has bits past slot count")
+				}
+			}
+			dead += bits.OnesCount8(bb)
+		}
+		if dead == 0 {
+			return errors.New("core: manifest tombstone bitmap is empty")
+		}
+		if dead == int(m.N) {
+			return errors.New("core: manifest tombstones every slot")
+		}
+		if int(m.Live) != int(m.N)-dead {
+			return fmt.Errorf("core: manifest live count %d disagrees with bitmap (%d of %d tombstoned)",
+				m.Live, dead, m.N)
+		}
+	} else if m.Live != 0 {
+		return errors.New("core: manifest live count without tombstone bitmap")
 	}
 	return nil
 }

@@ -27,6 +27,7 @@ func DecodeManifest(b []byte) (*Manifest, error) {
 	m.DictMode = flags&1 != 0
 	m.VocabProofsEnabled = flags&2 != 0
 	m.Boosted = flags&4 != 0
+	tombstoned := flags&8 != 0
 	m.DocHashRoot = r.sized()
 	for i := range m.DictRoots {
 		m.DictRoots[i] = r.sized()
@@ -37,8 +38,24 @@ func DecodeManifest(b []byte) (*Manifest, error) {
 	m.AuthorityRoot = r.sized()
 	// Optional trailing generation (live collections only; see
 	// Manifest.Encode). A zero value would have been omitted by the
-	// encoder, so reject it to keep the encoding canonical.
-	if r.err == nil && len(r.b)-r.off == 8 {
+	// encoder, so reject it to keep the encoding canonical. When the
+	// tombstone flag is set the trailing section is mandatory and longer:
+	// generation, live count, and the sized removal bitmap.
+	switch {
+	case tombstoned:
+		m.Generation = r.u64()
+		if r.err == nil && m.Generation == 0 {
+			return nil, errors.New("core: non-canonical zero generation field")
+		}
+		m.Live = r.u32()
+		bmLen := r.u32()
+		if r.err == nil && int(bmLen) != tombstoneLen(m.N) {
+			return nil, errors.New("core: manifest tombstone bitmap length mismatch")
+		}
+		if bm := r.take(int(bmLen)); bm != nil {
+			m.Tombstones = append([]byte(nil), bm...)
+		}
+	case r.err == nil && len(r.b)-r.off == 8:
 		m.Generation = r.u64()
 		if m.Generation == 0 {
 			return nil, errors.New("core: non-canonical zero generation field")

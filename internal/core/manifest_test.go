@@ -85,6 +85,115 @@ func TestManifestValidate(t *testing.T) {
 	}
 }
 
+// tombstonedManifest returns a generation-2 manifest with slots 0 and 3
+// tombstoned out of N=100.
+func tombstonedManifest() *Manifest {
+	m := sampleManifest()
+	m.Generation = 2
+	bm := make([]byte, 13) // ceil(100/8)
+	bm[0] = 0b_0000_1001   // slots 0 and 3
+	m.Tombstones = bm
+	m.Live = 98
+	return m
+}
+
+func TestManifestTombstoneRoundTrip(t *testing.T) {
+	m := tombstonedManifest()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid tombstoned manifest rejected: %v", err)
+	}
+	got, err := DecodeManifest(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Generation != 2 || got.Live != 98 || string(got.Tombstones) != string(m.Tombstones) {
+		t.Fatalf("round trip lost tombstone state: %+v", got)
+	}
+	if !got.IsTombstoned(0) || !got.IsTombstoned(3) || got.IsTombstoned(1) || got.IsTombstoned(99) {
+		t.Fatal("IsTombstoned wrong after round trip")
+	}
+	if got.IsTombstoned(100) || got.IsTombstoned(1<<20) {
+		t.Fatal("out-of-range slot reported tombstoned")
+	}
+	if got.LiveDocs() != 98 {
+		t.Fatalf("LiveDocs = %d, want 98", got.LiveDocs())
+	}
+	// The bitmap is inside the signed bytes: flipping a bit must change
+	// the encoding.
+	m2 := tombstonedManifest()
+	m2.Tombstones[1] = 1
+	m2.Live = 97
+	if string(m2.Encode()) == string(m.Encode()) {
+		t.Fatal("tombstone bitmap not bound by the encoding")
+	}
+}
+
+// TestManifestZeroTombstoneEncodingUnchanged pins the compatibility
+// contract: a manifest without tombstones — generation 0 especially —
+// encodes byte-identically to the pre-tombstone layout (no flag bit, no
+// trailing extension), so gen-0 golden fixtures and static snapshots are
+// untouched by the feature.
+func TestManifestZeroTombstoneEncodingUnchanged(t *testing.T) {
+	m := sampleManifest()
+	base := m.Encode()
+	m.Tombstones = nil // explicit: no bitmap
+	m.Live = 0
+	if string(m.Encode()) != string(base) {
+		t.Fatal("no-tombstone encoding changed")
+	}
+	if base[0]&8 != 0 {
+		t.Fatal("flag bit 8 set without tombstones")
+	}
+	// A generation-carrying manifest without tombstones keeps the old
+	// 8-byte trailing-generation layout.
+	m.Generation = 5
+	gen := m.Encode()
+	if len(gen) != len(base)+8 {
+		t.Fatalf("generation suffix is %d bytes, want 8", len(gen)-len(base))
+	}
+}
+
+func TestManifestTombstoneValidate(t *testing.T) {
+	bad := []struct {
+		name   string
+		mutate func(*Manifest)
+	}{
+		{"generation 0", func(m *Manifest) { m.Generation = 0 }},
+		{"bitmap too short", func(m *Manifest) { m.Tombstones = m.Tombstones[:12] }},
+		{"bitmap too long", func(m *Manifest) { m.Tombstones = append(m.Tombstones, 0) }},
+		{"trailing bits past N", func(m *Manifest) { m.Tombstones[12] |= 0x80 }},
+		{"live count mismatch", func(m *Manifest) { m.Live = 99 }},
+		{"all slots dead", func(m *Manifest) {
+			for i := range m.Tombstones {
+				m.Tombstones[i] = 0xff
+			}
+			m.Tombstones[12] = 0x0f
+			m.Live = 0
+		}},
+		{"no dead bits but bitmap present", func(m *Manifest) {
+			for i := range m.Tombstones {
+				m.Tombstones[i] = 0
+			}
+			m.Live = 100
+		}},
+		{"live set without bitmap", func(m *Manifest) { m.Tombstones = nil }},
+	}
+	for _, tc := range bad {
+		m := tombstonedManifest()
+		tc.mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// Decoding rejects the same corruptions when they survive encoding.
+	m := tombstonedManifest()
+	enc := m.Encode()
+	enc[len(enc)-1] ^= 0x80 // set a trailing bit past N
+	if _, err := DecodeManifest(enc); err == nil {
+		t.Error("decoder accepted trailing tombstone bits past N")
+	}
+}
+
 func TestVerifyManifest(t *testing.T) {
 	signer, err := sig.NewHMACSigner([]byte("manifest"), 64)
 	if err != nil {

@@ -45,13 +45,20 @@ type TNRAEval struct {
 // the whole list. Frequencies of a document in lists where it was not
 // revealed are bounded by the last revealed frequency (0 if exhausted).
 func EvalTNRA(q *Query, prefixes [][]index.Posting, exhausted []bool, r int) *TNRAEval {
-	return EvalTNRAWithBoost(q, prefixes, exhausted, r, nil)
+	return EvalTNRAWithBoost(q, prefixes, exhausted, r, nil, nil)
 }
 
 // EvalTNRAWithBoost is EvalTNRA under the §5 authority-boost extension:
 // every candidate's bounds gain β·A(d), and the unseen-document bound in
 // termination condition 3 widens by β·A_max.
-func EvalTNRAWithBoost(q *Query, prefixes [][]index.Posting, exhausted []bool, r int, boost *Boost) *TNRAEval {
+//
+// dead (optional) marks tombstoned document slots of a live collection:
+// their revealed postings never become candidates, so they cannot enter
+// the result or the termination ordering. Their frequencies still set the
+// per-list bounds (they sit inside the signed, frequency-ordered lists),
+// which keeps every bound a valid — merely conservative — cap on live
+// documents.
+func EvalTNRAWithBoost(q *Query, prefixes [][]index.Posting, exhausted []bool, r int, boost *Boost, dead func(index.DocID) bool) *TNRAEval {
 	nq := len(q.Terms)
 	type cand struct {
 		w    []float32
@@ -66,6 +73,9 @@ func EvalTNRAWithBoost(q *Query, prefixes [][]index.Posting, exhausted []bool, r
 			bound[i] = float64(prefixes[i][len(prefixes[i])-1].W)
 		}
 		for _, p := range prefixes[i] {
+			if dead != nil && dead(p.Doc) {
+				continue // tombstoned: revealed but never a candidate
+			}
 			c := cands[p.Doc]
 			if c == nil {
 				c = &cand{w: make([]float32, nq)}
@@ -202,14 +212,15 @@ func (h *subHeap) Pop() interface{} {
 // head entries of each list, which the VO reveals anyway — is what the
 // server answers with and what the client recomputes.
 func TNRA(q *Query, lists ListSource, r int, trace func(TraceEvent)) (*TNRAOutcome, error) {
-	return TNRAWithBoost(q, lists, r, nil, trace)
+	return TNRAWithBoost(q, lists, r, nil, nil, trace)
 }
 
 // TNRAWithBoost is TNRA with the §5 authority-boost extension. Authority
 // scores are memory-resident (like the dictionary), so the boost costs no
 // additional I/O: a candidate's bounds simply include β·A(d) from the
-// moment it is first polled.
-func TNRAWithBoost(q *Query, lists ListSource, r int, boost *Boost, trace func(TraceEvent)) (*TNRAOutcome, error) {
+// moment it is first polled. dead (optional) marks tombstoned slots,
+// excluded from candidacy exactly as in EvalTNRAWithBoost.
+func TNRAWithBoost(q *Query, lists ListSource, r int, boost *Boost, dead func(index.DocID) bool, trace func(TraceEvent)) (*TNRAOutcome, error) {
 	nq := len(q.Terms)
 	if nq == 0 {
 		return nil, ErrNoQueryTerms
@@ -272,7 +283,7 @@ func TNRAWithBoost(q *Query, lists ListSource, r int, boost *Boost, trace func(T
 			// bounds absent documents by 0.
 			out.Exhausted[i] = k == cursors[i].Len()
 		}
-		return EvalTNRAWithBoost(q, cursorPrefixes(cursors, out.KScore), out.Exhausted, r, boost)
+		return EvalTNRAWithBoost(q, cursorPrefixes(cursors, out.KScore), out.Exhausted, r, boost, dead)
 	}
 
 	// incrementalOK is a cheap sufficient check before paying for EvalTNRA.
@@ -353,6 +364,9 @@ func TNRAWithBoost(q *Query, lists ListSource, r int, boost *Boost, trace func(T
 		out.Iterations++
 		if trace != nil {
 			trace(TraceEvent{Iter: out.Iterations, Thres: th, Term: best, Entry: entry})
+		}
+		if dead != nil && dead(entry.Doc) {
+			continue // tombstoned: revealed but never a candidate
 		}
 
 		c := cands[entry.Doc]

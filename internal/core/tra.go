@@ -52,13 +52,21 @@ type TRAOutcome struct {
 // term score c_i = w_{Q,ti}·L_i.f — essential when some lists are orders of
 // magnitude longer than others (§3.3).
 func TRA(q *Query, lists ListSource, docs DocVectorSource, r int, trace func(TraceEvent)) (*TRAOutcome, error) {
-	return TRAWithBoost(q, lists, docs, r, nil, trace)
+	return TRAWithBoost(q, lists, docs, r, nil, nil, trace)
 }
 
 // TRAWithBoost is TRA with the §5 authority-boost extension: document
 // scores gain β·A(d) and the termination threshold widens by β·A_max so
 // that unseen matching documents remain bounded.
-func TRAWithBoost(q *Query, lists ListSource, docs DocVectorSource, r int, boost *Boost, trace func(TraceEvent)) (*TRAOutcome, error) {
+//
+// dead (optional) marks tombstoned document slots of a live collection:
+// their postings are still revealed (they are part of the signed lists)
+// but they are never scored and never enter the result. The verifier
+// replays the identical rule from the signed manifest's bitmap, so owner
+// and client agree on the skip deterministically. A dead head entry still
+// contributes to the termination threshold — the bound stays a valid
+// upper bound for unrevealed live documents, merely a conservative one.
+func TRAWithBoost(q *Query, lists ListSource, docs DocVectorSource, r int, boost *Boost, dead func(index.DocID) bool, trace func(TraceEvent)) (*TRAOutcome, error) {
 	nq := len(q.Terms)
 	if nq == 0 {
 		return nil, ErrNoQueryTerms
@@ -77,6 +85,7 @@ func TRAWithBoost(q *Query, lists ListSource, docs DocVectorSource, r int, boost
 		Exhausted: make([]bool, nq),
 		Scores:    make(map[index.DocID]float64),
 	}
+	popped := make(map[index.DocID]struct{})
 	var result []ResultEntry // sorted by resultLess
 
 	thres := func() float64 {
@@ -125,7 +134,11 @@ func TRAWithBoost(q *Query, lists ListSource, docs DocVectorSource, r int, boost
 		if trace != nil {
 			trace(TraceEvent{Iter: out.Iterations, Thres: th, Term: best, Entry: entry})
 		}
-		if _, seen := out.Scores[entry.Doc]; !seen {
+		if _, seen := popped[entry.Doc]; !seen {
+			popped[entry.Doc] = struct{}{}
+			if dead != nil && dead(entry.Doc) {
+				continue // tombstoned: revealed but never scored
+			}
 			vec, err := docs.DocVector(entry.Doc)
 			if err != nil {
 				return nil, err

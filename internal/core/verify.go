@@ -335,9 +335,15 @@ func verifyTRA(in *VerifyInput, baseHasher sig.Hasher, hasher mht.Hasher, q *Que
 		thres += q.Terms[i].WQ * float64(weights[head][i])
 	}
 
+	m := in.Manifest
 	for i, e := range in.Result {
 		if _, ok := enc[e.Doc]; !ok {
 			return vErr(CodeSpurious, "result doc %d never encountered", e.Doc)
+		}
+		if m.IsTombstoned(uint32(e.Doc)) {
+			// The signed manifest's bitmap says this slot was removed; a
+			// server cannot resurrect it.
+			return vErr(CodeSpurious, "result doc %d is tombstoned", e.Doc)
 		}
 		if !proofs[e.Doc].InResult {
 			return vErr(CodeBadContent, "result doc %d content not bound to its proof", e.Doc)
@@ -359,7 +365,7 @@ func verifyTRA(in *VerifyInput, baseHasher sig.Hasher, hasher mht.Hasher, q *Que
 			}
 		}
 		for d := range enc {
-			if _, ok := resultSet[d]; !ok {
+			if _, ok := resultSet[d]; !ok && !m.IsTombstoned(uint32(d)) {
 				return vErr(CodeIncomplete, "short result omits encountered doc %d", d)
 			}
 		}
@@ -370,6 +376,9 @@ func verifyTRA(in *VerifyInput, baseHasher sig.Hasher, hasher mht.Hasher, q *Que
 	for d := range enc {
 		if _, inR := resultSet[d]; inR {
 			continue
+		}
+		if m.IsTombstoned(uint32(d)) {
+			continue // removed slots cannot outscore anything
 		}
 		if scores[d] > sLast {
 			return vErr(CodeIncomplete, "encountered doc %d outscores result tail (%v > %v)", d, scores[d], sLast)
@@ -482,7 +491,15 @@ func verifyTNRA(in *VerifyInput, baseHasher sig.Hasher, hasher mht.Hasher, q *Qu
 	if len(in.VO.Docs) != 0 {
 		return vErr(CodeMalformedVO, "document proofs in a TNRA VO")
 	}
-	ev := EvalTNRAWithBoost(q, prefixes, exhausted, in.R, boost)
+	// The signed manifest's tombstone bitmap drives the same deterministic
+	// skip rule the owner applied: removed slots are revealed but never
+	// candidates.
+	var dead func(index.DocID) bool
+	if len(in.Manifest.Tombstones) != 0 {
+		m := in.Manifest
+		dead = func(d index.DocID) bool { return m.IsTombstoned(uint32(d)) }
+	}
+	ev := EvalTNRAWithBoost(q, prefixes, exhausted, in.R, boost, dead)
 	if !ev.OK {
 		return vErr(CodeBadConditions, "termination conditions do not hold over the revealed prefixes")
 	}

@@ -42,6 +42,14 @@ type Config struct {
 	// FixedAvgLen pins the Okapi average document length (see
 	// index.Options.FixedAvgLen); 0 computes it from the corpus.
 	FixedAvgLen float64
+	// Tombstones marks removed document slots of a live collection
+	// (Tombstones[d] == true ⇒ slot d is dead). Tombstoned documents stay
+	// fully indexed — postings, records and their signatures are exactly
+	// those of a collection where the slot is live, which is what lets a
+	// caching signer reuse them — but the signed manifest commits the
+	// removal bitmap and search/verification skip the slots. nil or
+	// all-false means no tombstones. Requires Generation ≥ 1.
+	Tombstones []bool
 }
 
 // DefaultConfig returns the paper's parameters; the caller must supply a
@@ -248,6 +256,29 @@ func BuildCollection(docs []index.Document, cfg Config) (*Collection, error) {
 		DocHashRoot:        mht.Root(c.hasher, c.docHash),
 		Generation:         cfg.Generation,
 	}
+	if cfg.Tombstones != nil {
+		if len(cfg.Tombstones) != idx.N {
+			return nil, fmt.Errorf("engine: %d tombstone flags for %d documents", len(cfg.Tombstones), idx.N)
+		}
+		bm := make([]byte, (idx.N+7)/8)
+		dead := 0
+		for d, t := range cfg.Tombstones {
+			if t {
+				bm[d>>3] |= 1 << (d & 7)
+				dead++
+			}
+		}
+		if dead == idx.N {
+			return nil, errors.New("engine: every document tombstoned")
+		}
+		if dead > 0 {
+			if cfg.Generation == 0 {
+				return nil, errors.New("engine: tombstones require a live collection (generation ≥ 1)")
+			}
+			manifest.Live = uint32(idx.N - dead)
+			manifest.Tombstones = bm
+		}
+	}
 	if cfg.DictMode {
 		for k := range kinds {
 			manifest.DictRoots[k] = mht.Root(c.hasher, c.termRoots[k])
@@ -311,6 +342,20 @@ func BuildCollection(docs []index.Document, cfg Config) (*Collection, error) {
 
 // Index exposes the underlying inverted index (dictionary pinned in memory).
 func (c *Collection) Index() *index.Index { return c.idx }
+
+// LiveDocs returns the number of live (non-tombstoned) documents; equal to
+// Index().N unless the collection carries tombstones.
+func (c *Collection) LiveDocs() int { return c.manifest.LiveDocs() }
+
+// deadPredicate returns the tombstone skip rule for the search algorithms,
+// or nil when no slot is tombstoned (the common case pays nothing).
+func (c *Collection) deadPredicate() func(index.DocID) bool {
+	m := c.manifest
+	if len(m.Tombstones) == 0 {
+		return nil
+	}
+	return func(d index.DocID) bool { return m.IsTombstoned(uint32(d)) }
+}
 
 // Device exposes the simulated disk (tests use it for failure injection).
 func (c *Collection) Device() *store.Device { return c.dev }

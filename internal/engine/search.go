@@ -91,7 +91,7 @@ func (c *Collection) Search(tokens []string, r int, algo core.Algo, scheme core.
 	switch algo {
 	case core.AlgoTRA:
 		docs := newDocSource(c, sess)
-		out, err := core.TRAWithBoost(q, src, docs, r, c.boost, nil)
+		out, err := core.TRAWithBoost(q, src, docs, r, c.boost, c.deadPredicate(), nil)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -105,7 +105,7 @@ func (c *Collection) Search(tokens []string, r int, algo core.Algo, scheme core.
 		}
 		c.recordReadStats(stats, q, out.KScore)
 	default:
-		out, err := core.TNRAWithBoost(q, src, r, c.boost, nil)
+		out, err := core.TNRAWithBoost(q, src, r, c.boost, c.deadPredicate(), nil)
 		if err != nil {
 			return nil, nil, nil, err
 		}

@@ -18,10 +18,13 @@ import (
 	"authtext/internal/workload"
 )
 
-// UpdatePoint is one row of the update experiment: one batch replacing
+// UpdatePoint is one row of the update experiment: one batch touching
 // Docs documents (FractionPct of the corpus) published as a new
 // generation.
 type UpdatePoint struct {
+	// Label names the row ("append 10%", "remove 10%", "replace oldest
+	// 10%", ...).
+	Label       string
 	FractionPct float64
 	Docs        int
 	Generation  uint64
@@ -49,13 +52,16 @@ type UpdateReport struct {
 
 // UpdateCompare measures the live-collection update pipeline on a
 // generated corpus. The fraction sweep uses dictionary-stable APPEND
-// batches (documents recombined from the existing dictionary — the
-// steady state of a corpus whose vocabulary has saturated): term IDs and
-// document IDs stay put, so the rebuild re-signs only the term lists the
-// batch actually touches. A final worst-case row replaces the OLDEST
-// documents instead, which renumbers every document and term behind the
-// removal point and degrades to a full re-sign — docs/UPDATES.md
-// explains why both regimes exist.
+// batches: new documents are drawn from the corpus's own empirical token
+// distribution (the steady state of a corpus whose vocabulary has
+// saturated — new text talks about what the collection already talks
+// about), so no term enters or leaves the dictionary and the rebuild
+// re-signs only the term lists the batch actually touches. A removal-only
+// row shows the tombstone path (document IDs never shift, so a removal
+// re-signs nothing but the manifest), and a final "replace oldest" row
+// combines both — the regime that used to degrade to a full re-sign when
+// removals renumbered every surviving document. docs/UPDATES.md explains
+// the regimes.
 func UpdateCompare(p corpus.Profile, rsa bool, w io.Writer) (*UpdateReport, error) {
 	var signer sig.Signer
 	var err error
@@ -81,24 +87,34 @@ func UpdateCompare(p corpus.Profile, rsa bool, w io.Writer) (*UpdateReport, erro
 	fmt.Fprintf(w, "  %-22s %8s %10s %10s %9s %12s\n",
 		"batch", "docs", "signed", "reused", "reuse%", "rebuild")
 
-	// Dictionary-stable appends: every token is an existing dictionary
-	// term, so no term enters or leaves the dictionary.
+	// Dictionary-stable batches drawn from the corpus's own token
+	// distribution: the bag holds every corpus token that survived the
+	// indexing pipeline, so sampling it uniformly reproduces the empirical
+	// (Zipfian) term frequencies. New documents therefore concentrate
+	// their mass on frequent terms, touching a small set of term lists —
+	// the realistic steady state — and never introduce a term the
+	// dictionary lacks (which would shift term IDs and void every reuse).
 	idx := lc.Current().Index()
-	dict := make([]string, idx.M())
-	for t := range dict {
-		dict[t] = idx.Name(index.TermID(t))
+	var bag []string
+	for _, d := range pool {
+		for _, tok := range d.Tokens {
+			if _, ok := idx.Lookup(tok); ok {
+				bag = append(bag, tok)
+			}
+		}
 	}
 	rng := rand.New(rand.NewSource(p.Seed + 99))
 	makeDoc := func() index.Document {
 		toks := make([]string, int(p.AvgLen))
 		for i := range toks {
-			toks[i] = dict[rng.Intn(len(dict))]
+			toks[i] = bag[rng.Intn(len(bag))]
 		}
 		return index.Document{Content: []byte(strings.Join(toks, " ")), Tokens: toks}
 	}
 	row := func(label string, st *live.UpdateStats, k int, frac float64) {
 		total := st.Signed + st.Reused
 		point := UpdatePoint{
+			Label:       label,
 			FractionPct: 100 * frac,
 			Docs:        k,
 			Generation:  st.Generation,
@@ -129,17 +145,29 @@ func UpdateCompare(p corpus.Profile, rsa bool, w io.Writer) (*UpdateReport, erro
 		row(fmt.Sprintf("append %.0f%%", 100*frac), st, k, frac)
 	}
 
-	// Worst case: replacing the oldest documents shifts every document ID
-	// (and usually the dictionary) behind the removal point.
 	k := n / 10
 	if k < 1 {
 		k = 1
 	}
+
+	// Removal only: the removed documents become tombstoned slots — their
+	// postings stay in the signed lists and their records stay signed — so
+	// the rebuild re-signs nothing but the manifest.
+	st, err := remove(lc, &handles, k)
+	if err != nil {
+		return nil, err
+	}
+	row("remove oldest 10%", st, k, 0.10)
+
+	// Replace: remove the oldest documents and add replacements in one
+	// batch. Under tombstones the removals are free, so the row costs what
+	// an equal-size append costs — this used to degrade to a full re-sign
+	// when removals renumbered every surviving document and term list.
 	batch := make([]index.Document, k)
 	for i := range batch {
 		batch[i] = makeDoc()
 	}
-	st, err := replace(lc, &handles, batch, k)
+	st, err = replace(lc, &handles, batch, k)
 	if err != nil {
 		return nil, err
 	}
@@ -209,5 +237,16 @@ func replace(lc *live.Collection, handles *[]uint64, add []index.Document, k int
 		return nil, err
 	}
 	*handles = append(append([]uint64(nil), (*handles)[k:]...), newHandles...)
+	return st, nil
+}
+
+// remove tombstones the k oldest documents, keeping the handle list
+// current.
+func remove(lc *live.Collection, handles *[]uint64, k int) (*live.UpdateStats, error) {
+	_, st, err := lc.Update(nil, (*handles)[:k])
+	if err != nil {
+		return nil, err
+	}
+	*handles = append([]uint64(nil), (*handles)[k:]...)
 	return st, nil
 }

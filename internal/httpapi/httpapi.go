@@ -301,8 +301,13 @@ func (r *UpdateRequest) Validate() error {
 // generation, the handles assigned to the added documents (in request
 // order), and the owner-side rebuild costs.
 type UpdateResponse struct {
-	Generation       uint64   `json:"generation"`
+	Generation uint64 `json:"generation"`
+	// Documents counts live documents; TombstonedSlots the removed-but-
+	// still-indexed slots the generation carries. Compacted reports that
+	// this rebuild dropped accumulated dead slots.
 	Documents        int      `json:"documents"`
+	TombstonedSlots  int      `json:"tombstoned_slots,omitempty"`
+	Compacted        bool     `json:"compacted,omitempty"`
 	Added            []uint64 `json:"added,omitempty"`
 	Removed          int      `json:"removed"`
 	SignaturesSigned int      `json:"signatures_signed"`

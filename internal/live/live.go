@@ -12,6 +12,16 @@
 // unchanged document records). The generation number itself lives in the
 // freshly signed manifest, which is what makes rollback detectable:
 // clients refuse to regress to a lower generation (docs/UPDATES.md).
+//
+// Removals use tombstones rather than deletion: a removed document keeps
+// its slot — its postings stay in the signed term lists and its record
+// stays signed — and the manifest (re-signed every generation anyway)
+// commits a removal bitmap that search and verification skip
+// deterministically. Document IDs therefore never shift, which is what
+// lets a removal batch reuse every per-structure signature it did not
+// touch, exactly like an append batch. Dead slots accumulate until they
+// outnumber live documents, at which point the rebuild compacts them away
+// (one full re-sign, the same rare-event budget as a W_A re-pin).
 package live
 
 import (
@@ -29,12 +39,21 @@ import (
 type UpdateStats struct {
 	// Generation is the generation the update published.
 	Generation uint64
-	// Documents is the corpus size after the update.
+	// Documents is the number of live documents after the update
+	// (tombstoned slots excluded).
 	Documents int
 	// Added and Removed count the documents the batch changed.
 	Added, Removed int
+	// TombstonedSlots is the number of dead slots the new generation still
+	// carries; Compacted reports that this rebuild dropped accumulated
+	// dead slots (a full re-sign).
+	TombstonedSlots int
+	Compacted       bool
 	// Signed is the number of fresh signatures the rebuild needed;
-	// Reused the number served from the signature cache.
+	// Reused the number served from the signature cache. Both count only
+	// structures this rebuild actually produced (reuse-eligible
+	// structures), so Reused/(Signed+Reused) is the honest reuse ratio
+	// whether or not slots are tombstoned.
 	Signed, Reused int
 	// ShardsReused counts whole shards carried over from the previous
 	// generation without any rebuild (sharded live sets only).
@@ -44,10 +63,13 @@ type UpdateStats struct {
 	Rebuild time.Duration
 }
 
-// entry is one live document: a stable handle plus its immutable content.
+// entry is one document slot: a stable handle, the immutable content, the
+// pinned authority score (boosted collections), and the tombstone flag.
 type entry struct {
 	handle uint64
 	doc    index.Document
+	auth   float64
+	dead   bool
 }
 
 // Collection is a live single-collection deployment: an atomically
@@ -55,10 +77,14 @@ type entry struct {
 // it. Searches go through Current and are lock-free; updates serialise on
 // an owner-side mutex that the read path never touches.
 type Collection struct {
-	mu         sync.Mutex // serialises updates (owner side only)
-	cfg        engine.Config
-	signer     *CachingSigner
-	docs       []entry
+	mu      sync.Mutex // serialises updates (owner side only)
+	cfg     engine.Config
+	signer  *CachingSigner
+	boosted bool
+	docs    []entry // slots, including tombstoned ones
+	dead    int     // tombstoned slots in docs
+	// nextHandle assigns handles; never reused, so a handle is
+	// unambiguous across the whole collection lifetime.
 	nextHandle uint64
 	lastStats  UpdateStats
 	// pinnedAvgLen freezes the Okapi W_A across generations so that
@@ -78,26 +104,37 @@ type Collection struct {
 // maxAvgLenDrift is the relative drift of the true average document
 // length from the pinned W_A beyond which a rebuild re-pins (and
 // re-signs everything). 25% keeps Okapi's length normalisation honest
-// without making routine updates expensive.
+// without making routine updates expensive. Tombstoned slots count in
+// the drift base — they are part of the index statistics the signed
+// structures were built against — and compaction bounds how long they
+// can distort it.
 const maxAvgLenDrift = 0.25
 
 // New builds generation 1 from the initial documents. cfg is the engine
 // configuration to use for every generation; its Signer is wrapped in a
-// CachingSigner so later updates reuse unchanged signatures. The returned
-// handles identify the initial documents for later removal.
+// CachingSigner so later updates reuse unchanged signatures. cfg.Authority
+// (the §5 boost) is supported: scores are pinned per document and travel
+// with it across generations. The returned handles identify the initial
+// documents for later removal.
 func New(docs []index.Document, cfg engine.Config) (*Collection, []uint64, error) {
 	if cfg.Signer == nil {
 		return nil, nil, errors.New("live: config needs a signer")
 	}
-	if cfg.Authority != nil {
-		return nil, nil, errors.New("live: the authority boost is not supported on live collections")
-	}
 	if cfg.Generation != 0 {
 		return nil, nil, errors.New("live: the generation counter is owned by the live collection")
 	}
-	c := &Collection{cfg: cfg, signer: NewCachingSigner(cfg.Signer)}
+	if cfg.Tombstones != nil {
+		return nil, nil, errors.New("live: tombstones are managed by the live collection")
+	}
+	if cfg.Authority != nil && len(cfg.Authority) != len(docs) {
+		return nil, nil, fmt.Errorf("live: %d authority scores for %d documents", len(cfg.Authority), len(docs))
+	}
+	c := &Collection{cfg: cfg, signer: NewCachingSigner(cfg.Signer), boosted: cfg.Authority != nil}
 	c.cfg.Signer = c.signer
-	handles := c.append(docs)
+	// Per-generation authority/tombstone vectors are derived from the
+	// entries at rebuild time, never from the construction config.
+	c.cfg.Authority = nil
+	handles := c.append(docs, cfg.Authority)
 	if _, err := c.rebuildLocked(len(docs), 0); err != nil {
 		return nil, nil, err
 	}
@@ -105,32 +142,68 @@ func New(docs []index.Document, cfg engine.Config) (*Collection, []uint64, error
 }
 
 // append registers documents and returns their handles (caller holds mu
-// or is the constructor).
-func (c *Collection) append(docs []index.Document) []uint64 {
+// or is the constructor). auth may be nil (scores default to 0).
+func (c *Collection) append(docs []index.Document, auth []float64) []uint64 {
 	handles := make([]uint64, len(docs))
 	for i, d := range docs {
 		c.nextHandle++
 		handles[i] = c.nextHandle
-		c.docs = append(c.docs, entry{handle: c.nextHandle, doc: d})
+		e := entry{handle: c.nextHandle, doc: d}
+		if auth != nil {
+			e.auth = auth[i]
+		}
+		c.docs = append(c.docs, e)
 	}
 	return handles
 }
 
 // rebuildLocked builds generation gen+1 from c.docs and swaps the served
-// pointer. On error nothing is swapped and the generation does not
-// advance; the caller must restore c.docs.
+// pointer, compacting first when dead slots outnumber live documents. On
+// error nothing is swapped and the generation does not advance; the
+// caller must restore c.docs and c.dead.
 func (c *Collection) rebuildLocked(added, removed int) (*UpdateStats, error) {
-	if len(c.docs) == 0 {
+	live := len(c.docs) - c.dead
+	if live == 0 {
 		return nil, errors.New("live: update would empty the collection")
 	}
 	start := time.Now()
+	// Compaction policy: once the majority of slots are dead, drop them.
+	// Surviving documents shift IDs, so the rebuild re-signs everything —
+	// the same rare-event budget as a W_A re-pin — and the next
+	// generations reuse signatures against the compacted ID space.
+	compacted := false
+	if c.dead > live {
+		kept := make([]entry, 0, live)
+		for _, e := range c.docs {
+			if !e.dead {
+				kept = append(kept, e)
+			}
+		}
+		c.docs, c.dead, compacted = kept, 0, true
+	}
 	idocs := make([]index.Document, len(c.docs))
+	var tombs []bool
+	if c.dead > 0 {
+		tombs = make([]bool, len(c.docs))
+	}
+	var auth []float64
+	if c.boosted {
+		auth = make([]float64, len(c.docs))
+	}
 	for i, e := range c.docs {
 		idocs[i] = e.doc
+		if tombs != nil && e.dead {
+			tombs[i] = true
+		}
+		if auth != nil {
+			auth[i] = e.auth
+		}
 	}
 	cfg := c.cfg
 	cfg.Generation = c.gen.Load() + 1
 	cfg.FixedAvgLen = c.pinnedAvgLen // 0 on the first build: compute and pin
+	cfg.Tombstones = tombs
+	cfg.Authority = auth
 	c.signer.Begin()
 	col, err := engine.BuildCollection(idocs, cfg)
 	if err != nil {
@@ -153,13 +226,15 @@ func (c *Collection) rebuildLocked(added, removed int) (*UpdateStats, error) {
 	c.cur.Store(col)
 	c.gen.Store(cfg.Generation)
 	c.lastStats = UpdateStats{
-		Generation: cfg.Generation,
-		Documents:  len(c.docs),
-		Added:      added,
-		Removed:    removed,
-		Signed:     signed,
-		Reused:     reused,
-		Rebuild:    time.Since(start),
+		Generation:      cfg.Generation,
+		Documents:       live,
+		Added:           added,
+		Removed:         removed,
+		TombstonedSlots: c.dead,
+		Compacted:       compacted,
+		Signed:          signed,
+		Reused:          reused,
+		Rebuild:         time.Since(start),
 	}
 	st := c.lastStats
 	if c.publishHook != nil {
@@ -193,43 +268,60 @@ func (c *Collection) LastStats() UpdateStats {
 	return c.lastStats
 }
 
-// Handles returns the handles of the current corpus, in document order.
+// Handles returns the handles of the live corpus, in document order
+// (tombstoned slots excluded).
 func (c *Collection) Handles() []uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]uint64, len(c.docs))
-	for i, e := range c.docs {
-		out[i] = e.handle
+	out := make([]uint64, 0, len(c.docs)-c.dead)
+	for _, e := range c.docs {
+		if !e.dead {
+			out = append(out, e.handle)
+		}
 	}
 	return out
 }
 
 // Update applies one batch — additions and removals together — as a
 // single generation change: handles for the added documents are assigned,
-// the removed handles leave the corpus, the collection rebuilds under
-// generation+1 (reusing unchanged signatures), and the served pointer
-// swaps atomically. An empty batch is rejected rather than burning a
-// generation. On error the corpus, the served collection and the
-// generation are all unchanged.
+// the removed handles become tombstoned slots, the collection rebuilds
+// under generation+1 (reusing unchanged signatures), and the served
+// pointer swaps atomically. An empty batch is rejected rather than
+// burning a generation. On error the corpus, the served collection and
+// the generation are all unchanged.
 func (c *Collection) Update(add []index.Document, remove []uint64) ([]uint64, *UpdateStats, error) {
+	return c.UpdateWithAuthority(add, nil, remove)
+}
+
+// UpdateWithAuthority is Update with per-document authority scores for
+// the additions (boosted collections only; len(auth) == len(add), scores
+// in [0,1]). A nil auth on a boosted collection assigns 0 to every added
+// document.
+func (c *Collection) UpdateWithAuthority(add []index.Document, auth []float64, remove []uint64) ([]uint64, *UpdateStats, error) {
 	if len(add) == 0 && len(remove) == 0 {
 		return nil, nil, errors.New("live: empty update batch")
 	}
+	if auth != nil && len(auth) != len(add) {
+		return nil, nil, fmt.Errorf("live: %d authority scores for %d added documents", len(auth), len(add))
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	prev := c.docs
-	prevNext := c.nextHandle
-	kept, err := removeHandles(prev, remove)
-	if err != nil {
+	if auth != nil && !c.boosted {
+		return nil, nil, errors.New("live: authority scores on an unboosted collection")
+	}
+	prevDocs, prevDead, prevNext := c.docs, c.dead, c.nextHandle
+	// Work on a copy so a failed rebuild leaves the corpus untouched
+	// (entries are values; the shared backing array is never mutated).
+	next := append(make([]entry, 0, len(prevDocs)+len(add)), prevDocs...)
+	if err := markRemoved(next, remove); err != nil {
 		return nil, nil, err
 	}
-	// Work on a copy so a failed rebuild leaves the corpus untouched.
-	c.docs = append(make([]entry, 0, len(kept)+len(add)), kept...)
-	handles := c.append(add)
+	c.docs = next
+	c.dead += len(remove)
+	handles := c.append(add, auth)
 	st, err := c.rebuildLocked(len(add), len(remove))
 	if err != nil {
-		c.docs = prev
-		c.nextHandle = prevNext
+		c.docs, c.dead, c.nextHandle = prevDocs, prevDead, prevNext
 		return nil, nil, err
 	}
 	return handles, st, nil
@@ -251,32 +343,33 @@ func avgLenDrift(col *engine.Collection, pinned float64) float64 {
 	return d
 }
 
-// removeHandles returns docs without the removed handles, erroring on
-// unknown or duplicate handles (an update that silently "removes" a
-// document that is not there would hide owner-side bugs).
-func removeHandles(docs []entry, remove []uint64) ([]entry, error) {
+// markRemoved tombstones the removed handles in docs, erroring on
+// unknown, already-removed or duplicate handles (an update that silently
+// "removes" a document that is not there would hide owner-side bugs).
+func markRemoved(docs []entry, remove []uint64) error {
 	if len(remove) == 0 {
-		return docs, nil
+		return nil
 	}
 	drop := make(map[uint64]bool, len(remove))
 	for _, h := range remove {
 		if drop[h] {
-			return nil, fmt.Errorf("live: handle %d removed twice in one batch", h)
+			return fmt.Errorf("live: handle %d removed twice in one batch", h)
 		}
 		drop[h] = true
 	}
-	kept := make([]entry, 0, len(docs))
-	for _, e := range docs {
-		if drop[e.handle] {
-			delete(drop, e.handle)
+	for i := range docs {
+		e := &docs[i]
+		if !drop[e.handle] {
 			continue
 		}
-		kept = append(kept, e)
-	}
-	if len(drop) != 0 {
-		for h := range drop {
-			return nil, fmt.Errorf("live: unknown document handle %d", h)
+		if e.dead {
+			return fmt.Errorf("live: document handle %d already removed", e.handle)
 		}
+		e.dead = true
+		delete(drop, e.handle)
 	}
-	return kept, nil
+	for h := range drop {
+		return fmt.Errorf("live: unknown document handle %d", h)
+	}
+	return nil
 }

@@ -105,16 +105,40 @@ func TestUpdateAdvancesGenerationAndReusesSignatures(t *testing.T) {
 	}
 	searchVerify(t, c.Current(), []string{"merkle", "digest"})
 
-	// Removal: the document disappears from the corpus.
-	if _, _, err := c.Update(nil, []uint64{handles[0]}); err != nil {
+	// Removal: the document becomes a tombstoned slot — every per-structure
+	// signature is untouched, so the rebuild re-signs only the manifest.
+	_, st3, err := c.Update(nil, []uint64{handles[0]})
+	if err != nil {
 		t.Fatal(err)
 	}
 	if c.Generation() != 3 {
 		t.Fatalf("generation after remove = %d, want 3", c.Generation())
 	}
 	m3, _ := c.Current().Manifest()
-	if m3.N != 20 {
-		t.Fatalf("n after remove = %d, want 20", m3.N)
+	if m3.N != 21 {
+		t.Fatalf("slot count after remove = %d, want 21 (tombstoned, not deleted)", m3.N)
+	}
+	if got := m3.LiveDocs(); got != 20 {
+		t.Fatalf("live docs after remove = %d, want 20", got)
+	}
+	if !m3.IsTombstoned(0) || m3.IsTombstoned(1) {
+		t.Fatalf("tombstone bitmap wrong: slot0=%v slot1=%v", m3.IsTombstoned(0), m3.IsTombstoned(1))
+	}
+	if st3.Signed != 1 {
+		t.Fatalf("removal-only batch signed %d structures, want 1 (the manifest)", st3.Signed)
+	}
+	if st3.Documents != 20 || st3.TombstonedSlots != 1 {
+		t.Fatalf("removal stats = %+v, want 20 live / 1 tombstoned", st3)
+	}
+	if got := len(c.Handles()); got != 20 {
+		t.Fatalf("Handles() after remove = %d, want 20", got)
+	}
+	// The removed slot must never surface in (verified) results.
+	res := searchVerify(t, c.Current(), []string{"merkle", "digest"})
+	for _, e := range res.Entries {
+		if e.Doc == 0 {
+			t.Fatalf("tombstoned doc 0 returned in results: %+v", res.Entries)
+		}
 	}
 }
 

@@ -94,17 +94,7 @@ func (p Partitioner) Assign(docs []index.Document, k int) ([][]int, error) {
 		}
 	case HashContent:
 		for i, d := range docs {
-			h := fnv.New64a()
-			if len(d.Content) > 0 {
-				h.Write(d.Content)
-			} else {
-				for _, tok := range d.Tokens {
-					h.Write([]byte(tok))
-					h.Write([]byte{0})
-				}
-			}
-			s := int(h.Sum64() % uint64(k))
-			out[s] = append(out[s], i)
+			out[HashDoc(d, k)] = append(out[HashDoc(d, k)], i)
 		}
 		for s := range out {
 			if len(out[s]) == 0 {
@@ -115,6 +105,24 @@ func (p Partitioner) Assign(docs []index.Document, k int) ([][]int, error) {
 		return nil, fmt.Errorf("shard: unknown partitioner %d", p)
 	}
 	return out, nil
+}
+
+// HashDoc returns the shard HashContent assigns d to: the per-document
+// primitive behind Assign, exposed so live sharded sets can place
+// additions without re-partitioning the whole corpus. Placement depends
+// only on the document itself, never on its position — which is exactly
+// what makes hash placement stable under interleaved adds and removals.
+func HashDoc(d index.Document, k int) int {
+	h := fnv.New64a()
+	if len(d.Content) > 0 {
+		h.Write(d.Content)
+	} else {
+		for _, tok := range d.Tokens {
+			h.Write([]byte(tok))
+			h.Write([]byte{0})
+		}
+	}
+	return int(h.Sum64() % uint64(k))
 }
 
 // Config controls Build.
@@ -290,8 +298,19 @@ func (s *Set) DocMap(i int) []uint32 { return s.docMaps[i] }
 // GlobalID translates a shard-local document ID to its global index.
 func (s *Set) GlobalID(shardIdx int, d index.DocID) uint32 { return s.docMaps[shardIdx][d] }
 
-// Documents returns the global document count.
+// Documents returns the global document slot count (including tombstoned
+// slots of a live set).
 func (s *Set) Documents() int { return int(s.manifest.GlobalN) }
+
+// LiveDocuments returns the number of live documents across all shards:
+// equal to Documents unless shards carry tombstones.
+func (s *Set) LiveDocuments() int {
+	n := 0
+	for _, c := range s.cols {
+		n += c.LiveDocs()
+	}
+	return n
+}
 
 // Terms returns the summed dictionary size across shards (terms occurring
 // in several shards count once per shard).

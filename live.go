@@ -25,10 +25,16 @@ type DocHandle uint64
 type UpdateReport struct {
 	// Generation is the newly published generation.
 	Generation uint64
-	// Documents is the corpus size after the update.
+	// Documents is the number of live documents after the update;
+	// tombstoned slots don't count.
 	Documents int
 	// Added and Removed count the batch's changes.
 	Added, Removed int
+	// TombstonedSlots is the number of removed-but-still-indexed slots the
+	// new generation carries; Compacted reports that this rebuild dropped
+	// the accumulated dead slots (a full re-sign). See docs/UPDATES.md.
+	TombstonedSlots int
+	Compacted       bool
 	// SignaturesSigned counts fresh signatures the rebuild required;
 	// SignaturesReused the ones carried over from the previous generation
 	// (identical signed messages — unchanged term lists and document
@@ -48,6 +54,8 @@ func updateReport(st *live.UpdateStats) *UpdateReport {
 		Documents:        st.Documents,
 		Added:            st.Added,
 		Removed:          st.Removed,
+		TombstonedSlots:  st.TombstonedSlots,
+		Compacted:        st.Compacted,
 		SignaturesSigned: st.Signed,
 		SignaturesReused: st.Reused,
 		ShardsReused:     st.ShardsReused,
@@ -57,9 +65,10 @@ func updateReport(st *live.UpdateStats) *UpdateReport {
 
 // LiveOwner owns a live collection: it holds the signing key, accepts
 // update batches, and publishes a new signed generation for each.
-// All construction Options of NewOwner apply, except the authority boost
-// (not yet supported on live collections). Safe for concurrent use:
-// updates serialise against each other, never against searches.
+// All construction Options of NewOwner apply, including the authority
+// boost (WithAuthority / WithPageRank); use UpdateWithAuthority to score
+// documents added later. Safe for concurrent use: updates serialise
+// against each other, never against searches.
 type LiveOwner struct {
 	lc *live.Collection
 	// metrics, when non-nil, receives generation telemetry for every
@@ -120,11 +129,19 @@ func (o *LiveOwner) RemoveDocuments(handles ...DocHandle) (*UpdateReport, error)
 // Update applies additions and removals as one atomic generation change.
 // On error nothing is published and the serving state is unchanged.
 func (o *LiveOwner) Update(add []Document, remove []DocHandle) ([]DocHandle, *UpdateReport, error) {
+	return o.UpdateWithAuthority(add, nil, remove)
+}
+
+// UpdateWithAuthority is Update with per-document authority scores for
+// the additions (collections built with WithAuthority or WithPageRank
+// only; len(auth) == len(add), scores in [0,1]). A nil auth on a boosted
+// collection scores every added document 0.
+func (o *LiveOwner) UpdateWithAuthority(add []Document, auth []float64, remove []DocHandle) ([]DocHandle, *UpdateReport, error) {
 	idocs := make([]index.Document, len(add))
 	for i, d := range add {
 		idocs[i] = index.Document{Content: d.Content, Tokens: d.Tokens}
 	}
-	handles, st, err := o.lc.Update(idocs, rawHandles(remove))
+	handles, st, err := o.lc.UpdateWithAuthority(idocs, auth, rawHandles(remove))
 	if err != nil {
 		return nil, nil, err
 	}

@@ -30,16 +30,18 @@ func (o *LiveShardedOwner) SetMetrics(m *Metrics) {
 }
 
 // NewLiveShardedOwner partitions the documents into shards and publishes
-// generation 1. All NewShardedOwner options apply except the authority
-// boost. PartitionHash is the recommended partitioner for live sets: its
-// placement is stable under updates, which is what makes whole-shard
-// reuse possible.
+// generation 1. All NewShardedOwner options apply, including the
+// authority boost. Only PartitionHash is supported (and is the default):
+// its placement depends on document content alone, so it is stable under
+// updates — the property that makes whole-shard reuse and tombstoned
+// removals possible. WithPartitioner(PartitionRoundRobin) is rejected
+// with an error explaining why.
 func NewLiveShardedOwner(docs []Document, shards int, opts ...Option) (*LiveShardedOwner, []DocHandle, error) {
 	cfg, idocs, o, err := prepareBuild(docs, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	part := shard.RoundRobin
+	part := shard.HashContent
 	if o.partitioner != 0 {
 		part = o.partitioner.internal()
 	}
@@ -64,11 +66,17 @@ func (o *LiveShardedOwner) RemoveDocuments(handles ...DocHandle) (*UpdateReport,
 // Update applies additions and removals as one atomic set-wide generation
 // change. On error nothing is published.
 func (o *LiveShardedOwner) Update(add []Document, remove []DocHandle) ([]DocHandle, *UpdateReport, error) {
+	return o.UpdateWithAuthority(add, nil, remove)
+}
+
+// UpdateWithAuthority is Update with per-document authority scores for
+// the additions (see LiveOwner.UpdateWithAuthority).
+func (o *LiveShardedOwner) UpdateWithAuthority(add []Document, auth []float64, remove []DocHandle) ([]DocHandle, *UpdateReport, error) {
 	idocs := make([]index.Document, len(add))
 	for i, d := range add {
 		idocs[i] = index.Document{Content: d.Content, Tokens: d.Tokens}
 	}
-	handles, st, err := o.lc.Update(idocs, rawHandles(remove))
+	handles, st, err := o.lc.UpdateWithAuthority(idocs, auth, rawHandles(remove))
 	if err != nil {
 		return nil, nil, err
 	}

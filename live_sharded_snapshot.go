@@ -1,0 +1,369 @@
+package authtext
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"authtext/internal/engine"
+	"authtext/internal/httpapi"
+	"authtext/internal/live"
+	"authtext/internal/shard"
+	"authtext/internal/snapshot"
+)
+
+// Per-generation sharded snapshot layout: a live sharded snapshot
+// directory holds one ordinary sharded snapshot DIRECTORY per published
+// set generation,
+//
+//	dir/gen-000000000001/shard-0000.atsn ... shards.atsx
+//	dir/gen-000000000002/shard-0000.atsn ... shards.atsx
+//	...
+//
+// written atomically (temp directory + rename), so a crash mid-write
+// never leaves a partial generation under a generation name. The highest
+// generation IS the current state — the same no-pointer-file design as
+// the single-collection layout in live_snapshot.go — and each generation
+// directory is independently a valid OpenShardedSnapshotDir input. The
+// trust model is OpenShardedSnapshotDir's: the directory is untrusted and
+// every shard file is cross-checked against the signed set manifest; a
+// replica additionally refuses to move to a lower generation.
+
+// liveShardedGenPattern names one set generation's snapshot directory.
+// Zero-padding to 12 digits keeps lexicographic and numeric order
+// identical.
+const liveShardedGenPattern = "gen-%012d"
+
+func liveShardedGenName(gen uint64) string { return fmt.Sprintf(liveShardedGenPattern, gen) }
+
+// parseLiveShardedGenName inverts liveShardedGenName (0, false for
+// foreign entries).
+func parseLiveShardedGenName(name string) (uint64, bool) {
+	var gen uint64
+	if _, err := fmt.Sscanf(name, liveShardedGenPattern, &gen); err != nil || gen == 0 {
+		return 0, false
+	}
+	if name != liveShardedGenName(gen) {
+		return 0, false
+	}
+	return gen, true
+}
+
+// WriteSnapshotDir persists the CURRENT set generation as
+// dir/gen-NNNNNNNNNNNN/ (creating dir if needed) and returns the written
+// path. Earlier generations' directories are left in place — prune them
+// with any retention policy; a replica always picks the highest
+// generation.
+func (o *LiveShardedOwner) WriteSnapshotDir(dir string) (string, error) {
+	return writeShardedGenerationSnapshot(o.lc.Current(), dir)
+}
+
+// PersistGenerations writes the current set generation's snapshot to dir
+// now and arranges for every FUTURE generation to be written too, from
+// inside the update critical section — updates are serialised, so each
+// one leaves its own gen-*/ directory, in order. onError (optional)
+// receives snapshot failures of future generations; the update itself
+// still succeeds (serving beats durability; the next generation's
+// snapshot re-establishes the latest state on disk).
+func (o *LiveShardedOwner) PersistGenerations(dir string, onError func(gen uint64, err error)) (string, error) {
+	path, err := o.WriteSnapshotDir(dir)
+	if err != nil {
+		return "", err
+	}
+	o.lc.SetPublishHook(func(set *shard.Set, st *live.UpdateStats) {
+		if _, err := writeShardedGenerationSnapshot(set, dir); err != nil && onError != nil {
+			onError(st.Generation, err)
+		}
+	})
+	return path, nil
+}
+
+// writeShardedGenerationSnapshot atomically writes set's generation
+// directory into dir and returns its path. A generation that is already
+// on disk is left alone: the signed content is determined by the
+// generation, so the existing directory is as good as a rewrite.
+func writeShardedGenerationSnapshot(set *shard.Set, dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	sm, _ := set.Manifest()
+	path := filepath.Join(dir, liveShardedGenName(sm.Generation))
+	if _, err := os.Stat(path); err == nil {
+		return path, nil
+	}
+	tmp, err := os.MkdirTemp(dir, ".gen-*.tmp")
+	if err != nil {
+		return "", err
+	}
+	defer os.RemoveAll(tmp)
+	for i := 0; i < set.K(); i++ {
+		if err := writeShardFile(filepath.Join(tmp, shardSnapshotName(i)), set.Col(i)); err != nil {
+			return "", fmt.Errorf("authtext: shard %d: %w", i, err)
+		}
+	}
+	export, err := exportSet(set)
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(tmp, ShardedManifestFile), export, 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		// A concurrent writer may have landed the same generation first;
+		// its directory is equally valid.
+		if _, statErr := os.Stat(path); statErr == nil {
+			return path, nil
+		}
+		return "", err
+	}
+	return path, nil
+}
+
+// writeShardFile writes one shard's ATSN snapshot.
+func writeShardFile(path string, col *engine.Collection) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snapshot.Write(f, col); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// IsLiveShardedSnapshotDir reports whether path is a directory holding
+// per-generation sharded snapshots (used by the CLIs to route
+// -snapshot PATH).
+func IsLiveShardedSnapshotDir(path string) bool {
+	gen, _, err := latestShardedGenerationSnapshot(path)
+	return err == nil && gen > 0
+}
+
+// latestShardedGenerationSnapshot scans dir for the highest-generation
+// sharded snapshot directory.
+func latestShardedGenerationSnapshot(dir string) (uint64, string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, "", err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, ok := parseLiveShardedGenName(e.Name()); !ok {
+			continue
+		}
+		// A generation directory is only eligible once its ATSX bundle is
+		// in place (renames are atomic, so this only excludes foreign dirs).
+		if _, err := os.Stat(filepath.Join(dir, e.Name(), ShardedManifestFile)); err != nil {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	if len(names) == 0 {
+		return 0, "", errors.New("authtext: no sharded generation snapshots in directory")
+	}
+	sort.Strings(names) // zero-padded: lexicographic == numeric
+	latest := names[len(names)-1]
+	gen, _ := parseLiveShardedGenName(latest)
+	return gen, filepath.Join(dir, latest), nil
+}
+
+// shardedReplicaState is one loaded set generation of a
+// LiveShardedReplica.
+type shardedReplicaState struct {
+	server *ShardedServer
+	client *ShardedClient
+	gen    uint64
+	export []byte // the ATSX bundle, as served at /v1/shards/manifest
+}
+
+// LiveShardedReplica serves a live sharded collection from its snapshot
+// directory without holding the signing key: it opens the latest set
+// generation and, on Reload, hot-swaps to any newer generation that has
+// appeared. Like LiveReplica it refuses to move backward — a directory
+// whose latest generation shrank fails Reload rather than silently
+// serving rolled-back state.
+type LiveShardedReplica struct {
+	dir string
+
+	mu      sync.Mutex // serialises Reload
+	cur     atomic.Pointer[shardedReplicaState]
+	cache   *VOCache
+	metrics *Metrics
+}
+
+// OpenLiveShardedSnapshotDir opens the latest set generation in dir and
+// returns the serving replica. Every generation directory is
+// cross-checked against its name: a snapshot whose signed set manifest
+// pins a different generation than its directory name claims is rejected.
+func OpenLiveShardedSnapshotDir(dir string) (*LiveShardedReplica, error) {
+	r := &LiveShardedReplica{dir: dir}
+	if _, err := r.Reload(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// loadShardedGeneration opens one generation directory and validates its
+// manifest-vs-name consistency.
+func loadShardedGeneration(path string, wantGen uint64) (*shardedReplicaState, error) {
+	server, client, err := OpenShardedSnapshotDir(path)
+	if err != nil {
+		return nil, err
+	}
+	if got := client.Generation(); got != wantGen {
+		return nil, fmt.Errorf("authtext: %s: set manifest pins generation %d, directory name claims %d",
+			filepath.Base(path), got, wantGen)
+	}
+	export, err := os.ReadFile(filepath.Join(path, ShardedManifestFile))
+	if err != nil {
+		return nil, err
+	}
+	return &shardedReplicaState{server: server, client: client, gen: wantGen, export: export}, nil
+}
+
+// Reload checks the directory for a newer set generation and atomically
+// swaps to it, returning whether a swap happened. Cheap when nothing
+// changed (one directory scan).
+func (r *LiveShardedReplica) Reload() (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	gen, path, err := latestShardedGenerationSnapshot(r.dir)
+	if err != nil {
+		return false, err
+	}
+	cur := r.cur.Load()
+	if cur != nil {
+		if gen == cur.gen {
+			return false, nil
+		}
+		if gen < cur.gen {
+			return false, fmt.Errorf("authtext: snapshot directory rolled back: serving generation %d, latest on disk is %d",
+				cur.gen, gen)
+		}
+	}
+	openStart := time.Now()
+	st, err := loadShardedGeneration(path, gen)
+	if err != nil {
+		return false, err
+	}
+	r.cur.Store(st)
+	r.metrics.recordSnapshotOpen(gen, time.Since(openStart))
+	return true, nil
+}
+
+// SetVOCache attaches a VO cache carried into every Server() result (nil
+// detaches). Call before serving starts; generation-stamped keys make
+// reloads safe without cache work.
+func (r *LiveShardedReplica) SetVOCache(c *VOCache) { r.cache = c }
+
+// SetMetrics attaches a metric registry carried into every Server()
+// result and recording reload telemetry (nil detaches). Call before
+// serving starts.
+func (r *LiveShardedReplica) SetMetrics(m *Metrics) {
+	r.metrics = m
+	m.setGeneration(r.Generation())
+}
+
+// Server returns the serving half of the current set generation. The
+// result is pinned: it keeps answering from its generation even after a
+// Reload swaps the replica forward.
+func (r *LiveShardedReplica) Server() *ShardedServer {
+	return r.cur.Load().server.withCache(r.cache).withMetrics(r.metrics)
+}
+
+// Client returns the verification client of the current set generation.
+func (r *LiveShardedReplica) Client() *ShardedClient { return r.cur.Load().client }
+
+// Generation returns the currently served set generation.
+func (r *LiveShardedReplica) Generation() uint64 { return r.cur.Load().gen }
+
+// HTTPHandler exposes the replica over the versioned HTTP protocol: the
+// sharded serving surface of the latest loaded generation, with
+// /v1/admin/update answering 403 because updates happen at the owner
+// that writes the snapshots.
+func (r *LiveShardedReplica) HTTPHandler(opts ...ShardedHandlerOption) (http.Handler, error) {
+	b := &shardedReplicaHTTPBackend{rep: r, start: time.Now()}
+	for _, opt := range opts {
+		opt(&b.opts)
+	}
+	b.cache = b.opts.cache
+	if b.cache == nil {
+		b.cache = r.cache
+	}
+	if m := b.opts.metrics; m != nil {
+		if r.metrics == nil {
+			r.SetMetrics(m)
+		}
+		m.BindVOCache(b.cache)
+	}
+	return httpapi.NewHandler(b, b.opts.httpapiOpts()...), nil
+}
+
+// shardedReplicaHTTPBackend serves the sharded protocol from whatever
+// generation the replica currently holds, pinning one generation per
+// fan-out.
+type shardedReplicaHTTPBackend struct {
+	rep    *LiveShardedReplica
+	start  time.Time
+	opts   shardedHandlerOptions
+	cache  *VOCache
+	served atomic.Int64
+	failed atomic.Int64
+}
+
+func (b *shardedReplicaHTTPBackend) Search(req *httpapi.SearchRequest) (*httpapi.SearchResponse, error) {
+	return nil, &httpapi.StatusError{
+		Status:  http.StatusNotFound,
+		Code:    httpapi.CodeNotFound,
+		Message: "this server is sharded; query " + httpapi.PathShardSearch,
+	}
+}
+
+func (b *shardedReplicaHTTPBackend) ClientExport() ([]byte, error) {
+	return nil, &httpapi.StatusError{
+		Status:  http.StatusNotFound,
+		Code:    httpapi.CodeNotFound,
+		Message: "this server is sharded; fetch " + httpapi.PathShardManifest,
+	}
+}
+
+func (b *shardedReplicaHTTPBackend) ShardSearch(req *httpapi.SearchRequest) (*httpapi.ShardedSearchResponse, error) {
+	pinned := &shardedHTTPBackend{srv: b.rep.Server().withCache(b.opts.cache), opts: b.opts}
+	resp, err := pinned.ShardSearch(req)
+	if err != nil {
+		b.failed.Add(1)
+		return nil, err
+	}
+	b.served.Add(1)
+	return resp, nil
+}
+
+func (b *shardedReplicaHTTPBackend) ShardExport() ([]byte, error) {
+	return b.rep.cur.Load().export, nil
+}
+
+func (b *shardedReplicaHTTPBackend) Update(req *httpapi.UpdateRequest) (*httpapi.UpdateResponse, error) {
+	return nil, &httpapi.StatusError{
+		Status:  http.StatusForbidden,
+		Code:    httpapi.CodeUpdateFailed,
+		Message: "this replica is serving-only; apply updates at the owner",
+	}
+}
+
+func (b *shardedReplicaHTTPBackend) Health() httpapi.Health {
+	h := shardedHealth(b.rep.Server(), b.start, b.served.Load(), b.failed.Load())
+	if b.cache != nil {
+		h.Cache = b.cache.health()
+	}
+	return h
+}

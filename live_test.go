@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -460,5 +461,201 @@ func TestLiveSnapshotLayoutStable(t *testing.T) {
 	}
 	if _, err := OpenLiveSnapshotDir(dir); err == nil {
 		t.Fatal("renamed generation snapshot accepted")
+	}
+}
+
+// TestLiveRemovalReuseRegression pins the economics the tombstone model
+// exists for: a removal-heavy batch re-signs (almost) nothing, because
+// removed documents keep their slots — postings stay in the signed lists,
+// records stay signed — and only the manifest changes. Before stable IDs
+// this regime renumbered every surviving document and reused 0%.
+func TestLiveRemovalReuseRegression(t *testing.T) {
+	owner, handles, err := NewLiveOwner(liveDocs(0, 40), WithFastSigner([]byte("reuse-reg")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reuse := func(rep *UpdateReport) float64 {
+		return float64(rep.SignaturesReused) / float64(rep.SignaturesSigned+rep.SignaturesReused)
+	}
+
+	// Removal-heavy batch: 15 of 40 documents gone at the cost of one
+	// fresh signature (the manifest).
+	_, rep, err := owner.Update(nil, handles[:15])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TombstonedSlots != 15 || rep.Documents != 25 || rep.Removed != 15 {
+		t.Fatalf("removal batch report = %+v", rep)
+	}
+	if rep.SignaturesSigned != 1 {
+		t.Fatalf("removal-heavy batch signed %d structures, want 1 (the manifest)", rep.SignaturesSigned)
+	}
+	if r := reuse(rep); r < 0.6 {
+		t.Fatalf("removal-heavy batch reused %.1f%% of signatures, want >= 60%%", 100*r)
+	}
+
+	// Replace batch: removals plus same-size additions — costs what the
+	// additions cost, nothing for the removals. The 20-word toy vocabulary
+	// makes any addition touch most term lists, so the floor here is loose;
+	// the realistic >= 60% floor for this regime is enforced by the
+	// authbench -reuse-floor gate on a Zipfian corpus (see CI bench-smoke).
+	_, rep2, err := owner.Update(liveDocs(40, 5), handles[15:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.TombstonedSlots != 20 || rep2.Documents != 25 {
+		t.Fatalf("replace batch report = %+v", rep2)
+	}
+	if r := reuse(rep2); r < 0.5 {
+		t.Fatalf("replace batch reused %.1f%% of signatures, want >= 50%%", 100*r)
+	}
+
+	client := owner.Client()
+	for _, algo := range []Algorithm{TRA, TNRA} {
+		for _, scheme := range []Scheme{MHT, ChainMHT} {
+			liveSearchVerify(t, owner.Server(), client, algo, scheme)
+		}
+	}
+}
+
+// TestLiveCompaction drives dead slots past the live count and checks the
+// compaction rebuild: tombstones drop, the slot space shrinks to the live
+// documents, and the collection keeps verifying (and reusing signatures)
+// afterwards.
+func TestLiveCompaction(t *testing.T) {
+	owner, handles, err := NewLiveOwner(liveDocs(0, 40), WithFastSigner([]byte("compact")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := owner.Update(nil, handles[:15]) // dead 15 < live 25
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Compacted || rep.TombstonedSlots != 15 {
+		t.Fatalf("pre-compaction report = %+v", rep)
+	}
+	_, rep2, err := owner.Update(nil, handles[15:26]) // dead 26 > live 14
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Compacted || rep2.TombstonedSlots != 0 || rep2.Documents != 14 {
+		t.Fatalf("compaction report = %+v", rep2)
+	}
+	m, _ := owner.lc.Current().Manifest()
+	if int(m.N) != 14 || len(m.Tombstones) != 0 {
+		t.Fatalf("compacted manifest: n=%d tombstones=%d bytes", m.N, len(m.Tombstones))
+	}
+	if got := len(owner.Handles()); got != 14 {
+		t.Fatalf("handles after compaction = %d, want 14", got)
+	}
+	client := owner.Client()
+	liveSearchVerify(t, owner.Server(), client, TRA, ChainMHT)
+	liveSearchVerify(t, owner.Server(), client, TNRA, MHT)
+
+	// The compacted ID space is the new stable baseline: the next update
+	// reuses signatures against it.
+	_, rep3, err := owner.Update(liveDocs(50, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.SignaturesReused == 0 {
+		t.Fatalf("no reuse after compaction: %+v", rep3)
+	}
+}
+
+// TestLiveShardedSnapshotDirAndReplica covers the per-generation sharded
+// snapshot layout end to end: persist, restart from disk, reload forward,
+// refuse rollback.
+func TestLiveShardedSnapshotDirAndReplica(t *testing.T) {
+	owner, handles, err := NewLiveShardedOwner(liveDocs(0, 40), 3, WithFastSigner([]byte("shard-snap")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path, err := owner.PersistGenerations(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != liveShardedGenName(1) {
+		t.Fatalf("generation 1 written to %q", path)
+	}
+	if !IsLiveShardedSnapshotDir(dir) {
+		t.Fatal("IsLiveShardedSnapshotDir = false on a freshly written directory")
+	}
+	if IsLiveSnapshotDir(dir) {
+		t.Fatal("sharded generation directory misdetected as a single-collection one")
+	}
+
+	replica, err := OpenLiveShardedSnapshotDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replica.Generation() != 1 {
+		t.Fatalf("replica opened at generation %d", replica.Generation())
+	}
+
+	// An accepted update persists generation 2 from inside the publish
+	// hook; Reload picks it up.
+	if _, _, err := owner.Update(liveDocs(40, 2), handles[:1]); err != nil {
+		t.Fatal(err)
+	}
+	swapped, err := replica.Reload()
+	if err != nil || !swapped {
+		t.Fatalf("reload after update: swapped=%v err=%v", swapped, err)
+	}
+	if replica.Generation() != 2 {
+		t.Fatalf("replica at generation %d after reload, want 2", replica.Generation())
+	}
+	res, err := replica.Server().Search(liveQuery, 3, TNRA, ChainMHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.Client().Verify(liveQuery, 3, res); err != nil {
+		t.Fatalf("replica answer failed verification: %v", err)
+	}
+
+	// Restart: a fresh open resumes at the latest generation on disk.
+	replica2, err := OpenLiveShardedSnapshotDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replica2.Generation() != 2 {
+		t.Fatalf("restart opened generation %d, want 2", replica2.Generation())
+	}
+
+	// Rollback on disk is refused: with generation 2 gone, the serving
+	// replica will not fall back to generation 1.
+	if err := os.RemoveAll(filepath.Join(dir, liveShardedGenName(2))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replica.Reload(); err == nil {
+		t.Fatal("reload accepted a rolled-back snapshot directory")
+	}
+
+	// Name-vs-manifest cross-check: a renamed generation directory is
+	// rejected at open.
+	if err := os.Rename(filepath.Join(dir, liveShardedGenName(1)), filepath.Join(dir, liveShardedGenName(7))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLiveShardedSnapshotDir(dir); err == nil {
+		t.Fatal("renamed generation directory accepted")
+	}
+}
+
+// TestLiveShardedRejectsRoundRobin pins the partitioner guard: round-robin
+// placement depends on global document position, which removals would
+// reshuffle, so live sharded sets refuse it with an actionable error.
+func TestLiveShardedRejectsRoundRobin(t *testing.T) {
+	_, _, err := NewLiveShardedOwner(liveDocs(0, 12), 3,
+		WithFastSigner([]byte("rr")), WithShardPartitioner(PartitionRoundRobin))
+	if err == nil {
+		t.Fatal("round-robin partitioner accepted on a live sharded set")
+	}
+	if !strings.Contains(err.Error(), "hash partitioner") {
+		t.Fatalf("rejection does not point at the hash partitioner: %v", err)
+	}
+	// The default (no partitioner option) is hash and works.
+	if _, _, err := NewLiveShardedOwner(liveDocs(0, 12), 3, WithFastSigner([]byte("rr2"))); err != nil {
+		t.Fatalf("default partitioner failed: %v", err)
 	}
 }

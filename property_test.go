@@ -399,3 +399,132 @@ func TestPropertyLiveUpdateSequence(t *testing.T) {
 		})
 	}
 }
+
+// TestPropertyLiveRemovalExclusion is the removal-specific property: under
+// randomized interleaved add/remove sequences, a tombstoned document's
+// content never appears in a verified answer — including the empty-answer
+// case, where the verifier must prove the absence of a term whose only
+// postings belong to dead slots — while every live document stays
+// reachable through its own marker term. Each document carries a unique
+// marker token so reachability is decidable from the outside.
+func TestPropertyLiveRemovalExclusion(t *testing.T) {
+	algorithms := []authtext.Algorithm{authtext.TRA, authtext.TNRA}
+	schemes := []authtext.Scheme{authtext.MHT, authtext.ChainMHT}
+	trials := 3
+	steps := 6
+	if testing.Short() {
+		trials, steps = 2, 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprint("seed=", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(9100 + trial)))
+			filler := propVocabulary(rng, 12)
+			nextMarker := 0
+			makeDoc := func() (authtext.Document, string) {
+				marker := fmt.Sprintf("markerxyz%d", nextMarker)
+				nextMarker++
+				words := []string{marker}
+				for w := 4 + rng.Intn(10); w > 0; w-- {
+					words = append(words, filler[rng.Intn(len(filler))])
+				}
+				return authtext.Document{Content: []byte(strings.Join(words, " "))}, marker
+			}
+			const initial = 20
+			docs := make([]authtext.Document, initial)
+			markers := make([]string, initial) // marker per live handle, same order
+			for i := range docs {
+				docs[i], markers[i] = makeDoc()
+			}
+			owner, handles, err := authtext.NewLiveOwner(docs,
+				authtext.WithFastSigner([]byte(fmt.Sprint("prop-removal-", trial))),
+				authtext.WithSingletonTerms())
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := owner.Server()
+			client := owner.Client()
+			var removedMarkers []string
+
+			for step := 0; step < steps; step++ {
+				// Remove a random few, sometimes add replacements.
+				var add []authtext.Document
+				var addMarkers []string
+				for n := rng.Intn(3); n > 0; n-- {
+					d, m := makeDoc()
+					add = append(add, d)
+					addMarkers = append(addMarkers, m)
+				}
+				var remove []authtext.DocHandle
+				for n := 1 + rng.Intn(3); n > 0 && len(handles) > 2; n-- {
+					i := rng.Intn(len(handles))
+					remove = append(remove, handles[i])
+					removedMarkers = append(removedMarkers, markers[i])
+					handles = append(handles[:i], handles[i+1:]...)
+					markers = append(markers[:i], markers[i+1:]...)
+				}
+				added, rep, err := owner.Update(add, remove)
+				if err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				handles = append(handles, added...)
+				markers = append(markers, addMarkers...)
+				if err := client.Advance(owner.ManifestUpdate()); err != nil {
+					t.Fatalf("step %d advance: %v", step, err)
+				}
+				if len(handles) != rep.Documents {
+					t.Fatalf("step %d: tracking %d handles but report says %d live documents",
+						step, len(handles), rep.Documents)
+				}
+				if got := len(owner.Handles()); got != len(handles) {
+					t.Fatalf("step %d: owner tracks %d handles, test tracks %d", step, got, len(handles))
+				}
+
+				// Every removed marker must yield a verified answer free of
+				// the removed document — usually an empty one, since markers
+				// are unique to their document.
+				for _, m := range removedMarkers {
+					for _, algo := range algorithms {
+						for _, scheme := range schemes {
+							res, err := srv.Search(m, 2, algo, scheme)
+							if err != nil {
+								t.Fatalf("step %d %s-%s %q: %v", step, algo, scheme, m, err)
+							}
+							if err := client.Verify(m, 2, res); err != nil {
+								t.Errorf("step %d %s-%s: honest answer for removed marker %q rejected: %v",
+									step, algo, scheme, m, err)
+							}
+							for _, h := range res.Hits {
+								if bytes.Contains(h.Content, []byte(m)) {
+									t.Errorf("step %d %s-%s: removed document (marker %q) served as doc %d",
+										step, algo, scheme, m, h.DocID)
+								}
+							}
+						}
+					}
+				}
+
+				// A random live marker must still find its document.
+				if len(markers) > 0 {
+					i := rng.Intn(len(markers))
+					res, err := srv.Search(markers[i], 2, authtext.TNRA, authtext.ChainMHT)
+					if err != nil {
+						t.Fatalf("step %d live marker: %v", step, err)
+					}
+					if err := client.Verify(markers[i], 2, res); err != nil {
+						t.Errorf("step %d: live marker %q answer rejected: %v", step, markers[i], err)
+					}
+					found := false
+					for _, h := range res.Hits {
+						if bytes.Contains(h.Content, []byte(markers[i])) {
+							found = true
+						}
+					}
+					if !found {
+						t.Errorf("step %d: live document (marker %q) missing from its own query", step, markers[i])
+					}
+				}
+			}
+		})
+	}
+}

@@ -223,6 +223,8 @@ func (b *liveHTTPBackend) Update(req *httpapi.UpdateRequest) (*httpapi.UpdateRes
 	resp := &httpapi.UpdateResponse{
 		Generation:       rep.Generation,
 		Documents:        rep.Documents,
+		TombstonedSlots:  rep.TombstonedSlots,
+		Compacted:        rep.Compacted,
 		Added:            rawHandles(handles),
 		Removed:          rep.Removed,
 		SignaturesSigned: rep.SignaturesSigned,
@@ -239,8 +241,9 @@ func (b *liveHTTPBackend) Health() httpapi.Health {
 	srv := b.src.currentServer()
 	idx := srv.col.Index()
 	h := httpapi.Health{
-		Status:        "ok",
-		Documents:     idx.N,
+		Status: "ok",
+		// Live documents, not slots: tombstoned removals don't count.
+		Documents:     srv.col.LiveDocs(),
 		Terms:         idx.M(),
 		Generation:    b.src.Generation(),
 		UptimeMillis:  time.Since(b.start).Milliseconds(),

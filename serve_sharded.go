@@ -206,9 +206,9 @@ func (b *shardedHTTPBackend) Health() httpapi.Health {
 func shardedHealth(srv *ShardedServer, start time.Time, served, failed int64) httpapi.Health {
 	docs, terms := 0, 0
 	for i := 0; i < srv.Shards(); i++ {
-		idx := srv.set.Col(i).Index()
-		docs += idx.N
-		terms += idx.M()
+		col := srv.set.Col(i)
+		docs += col.LiveDocs() // live documents, not slots
+		terms += col.Index().M()
 	}
 	sm, _ := srv.set.Manifest()
 	return httpapi.Health{
