@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+
+	"authtext/internal/wire"
 )
 
 // The cache suite proves the hot-query VO cache is transparent on the
@@ -319,6 +321,25 @@ func searchBody(t *testing.T, handler http.Handler, q string, r int) []byte {
 	return rec.Body.Bytes()
 }
 
+// searchBodyBinary is searchBody with binary-frame negotiation: it sets
+// the Accept header and asserts the server actually answered with a
+// frame.
+func searchBodyBinary(t *testing.T, handler http.Handler, q string, r int) []byte {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"query": q, "r": r})
+	req := httptest.NewRequest(http.MethodPost, "/v1/search", bytes.NewReader(body))
+	req.Header.Set("Accept", wire.ContentType)
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search: HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != wire.ContentType {
+		t.Fatalf("negotiated binary but got Content-Type %q", ct)
+	}
+	return rec.Body.Bytes()
+}
+
 // TestCacheHitByteIdenticalOnWire: the golden wire property — for the
 // same (query, r, generation), a cache hit's HTTP response body is
 // byte-for-byte the uncached response (satellite: wire fixture).
@@ -346,6 +367,37 @@ func TestCacheHitByteIdenticalOnWire(t *testing.T) {
 	// timing) may differ; everything the client verifies is identical.
 	if got, want := dropServerMillis(t, miss), dropServerMillis(t, uncached); got != want {
 		t.Fatalf("cached-path body differs from the uncached server beyond timing:\nuncached: %s\ncached:   %s", want, got)
+	}
+
+	// The same property must hold when the client negotiates binary
+	// frames: the cache stores results, not encodings, and the frame
+	// encoder is deterministic — so a hit replays the identical frame.
+	bmiss := searchBodyBinary(t, cachedHandler, q, r)
+	bhit := searchBodyBinary(t, cachedHandler, q, r)
+	if !bytes.Equal(bmiss, bhit) {
+		t.Fatal("binary cache hit frame differs from the frame that populated it")
+	}
+	// The framed answer carries the same verifiable content as the JSON
+	// one (the stats' server timing aside): same hits, same VO bytes.
+	var jresp wire.SearchResponse
+	if err := json.Unmarshal(hit, &jresp); err != nil {
+		t.Fatal(err)
+	}
+	bresp, err := wire.DecodeSearchResponse(bhit)
+	if err != nil {
+		t.Fatalf("cached binary frame failed to decode: %v", err)
+	}
+	if !bytes.Equal(bresp.VO, jresp.VO) {
+		t.Fatal("binary and JSON cache hits carry different VO bytes")
+	}
+	if len(bresp.Hits) != len(jresp.Hits) {
+		t.Fatalf("binary cache hit has %d hits, JSON has %d", len(bresp.Hits), len(jresp.Hits))
+	}
+	for i := range bresp.Hits {
+		if bresp.Hits[i].DocID != jresp.Hits[i].DocID ||
+			!bytes.Equal(bresp.Hits[i].Content, jresp.Hits[i].Content) {
+			t.Fatalf("hit %d differs between the binary and JSON cache paths", i)
+		}
 	}
 }
 

@@ -4,8 +4,8 @@
 // Usage:
 //
 //	authbench [-profile tiny|small|medium|wsj]
-//	          [-fig all|4|13|14|15|table2|space|headline|snapshot|shards|concurrency|updates|cache]
-//	          [-queries N] [-rsa] [-out FILE] [-metrics-dump] [-reuse-floor PCT]
+//	          [-fig all|4|13|14|15|table2|space|headline|snapshot|shards|concurrency|updates|cache|wire]
+//	          [-queries N] [-rsa] [-out FILE] [-json FILE] [-metrics-dump] [-reuse-floor PCT]
 //
 // The medium profile (20,000 documents) reproduces the shape of every
 // figure in minutes; wsj runs at full paper scale (172,961 documents).
@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -36,10 +37,11 @@ func main() {
 
 func run() error {
 	profileName := flag.String("profile", "medium", "corpus profile: tiny, small, medium, wsj")
-	fig := flag.String("fig", "all", "experiment: all, 4, 13, 14, 15, table2, space, headline, snapshot, shards, concurrency, updates, cache")
+	fig := flag.String("fig", "all", "experiment: all, 4, 13, 14, 15, table2, space, headline, snapshot, shards, concurrency, updates, cache, wire")
 	queries := flag.Int("queries", 0, "queries per sweep point (0 = profile default)")
 	rsa := flag.Bool("rsa", false, "sign with RSA-1024 instead of the fast keyed-hash signer")
 	outPath := flag.String("out", "", "write output to this file as well as stdout")
+	jsonPath := flag.String("json", "", "write machine-readable reports of the selected experiments to this JSON file")
 	metricsDump := flag.Bool("metrics-dump", false, "print the final metrics snapshot (Prometheus text format) after the run")
 	reuseFloor := flag.Float64("reuse-floor", 0,
 		"with -fig updates: fail unless the 'replace oldest 10%' row reuses at least this percentage of signatures")
@@ -93,6 +95,7 @@ func run() error {
 		idx.N, idx.M(), bs.Signatures, bs.BuildTime.Round(time.Millisecond),
 		float64(fixture.Col.Space().DeviceBytes)/(1<<20))
 
+	jsonOut := map[string]interface{}{}
 	want := strings.Split(*fig, ",")
 	has := func(name string) bool {
 		for _, x := range want {
@@ -175,6 +178,27 @@ func run() error {
 			return err
 		}
 		fmt.Fprintln(w)
+	}
+	if has("wire") {
+		wrep, err := experiments.WireCompare(fixture, opts, w)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		jsonOut["wire"] = wrep
+	}
+	if *jsonPath != "" {
+		if len(jsonOut) == 0 {
+			return fmt.Errorf("-json: none of the selected experiments emit a JSON report")
+		}
+		b, err := json.MarshalIndent(jsonOut, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote JSON report: %s\n", *jsonPath)
 	}
 	fmt.Fprintf(w, "total experiment time: %v\n", time.Since(start).Round(time.Millisecond))
 	if metrics != nil {

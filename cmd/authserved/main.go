@@ -91,6 +91,7 @@ type config struct {
 	quiet     bool
 	live      bool
 	liveSnaps string
+	mmap      bool
 	watch     time.Duration
 	cacheMB   int
 	logFormat string
@@ -121,6 +122,7 @@ func parseFlags(args []string) (config, error) {
 	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress per-query log lines")
 	fs.BoolVar(&cfg.live, "live", false, "accept document updates on /v1/admin/update (build mode); every batch publishes a new signed generation")
 	fs.StringVar(&cfg.liveSnaps, "live-snapshots", "", "with -live: persist every published generation as an ATSN snapshot in this directory")
+	fs.BoolVar(&cfg.mmap, "mmap", false, "with -snapshot: memory-map snapshot files instead of copying them (zero-copy opens, page-cache shared between processes)")
 	fs.DurationVar(&cfg.watch, "watch", 0, "with -snapshot DIR of per-generation snapshots: poll at this interval and hot-swap to new generations")
 	fs.IntVar(&cfg.cacheMB, "cache-mb", 0, "serve repeat queries from an in-memory VO cache bounded by N MiB of encoded answers (0 disables); document updates invalidate it automatically")
 	fs.StringVar(&cfg.logFormat, "log-format", "text", "log output format: text or json")
@@ -163,6 +165,9 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.watch > 0 && cfg.snapshot == "" {
 		return config{}, errors.New("-watch requires -snapshot DIR (a per-generation snapshot directory)")
+	}
+	if cfg.mmap && cfg.snapshot == "" {
+		return config{}, errors.New("-mmap requires -snapshot (there is nothing to map in build mode)")
 	}
 	if cfg.cacheMB < 0 {
 		return config{}, fmt.Errorf("-cache-mb %d out of range", cfg.cacheMB)
@@ -333,12 +338,16 @@ func buildHandler(cfg config, logger *slog.Logger) (http.Handler, error) {
 			return nil, errors.New("-watch requires -snapshot to be a per-generation snapshot directory (gen-NNNNNNNNNNNN.atsn files)")
 		}
 		if authtext.IsLiveSnapshotDir(cfg.snapshot) {
-			replica, err := authtext.OpenLiveSnapshotDir(cfg.snapshot)
+			openDir := authtext.OpenLiveSnapshotDir
+			if cfg.mmap {
+				openDir = authtext.OpenLiveSnapshotDirMapped
+			}
+			replica, err := openDir(cfg.snapshot)
 			if err != nil {
 				return nil, err
 			}
 			logger.Info("opened live snapshot directory (no re-indexing, no re-signing)",
-				"path", cfg.snapshot, "generation", replica.Generation(),
+				"path", cfg.snapshot, "generation", replica.Generation(), "mmap", cfg.mmap,
 				"elapsed", time.Since(start).Round(time.Millisecond))
 			if cfg.watch > 0 {
 				go watchReplica(replica, cfg.watch, logger)
@@ -346,9 +355,19 @@ func buildHandler(cfg config, logger *slog.Logger) (http.Handler, error) {
 			return authtext.NewLiveReplicaHTTPHandler(replica, queryLogOpts()...)
 		}
 		if authtext.IsShardedSnapshot(cfg.snapshot) {
-			server, _, err := authtext.OpenShardedSnapshotDir(cfg.snapshot)
-			if err != nil {
-				return nil, err
+			var server *authtext.ShardedServer
+			if cfg.mmap {
+				ms, err := authtext.OpenShardedSnapshotDirMapped(cfg.snapshot)
+				if err != nil {
+					return nil, err
+				}
+				server = ms.Server() // serves for the process lifetime; never closed
+			} else {
+				var err error
+				server, _, err = authtext.OpenShardedSnapshotDir(cfg.snapshot)
+				if err != nil {
+					return nil, err
+				}
 			}
 			// Export from the opened set (not a second read of shards.atsx),
 			// so the published material always matches the serving shards.
@@ -361,16 +380,29 @@ func buildHandler(cfg config, logger *slog.Logger) (http.Handler, error) {
 				"elapsed", time.Since(start).Round(time.Millisecond))
 			return authtext.NewShardedHTTPHandler(server, export, shardedLogOpts()...), nil
 		}
-		server, client, err := authtext.OpenSnapshotFile(cfg.snapshot)
-		if err != nil {
-			return nil, err
+		var (
+			server *authtext.Server
+			client *authtext.Client
+		)
+		if cfg.mmap {
+			ms, err := authtext.OpenSnapshotMapped(cfg.snapshot)
+			if err != nil {
+				return nil, err
+			}
+			server, client = ms.Server(), ms.Client() // process-lifetime mapping
+		} else {
+			var err error
+			server, client, err = authtext.OpenSnapshotFile(cfg.snapshot)
+			if err != nil {
+				return nil, err
+			}
 		}
 		export, err := client.Export()
 		if err != nil {
 			return nil, fmt.Errorf("snapshot has no publishable key (fast-signer build?): %w", err)
 		}
 		logger.Info("opened snapshot (no re-indexing, no re-signing)",
-			"path", cfg.snapshot, "elapsed", time.Since(start).Round(time.Millisecond))
+			"path", cfg.snapshot, "mmap", cfg.mmap, "elapsed", time.Since(start).Round(time.Millisecond))
 		return authtext.NewHTTPHandler(server, export, queryLogOpts()...), nil
 	}
 

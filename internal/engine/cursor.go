@@ -30,6 +30,13 @@ type listCursor struct {
 var _ core.Cursor = (*listCursor)(nil)
 var _ core.PrefixReader = (*listCursor)(nil)
 
+// deviceFault carries a block-read failure out of cursor methods that
+// cannot return errors (core.Cursor has no error channel). It unwinds as
+// a panic and Collection.Search recovers it at its boundary, so a
+// poisoned device degrades to a failed query instead of a crashed
+// server.
+type deviceFault struct{ err error }
+
 func newListCursor(sess *store.Session, ext store.Extent, total int, chain bool, blockSize, hashSize int) *listCursor {
 	c := &listCursor{sess: sess, ext: ext, total: total, chain: chain, hashSize: hashSize, loaded: -1}
 	if chain {
@@ -46,9 +53,11 @@ func (c *listCursor) numBlocks() int { return (c.total + c.perBlock - 1) / c.per
 func (c *listCursor) loadBlock(j int) {
 	raw, err := c.sess.ReadBlock(c.ext.Start + store.Addr(j))
 	if err != nil {
-		// Only reachable through a layout bug: the extent was written by
-		// the same build that sized it.
-		panic(fmt.Sprintf("engine: list block read: %v", err))
+		// The extent was written by the same build that sized it, so this
+		// is either a layout bug or a poisoned device (a mapped snapshot
+		// whose deferred checksum failed). core.Cursor has no error
+		// channel; Search recovers the typed fault at its boundary.
+		panic(deviceFault{fmt.Errorf("engine: list block read: %w", err)})
 	}
 	off := 0
 	if c.chain {
@@ -119,7 +128,7 @@ func (c *listCursor) LoadAll() []index.Posting {
 func (c *listCursor) FullListForProof() []index.Posting {
 	raw, err := c.sess.ReadExtent(c.ext)
 	if err != nil {
-		panic(fmt.Sprintf("engine: list extent read: %v", err))
+		panic(deviceFault{fmt.Errorf("engine: list extent read: %w", err)})
 	}
 	out := make([]index.Posting, c.total)
 	blockSize := c.sess.BlockSize()

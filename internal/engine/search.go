@@ -48,10 +48,23 @@ type QueryStats struct {
 // statistics — lives in a store.Session private to this call. Each session
 // starts with a cold head, so per-query QueryStats.IO is identical to what
 // the serialized engine reported for the same query.
-func (c *Collection) Search(tokens []string, r int, algo core.Algo, scheme core.Scheme) (*Result, []byte, *QueryStats, error) {
+func (c *Collection) Search(tokens []string, r int, algo core.Algo, scheme core.Scheme) (retRes *Result, retVO []byte, retStats *QueryStats, retErr error) {
 	if r < 1 {
 		return nil, nil, nil, fmt.Errorf("engine: result size %d", r)
 	}
+	// Cursor code raises block-read failures as a typed panic (the cursor
+	// interfaces have no error channel). Recover it here so a poisoned
+	// device — a mapped snapshot that failed its deferred checksum —
+	// surfaces as a query error, not a process crash.
+	defer func() {
+		if p := recover(); p != nil {
+			f, ok := p.(deviceFault)
+			if !ok {
+				panic(p)
+			}
+			retRes, retVO, retStats, retErr = nil, nil, nil, f.err
+		}
+	}()
 	start := time.Now()
 	sess := c.dev.NewSession()
 	stats := &QueryStats{Algo: algo, Scheme: scheme}

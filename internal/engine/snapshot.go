@@ -30,6 +30,10 @@ type State struct {
 	// StoreParams and DeviceData reconstruct the simulated disk.
 	StoreParams store.Params
 	DeviceData  []byte
+	// ShareDeviceData makes Restore alias DeviceData instead of copying it
+	// (zero-copy opens over a memory-mapped snapshot). The provider of
+	// DeviceData then owns its lifetime; see store.RestoreDeviceShared.
+	ShareDeviceData bool
 	// Layout locates every structure on the device.
 	Layout Layout
 	// TermSigs holds the per-list signatures ([kind-1][termID]; all nil in
@@ -102,7 +106,11 @@ func Restore(st *State) (*Collection, error) {
 		return nil, fmt.Errorf("engine: restore: device block size %d, manifest %d",
 			st.StoreParams.BlockSize, m.BlockSize)
 	}
-	dev, err := store.RestoreDevice(st.StoreParams, st.DeviceData)
+	restore := store.RestoreDevice
+	if st.ShareDeviceData {
+		restore = store.RestoreDeviceShared
+	}
+	dev, err := restore(st.StoreParams, st.DeviceData)
 	if err != nil {
 		return nil, err
 	}

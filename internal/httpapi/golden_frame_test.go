@@ -1,0 +1,170 @@
+package httpapi
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"authtext/internal/wire"
+)
+
+// Golden binary-frame regression suite: the framed encodings of the same
+// canonical values pinned by golden_test.go. The fixtures freeze the frame
+// header layout (magic, version, type, flags, CRC) and the field order of
+// every message codec — a byte diff here is a wire-protocol change and
+// needs a version bump, not a silent regeneration. Regenerate with
+// UPDATE_GOLDEN=1 go test ./internal/httpapi. The canonical values encode
+// below the compression threshold, so the bytes are independent of the
+// flate implementation.
+
+var goldenFrameCases = []struct {
+	file   string
+	encode func() []byte
+	check  func(t *testing.T, raw []byte)
+}{
+	{
+		file:   "search_response.frame.bin",
+		encode: func() []byte { return wire.EncodeSearchResponse(goldenSearchResponse()) },
+		check: func(t *testing.T, raw []byte) {
+			got, err := wire.DecodeSearchResponse(raw)
+			if err != nil {
+				t.Fatalf("golden frame no longer decodes: %v", err)
+			}
+			if want := goldenSearchResponse(); !reflect.DeepEqual(got, want) {
+				t.Errorf("decoded frame disagrees with expected value:\n got: %#v\nwant: %#v", got, want)
+			}
+		},
+	},
+	{
+		file:   "sharded_search_response.frame.bin",
+		encode: func() []byte { return wire.EncodeShardedSearchResponse(goldenShardedSearchResponse()) },
+		check: func(t *testing.T, raw []byte) {
+			got, err := wire.DecodeShardedSearchResponse(raw)
+			if err != nil {
+				t.Fatalf("golden frame no longer decodes: %v", err)
+			}
+			if want := goldenShardedSearchResponse(); !reflect.DeepEqual(got, want) {
+				t.Errorf("decoded frame disagrees with expected value:\n got: %#v\nwant: %#v", got, want)
+			}
+		},
+	},
+	{
+		file: "manifest_response.frame.bin",
+		encode: func() []byte {
+			return wire.EncodeManifestResponse(&ManifestResponse{Format: FormatATCX, Export: []byte("ATCX-export-bytes")})
+		},
+		check: func(t *testing.T, raw []byte) {
+			got, err := wire.DecodeManifestResponse(raw)
+			if err != nil {
+				t.Fatalf("golden frame no longer decodes: %v", err)
+			}
+			want := &ManifestResponse{Format: FormatATCX, Export: []byte("ATCX-export-bytes")}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("decoded frame disagrees with expected value:\n got: %#v\nwant: %#v", got, want)
+			}
+		},
+	},
+}
+
+// goldenSearchResponse is the same canonical value golden_test.go pins as
+// JSON, reused here so the two suites freeze one protocol surface.
+func goldenSearchResponse() *SearchResponse {
+	return &SearchResponse{
+		Query:      "merkle tree proofs",
+		R:          2,
+		Algo:       AlgoTNRA,
+		Scheme:     SchemeCMHT,
+		Generation: 7,
+		Hits: []Hit{
+			{DocID: 7, Score: 3.25, Content: []byte("first document body")},
+			{DocID: 2, Score: 1.5, Content: []byte("second document body")},
+		},
+		VO: []byte{0x01, 0x02, 0xfe, 0xff},
+		Stats: SearchStats{
+			QueryTerms:     3,
+			EntriesRead:    120,
+			EntriesPerTerm: 40,
+			PctListRead:    12.5,
+			BlockReads:     17,
+			RandomReads:    4,
+			IOMillis:       1.75,
+			VOBytes:        4,
+			ServerMillis:   0.5,
+		},
+	}
+}
+
+func goldenShardedSearchResponse() *ShardedSearchResponse {
+	return &ShardedSearchResponse{
+		Query:      "merkle tree proofs",
+		R:          2,
+		Algo:       AlgoTNRA,
+		Scheme:     SchemeCMHT,
+		Generation: 4,
+		Shards: []SearchResponse{
+			{
+				Query: "merkle tree proofs", R: 2, Algo: AlgoTNRA, Scheme: SchemeCMHT,
+				Generation: 4,
+				Hits:       []Hit{{DocID: 0, Score: 2.5, Content: []byte("shard zero hit")}},
+				VO:         []byte{0x0a},
+				Stats: SearchStats{
+					QueryTerms: 3, EntriesRead: 10, EntriesPerTerm: 3.3333,
+					PctListRead: 50, BlockReads: 3, RandomReads: 0,
+					IOMillis: 0.25, VOBytes: 1, ServerMillis: 0.1,
+				},
+			},
+			{
+				Query: "merkle tree proofs", R: 2, Algo: AlgoTNRA, Scheme: SchemeCMHT,
+				Generation: 2,
+				Hits:       []Hit{{DocID: 1, Score: 3.75, Content: []byte("shard one hit")}},
+				VO:         []byte{0x0b, 0x0c},
+				Stats: SearchStats{
+					QueryTerms: 3, EntriesRead: 12, EntriesPerTerm: 4,
+					PctListRead: 40, BlockReads: 4, RandomReads: 1,
+					IOMillis: 0.5, VOBytes: 2, ServerMillis: 0.2,
+				},
+			},
+		},
+		Merged: []MergedHit{
+			{Shard: 1, DocID: 1, GlobalID: 3, Score: 3.75},
+			{Shard: 0, DocID: 0, GlobalID: 0, Score: 2.5},
+		},
+		Stats: ShardedSearchStats{
+			Shards:       2,
+			EntriesRead:  22,
+			VOBytes:      3,
+			IOMillis:     0.5,
+			ServerMillis: 0.35,
+		},
+	}
+}
+
+func TestGoldenBinaryFrames(t *testing.T) {
+	for _, tc := range goldenFrameCases {
+		tc := tc
+		t.Run(tc.file, func(t *testing.T) {
+			path := filepath.Join("testdata", tc.file)
+			enc := tc.encode()
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.WriteFile(path, enc, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden fixture (run with UPDATE_GOLDEN=1 once): %v", err)
+			}
+			// Direction 1: the checked-in frame decodes to exactly the
+			// expected value.
+			tc.check(t, raw)
+			// Direction 2: encoding the expected value reproduces the frame
+			// byte for byte — the determinism the VO cache's byte-identity
+			// guarantee rests on.
+			if !bytes.Equal(enc, raw) {
+				t.Errorf("re-encoded frame disagrees with the golden fixture\n got: %x\nwant: %x", enc, raw)
+			}
+		})
+	}
+}

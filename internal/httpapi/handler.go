@@ -7,8 +7,15 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
+
+	"authtext/internal/wire"
 )
+
+// FrameContentType is the negotiated binary media type
+// (wire.ContentType re-exported for callers that only import httpapi).
+const FrameContentType = wire.ContentType
 
 // Backend is the search engine behind a Handler. Implementations must be
 // safe for concurrent use; the adapter in the root authtext package wraps
@@ -88,7 +95,7 @@ func NewHandler(b Backend, opts ...HandlerOpt) http.Handler {
 				writeError(w, err, CodeSearchFailed, http.StatusInternalServerError)
 				return
 			}
-			writeJSON(w, http.StatusOK, resp)
+			writeData(w, r, resp, func() []byte { return wire.EncodeShardedSearchResponse(resp) })
 		})
 		mux.HandleFunc(PathShardManifest, func(w http.ResponseWriter, r *http.Request) {
 			if !allowMethod(w, r, http.MethodGet) {
@@ -99,7 +106,8 @@ func NewHandler(b Backend, opts ...HandlerOpt) http.Handler {
 				writeError(w, err, CodeUnavailable, http.StatusServiceUnavailable)
 				return
 			}
-			writeJSON(w, http.StatusOK, &ManifestResponse{Format: FormatATSX, Export: export})
+			m := &ManifestResponse{Format: FormatATSX, Export: export}
+			writeData(w, r, m, func() []byte { return wire.EncodeManifestResponse(m) })
 		})
 	}
 	if lb, ok := b.(LiveBackend); ok {
@@ -133,7 +141,8 @@ func NewHandler(b Backend, opts ...HandlerOpt) http.Handler {
 			writeError(w, err, CodeUnavailable, http.StatusServiceUnavailable)
 			return
 		}
-		writeJSON(w, http.StatusOK, &ManifestResponse{Format: FormatATCX, Export: export})
+		m := &ManifestResponse{Format: FormatATCX, Export: export}
+		writeData(w, r, m, func() []byte { return wire.EncodeManifestResponse(m) })
 	})
 	mux.HandleFunc(PathHealthz, func(w http.ResponseWriter, r *http.Request) {
 		if !allowMethod(w, r, http.MethodGet) {
@@ -163,7 +172,8 @@ func handleSearch(w http.ResponseWriter, r *http.Request, b Backend) {
 		return
 	}
 	if batch != nil {
-		writeJSON(w, http.StatusOK, &BatchSearchResponse{Results: searchBatch(b, batch)})
+		resp := &BatchSearchResponse{Results: searchBatch(b, batch)}
+		writeData(w, r, resp, func() []byte { return wire.EncodeBatchSearchResponse(resp) })
 		return
 	}
 	resp, err := b.Search(single)
@@ -171,7 +181,49 @@ func handleSearch(w http.ResponseWriter, r *http.Request, b Backend) {
 		writeError(w, err, CodeSearchFailed, http.StatusInternalServerError)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeData(w, r, resp, func() []byte { return wire.EncodeSearchResponse(resp) })
+}
+
+// acceptsFrame reports whether the request opted into the binary framing:
+// its Accept header lists the frame media type. Negotiation is strictly
+// opt-in — absent, empty, wildcard-only or unparsable Accept values all
+// keep the JSON default, so existing clients cannot be surprised.
+func acceptsFrame(r *http.Request) bool {
+	for _, accept := range r.Header.Values("Accept") {
+		for _, part := range strings.Split(accept, ",") {
+			mediaType, _, _ := strings.Cut(part, ";")
+			if strings.EqualFold(strings.TrimSpace(mediaType), wire.ContentType) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// writeData writes a 200 payload in the negotiated representation: a
+// binary frame when the request accepted one, the JSON encoding (the
+// default) otherwise. Errors never take this path — they are always JSON,
+// so failures stay debuggable with nothing but curl.
+func writeData(w http.ResponseWriter, r *http.Request, v interface{}, frame func() []byte) {
+	if !acceptsFrame(r) {
+		writeJSON(w, http.StatusOK, v)
+		if rr, ok := w.(*respRecorder); ok {
+			rr.negotiated = negotiatedJSON
+		}
+		return
+	}
+	start := time.Now()
+	b := frame()
+	encode := time.Since(start)
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
+	if rr, ok := w.(*respRecorder); ok {
+		// The wire_encode stage: binary framing of the response body.
+		rr.encode += encode
+		rr.negotiated = negotiatedBinary
+	}
 }
 
 // searchBatch dispatches a validated batch to the backend's own concurrent

@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"authtext/internal/wire"
 )
 
 // APIVersion is the protocol version, which prefixes every endpoint path.
@@ -96,46 +98,17 @@ type SearchRequest struct {
 	Scheme string `json:"scheme,omitempty"`
 }
 
-// Hit is one verified result entry. Content is the full document body,
-// base64-encoded on the wire.
-type Hit struct {
-	DocID   int     `json:"doc_id"`
-	Score   float64 `json:"score"`
-	Content []byte  `json:"content"`
-}
+// Hit, SearchStats and SearchResponse (and the other response types
+// below) are defined in internal/wire and aliased here: the JSON envelope
+// and the binary framing serialise the identical structs, so the two
+// representations can never drift. The JSON shape is unchanged.
+type Hit = wire.Hit
 
 // SearchStats reports the server-side per-query costs (§4.1 of the paper).
-// They are informational only — nothing in them is covered by the VO.
-type SearchStats struct {
-	QueryTerms     int     `json:"query_terms"`
-	EntriesRead    int     `json:"entries_read"`
-	EntriesPerTerm float64 `json:"entries_per_term"`
-	PctListRead    float64 `json:"pct_list_read"`
-	BlockReads     int64   `json:"block_reads"`
-	RandomReads    int64   `json:"random_reads"`
-	IOMillis       float64 `json:"io_millis"`
-	VOBytes        int     `json:"vo_bytes"`
-	ServerMillis   float64 `json:"server_millis"`
-}
+type SearchStats = wire.SearchStats
 
-// SearchResponse is the answer to a SearchRequest. Query, R, Algo and
-// Scheme echo the request after normalisation; a verifying client MUST
-// check the result against the parameters it asked for, not the echo (a
-// tampering server could rewrite both consistently).
-type SearchResponse struct {
-	Query  string `json:"query"`
-	R      int    `json:"r"`
-	Algo   string `json:"algo"`
-	Scheme string `json:"scheme"`
-	// Generation is the publication generation that answered (0/absent on
-	// static collections). It is an untrusted hint — the VO carries the
-	// authoritative stamp — that tells clients when to refresh their
-	// manifest from /v1/manifest (docs/UPDATES.md).
-	Generation uint64      `json:"generation,omitempty"`
-	Hits       []Hit       `json:"hits"`
-	VO         []byte      `json:"vo"`
-	Stats      SearchStats `json:"stats"`
-}
+// SearchResponse is the answer to a SearchRequest.
+type SearchResponse = wire.SearchResponse
 
 // BatchSearchRequest is the batch form of a POST to /v1/search: up to
 // MaxBatchQueries queries executed concurrently server-side. A body
@@ -145,19 +118,12 @@ type BatchSearchRequest struct {
 	Queries []SearchRequest `json:"queries"`
 }
 
-// BatchSearchResult is one query's outcome inside a BatchSearchResponse:
-// exactly one of Response and Error is set. A per-query failure does not
-// fail the batch.
-type BatchSearchResult struct {
-	Response *SearchResponse `json:"response,omitempty"`
-	Error    *ErrorBody      `json:"error,omitempty"`
-}
+// BatchSearchResult is one query's outcome inside a BatchSearchResponse.
+type BatchSearchResult = wire.BatchSearchResult
 
 // BatchSearchResponse answers a BatchSearchRequest; Results[i] corresponds
 // to Queries[i].
-type BatchSearchResponse struct {
-	Results []BatchSearchResult `json:"results"`
-}
+type BatchSearchResponse = wire.BatchSearchResponse
 
 // BatchOutcome wraps one query's backend outcome for the wire: a
 // *StatusError keeps its code, any other error maps to search_failed.
@@ -174,14 +140,9 @@ func BatchOutcome(resp *SearchResponse, err error) BatchSearchResult {
 	return BatchSearchResult{Error: &ErrorBody{Code: code, Message: msg}}
 }
 
-// ManifestResponse carries the owner's verification material: Export is
-// the self-contained ATCX blob (signed manifest + RSA public key) that
-// authtext.NewClientFromExport accepts. Format names the blob encoding so
-// future versions can migrate.
-type ManifestResponse struct {
-	Format string `json:"format"`
-	Export []byte `json:"export"`
-}
+// ManifestResponse carries the owner's verification material
+// (authtext.NewClientFromExport accepts Export).
+type ManifestResponse = wire.ManifestResponse
 
 // FormatATCX is the single-collection manifest export format.
 const FormatATCX = "atcx"
@@ -191,43 +152,14 @@ const FormatATCX = "atcx"
 const FormatATSX = "atsx"
 
 // MergedHit is one entry of the claimed global ranking of a sharded
-// response. It carries no content: the content (and the proof) of the hit
-// lives in the cited shard's response, which the client verifies first.
-type MergedHit struct {
-	Shard    int     `json:"shard"`
-	DocID    int     `json:"doc_id"`
-	GlobalID int     `json:"global_id"`
-	Score    float64 `json:"score"`
-}
+// response.
+type MergedHit = wire.MergedHit
 
-// ShardedSearchStats aggregates server-side fan-out costs (informational
-// only, like SearchStats).
-type ShardedSearchStats struct {
-	Shards       int     `json:"shards"`
-	EntriesRead  int     `json:"entries_read"`
-	VOBytes      int     `json:"vo_bytes"`
-	IOMillis     float64 `json:"io_millis"`
-	ServerMillis float64 `json:"server_millis"`
-}
+// ShardedSearchStats aggregates server-side fan-out costs.
+type ShardedSearchStats = wire.ShardedSearchStats
 
-// ShardedSearchResponse is the answer of a sharded deployment: every
-// shard's individually authenticated SearchResponse plus the merged global
-// top-r. A verifying client checks each shard response against its own
-// manifest and recomputes the merge; the echoed parameters are as
-// untrusted as in SearchResponse.
-type ShardedSearchResponse struct {
-	Query  string `json:"query"`
-	R      int    `json:"r"`
-	Algo   string `json:"algo"`
-	Scheme string `json:"scheme"`
-	// Generation is the shard-set generation that answered (0/absent on
-	// static sets); an untrusted refresh hint like
-	// SearchResponse.Generation.
-	Generation uint64             `json:"generation,omitempty"`
-	Shards     []SearchResponse   `json:"shards"`
-	Merged     []MergedHit        `json:"merged"`
-	Stats      ShardedSearchStats `json:"stats"`
-}
+// ShardedSearchResponse is the answer of a sharded deployment.
+type ShardedSearchResponse = wire.ShardedSearchResponse
 
 // Health is the healthz payload: liveness plus collection shape and
 // aggregate serving counters. Shards is 0 for a single-collection server
@@ -322,10 +254,7 @@ type ErrorResponse struct {
 }
 
 // ErrorBody is a machine-readable code plus a human-readable message.
-type ErrorBody struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-}
+type ErrorBody = wire.ErrorBody
 
 // StatusError is an error with an HTTP status and a wire code. Backends
 // return it to control the handler's error mapping; any other error is

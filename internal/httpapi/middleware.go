@@ -78,6 +78,14 @@ const (
 	helpStage     = "Per-stage server cost decomposition of one search (seconds)."
 	nameRespBytes = "authtext_http_response_bytes_total"
 	helpRespBytes = "HTTP response body bytes written, by endpoint."
+	nameFrames    = "authtext_wire_frames_total"
+	helpFrames    = "Negotiable (search/manifest) response bodies served, by content type."
+)
+
+// Negotiated content-type label values of authtext_wire_frames_total.
+const (
+	negotiatedJSON   = "json"
+	negotiatedBinary = "binary"
 )
 
 // httpInstruments holds the pre-bound request instruments of one handler.
@@ -86,6 +94,7 @@ type httpInstruments struct {
 	latency    map[string]*obs.Histogram
 	respBytes  map[string]*obs.Counter
 	wireEncode *obs.Histogram
+	frames     map[string]*obs.Counter
 }
 
 // newHTTPInstruments pre-registers every series the handler can emit for
@@ -104,6 +113,10 @@ func newHTTPInstruments(reg *obs.Registry, endpoints []string) *httpInstruments 
 		reg.Counter(nameRequests, helpRequests, obs.L("endpoint", ep), obs.L("code", "200"))
 	}
 	ins.wireEncode = reg.Histogram(nameStage, helpStage, obs.DefLatencyBuckets, obs.L("stage", "wire_encode"))
+	ins.frames = map[string]*obs.Counter{
+		negotiatedJSON:   reg.Counter(nameFrames, helpFrames, obs.L("content_type", negotiatedJSON)),
+		negotiatedBinary: reg.Counter(nameFrames, helpFrames, obs.L("content_type", negotiatedBinary)),
+	}
 	return ins
 }
 
@@ -117,6 +130,9 @@ func (ins *httpInstruments) observe(endpoint string, rr *respRecorder, wall time
 	if rr.encode > 0 {
 		ins.wireEncode.Observe(rr.encode.Seconds())
 	}
+	if c := ins.frames[rr.negotiated]; c != nil {
+		c.Inc()
+	}
 }
 
 // respRecorder captures what the wrapped handler wrote: final status, body
@@ -127,6 +143,10 @@ type respRecorder struct {
 	status int
 	bytes  int
 	encode time.Duration
+	// negotiated is the content type of a negotiable (search/manifest)
+	// success body — "json" or "binary" — and empty for everything else
+	// (errors, healthz, updates), which the frames counter ignores.
+	negotiated string
 }
 
 func (rr *respRecorder) WriteHeader(code int) {

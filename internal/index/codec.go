@@ -58,7 +58,14 @@ func (x *Index) AppendBinary(b []byte) []byte {
 // DecodeBinary reconstructs an index from AppendBinary output. The input
 // may come from an untrusted snapshot: lengths are checked before any
 // allocation and the result is validated structurally.
-func DecodeBinary(b []byte) (*Index, error) {
+func DecodeBinary(b []byte) (*Index, error) { return decodeBinary(b, false) }
+
+// DecodeBinaryShared is DecodeBinary for callers whose input buffer
+// outlives the index — the mapped snapshot open: document content aliases
+// the input instead of being copied, so the decode cost is metadata only.
+func DecodeBinaryShared(b []byte) (*Index, error) { return decodeBinary(b, true) }
+
+func decodeBinary(b []byte, share bool) (*Index, error) {
 	r := codecReader{b: b}
 	n := int(r.u32())
 	avgLen := r.f64()
@@ -109,17 +116,31 @@ func DecodeBinary(b []byte) (*Index, error) {
 		x.Terms[t] = TermMeta{Name: name, FT: ft}
 		x.byName[name] = TermID(t)
 	}
+	// The inverted lists dominate a snapshot open's CPU time, and their
+	// lengths are already known from the dictionary: size (and
+	// bounds-check) one postings arena up front, then decode each list
+	// from its raw bytes in a single tight pass instead of through the
+	// per-field reader.
+	var total int
 	for t := 0; t < m; t++ {
 		ft := int(x.Terms[t].FT)
-		if ft > r.remaining()/codecEntrySize {
+		if ft > r.remaining()/codecEntrySize-total {
 			return nil, errors.New("index: decode: list length exceeds payload")
 		}
-		l := make([]Posting, ft)
-		for i := range l {
-			l[i] = Posting{Doc: DocID(r.u32()), W: math.Float32frombits(r.u32())}
-		}
+		total += ft
+	}
+	arena := make([]Posting, total)
+	for t := 0; t < m; t++ {
+		ft := int(x.Terms[t].FT)
+		raw := r.take(ft * codecEntrySize)
 		if r.err != nil {
 			return nil, r.err
+		}
+		l := arena[:ft:ft]
+		arena = arena[ft:]
+		for i := range l {
+			e := raw[i*codecEntrySize:]
+			l[i] = Posting{Doc: DocID(binary.BigEndian.Uint32(e)), W: math.Float32frombits(binary.BigEndian.Uint32(e[4:]))}
 		}
 		x.Lists[t] = l
 	}
@@ -131,9 +152,11 @@ func DecodeBinary(b []byte) (*Index, error) {
 		if vecLen > r.remaining()/codecEntrySize {
 			return nil, errors.New("index: decode: document vector exceeds payload")
 		}
+		raw := r.take(vecLen * codecEntrySize)
 		vec := make([]TermFreq, vecLen)
 		for i := range vec {
-			vec[i] = TermFreq{Term: TermID(r.u32()), W: math.Float32frombits(r.u32())}
+			e := raw[i*codecEntrySize:]
+			vec[i] = TermFreq{Term: TermID(binary.BigEndian.Uint32(e)), W: math.Float32frombits(binary.BigEndian.Uint32(e[4:]))}
 		}
 		x.DocTerm[d] = vec
 		x.DocLen[d] = r.u32()
@@ -144,9 +167,13 @@ func DecodeBinary(b []byte) (*Index, error) {
 		if contentLen > r.remaining() {
 			return nil, errors.New("index: decode: document content exceeds payload")
 		}
-		content := make([]byte, contentLen)
-		copy(content, r.take(contentLen))
-		x.Content[d] = content
+		if share {
+			x.Content[d] = r.take(contentLen)
+		} else {
+			content := make([]byte, contentLen)
+			copy(content, r.take(contentLen))
+			x.Content[d] = content
+		}
 	}
 	if r.err != nil {
 		return nil, r.err

@@ -64,6 +64,38 @@ func TestCodecRoundTrip(t *testing.T) {
 	}
 }
 
+// The shared decode must produce the same index, with document content
+// aliasing the input buffer instead of copying it.
+func TestCodecSharedDecodeAliasesContent(t *testing.T) {
+	x := codecTestIndex(t)
+	enc := x.AppendBinary(nil)
+	got, err := DecodeBinaryShared(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Lists, x.Lists) || !reflect.DeepEqual(got.DocTerm, x.DocTerm) {
+		t.Error("shared decode disagrees with the copying decode")
+	}
+	if !reflect.DeepEqual(got.Content, x.Content) {
+		t.Error("content mismatch")
+	}
+	// Content must be a window into enc, not a copy: flipping the
+	// underlying byte must show through.
+	d0 := got.Content[0]
+	if len(d0) == 0 {
+		t.Fatal("document 0 has no content")
+	}
+	off := bytes.Index(enc, d0)
+	if off < 0 {
+		t.Fatal("document 0 content not found in encoding")
+	}
+	enc[off] ^= 0xff
+	if d0[0] == x.Content[0][0] {
+		t.Error("shared decode copied content instead of aliasing it")
+	}
+	enc[off] ^= 0xff
+}
+
 func TestCodecRejectsHostileInput(t *testing.T) {
 	x := codecTestIndex(t)
 	enc := x.AppendBinary(nil)

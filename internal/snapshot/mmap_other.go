@@ -1,0 +1,21 @@
+//go:build !unix
+
+package snapshot
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without a usable mmap reads the file into memory.
+// OpenMapped still works — sections share the one buffer — it just loses
+// the page-cache sharing and lazy-fault properties of a true mapping.
+func mmapFile(f *os.File, size int64) ([]byte, bool, error) {
+	b := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), b); err != nil {
+		return nil, false, err
+	}
+	return b, false, nil
+}
+
+func munmapFile([]byte) error { return nil }

@@ -1,0 +1,22 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared, so the pages come
+// from (and stay in) the kernel page cache. The mapping survives f being
+// closed. The second return reports that the bytes are an OS mapping and
+// must go through munmapFile.
+func mmapFile(f *os.File, size int64) ([]byte, bool, error) {
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+func munmapFile(b []byte) error { return syscall.Munmap(b) }

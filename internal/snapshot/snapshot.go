@@ -203,11 +203,22 @@ func Open(r io.ReaderAt) (*engine.Collection, error) {
 	if _, err := br.ReadByte(); err != io.EOF {
 		return nil, errors.New("snapshot: trailing bytes after last section")
 	}
+	return restoreFromPayloads(payloads, false)
+}
 
-	st := &engine.State{}
+// restoreFromPayloads decodes the (CRC-checked) section payloads into a
+// serving collection. With share set, large structures — the device data,
+// signature and hash tables — alias the payload bytes instead of copying
+// them (the zero-copy half of OpenMapped); the payloads must then outlive
+// the collection.
+func restoreFromPayloads(payloads map[uint16][]byte, share bool) (*engine.Collection, error) {
+	st := &engine.State{ShareDeviceData: share}
 
 	// Manifest first: it is the (signed) source of truth every later
 	// section is cross-checked against.
+	// Manifest and public key are always copied, even in share mode: they
+	// are small, and the verification client built from them may outlive
+	// the mapping (it has no reason to pin pages).
 	mr := byteReader{b: payloads[secManifest]}
 	manifestRaw := mr.sized32()
 	st.ManifestSig = mr.sized32()
@@ -231,7 +242,13 @@ func Open(r io.ReaderAt) (*engine.Collection, error) {
 		return nil, fmt.Errorf("snapshot: %w", err)
 	}
 
-	st.Index, err = index.DecodeBinary(payloads[secIndex])
+	if share {
+		// Mapped open: document content aliases the mapped pages like the
+		// device data does, so the index decode is metadata-speed.
+		st.Index, err = index.DecodeBinaryShared(payloads[secIndex])
+	} else {
+		st.Index, err = index.DecodeBinary(payloads[secIndex])
+	}
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: %w", err)
 	}
@@ -261,7 +278,7 @@ func Open(r io.ReaderAt) (*engine.Collection, error) {
 	}
 
 	n, m, hashSize := int(manifest.N), int(manifest.M), int(manifest.HashSize)
-	ar := byteReader{b: payloads[secAuth]}
+	ar := byteReader{b: payloads[secAuth], share: share}
 	switch ar.u8() {
 	case 0:
 		if !manifest.DictMode {
@@ -366,11 +383,13 @@ func appendExtents(b []byte, exts []store.Extent) []byte {
 }
 
 // byteReader is a bounds-checked reader over a section payload. Errors
-// accumulate; done reports the first one (or trailing garbage).
+// accumulate; done reports the first one (or trailing garbage). With share
+// set, variable-length reads alias the payload instead of copying.
 type byteReader struct {
-	b   []byte
-	off int
-	err error
+	b     []byte
+	off   int
+	err   error
+	share bool
 }
 
 func (r *byteReader) take(n int) []byte {
@@ -410,12 +429,16 @@ func (r *byteReader) u64() uint64 {
 	return binary.BigEndian.Uint64(v)
 }
 
-// sized32 reads a u32-length-prefixed byte string (copied out).
+// sized32 reads a u32-length-prefixed byte string (copied out, or aliased
+// in share mode).
 func (r *byteReader) sized32() []byte {
 	n := int(r.u32())
 	v := r.take(n)
 	if v == nil {
 		return nil
+	}
+	if r.share {
+		return v
 	}
 	out := make([]byte, n)
 	copy(out, v)
@@ -445,7 +468,11 @@ func (r *byteReader) sliceTable(count, width int) [][]byte {
 			if v == nil {
 				return nil
 			}
-			out[i] = append([]byte(nil), v...)
+			if r.share {
+				out[i] = v
+			} else {
+				out[i] = append([]byte(nil), v...)
+			}
 		}
 	}
 	return out

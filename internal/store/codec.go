@@ -53,6 +53,21 @@ func DecodeParams(b []byte) (Params, error) {
 // (a copy is taken). The data length must be block-granular; NewDevice's
 // parameter validation applies.
 func RestoreDevice(p Params, data []byte) (*Device, error) {
+	d, err := RestoreDeviceShared(p, data)
+	if err != nil {
+		return nil, err
+	}
+	d.data = make([]byte, len(data))
+	copy(d.data, data)
+	return d, nil
+}
+
+// RestoreDeviceShared is RestoreDevice without the copy: the device reads
+// straight from data (e.g. a read-only file mapping shared with the page
+// cache). The caller owns data's lifetime — it must stay valid and
+// unmodified for as long as the device is readable — and Corrupt must not
+// be called on such a device (the backing may be write-protected).
+func RestoreDeviceShared(p Params, data []byte) (*Device, error) {
 	d, err := NewDevice(p)
 	if err != nil {
 		return nil, err
@@ -61,8 +76,7 @@ func RestoreDevice(p Params, data []byte) (*Device, error) {
 		return nil, fmt.Errorf("store: restore: %d bytes not a multiple of block size %d",
 			len(data), p.BlockSize)
 	}
-	d.data = make([]byte, len(data))
-	copy(d.data, data)
+	d.data = data
 	d.nblocks = int64(len(data) / p.BlockSize)
 	return d, nil
 }

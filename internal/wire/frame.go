@@ -1,0 +1,234 @@
+package wire
+
+import (
+	"bytes"
+	"compress/flate"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Frame layout (all integers big-endian):
+//
+//	offset size
+//	0      4   magic "ATWF"
+//	4      1   format version (1)
+//	5      1   payload type (TypeSearch..TypeManifest)
+//	6      2   flags (bit 0: payload is deflate-compressed)
+//	8      4   CRC-32C (Castagnoli) of the stored payload bytes
+//	12     8   stored payload length
+//	20     —   stored payload
+//
+// A compressed payload is `u64 raw length | deflate stream`; the CRC
+// always covers the stored (possibly compressed) bytes, so corruption is
+// detected before any decompression work happens. Compression is a pure
+// function of the encoded message (fixed level, fixed threshold, applied
+// only when it shrinks the payload), which keeps a server's frame for a
+// given response byte-identical across cache hits, misses and replicas.
+
+// ContentType is the negotiated media type of binary frames. A request
+// whose Accept header lists it is answered with a frame; everything else
+// gets JSON (docs/PROTOCOL.md "Binary framing").
+const ContentType = "application/x-authtext-frame"
+
+// FrameVersion is the frame format version this build speaks.
+const FrameVersion = 1
+
+// frameMagic begins every frame.
+const frameMagic = "ATWF"
+
+// HeaderSize is the fixed frame header length.
+const HeaderSize = 20
+
+// Payload types.
+const (
+	TypeSearch   byte = 1 // SearchResponse
+	TypeBatch    byte = 2 // BatchSearchResponse
+	TypeSharded  byte = 3 // ShardedSearchResponse
+	TypeManifest byte = 4 // ManifestResponse
+)
+
+// flagDeflate marks a deflate-compressed payload.
+const flagDeflate uint16 = 1 << 0
+
+// MaxPayloadBytes caps the decoded (decompressed) payload a decoder will
+// materialise. It matches the remote clients' response-buffer cap: the
+// peer is untrusted, and an inflated length field must not allocate
+// beyond real input.
+const MaxPayloadBytes = 64 << 20
+
+// compressMin is the smallest raw payload worth attempting to compress.
+// Below it the deflate header overhead and the extra length word eat the
+// savings; the exact value only changes which frames carry the flag, and
+// is part of the deterministic encode.
+const compressMin = 512
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrFrame reports any malformed, truncated or corrupted frame. All
+// decode failures wrap it, so transports can classify frame damage with
+// errors.Is.
+var ErrFrame = errors.New("wire: bad frame")
+
+func frameErr(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrFrame, fmt.Sprintf(format, args...))
+}
+
+// EncodeFrame wraps an encoded message payload in a frame, compressing it
+// when that pays. Compression results are memoised by payload hash (see
+// memo.go), so replaying a hot answer costs a hash, not a deflate. The
+// raw slice is not retained.
+func EncodeFrame(typ byte, raw []byte) []byte {
+	payload, flags := raw, uint16(0)
+	if len(raw) >= compressMin {
+		key := sha256.Sum256(raw)
+		if c, ok := memoGet(key); ok {
+			if c != nil {
+				payload, flags = c, flagDeflate
+			}
+		} else if c := deflatePayload(raw); c != nil && len(c) < len(raw) {
+			payload, flags = c, flagDeflate
+			memoPut(key, c)
+		} else {
+			memoPut(key, nil)
+		}
+	}
+	out := make([]byte, 0, HeaderSize+len(payload))
+	out = append(out, frameMagic...)
+	out = append(out, FrameVersion, typ)
+	out = binary.BigEndian.AppendUint16(out, flags)
+	out = binary.BigEndian.AppendUint32(out, crc32.Checksum(payload, castagnoli))
+	out = binary.BigEndian.AppendUint64(out, uint64(len(payload)))
+	return append(out, payload...)
+}
+
+// deflatePayload compresses raw behind a u64 raw-length prefix, returning
+// nil when compression is unavailable (it never is for flate) or failed.
+// BestSpeed keeps the server-side encode cost near memcpy rates while
+// still roughly halving text-heavy payloads.
+func deflatePayload(raw []byte) []byte {
+	var buf bytes.Buffer
+	buf.Grow(len(raw) / 2)
+	var lenPrefix [8]byte
+	binary.BigEndian.PutUint64(lenPrefix[:], uint64(len(raw)))
+	buf.Write(lenPrefix[:])
+	fw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil
+	}
+	if _, err := fw.Write(raw); err != nil {
+		return nil
+	}
+	if err := fw.Close(); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
+
+// DecodeFrame parses one complete frame from hostile input, returning the
+// payload type and the decompressed message bytes. Every length is
+// validated against the real input before allocation, and the CRC is
+// checked before any decompression.
+func DecodeFrame(b []byte) (typ byte, raw []byte, err error) {
+	if len(b) < HeaderSize {
+		return 0, nil, frameErr("short frame: %d bytes", len(b))
+	}
+	if string(b[:4]) != frameMagic {
+		return 0, nil, frameErr("bad magic")
+	}
+	if v := b[4]; v != FrameVersion {
+		return 0, nil, frameErr("unsupported frame version %d (this build speaks %d)", v, FrameVersion)
+	}
+	typ = b[5]
+	if typ < TypeSearch || typ > TypeManifest {
+		return 0, nil, frameErr("unknown payload type %d", typ)
+	}
+	flags := binary.BigEndian.Uint16(b[6:])
+	if flags&^flagDeflate != 0 {
+		return 0, nil, frameErr("unknown flags %#x", flags&^flagDeflate)
+	}
+	wantCRC := binary.BigEndian.Uint32(b[8:])
+	length := binary.BigEndian.Uint64(b[12:])
+	if length > MaxPayloadBytes {
+		return 0, nil, frameErr("payload length %d exceeds cap %d", length, MaxPayloadBytes)
+	}
+	if uint64(len(b)-HeaderSize) != length {
+		return 0, nil, frameErr("payload length %d, frame carries %d", length, len(b)-HeaderSize)
+	}
+	payload := b[HeaderSize:]
+	if crc32.Checksum(payload, castagnoli) != wantCRC {
+		return 0, nil, frameErr("payload fails its CRC (corrupted frame)")
+	}
+	if flags&flagDeflate == 0 {
+		return typ, payload, nil
+	}
+	raw, err = inflatePayload(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	return typ, raw, nil
+}
+
+// inflatePayload reverses deflatePayload under MaxPayloadBytes.
+func inflatePayload(payload []byte) ([]byte, error) {
+	if len(payload) < 8 {
+		return nil, frameErr("truncated compressed payload")
+	}
+	rawLen := binary.BigEndian.Uint64(payload)
+	if rawLen > MaxPayloadBytes {
+		return nil, frameErr("decompressed length %d exceeds cap %d", rawLen, MaxPayloadBytes)
+	}
+	fr := flate.NewReader(bytes.NewReader(payload[8:]))
+	defer fr.Close()
+	// Read one byte past the declared length so a stream that disagrees
+	// with its own prefix is rejected instead of silently truncated.
+	raw := make([]byte, 0, rawLen)
+	limited := io.LimitReader(fr, int64(rawLen)+1)
+	buf := bytes.NewBuffer(raw)
+	if _, err := io.Copy(buf, limited); err != nil {
+		return nil, frameErr("corrupt deflate stream: %v", err)
+	}
+	if uint64(buf.Len()) != rawLen {
+		return nil, frameErr("decompressed to %d bytes, prefix claims %d", buf.Len(), rawLen)
+	}
+	return buf.Bytes(), nil
+}
+
+// ReadFrame reads one frame from a stream (header first, then exactly the
+// declared payload), for transports that cannot slice a complete buffer.
+// The same caps and checks as DecodeFrame apply.
+func ReadFrame(r io.Reader) (typ byte, raw []byte, err error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, frameErr("reading header: %v", err)
+	}
+	length := binary.BigEndian.Uint64(hdr[12:])
+	if length > MaxPayloadBytes {
+		return 0, nil, frameErr("payload length %d exceeds cap %d", length, MaxPayloadBytes)
+	}
+	frame := make([]byte, 0, HeaderSize+int(length))
+	frame = append(frame, hdr[:]...)
+	// Chunked reads bound allocation to real input even though length is
+	// already capped: a one-packet attacker cannot make us commit 64 MB.
+	const chunk = 1 << 20
+	for uint64(len(frame)-HeaderSize) < length {
+		take := length - uint64(len(frame)-HeaderSize)
+		if take > chunk {
+			take = chunk
+		}
+		old := len(frame)
+		frame = append(frame, make([]byte, take)...)
+		if _, err := io.ReadFull(r, frame[old:]); err != nil {
+			return 0, nil, frameErr("truncated payload: %v", err)
+		}
+	}
+	return DecodeFrame(frame)
+}
+
+// f64 round-trips float64 bit patterns exactly (NaN payloads included).
+func f64bits(f float64) uint64 { return math.Float64bits(f) }

@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+)
+
+// Deflate memoisation for the serving hot path. EncodeFrame is a pure
+// function of (type, raw payload), and the only expensive part of it is
+// deflate: a hot query replayed from the VO cache produces the identical
+// raw payload on every hit, so the compressed bytes are remembered keyed
+// by the payload's SHA-256. A hit costs one hash over the raw bytes
+// (hardware-accelerated, ~30x faster than deflate) instead of a fresh
+// compression. Because the stored bytes ARE a previous EncodeFrame's
+// deflate output, memoised and non-memoised encodes are byte-identical by
+// construction — the determinism contract in the frame-layout comment
+// survives untouched. Incompressible payloads are remembered too (as an
+// empty entry), so they are not re-deflated-and-discarded on every hit.
+const (
+	// memoMaxBytes bounds the memo's stored compressed bytes (LRU beyond).
+	memoMaxBytes = 64 << 20
+	// memoMaxEntryBytes skips memoising huge one-off payloads whose raw
+	// hash cost already dwarfs any replay saving.
+	memoMaxEntryBytes = 4 << 20
+)
+
+type memoEntry struct {
+	key  [sha256.Size]byte
+	data []byte // nil: compression does not pay for this payload
+}
+
+var deflateMemo = struct {
+	mu    sync.Mutex
+	m     map[[sha256.Size]byte]*list.Element // values: *memoEntry
+	lru   *list.List                          // front = most recent
+	bytes int64
+}{m: make(map[[sha256.Size]byte]*list.Element), lru: list.New()}
+
+// memoEntryCost charges key, slice header and bookkeeping per entry.
+func memoEntryCost(data []byte) int64 { return int64(len(data)) + sha256.Size + 64 }
+
+// memoGet returns the remembered deflate output (data, true), the
+// remembered "does not compress" verdict (nil, true), or a miss. The
+// returned slice is shared and immutable; callers copy it into their
+// frame buffer.
+func memoGet(key [sha256.Size]byte) ([]byte, bool) {
+	deflateMemo.mu.Lock()
+	defer deflateMemo.mu.Unlock()
+	elem, ok := deflateMemo.m[key]
+	if !ok {
+		return nil, false
+	}
+	deflateMemo.lru.MoveToFront(elem)
+	return elem.Value.(*memoEntry).data, true
+}
+
+// memoPut remembers data (or the nil "does not compress" verdict) for
+// key, evicting least-recently-used entries beyond the byte bound.
+func memoPut(key [sha256.Size]byte, data []byte) {
+	if len(data) > memoMaxEntryBytes {
+		return
+	}
+	deflateMemo.mu.Lock()
+	defer deflateMemo.mu.Unlock()
+	if _, ok := deflateMemo.m[key]; ok {
+		return // concurrent encode of the same payload won the race
+	}
+	deflateMemo.m[key] = deflateMemo.lru.PushFront(&memoEntry{key: key, data: data})
+	deflateMemo.bytes += memoEntryCost(data)
+	for deflateMemo.bytes > memoMaxBytes {
+		back := deflateMemo.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*memoEntry)
+		deflateMemo.lru.Remove(back)
+		delete(deflateMemo.m, e.key)
+		deflateMemo.bytes -= memoEntryCost(e.data)
+	}
+}

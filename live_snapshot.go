@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -142,6 +143,13 @@ type replicaState struct {
 	client *Client
 	gen    uint64
 	export []byte // ATCX blob; nil for fast-signer snapshots
+	// ms, for mapped replicas, owns this generation's file mapping. The
+	// state holds the opening reference; Reload releases it when the
+	// generation is superseded, and pinned Server() copies hold their own
+	// references (dropped by finalizer), so in-flight queries keep their
+	// pages until they are collected — unmap-after-swap, never under a
+	// reader.
+	ms *MappedSnapshot
 }
 
 // LiveReplica serves a live collection from its snapshot directory
@@ -152,6 +160,8 @@ type replicaState struct {
 // rather than silently serving rolled-back state.
 type LiveReplica struct {
 	dir string
+	// mapped selects zero-copy generation opens (OpenLiveSnapshotDirMapped).
+	mapped bool
 
 	mu  sync.Mutex // serialises Reload
 	cur atomic.Pointer[replicaState]
@@ -175,18 +185,48 @@ func OpenLiveSnapshotDir(dir string) (*LiveReplica, error) {
 	return r, nil
 }
 
-// loadGeneration opens one generation snapshot and validates its
-// manifest-vs-filename consistency.
-func loadGeneration(path string, wantGen uint64) (*replicaState, error) {
-	server, client, err := OpenSnapshotFile(path)
-	if err != nil {
+// OpenLiveSnapshotDirMapped is OpenLiveSnapshotDir with zero-copy
+// generation opens: each gen-*.atsn is memory-mapped instead of copied, so
+// a reload swaps generations at decode speed and superseded generations'
+// pages unmap once their in-flight queries finish (see MappedSnapshot).
+func OpenLiveSnapshotDirMapped(dir string) (*LiveReplica, error) {
+	r := &LiveReplica{dir: dir, mapped: true}
+	if _, err := r.Reload(); err != nil {
 		return nil, err
 	}
+	return r, nil
+}
+
+// loadGeneration opens one generation snapshot and validates its
+// manifest-vs-filename consistency.
+func loadGeneration(path string, wantGen uint64, mapped bool) (*replicaState, error) {
+	var (
+		server *Server
+		client *Client
+		ms     *MappedSnapshot
+	)
+	if mapped {
+		var err error
+		ms, err = OpenSnapshotMapped(path)
+		if err != nil {
+			return nil, err
+		}
+		server, client = ms.Server(), ms.Client()
+	} else {
+		var err error
+		server, client, err = OpenSnapshotFile(path)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if got := client.Generation(); got != wantGen {
+		if ms != nil {
+			ms.Close()
+		}
 		return nil, fmt.Errorf("authtext: %s: snapshot manifest pins generation %d, filename claims %d",
 			filepath.Base(path), got, wantGen)
 	}
-	st := &replicaState{server: server, client: client, gen: wantGen}
+	st := &replicaState{server: server, client: client, gen: wantGen, ms: ms}
 	// Fast-signer snapshots have no publishable key; serve without a
 	// manifest endpoint rather than failing the whole replica.
 	if export, err := client.Export(); err == nil {
@@ -216,13 +256,31 @@ func (r *LiveReplica) Reload() (bool, error) {
 		}
 	}
 	openStart := time.Now()
-	st, err := loadGeneration(path, gen)
+	st, err := loadGeneration(path, gen, r.mapped)
 	if err != nil {
 		return false, err
 	}
 	r.cur.Store(st)
+	if cur != nil && cur.ms != nil {
+		// Unmap after swap: drop the superseded generation's opening
+		// reference. Server() copies pinned to it still hold their own.
+		cur.ms.Close()
+	}
 	r.metrics.recordSnapshotOpen(gen, time.Since(openStart))
 	return true, nil
+}
+
+// Close releases the current generation's mapping (no-op for copying
+// replicas). Serving must have stopped; pinned Server() copies still in
+// flight keep their pages alive until collected.
+func (r *LiveReplica) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cur := r.cur.Load(); cur != nil && cur.ms != nil {
+		cur.ms.Close()
+		cur.ms = nil
+	}
+	return nil
 }
 
 // SetVOCache attaches a VO cache carried into every Server() result (nil
@@ -241,9 +299,25 @@ func (r *LiveReplica) SetMetrics(m *Metrics) {
 
 // Server returns the serving half of the current generation. The result
 // is pinned: it keeps answering from its generation even after a Reload
-// swaps the replica forward.
+// swaps the replica forward. On a mapped replica the returned server also
+// pins its generation's pages (released when the server is collected).
 func (r *LiveReplica) Server() *Server {
-	return r.cur.Load().server.withCache(r.cache).withMetrics(r.metrics)
+	for {
+		st := r.cur.Load()
+		if st.ms == nil {
+			return st.server.withCache(r.cache).withMetrics(r.metrics)
+		}
+		if st.ms.m.Retain() {
+			// A fresh allocation per call so the finalizer tracks exactly
+			// this handle's lifetime (withCache may return a shared pointer).
+			srv := &Server{col: st.server.col, cache: r.cache, metrics: r.metrics}
+			mp := st.ms.m
+			runtime.SetFinalizer(srv, func(*Server) { mp.Release() })
+			return srv
+		}
+		// Lost the race against a swap that fully released this
+		// generation; the store of the successor is already visible.
+	}
 }
 
 // Client returns the verification client of the current generation.

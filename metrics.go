@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"authtext/internal/obs"
+	"authtext/internal/snapshot"
 )
 
 // Metrics is the serving fleet's metric registry: per-stage search cost
@@ -26,6 +27,7 @@ type Metrics struct {
 	stageVOEncode    *obs.Histogram
 	stageCacheLookup *obs.Histogram
 	stageMerge       *obs.Histogram
+	stageWireDecode  *obs.Histogram
 
 	searchSingle  *obs.Counter
 	searchSharded *obs.Counter
@@ -65,9 +67,16 @@ func NewMetrics() *Metrics {
 	m.stageVOEncode = stage("vo_encode")
 	m.stageCacheLookup = stage("cache_lookup")
 	m.stageMerge = stage("merge")
+	// wire_decode is the remote clients' response decode cost (JSON parse or
+	// frame check+inflate+decode), the receive-side mirror of wire_encode.
+	m.stageWireDecode = stage("wire_decode")
 	// The wire_encode stage is observed by the HTTP layer against the same
 	// family; registering it here keeps the catalog complete pre-traffic.
 	stage("wire_encode")
+
+	m.reg.GaugeFunc("authtext_snapshot_mapped_bytes",
+		"Snapshot bytes currently memory-mapped by this process (zero-copy opens).",
+		func() float64 { return float64(snapshot.MappedBytes()) })
 
 	const searchHelp = "Searches answered, by collection kind."
 	m.searchSingle = r.Counter("authtext_searches_total", searchHelp, obs.L("kind", "single"))
@@ -248,4 +257,21 @@ func (m *Metrics) observeVerify(d time.Duration, err error) {
 	if IsTampered(err) {
 		m.clientTamper.Inc()
 	}
+}
+
+// observeWireDecode records one response-body decode on a remote client.
+func (m *Metrics) observeWireDecode(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.stageWireDecode.Observe(d.Seconds())
+}
+
+// countTamper counts a tamper rejection detected before verification ran
+// (a response frame that failed its integrity checks).
+func (m *Metrics) countTamper() {
+	if m == nil {
+		return
+	}
+	m.clientTamper.Inc()
 }

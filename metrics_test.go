@@ -318,6 +318,10 @@ func TestClientMetricsVerifyAndTamper(t *testing.T) {
 			h.ServeHTTP(w, r)
 			return
 		}
+		// This adversary tampers at the JSON layer; force the honest
+		// server off binary frames (the framed path has its own battery
+		// in remote_wire_test.go).
+		r.Header.Del("Accept")
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, r)
 		var resp httpapi.SearchResponse

@@ -6,13 +6,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"authtext/internal/core"
 	"authtext/internal/httpapi"
+	"authtext/internal/wire"
 )
 
 // RemoteClient verifies search results received over HTTP from an
@@ -32,6 +36,11 @@ type RemoteClient struct {
 	// (WithClientMetrics).
 	metrics *Metrics
 
+	// noBinary latches after a server answers 406 to the binary-frame
+	// offer: every later request from this client goes straight to JSON
+	// instead of re-offering per call (docs/PROTOCOL.md "Binary framing").
+	noBinary atomic.Bool
+
 	mu     sync.Mutex
 	client *Client // verification half, nil until bootstrapped
 
@@ -47,9 +56,29 @@ type RemoteOption func(*RemoteClient)
 const defaultHTTPTimeout = 30 * time.Second
 
 // defaultHTTPClient builds the transport used when the caller supplies
-// none; RemoteClient and ShardedRemoteClient share it.
+// none; RemoteClient and ShardedRemoteClient share it. The transport is
+// tuned for the verifier's traffic shape — many small request/response
+// pairs against one or a few hosts — so connections are kept alive and
+// reused instead of re-dialled per call: http.DefaultTransport caps idle
+// connections per host at 2, which forces reconnects (and, under TLS,
+// re-handshakes) as soon as a sharded client or batch workload fans out.
 func defaultHTTPClient() *http.Client {
-	return &http.Client{Timeout: defaultHTTPTimeout}
+	return &http.Client{
+		Timeout: defaultHTTPTimeout,
+		Transport: &http.Transport{
+			Proxy: http.ProxyFromEnvironment,
+			DialContext: (&net.Dialer{
+				Timeout:   10 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			ForceAttemptHTTP2:     true,
+			MaxIdleConns:          256,
+			MaxIdleConnsPerHost:   128,
+			IdleConnTimeout:       90 * time.Second,
+			TLSHandshakeTimeout:   10 * time.Second,
+			ExpectContinueTimeout: 1 * time.Second,
+		},
+	}
 }
 
 // WithHTTPClient substitutes the transport (default: defaultHTTPClient,
@@ -113,8 +142,8 @@ func (rc *RemoteClient) bootstrapLocked(ctx context.Context) error {
 	if rc.client != nil {
 		return nil
 	}
-	var m httpapi.ManifestResponse
-	if err := rc.get(ctx, httpapi.PathManifest, &m); err != nil {
+	m, err := rc.fetchManifest(ctx)
+	if err != nil {
 		return err
 	}
 	if m.Format != httpapi.FormatATCX {
@@ -126,6 +155,27 @@ func (rc *RemoteClient) bootstrapLocked(ctx context.Context) error {
 	}
 	rc.client = c
 	return nil
+}
+
+// fetchManifest retrieves /v1/manifest with content negotiation.
+func (rc *RemoteClient) fetchManifest(ctx context.Context) (*httpapi.ManifestResponse, error) {
+	var m httpapi.ManifestResponse
+	err := httpDoNegotiated(rc.hc, &rc.noBinary, rc.metrics,
+		func() (*http.Request, error) {
+			return http.NewRequestWithContext(ctx, http.MethodGet, rc.base+httpapi.PathManifest, nil)
+		},
+		func(frame []byte) error {
+			d, err := wire.DecodeManifestResponse(frame)
+			if err != nil {
+				return err
+			}
+			m = *d
+			return nil
+		}, &m)
+	if err != nil {
+		return nil, err
+	}
+	return &m, nil
 }
 
 // Generation returns the publication generation this client currently
@@ -146,8 +196,8 @@ func (rc *RemoteClient) Generation() uint64 {
 // the client holds. Client.AdvanceExport enforces the trust rules: the
 // new manifest must verify against the PINNED key and must not regress.
 func (rc *RemoteClient) refreshManifest(ctx context.Context, client *Client) error {
-	var m httpapi.ManifestResponse
-	if err := rc.get(ctx, httpapi.PathManifest, &m); err != nil {
+	m, err := rc.fetchManifest(ctx)
+	if err != nil {
 		return err
 	}
 	if m.Format != httpapi.FormatATCX {
@@ -199,22 +249,34 @@ func (rc *RemoteClient) Search(ctx context.Context, query string, r int, algo Al
 	// from an honest server, while a rolled-back server keeps answering
 	// old generations and still ends in ErrStaleGeneration.
 	for attempt := 0; ; attempt++ {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, rc.base+httpapi.PathSearch, bytes.NewReader(reqBody))
+		var sr httpapi.SearchResponse
+		err := httpDoNegotiated(rc.hc, &rc.noBinary, rc.metrics,
+			func() (*http.Request, error) {
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, rc.base+httpapi.PathSearch, bytes.NewReader(reqBody))
+				if err != nil {
+					return nil, err
+				}
+				req.Header.Set("Content-Type", "application/json")
+				return req, nil
+			},
+			func(frame []byte) error {
+				d, err := wire.DecodeSearchResponse(frame)
+				if err != nil {
+					return err
+				}
+				sr = *d
+				return nil
+			}, &sr)
 		if err != nil {
 			return nil, err
 		}
-		req.Header.Set("Content-Type", "application/json")
-		var wire httpapi.SearchResponse
-		if err := rc.do(req, &wire); err != nil {
+		if err := rc.maybeAdvance(ctx, client, sr.Generation); err != nil {
 			return nil, err
 		}
-		if err := rc.maybeAdvance(ctx, client, wire.Generation); err != nil {
-			return nil, err
-		}
-		if wire.Generation < client.Generation() && attempt < 2 {
+		if sr.Generation < client.Generation() && attempt < 2 {
 			continue
 		}
-		return verifyWireResult(client, rc.metrics, &wire, query, r, algo, scheme)
+		return verifyWireResult(client, rc.metrics, &sr, query, r, algo, scheme)
 	}
 }
 
@@ -289,25 +351,37 @@ func (rc *RemoteClient) SearchBatch(ctx context.Context, queries []BatchQuery) (
 	if err != nil {
 		return nil, err
 	}
-	var wire httpapi.BatchSearchResponse
+	var br httpapi.BatchSearchResponse
 	// Retry loop as in Search: a live server answers the whole batch from
 	// one generation; if updates raced the manifest refresh, re-ask.
 	for attempt := 0; ; attempt++ {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, rc.base+httpapi.PathSearch, bytes.NewReader(reqBody))
+		br = httpapi.BatchSearchResponse{}
+		err := httpDoNegotiated(rc.hc, &rc.noBinary, rc.metrics,
+			func() (*http.Request, error) {
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, rc.base+httpapi.PathSearch, bytes.NewReader(reqBody))
+				if err != nil {
+					return nil, err
+				}
+				req.Header.Set("Content-Type", "application/json")
+				return req, nil
+			},
+			func(frame []byte) error {
+				d, err := wire.DecodeBatchSearchResponse(frame)
+				if err != nil {
+					return err
+				}
+				br = *d
+				return nil
+			}, &br)
 		if err != nil {
 			return nil, err
 		}
-		req.Header.Set("Content-Type", "application/json")
-		wire = httpapi.BatchSearchResponse{}
-		if err := rc.do(req, &wire); err != nil {
-			return nil, err
-		}
-		if len(wire.Results) != len(queries) {
-			return nil, fmt.Errorf("authtext: server answered %d results for %d queries", len(wire.Results), len(queries))
+		if len(br.Results) != len(queries) {
+			return nil, fmt.Errorf("authtext: server answered %d results for %d queries", len(br.Results), len(queries))
 		}
 		var maxWireGen uint64
-		for i := range wire.Results {
-			if r := wire.Results[i].Response; r != nil && r.Generation > maxWireGen {
+		for i := range br.Results {
+			if r := br.Results[i].Response; r != nil && r.Generation > maxWireGen {
 				maxWireGen = r.Generation
 			}
 		}
@@ -320,16 +394,16 @@ func (rc *RemoteClient) SearchBatch(ctx context.Context, queries []BatchQuery) (
 		break
 	}
 	out := make([]BatchItem, len(queries))
-	for i := range wire.Results {
+	for i := range br.Results {
 		q := queries[i]
 		switch {
-		case wire.Results[i].Error != nil:
+		case br.Results[i].Error != nil:
 			out[i].Err = fmt.Errorf("authtext: query %d: server error %s: %s",
-				i, wire.Results[i].Error.Code, wire.Results[i].Error.Message)
-		case wire.Results[i].Response == nil:
+				i, br.Results[i].Error.Code, br.Results[i].Error.Message)
+		case br.Results[i].Response == nil:
 			out[i].Err = fmt.Errorf("authtext: query %d: empty batch result", i)
 		default:
-			out[i].Result, out[i].Err = verifyWireResult(client, rc.metrics, wire.Results[i].Response,
+			out[i].Result, out[i].Err = verifyWireResult(client, rc.metrics, br.Results[i].Response,
 				q.Query, q.R, q.Algorithm, q.Scheme)
 		}
 	}
@@ -372,14 +446,94 @@ func (rc *RemoteClient) get(ctx context.Context, path string, out interface{}) e
 	return httpGetJSON(ctx, rc.hc, rc.base, path, out)
 }
 
-func (rc *RemoteClient) do(req *http.Request, out interface{}) error {
-	return httpDoJSON(rc.hc, req, out)
-}
-
 // maxResponseBytes caps how much of a response body a remote client will
 // buffer: the server is untrusted, and an endless 200 body must not
 // exhaust the verifier's memory before verification can reject it.
 const maxResponseBytes = 64 << 20
+
+// httpDoNegotiated performs one request with binary-frame content
+// negotiation: unless noBinary has latched, the request offers
+// wire.ContentType via Accept, and the response is decoded by fromFrame
+// (frame body) or into out (JSON body) depending on what the server
+// chose. A 406 latches noBinary and retries the request once as plain
+// JSON, which keeps this client compatible with both older servers that
+// ignore Accept (they simply answer JSON) and strict ones that reject
+// unknown media types. makeReq must build a fresh request per call so the
+// body can be re-read on that retry.
+func httpDoNegotiated(hc *http.Client, noBinary *atomic.Bool, m *Metrics,
+	makeReq func() (*http.Request, error), fromFrame func([]byte) error, out interface{}) error {
+	for {
+		req, err := makeReq()
+		if err != nil {
+			return err
+		}
+		binary := !noBinary.Load()
+		if binary {
+			req.Header.Set("Accept", wire.ContentType)
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			return fmt.Errorf("authtext: %s: %w", req.URL.Path, err)
+		}
+		if binary && resp.StatusCode == http.StatusNotAcceptable {
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxResponseBytes))
+			resp.Body.Close()
+			noBinary.Store(true)
+			continue
+		}
+		err = decodeNegotiatedBody(req.URL.Path, resp, m, fromFrame, out)
+		resp.Body.Close()
+		return err
+	}
+}
+
+// decodeNegotiatedBody dispatches on the response Content-Type. A frame
+// that fails its CRC or decode is classified as tampering (the transport
+// is the untrusted party here, exactly like an undecodable VO), so
+// IsTampered reports true for it.
+func decodeNegotiatedBody(path string, resp *http.Response, m *Metrics,
+	fromFrame func([]byte) error, out interface{}) error {
+	if resp.StatusCode != http.StatusOK {
+		se := httpapi.ReadErrorResponse(resp.StatusCode, resp.Body)
+		return fmt.Errorf("authtext: %s: server returned %d: %w", path, se.Status, se)
+	}
+	ct, _, _ := strings.Cut(resp.Header.Get("Content-Type"), ";")
+	if strings.EqualFold(strings.TrimSpace(ct), wire.ContentType) {
+		frame, err := readCapped(resp.Body)
+		if err != nil {
+			return fmt.Errorf("authtext: %s: %w", path, err)
+		}
+		start := time.Now()
+		if err := fromFrame(frame); err != nil {
+			verr := &core.VerifyError{Code: core.CodeMalformedVO, Detail: err.Error()}
+			m.countTamper()
+			return fmt.Errorf("authtext: %s: %w", path, verr)
+		}
+		m.observeWireDecode(time.Since(start))
+		return nil
+	}
+	start := time.Now()
+	body := io.LimitReader(resp.Body, maxResponseBytes)
+	if err := json.NewDecoder(body).Decode(out); err != nil {
+		return fmt.Errorf("authtext: %s: bad response body: %w", path, err)
+	}
+	_, _ = io.Copy(io.Discard, body)
+	m.observeWireDecode(time.Since(start))
+	return nil
+}
+
+// readCapped buffers a body under maxResponseBytes, erroring (rather than
+// silently truncating) when the server exceeds the cap.
+func readCapped(r io.Reader) ([]byte, error) {
+	b, err := io.ReadAll(io.LimitReader(r, maxResponseBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(b) > maxResponseBytes {
+		return nil, fmt.Errorf("response body exceeds %d byte cap", maxResponseBytes)
+	}
+	return b, nil
+}
 
 // httpGetJSON fetches base+path and decodes the JSON body (shared by
 // RemoteClient and ShardedRemoteClient).

@@ -9,9 +9,11 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"authtext/internal/httpapi"
+	"authtext/internal/wire"
 )
 
 // ShardedRemoteClient verifies fanned-out search results received over
@@ -27,6 +29,10 @@ type ShardedRemoteClient struct {
 	// metrics, when non-nil, records verify latency and tamper rejections
 	// (WithShardedClientMetrics).
 	metrics *Metrics
+
+	// noBinary latches after a 406 to the binary-frame offer, exactly as
+	// on RemoteClient.
+	noBinary atomic.Bool
 
 	mu     sync.Mutex
 	client *ShardedClient // verification half, nil until bootstrapped
@@ -95,8 +101,8 @@ func (rc *ShardedRemoteClient) bootstrapLocked(ctx context.Context) error {
 	if rc.client != nil {
 		return nil
 	}
-	var m httpapi.ManifestResponse
-	if err := httpGetJSON(ctx, rc.hc, rc.base, httpapi.PathShardManifest, &m); err != nil {
+	m, err := rc.fetchManifest(ctx)
+	if err != nil {
 		return err
 	}
 	if m.Format != httpapi.FormatATSX {
@@ -108,6 +114,27 @@ func (rc *ShardedRemoteClient) bootstrapLocked(ctx context.Context) error {
 	}
 	rc.client = c
 	return nil
+}
+
+// fetchManifest retrieves /v1/shards/manifest with content negotiation.
+func (rc *ShardedRemoteClient) fetchManifest(ctx context.Context) (*httpapi.ManifestResponse, error) {
+	var m httpapi.ManifestResponse
+	err := httpDoNegotiated(rc.hc, &rc.noBinary, rc.metrics,
+		func() (*http.Request, error) {
+			return http.NewRequestWithContext(ctx, http.MethodGet, rc.base+httpapi.PathShardManifest, nil)
+		},
+		func(frame []byte) error {
+			d, err := wire.DecodeManifestResponse(frame)
+			if err != nil {
+				return err
+			}
+			m = *d
+			return nil
+		}, &m)
+	if err != nil {
+		return nil, err
+	}
+	return &m, nil
 }
 
 // Shards returns the shard count after bootstrap (0 before).
@@ -136,8 +163,8 @@ func (rc *ShardedRemoteClient) Generation() uint64 {
 // ShardedClient.AdvanceExport enforces pinned-key verification and
 // rollback rejection.
 func (rc *ShardedRemoteClient) refreshManifest(ctx context.Context, client *ShardedClient) error {
-	var m httpapi.ManifestResponse
-	if err := httpGetJSON(ctx, rc.hc, rc.base, httpapi.PathShardManifest, &m); err != nil {
+	m, err := rc.fetchManifest(ctx)
+	if err != nil {
 		return err
 	}
 	if m.Format != httpapi.FormatATSX {
@@ -170,48 +197,60 @@ func (rc *ShardedRemoteClient) Search(ctx context.Context, query string, r int, 
 	}
 	// Retry loop as in RemoteClient.Search: absorb honest races where the
 	// set is updated between the answer and the manifest refresh.
-	var wire httpapi.ShardedSearchResponse
+	var sw httpapi.ShardedSearchResponse
 	for attempt := 0; ; attempt++ {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, rc.base+httpapi.PathShardSearch, bytes.NewReader(reqBody))
+		sw = httpapi.ShardedSearchResponse{}
+		err := httpDoNegotiated(rc.hc, &rc.noBinary, rc.metrics,
+			func() (*http.Request, error) {
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, rc.base+httpapi.PathShardSearch, bytes.NewReader(reqBody))
+				if err != nil {
+					return nil, err
+				}
+				req.Header.Set("Content-Type", "application/json")
+				return req, nil
+			},
+			func(frame []byte) error {
+				d, err := wire.DecodeShardedSearchResponse(frame)
+				if err != nil {
+					return err
+				}
+				sw = *d
+				return nil
+			}, &sw)
 		if err != nil {
 			return nil, err
 		}
-		req.Header.Set("Content-Type", "application/json")
-		wire = httpapi.ShardedSearchResponse{}
-		if err := httpDoJSON(rc.hc, req, &wire); err != nil {
-			return nil, err
-		}
-		if wire.Generation > client.Generation() {
+		if sw.Generation > client.Generation() {
 			if err := rc.refreshManifest(ctx, client); err != nil {
 				return nil, err
 			}
 		}
-		if wire.Generation < client.Generation() && attempt < 2 {
+		if sw.Generation < client.Generation() && attempt < 2 {
 			continue
 		}
 		break
 	}
 
 	res := &ShardedResult{
-		PerShard:   make([]*SearchResult, len(wire.Shards)),
-		Merged:     make([]ShardedHit, len(wire.Merged)),
-		Generation: wire.Generation,
+		PerShard:   make([]*SearchResult, len(sw.Shards)),
+		Merged:     make([]ShardedHit, len(sw.Merged)),
+		Generation: sw.Generation,
 		Stats: ShardedStats{
-			Shards:      wire.Stats.Shards,
+			Shards:      sw.Stats.Shards,
 			Algorithm:   algo,
 			Scheme:      scheme,
-			EntriesRead: wire.Stats.EntriesRead,
-			VOBytes:     wire.Stats.VOBytes,
-			IOTime:      StatsDuration(wire.Stats.IOMillis),
+			EntriesRead: sw.Stats.EntriesRead,
+			VOBytes:     sw.Stats.VOBytes,
+			IOTime:      StatsDuration(sw.Stats.IOMillis),
 			// Wall is the server-reported fan-out time (informational, like
 			// every stat on the wire).
-			Wall: time.Duration(wire.Stats.ServerMillis * float64(time.Millisecond)),
+			Wall: time.Duration(sw.Stats.ServerMillis * float64(time.Millisecond)),
 		},
 	}
-	for i := range wire.Shards {
-		sr := &SearchResult{VO: wire.Shards[i].VO, Generation: wire.Shards[i].Generation,
-			Hits: make([]Hit, len(wire.Shards[i].Hits))}
-		for j, h := range wire.Shards[i].Hits {
+	for i := range sw.Shards {
+		sr := &SearchResult{VO: sw.Shards[i].VO, Generation: sw.Shards[i].Generation,
+			Hits: make([]Hit, len(sw.Shards[i].Hits))}
+		for j, h := range sw.Shards[i].Hits {
 			sr.Hits[j] = Hit{DocID: h.DocID, Score: h.Score, Content: h.Content}
 		}
 		sr.Stats = Stats{Algorithm: algo, Scheme: scheme, VOBytes: len(sr.VO)}
@@ -221,7 +260,7 @@ func (rc *ShardedRemoteClient) Search(ctx context.Context, query string, r int, 
 	// verified) content of the shard answer each one cites. A merged hit
 	// citing a document its shard never returned fails verification, so
 	// missing content here is fine — verification rejects first.
-	for i, m := range wire.Merged {
+	for i, m := range sw.Merged {
 		h := ShardedHit{Shard: m.Shard, DocID: m.DocID, GlobalID: m.GlobalID, Score: m.Score}
 		if m.Shard >= 0 && m.Shard < len(res.PerShard) {
 			for _, sh := range res.PerShard[m.Shard].Hits {

@@ -119,6 +119,10 @@ func tamperingProxy(honest http.Handler, mutate func(*httpapi.SearchResponse)) h
 			honest.ServeHTTP(w, r)
 			return
 		}
+		// This adversary tampers at the JSON layer; force the honest
+		// server off binary frames (the framed path has its own battery
+		// in remote_wire_test.go).
+		r.Header.Del("Accept")
 		rec := httptest.NewRecorder()
 		honest.ServeHTTP(rec, r)
 		if rec.Code != http.StatusOK {

@@ -1,0 +1,57 @@
+package authtext_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"net/http/httptrace"
+	"sync/atomic"
+	"testing"
+
+	"authtext"
+)
+
+// TestRemoteConnectionReuse is the regression fence around the tuned
+// default transport: a verifier's traffic shape is many small
+// request/response pairs against one host, and the default
+// http.Transport's 2-idle-conns-per-host cap silently turns that into a
+// redial (and TLS re-handshake) per burst. The test drives a sequence of
+// searches through one RemoteClient and requires that after the first
+// request every connection obtained is a reused one.
+func TestRemoteConnectionReuse(t *testing.T) {
+	handler, _ := remoteEnv(t)
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	rc, err := authtext.NewRemoteClient(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var gets, reused atomic.Int64
+	trace := &httptrace.ClientTrace{
+		GotConn: func(info httptrace.GotConnInfo) {
+			gets.Add(1)
+			if info.Reused {
+				reused.Add(1)
+			}
+		},
+	}
+	ctx := httptrace.WithClientTrace(context.Background(), trace)
+
+	// First call bootstraps the manifest and then searches — the very
+	// first connection is necessarily fresh; everything after it must
+	// come from the idle pool.
+	const rounds = 8
+	for i := 0; i < rounds; i++ {
+		if _, err := rc.Search(ctx, remoteQuery, remoteR, authtext.TNRA, authtext.ChainMHT); err != nil {
+			t.Fatalf("search %d failed: %v", i, err)
+		}
+	}
+	g, ru := gets.Load(), reused.Load()
+	if g < rounds {
+		t.Fatalf("saw %d connections for %d searches", g, rounds)
+	}
+	if fresh := g - ru; fresh > 1 {
+		t.Fatalf("%d of %d connections were fresh dials; the tuned transport must reuse after the first", fresh, g)
+	}
+}

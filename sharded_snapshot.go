@@ -102,6 +102,81 @@ func OpenShardedSnapshotDir(dir string) (*ShardedServer, *ShardedClient, error) 
 	return &ShardedServer{set: set}, newShardedClientFromSet(set), nil
 }
 
+// MappedShardedSnapshot is a sharded snapshot directory opened zero-copy:
+// every shard's ATSN file is memory-mapped (see MappedSnapshot). Server
+// and Client stay valid until Close.
+type MappedShardedSnapshot struct {
+	server *ShardedServer
+	client *ShardedClient
+	maps   []*snapshot.Mapped
+}
+
+// OpenShardedSnapshotDirMapped is OpenShardedSnapshotDir with per-shard
+// memory mapping instead of copies. The cross-checks are identical; only
+// the copies are gone.
+func OpenShardedSnapshotDirMapped(dir string) (*MappedShardedSnapshot, error) {
+	export, err := os.ReadFile(filepath.Join(dir, ShardedManifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("authtext: sharded snapshot: %w", err)
+	}
+	ex, err := parseShardedExport(export)
+	if err != nil {
+		return nil, err
+	}
+	maps := make([]*snapshot.Mapped, 0, ex.manifest.K)
+	fail := func(err error) (*MappedShardedSnapshot, error) {
+		for _, mp := range maps {
+			mp.Release()
+		}
+		return nil, err
+	}
+	cols := make([]*engine.Collection, ex.manifest.K)
+	for i := range cols {
+		mp, err := snapshot.OpenMapped(filepath.Join(dir, shardSnapshotName(i)))
+		if err != nil {
+			return fail(fmt.Errorf("authtext: shard %d: %w", i, err))
+		}
+		maps = append(maps, mp)
+		cols[i] = mp.Collection()
+	}
+	set, err := shard.Assemble(cols, ex.manifest, ex.manifestSig, ex.verifier, ex.docMaps)
+	if err != nil {
+		return fail(fmt.Errorf("authtext: %w", err))
+	}
+	return &MappedShardedSnapshot{
+		server: &ShardedServer{set: set},
+		client: newShardedClientFromSet(set),
+		maps:   maps,
+	}, nil
+}
+
+// Server returns the serving half. Valid until Close.
+func (ms *MappedShardedSnapshot) Server() *ShardedServer { return ms.server }
+
+// Client returns the verification client. Valid until Close.
+func (ms *MappedShardedSnapshot) Client() *ShardedClient { return ms.client }
+
+// Validate blocks until every shard's deferred block-store checksum
+// finished and returns the first failure (nil when all are intact).
+func (ms *MappedShardedSnapshot) Validate() error {
+	for i, mp := range ms.maps {
+		if err := mp.Wait(); err != nil {
+			return fmt.Errorf("authtext: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close releases every shard mapping. The Server and Client must not be
+// used afterwards.
+func (ms *MappedShardedSnapshot) Close() error {
+	for _, mp := range ms.maps {
+		mp.Release()
+	}
+	ms.maps = nil
+	return nil
+}
+
 // IsShardedSnapshot reports whether path is a sharded snapshot directory
 // (used by the CLIs to route -snapshot PATH transparently).
 func IsShardedSnapshot(path string) bool {

@@ -52,3 +52,56 @@ func OpenSnapshotFile(path string) (*Server, *Client, error) {
 	defer f.Close()
 	return OpenSnapshot(f)
 }
+
+// MappedSnapshot is a snapshot opened zero-copy: the serving collection
+// reads straight out of a read-only file mapping shared with the OS page
+// cache, so opening costs decode time instead of a full-file copy, and
+// replicas of one generation share physical memory. The Server and Client
+// stay valid until Close; see docs/SNAPSHOT.md "Mapped opens" for the
+// integrity schedule (small sections CRC-checked at open; the bulk
+// sections — block store, index, signatures — validated in the
+// background, poisoning reads on mismatch).
+type MappedSnapshot struct {
+	server *Server
+	client *Client
+	m      *snapshot.Mapped
+}
+
+// OpenSnapshotMapped memory-maps the snapshot file at path and returns the
+// serving halves without copying the block store or authentication
+// tables. The trust model is OpenSnapshot's; only the copy is gone.
+func OpenSnapshotMapped(path string) (*MappedSnapshot, error) {
+	mp, err := snapshot.OpenMapped(path)
+	if err != nil {
+		return nil, err
+	}
+	col := mp.Collection()
+	m, msig := col.Manifest()
+	return &MappedSnapshot{
+		server: &Server{col: col},
+		client: &Client{manifest: m, manifestSig: msig, verifier: col.Verifier()},
+		m:      mp,
+	}, nil
+}
+
+// Server returns the serving half. Valid until Close.
+func (ms *MappedSnapshot) Server() *Server { return ms.server }
+
+// Client returns the verification client. Valid until Close.
+func (ms *MappedSnapshot) Client() *Client { return ms.client }
+
+// SizeBytes reports the mapped file size.
+func (ms *MappedSnapshot) SizeBytes() int64 { return ms.m.SizeBytes() }
+
+// Validate blocks until the deferred bulk-section checksums finished and
+// returns its verdict. Callers that must fail fast on a corrupted file
+// (rather than letting reads or client verification catch it) call this
+// once after opening.
+func (ms *MappedSnapshot) Validate() error { return ms.m.Wait() }
+
+// Close releases the mapping. The Server and Client must not be used
+// afterwards.
+func (ms *MappedSnapshot) Close() error {
+	ms.m.Release()
+	return nil
+}
