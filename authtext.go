@@ -394,6 +394,20 @@ var ErrStaleGeneration error = &core.VerifyError{
 	Detail: "older generation than one already accepted",
 }
 
+// ErrEquivocation classifies fleet equivocation: replicas of one
+// collection presenting conflicting signed states — two different
+// manifests for the same generation (a split view or a forked generation
+// chain), or a replica frozen at an old generation while the rest of the
+// fleet advances. Both sides of the conflict carry valid owner
+// signatures, so this is misbehaviour by the serving side (or a stolen
+// signing key), never a transient failure: test with errors.Is;
+// IsTampered reports true for it. FleetClient.CrossCheck raises it
+// (docs/FLEET.md describes the trust model).
+var ErrEquivocation error = &core.VerifyError{
+	Code:   core.CodeEquivocation,
+	Detail: "conflicting signed states for the same collection",
+}
+
 // Client verifies query results against the owner's published manifest and
 // public key. It holds no collection data. The public key is pinned at
 // construction and never changes; for live collections (docs/UPDATES.md)

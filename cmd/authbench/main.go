@@ -4,7 +4,7 @@
 // Usage:
 //
 //	authbench [-profile tiny|small|medium|wsj]
-//	          [-fig all|4|13|14|15|table2|space|headline|snapshot|shards|concurrency|updates|cache|wire]
+//	          [-fig all|4|13|14|15|table2|space|headline|snapshot|shards|concurrency|updates|cache|wire|fleet]
 //	          [-queries N] [-rsa] [-out FILE] [-json FILE] [-metrics-dump] [-reuse-floor PCT]
 //
 // The medium profile (20,000 documents) reproduces the shape of every
@@ -37,7 +37,7 @@ func main() {
 
 func run() error {
 	profileName := flag.String("profile", "medium", "corpus profile: tiny, small, medium, wsj")
-	fig := flag.String("fig", "all", "experiment: all, 4, 13, 14, 15, table2, space, headline, snapshot, shards, concurrency, updates, cache, wire")
+	fig := flag.String("fig", "all", "experiment: all, 4, 13, 14, 15, table2, space, headline, snapshot, shards, concurrency, updates, cache, wire, fleet")
 	queries := flag.Int("queries", 0, "queries per sweep point (0 = profile default)")
 	rsa := flag.Bool("rsa", false, "sign with RSA-1024 instead of the fast keyed-hash signer")
 	outPath := flag.String("out", "", "write output to this file as well as stdout")
@@ -186,6 +186,14 @@ func run() error {
 		}
 		fmt.Fprintln(w)
 		jsonOut["wire"] = wrep
+	}
+	if has("fleet") {
+		frep, err := experiments.FleetCompare(profile, opts.Queries, w)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		jsonOut["fleet"] = frep
 	}
 	if *jsonPath != "" {
 		if len(jsonOut) == 0 {

@@ -20,6 +20,7 @@
 //
 //	authserved [-addr :8470] [-snapshot FILE|DIR | -dir PATH] [-shards N]
 //	           [-live [-live-snapshots DIR]] [-watch DUR] [-cache-mb N]
+//	           [-fleet URL,URL,... [-fleet-probe DUR]]
 //	           [-vocab-proofs] [-quiet] [-log-format text|json]
 //	           [-log-level LEVEL] [-pprof-addr ADDR]
 //
@@ -37,6 +38,12 @@
 // signed shards at startup, and -live additionally accepts document
 // add/remove batches on /v1/admin/update, publishing a new signed
 // generation per batch (persisted per generation with -live-snapshots).
+//
+// With -fleet the daemon serves no collection of its own: it becomes a
+// fleet FRONT END that load-balances the /v1 read surface across the
+// listed replica URLs with health probes, ejection, retries, and
+// generation-consistent routing during snapshot swaps (docs/FLEET.md).
+// Per-replica status is served at /v1/fleet/healthz.
 //
 // Every deployment shape serves its metric registry at /v1/metrics and
 // logs one structured record per request (request IDs included; -quiet
@@ -83,20 +90,22 @@ func main() {
 // anything: flag errors and -help exit before any indexing or signing
 // happens.
 type config struct {
-	addr      string
-	dir       string
-	snapshot  string
-	shards    int
-	vocab     bool
-	quiet     bool
-	live      bool
-	liveSnaps string
-	mmap      bool
-	watch     time.Duration
-	cacheMB   int
-	logFormat string
-	logLevel  slog.Level
-	pprofAddr string
+	addr       string
+	dir        string
+	snapshot   string
+	shards     int
+	vocab      bool
+	quiet      bool
+	live       bool
+	liveSnaps  string
+	mmap       bool
+	watch      time.Duration
+	cacheMB    int
+	fleet      string
+	fleetProbe time.Duration
+	logFormat  string
+	logLevel   slog.Level
+	pprofAddr  string
 }
 
 // logLevels maps the -log-level spellings to slog levels.
@@ -125,6 +134,8 @@ func parseFlags(args []string) (config, error) {
 	fs.BoolVar(&cfg.mmap, "mmap", false, "with -snapshot: memory-map snapshot files instead of copying them (zero-copy opens, page-cache shared between processes)")
 	fs.DurationVar(&cfg.watch, "watch", 0, "with -snapshot DIR of per-generation snapshots: poll at this interval and hot-swap to new generations")
 	fs.IntVar(&cfg.cacheMB, "cache-mb", 0, "serve repeat queries from an in-memory VO cache bounded by N MiB of encoded answers (0 disables); document updates invalidate it automatically")
+	fs.StringVar(&cfg.fleet, "fleet", "", "run as a fleet front end over these comma-separated replica base URLs instead of serving a collection")
+	fs.DurationVar(&cfg.fleetProbe, "fleet-probe", 0, "with -fleet: health-probe interval (default 500ms)")
 	fs.StringVar(&cfg.logFormat, "log-format", "text", "log output format: text or json")
 	fs.StringVar(&logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
 	fs.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this SEPARATE address (empty disables); never expose it publicly")
@@ -171,6 +182,34 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.cacheMB < 0 {
 		return config{}, fmt.Errorf("-cache-mb %d out of range", cfg.cacheMB)
+	}
+	if cfg.fleet != "" {
+		// A front end serves no collection: every collection-shaped flag is
+		// a configuration mistake worth stopping on.
+		switch {
+		case cfg.snapshot != "":
+			return config{}, errors.New("-fleet and -snapshot are mutually exclusive: a front end serves replicas, not a collection")
+		case cfg.dir != "":
+			return config{}, errors.New("-fleet and -dir are mutually exclusive: a front end serves replicas, not a collection")
+		case cfg.shards > 0:
+			return config{}, errors.New("-fleet and -shards are mutually exclusive")
+		case cfg.live:
+			return config{}, errors.New("-fleet and -live are mutually exclusive: updates happen at the owner, not the front end")
+		case cfg.watch > 0:
+			return config{}, errors.New("-fleet and -watch are mutually exclusive")
+		case cfg.cacheMB > 0:
+			return config{}, errors.New("-fleet and -cache-mb are mutually exclusive: replicas own their caches")
+		case cfg.mmap:
+			return config{}, errors.New("-fleet and -mmap are mutually exclusive")
+		}
+	}
+	if cfg.fleetProbe != 0 {
+		if cfg.fleet == "" {
+			return config{}, errors.New("-fleet-probe requires -fleet")
+		}
+		if cfg.fleetProbe < 0 {
+			return config{}, fmt.Errorf("-fleet-probe %s out of range", cfg.fleetProbe)
+		}
 	}
 	if cfg.logFormat != "text" && cfg.logFormat != "json" {
 		return config{}, fmt.Errorf("-log-format %q: must be text or json", cfg.logFormat)
@@ -284,6 +323,9 @@ func servePprof(addr string, logger *slog.Logger) error {
 // request.
 func buildHandler(cfg config, logger *slog.Logger) (http.Handler, error) {
 	metrics := authtext.NewMetrics()
+	if cfg.fleet != "" {
+		return buildFleetHandler(cfg, metrics, logger)
+	}
 	cache := newCache(cfg, logger)
 	queryLogOpts := func() []authtext.HandlerOption {
 		out := []authtext.HandlerOption{
@@ -439,6 +481,33 @@ func buildHandler(cfg config, logger *slog.Logger) (http.Handler, error) {
 	logger.Info("built collection",
 		"build_ms", buildMs, "signatures", sigs, "device_mb", float64(devBytes)/(1<<20))
 	return owner.HTTPHandler(queryLogOpts()...)
+}
+
+// buildFleetHandler runs the daemon as a fleet front end: no collection,
+// no signing key — just health-probed, generation-consistent fan-out over
+// the replica URLs (docs/FLEET.md).
+func buildFleetHandler(cfg config, metrics *authtext.Metrics, logger *slog.Logger) (http.Handler, error) {
+	var backends []string
+	for _, u := range strings.Split(cfg.fleet, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			backends = append(backends, u)
+		}
+	}
+	opts := []authtext.FrontendOption{
+		authtext.WithFrontendMetrics(metrics),
+		authtext.WithFrontendLogger(logger),
+	}
+	if cfg.fleetProbe > 0 {
+		opts = append(opts, authtext.WithFrontendProbeInterval(cfg.fleetProbe))
+	}
+	fe, err := authtext.NewFrontend(backends, opts...)
+	if err != nil {
+		return nil, err
+	}
+	// The front end lives for the process lifetime; its probe loop stops
+	// with the process.
+	logger.Info("serving as fleet front end", "replicas", len(backends), "status_path", "/v1/fleet/healthz")
+	return fe, nil
 }
 
 // newCache builds the serve-side VO cache -cache-mb asks for (nil when

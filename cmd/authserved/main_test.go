@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"authtext"
 	"authtext/internal/demo"
@@ -435,5 +436,87 @@ func TestMetricsEndToEnd(t *testing.T) {
 	}
 	if s, ok := obs.FindSample(samples, "authtext_vocache_hits_total"); ok && s.Value != 2 {
 		t.Errorf("cache hits = %g, want 2", s.Value)
+	}
+}
+
+// The fleet flags validate before any work happens: -fleet is a serving
+// shape of its own and excludes every collection-building flag.
+func TestParseFlagsFleet(t *testing.T) {
+	for _, bad := range [][]string{
+		{"-fleet", "http://r1:8470", "-dir", "docs"},
+		{"-fleet", "http://r1:8470", "-snapshot", "x.snap"},
+		{"-fleet", "http://r1:8470", "-shards", "2"},
+		{"-fleet", "http://r1:8470", "-live"},
+		{"-fleet", "http://r1:8470", "-watch", "1s"},
+		{"-fleet", "http://r1:8470", "-cache-mb", "64"},
+		{"-fleet", "http://r1:8470", "-mmap"},
+		{"-fleet-probe", "1s"},
+		{"-fleet", "http://r1:8470", "-fleet-probe", "-1s"},
+	} {
+		if _, err := parseFlags(bad); err == nil {
+			t.Errorf("%v accepted", bad)
+		}
+	}
+	cfg, err := parseFlags([]string{"-fleet", "http://r1:8470,http://r2:8470", "-fleet-probe", "250ms"})
+	if err != nil {
+		t.Fatalf("valid fleet flags rejected: %v", err)
+	}
+	if cfg.fleet != "http://r1:8470,http://r2:8470" || cfg.fleetProbe.String() != "250ms" {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+}
+
+// `authserved -fleet` end to end: a front end built from the flag config
+// load-balances real replicas, and a RemoteClient verifies answers
+// through it exactly as against a single daemon.
+func TestBuildFleetHandlerServesVerifiableFleet(t *testing.T) {
+	dir := writeCorpus(t)
+	logger := discardLogger()
+	replica, err := buildHandler(config{dir: dir, vocab: true, quiet: true}, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := httptest.NewServer(replica)
+	defer r1.Close()
+	r2 := httptest.NewServer(replica)
+	defer r2.Close()
+
+	// Spacing and a trailing comma must not confuse the URL list.
+	cfg := config{fleet: r1.URL + ", " + r2.URL + ",", fleetProbe: 20 * time.Millisecond}
+	handler, err := buildFleetHandler(cfg, authtext.NewMetrics(), logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fes := httptest.NewServer(handler)
+	defer fes.Close()
+
+	rc, err := authtext.NewRemoteClient(fes.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rc.Search(context.Background(), "inverted index", 2, authtext.TNRA, authtext.ChainMHT)
+	if err != nil {
+		t.Fatalf("remote search through fleet front end failed: %v", err)
+	}
+	if len(res.Hits) == 0 {
+		t.Fatal("no hits through the front end")
+	}
+
+	status, err := http.Get(fes.URL + "/v1/fleet/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer status.Body.Close()
+	var fh struct {
+		Status   string `json:"status"`
+		Backends []struct {
+			URL string `json:"url"`
+		} `json:"backends"`
+	}
+	if err := json.NewDecoder(status.Body).Decode(&fh); err != nil {
+		t.Fatal(err)
+	}
+	if fh.Status != "ok" || len(fh.Backends) != 2 {
+		t.Fatalf("fleet healthz = %+v", fh)
 	}
 }

@@ -49,6 +49,14 @@ const (
 	// replayed or rolled-back answer from a live collection
 	// (docs/UPDATES.md).
 	CodeStaleGeneration
+	// CodeEquivocation: a fleet of replicas presented conflicting signed
+	// states for the same collection — two different manifests for one
+	// generation (split view / forked generation chain), or a replica
+	// persistently frozen at an old generation while the rest of the
+	// fleet advances. Unlike transport failures, this is supported by
+	// signatures on both sides of the conflict, so it is tampering, never
+	// a transient error (docs/FLEET.md).
+	CodeEquivocation
 )
 
 // String implements fmt.Stringer.
@@ -82,6 +90,8 @@ func (c VerifyCode) String() string {
 		return "tnra-conditions-violated"
 	case CodeStaleGeneration:
 		return "stale-generation"
+	case CodeEquivocation:
+		return "equivocation"
 	}
 	return fmt.Sprintf("VerifyCode(%d)", int(c))
 }

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"authtext"
+	"authtext/internal/corpus"
+	"authtext/internal/index"
+	"authtext/internal/workload"
+)
+
+// The fleet experiment measures the replica fan-out deployment
+// (docs/FLEET.md): one owner publishing generations into a snapshot
+// directory, N replicas serving it behind a generation-consistent front
+// end. Two quantities matter operationally and neither appears in the
+// paper: aggregate query throughput as the fleet grows, and the
+// swap-visibility lag — how long after the owner publishes generation
+// G+1 a client behind the front end receives (and verifies) a G+1
+// answer, with lagging replicas still in rotation the whole time.
+
+// FleetPoint is one fleet size's measurement.
+type FleetPoint struct {
+	// Replicas is the number of backends in rotation.
+	Replicas int `json:"replicas"`
+	// Requests is how many searches the worker pool issued.
+	Requests int `json:"requests"`
+	// QPS is Requests over the measured wall time.
+	QPS float64 `json:"qps"`
+	// P50Millis is the median verified-search latency through the front
+	// end (request to locally verified answer).
+	P50Millis float64 `json:"p50_millis"`
+	// SwapLagMillis is the time from the owner publishing a new
+	// generation to the first verified answer of that generation arriving
+	// through the front end.
+	SwapLagMillis float64 `json:"swap_lag_millis"`
+}
+
+// FleetReport holds the fleet experiment's results (emitted as
+// BENCH_fleet.json by `authbench -fig fleet -json`).
+type FleetReport struct {
+	Profile string       `json:"profile"`
+	Workers int          `json:"workers"`
+	Points  []FleetPoint `json:"points"`
+}
+
+// fleetWorkers is the client-side concurrency of the QPS measurement:
+// enough in-flight requests that the power-of-two-choices balancer has
+// load to spread, small enough for CI hardware.
+const fleetWorkers = 8
+
+// fleetReloadEvery is the replicas' snapshot-directory poll period — the
+// experiment's stand-in for `authserved -watch`.
+const fleetReloadEvery = 20 * time.Millisecond
+
+// FleetCompare builds one RSA-signed live collection (replicas serve the
+// manifest endpoint, which needs an exportable public key), persists its
+// generations to a snapshot directory, and measures fleets of 1, 2 and 4
+// replicas behind a front end. Every answer is verified client-side by
+// the RemoteClient; a verification failure aborts the experiment.
+func FleetCompare(p corpus.Profile, queries int, w io.Writer) (*FleetReport, error) {
+	if queries < 1 {
+		queries = 20
+	}
+	total := queries * 5
+	if total < 50 {
+		total = 50
+	}
+
+	idocs := corpus.Generate(p)
+	docs := make([]authtext.Document, len(idocs))
+	for i, d := range idocs {
+		docs[i] = authtext.Document{Content: d.Content, Tokens: d.Tokens}
+	}
+	idx, err := index.Build(idocs, index.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	stream := workload.Synthetic(idx, queries, 3, 11)
+	qs := make([]string, len(stream))
+	for i, tokens := range stream {
+		qs[i] = strings.Join(tokens, " ")
+	}
+
+	owner, _, err := authtext.NewLiveOwner(docs)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "authtext-fleet-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	if _, err := owner.PersistGenerations(dir, nil); err != nil {
+		return nil, err
+	}
+
+	rep := &FleetReport{Profile: p.Name, Workers: fleetWorkers}
+	fmt.Fprintf(w, "Replica fleet behind a generation-consistent front end (TNRA-CMHT, r=10, %d workers)\n", fleetWorkers)
+	fmt.Fprintf(w, "  %-9s %9s %10s %9s %14s\n", "replicas", "requests", "qps", "p50", "swap-lag")
+	for _, n := range []int{1, 2, 4} {
+		point, err := fleetPoint(owner, dir, qs, n, total)
+		if err != nil {
+			return nil, err
+		}
+		rep.Points = append(rep.Points, point)
+		fmt.Fprintf(w, "  %-9d %9d %10.0f %8.2fms %12.1fms\n",
+			point.Replicas, point.Requests, point.QPS, point.P50Millis, point.SwapLagMillis)
+	}
+	fmt.Fprintln(w, "  (swap lag: owner publishes G+1 → first verified G+1 answer through the front end)")
+	return rep, nil
+}
+
+// fleetPoint measures one fleet size: n replicas freshly opened from the
+// snapshot directory, each reloading on a timer, behind one front end.
+func fleetPoint(owner *authtext.LiveOwner, dir string, qs []string, n, total int) (FleetPoint, error) {
+	point := FleetPoint{Replicas: n, Requests: total}
+	ctx := context.Background()
+
+	stopReload := make(chan struct{})
+	var reloaders sync.WaitGroup
+	defer func() {
+		close(stopReload)
+		reloaders.Wait()
+	}()
+
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		replica, err := authtext.OpenLiveSnapshotDir(dir)
+		if err != nil {
+			return point, err
+		}
+		handler, err := authtext.NewLiveReplicaHTTPHandler(replica)
+		if err != nil {
+			return point, err
+		}
+		ts := httptest.NewServer(handler)
+		defer ts.Close()
+		urls[i] = ts.URL
+		reloaders.Add(1)
+		go func(r *authtext.LiveReplica) {
+			defer reloaders.Done()
+			tick := time.NewTicker(fleetReloadEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopReload:
+					return
+				case <-tick.C:
+					// A transient scan error is the watcher's to retry; a
+					// replica that cannot advance simply stays on its
+					// generation and the front end routes around it.
+					r.Reload()
+				}
+			}
+		}(replica)
+	}
+
+	fe, err := authtext.NewFrontend(urls, authtext.WithFrontendProbeInterval(25*time.Millisecond))
+	if err != nil {
+		return point, err
+	}
+	defer fe.Close()
+	fes := httptest.NewServer(fe)
+	defer fes.Close()
+
+	rc, err := authtext.NewRemoteClient(fes.URL)
+	if err != nil {
+		return point, err
+	}
+	// Warm pass: bootstrap the manifest and fault in every replica's
+	// serving path before the clock starts.
+	if _, err := rc.Search(ctx, qs[0], 10, authtext.TNRA, authtext.ChainMHT); err != nil {
+		return point, fmt.Errorf("experiments: fleet warmup (%d replicas): %w", n, err)
+	}
+
+	lat := make([]time.Duration, total)
+	errs := make([]error, fleetWorkers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wi := 0; wi < fleetWorkers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				q := qs[i%len(qs)]
+				qstart := time.Now()
+				if _, err := rc.Search(ctx, q, 10, authtext.TNRA, authtext.ChainMHT); err != nil {
+					errs[wi] = fmt.Errorf("experiments: fleet search %q (%d replicas): %w", q, n, err)
+					next.Store(int64(total))
+					return
+				}
+				lat[i] = time.Since(qstart)
+			}
+		}(wi)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return point, err
+		}
+	}
+	point.QPS = float64(total) / wall.Seconds()
+	point.P50Millis = float64(median(lat)) / float64(time.Millisecond)
+
+	// Swap visibility: publish a generation and poll through the front
+	// end until a verified answer of the new generation comes back. The
+	// replicas pick the snapshot up on their reload timers and the front
+	// end's watermark forbids serving the old generation once any of them
+	// has; the measured lag covers that whole pipeline. The clock starts
+	// AFTER AddDocuments returns — the persist hook has written the
+	// snapshot by then — so the number is the fleet's propagation lag,
+	// not the owner's rebuild cost (which can spike ~20x on the rare
+	// avg-length re-pin rebuild; see internal/live's maxAvgLenDrift).
+	if _, _, err := owner.AddDocuments([]authtext.Document{
+		{Content: fmt.Appendf(nil, "fleet swap probe document for fleet of %d", n)},
+	}); err != nil {
+		return point, err
+	}
+	swapStart := time.Now()
+	target := owner.Generation()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		res, err := rc.Search(ctx, qs[0], 10, authtext.TNRA, authtext.ChainMHT)
+		if err == nil && res.Generation >= target {
+			point.SwapLagMillis = float64(time.Since(swapStart)) / float64(time.Millisecond)
+			break
+		}
+		if err != nil && authtext.IsTampered(err) {
+			return point, fmt.Errorf("experiments: fleet swap poll (%d replicas): %w", n, err)
+		}
+		if time.Now().After(deadline) {
+			return point, fmt.Errorf("experiments: fleet of %d never surfaced generation %d", n, target)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return point, nil
+}

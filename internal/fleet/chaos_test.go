@@ -1,0 +1,147 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"authtext/internal/httpapi"
+)
+
+// Each fault mode must surface to a direct HTTP client exactly as the
+// availability failure it models: a transport error for Drop, latency for
+// Delay, plain 5xx statuses for the error modes, and an unexpected EOF
+// mid-body for Truncate. Nothing a ChaosProxy does yields verifiable
+// data, which is what lets the root-package battery pin that no fault is
+// ever classified as tampering.
+func TestChaosProxyModes(t *testing.T) {
+	replica := newStubReplica(7)
+	defer replica.Close()
+	p := NewChaosProxy(replica.URL())
+	defer p.Close()
+	hc := &http.Client{Timeout: 5 * time.Second}
+
+	get := func() (*http.Response, error) {
+		return hc.Get(p.URL() + httpapi.PathHealthz)
+	}
+
+	// Pass: transparent forwarding, generation header included.
+	resp, err := get()
+	if err != nil {
+		t.Fatalf("Pass: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get(httpapi.GenerationHeader) != "7" {
+		t.Fatalf("Pass: status %d, gen header %q", resp.StatusCode, resp.Header.Get(httpapi.GenerationHeader))
+	}
+	var h httpapi.Health
+	if err := json.Unmarshal(body, &h); err != nil || h.Generation != 7 {
+		t.Fatalf("Pass: body %q (err %v)", body, err)
+	}
+
+	// Drop: the connection dies before a response.
+	p.SetMode(Drop)
+	if resp, err := get(); err == nil {
+		resp.Body.Close()
+		t.Fatal("Drop: request succeeded")
+	}
+
+	// Delay: the response arrives, but not before the configured hold.
+	p.SetMode(Delay)
+	p.SetDelay(80 * time.Millisecond)
+	start := time.Now()
+	resp, err = get()
+	if err != nil {
+		t.Fatalf("Delay: %v", err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Fatalf("Delay: answered in %v, want >= 80ms", d)
+	}
+
+	// Err500 / Err503: plain status-coded errors, no backend contact.
+	for _, tc := range []struct {
+		mode FaultMode
+		want int
+	}{{Err500, http.StatusInternalServerError}, {Err503, http.StatusServiceUnavailable}} {
+		p.SetMode(tc.mode)
+		before := replica.searches.Load()
+		resp, err := get()
+		if err != nil {
+			t.Fatalf("mode %d: %v", tc.mode, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("mode %d: status %d, want %d", tc.mode, resp.StatusCode, tc.want)
+		}
+		if replica.searches.Load() != before {
+			t.Fatalf("mode %d: request reached the backend", tc.mode)
+		}
+	}
+
+	// Truncate: headers promise the full body, the read dies halfway.
+	p.SetMode(Truncate)
+	resp, err = get()
+	if err != nil {
+		t.Fatalf("Truncate: request phase failed: %v", err)
+	}
+	_, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr == nil {
+		t.Fatal("Truncate: full body read succeeded")
+	}
+
+	if p.Requests() == 0 || p.Faults() == 0 {
+		t.Fatalf("counters: requests=%d faults=%d", p.Requests(), p.Faults())
+	}
+}
+
+// The front end must ride through every fault mode on one replica: the
+// faulty backend is ejected and traffic keeps flowing via the healthy
+// one; when the fault clears, the backend recovers. Delay is driven past
+// the attempt timeout so it manifests as an availability failure too.
+func TestFrontendRidesThroughChaos(t *testing.T) {
+	healthy := newStubReplica(1)
+	defer healthy.Close()
+	victim := newStubReplica(1)
+	defer victim.Close()
+	p := NewChaosProxy(victim.URL())
+	defer p.Close()
+
+	f := newTestFrontend(t, []string{healthy.URL(), p.URL()}, func(c *Config) {
+		c.AttemptTimeout = 250 * time.Millisecond
+	})
+	p.SetDelay(time.Second) // > AttemptTimeout
+
+	for _, mode := range []FaultMode{Drop, Err500, Err503, Delay, Truncate} {
+		p.SetMode(mode)
+		// Some in-flight requests may fail while the fault is fresh
+		// (Truncate in particular fails after the status line is relayed,
+		// so it cannot be retried); the front end must converge to steady
+		// success once probes eject the faulty path.
+		waitFor(t, "steady success under fault mode", func() bool {
+			for i := 0; i < 10; i++ {
+				if doSearch(f).Code != http.StatusOK {
+					return false
+				}
+			}
+			return true
+		})
+
+		p.SetMode(Pass)
+		waitFor(t, "victim to recover after fault cleared", func() bool {
+			for _, b := range f.Status().Backends {
+				if b.URL == p.URL() {
+					return !b.Ejected && b.Healthy
+				}
+			}
+			return false
+		})
+	}
+	if p.Faults() == 0 {
+		t.Fatal("chaos proxy injected no faults")
+	}
+}

@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"authtext/internal/httpapi"
+)
+
+// Golden wire fixtures for the fleet additions to the /v1 protocol: the
+// fleet_unavailable error, the serving-only admin refusal, and the
+// /v1/fleet/healthz payload. Same contract as the httpapi golden suite —
+// any diff here is a protocol change and must be deliberate. Regenerate
+// with UPDATE_GOLDEN=1 go test ./internal/fleet.
+
+var fleetGoldenCases = []struct {
+	file  string
+	value interface{}
+	fresh func() interface{}
+}{
+	{
+		file: "error_fleet_unavailable.json",
+		value: &httpapi.ErrorResponse{Error: httpapi.ErrorBody{
+			Code:    httpapi.CodeFleetUnavailable,
+			Message: "no replica backend available: http://replica-2.example:8080 lags at generation 6 (fleet at 7)",
+		}},
+		fresh: func() interface{} { return new(httpapi.ErrorResponse) },
+	},
+	{
+		file: "error_admin_forbidden.json",
+		value: &httpapi.ErrorResponse{Error: httpapi.ErrorBody{
+			Code:    httpapi.CodeUpdateFailed,
+			Message: "the fleet front end is serving-only; apply updates at the owner",
+		}},
+		fresh: func() interface{} { return new(httpapi.ErrorResponse) },
+	},
+	{
+		file: "fleet_healthz.json",
+		value: &FleetHealth{
+			Status:     "ok",
+			Generation: 12,
+			Backends: []BackendStatus{
+				{URL: "http://replica-1.example:8080", Healthy: true, Probed: true, Generation: 12, Inflight: 3},
+				{URL: "http://replica-2.example:8080", Healthy: false, Probed: true, Ejected: true, Generation: 11},
+			},
+		},
+		fresh: func() interface{} { return new(FleetHealth) },
+	},
+}
+
+func TestFleetGoldenWireFormats(t *testing.T) {
+	for _, tc := range fleetGoldenCases {
+		tc := tc
+		t.Run(tc.file, func(t *testing.T) {
+			path := filepath.Join("testdata", tc.file)
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				enc, err := json.MarshalIndent(tc.value, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden fixture (run with UPDATE_GOLDEN=1 once): %v", err)
+			}
+
+			got := tc.fresh()
+			dec := json.NewDecoder(bytes.NewReader(raw))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(got); err != nil {
+				t.Fatalf("golden fixture no longer decodes: %v", err)
+			}
+			if !reflect.DeepEqual(got, tc.value) {
+				t.Errorf("decoded fixture disagrees with expected value:\n got: %#v\nwant: %#v", got, tc.value)
+			}
+
+			enc, err := json.Marshal(tc.value)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var a, b interface{}
+			if err := json.Unmarshal(enc, &a); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(raw, &b); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("re-encoded value disagrees with the golden fixture\n got: %s\nwant: %s", enc, raw)
+			}
+		})
+	}
+}
+
+// The live 403 the front end emits for admin updates must match the
+// golden fixture byte-for-byte (modulo the encoder's trailing newline):
+// operators alarm on this body.
+func TestAdminForbiddenMatchesGolden(t *testing.T) {
+	s := newStubReplica(1)
+	defer s.Close()
+	f := newTestFrontend(t, []string{s.URL()}, nil)
+	req := httptest.NewRequest(http.MethodPost, httpapi.PathAdminUpdate, strings.NewReader(`{}`))
+	w := httptest.NewRecorder()
+	f.ServeHTTP(w, req)
+	if w.Code != http.StatusForbidden {
+		t.Fatalf("status %d, want 403", w.Code)
+	}
+	raw, err := os.ReadFile(filepath.Join("testdata", "error_admin_forbidden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got interface{}
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("live 403 body disagrees with golden fixture\n got: %s\nwant: %s", w.Body.Bytes(), raw)
+	}
+}

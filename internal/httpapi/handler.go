@@ -67,6 +67,25 @@ type ShardBackend interface {
 	ShardExport() ([]byte, error)
 }
 
+// GenerationBackend is the optional extension a live deployment implements
+// to expose its currently served publication generation. The handler
+// stamps it into the GenerationHeader of responses whose payload does not
+// already carry one (manifest), so a fleet front end can route
+// generation-consistently without decoding bodies.
+type GenerationBackend interface {
+	// CurrentGeneration returns the currently served generation (0 on
+	// static deployments, which suppresses the header).
+	CurrentGeneration() uint64
+}
+
+// setGenHeader stamps the generation routing hint; 0 means "static
+// deployment", which omits the header entirely.
+func setGenHeader(w http.ResponseWriter, gen uint64) {
+	if gen > 0 {
+		w.Header().Set(GenerationHeader, strconv.FormatUint(gen, 10))
+	}
+}
+
 // NewHandler wires the /v1 endpoints onto a Backend. When the backend also
 // implements ShardBackend, the /v1/shards endpoints are registered too;
 // otherwise they answer 404 like any unknown path. Every response body —
@@ -95,6 +114,7 @@ func NewHandler(b Backend, opts ...HandlerOpt) http.Handler {
 				writeError(w, err, CodeSearchFailed, http.StatusInternalServerError)
 				return
 			}
+			setGenHeader(w, resp.Generation)
 			writeData(w, r, resp, func() []byte { return wire.EncodeShardedSearchResponse(resp) })
 		})
 		mux.HandleFunc(PathShardManifest, func(w http.ResponseWriter, r *http.Request) {
@@ -105,6 +125,9 @@ func NewHandler(b Backend, opts ...HandlerOpt) http.Handler {
 			if err != nil {
 				writeError(w, err, CodeUnavailable, http.StatusServiceUnavailable)
 				return
+			}
+			if gb, ok := b.(GenerationBackend); ok {
+				setGenHeader(w, gb.CurrentGeneration())
 			}
 			m := &ManifestResponse{Format: FormatATSX, Export: export}
 			writeData(w, r, m, func() []byte { return wire.EncodeManifestResponse(m) })
@@ -141,6 +164,9 @@ func NewHandler(b Backend, opts ...HandlerOpt) http.Handler {
 			writeError(w, err, CodeUnavailable, http.StatusServiceUnavailable)
 			return
 		}
+		if gb, ok := b.(GenerationBackend); ok {
+			setGenHeader(w, gb.CurrentGeneration())
+		}
 		m := &ManifestResponse{Format: FormatATCX, Export: export}
 		writeData(w, r, m, func() []byte { return wire.EncodeManifestResponse(m) })
 	})
@@ -148,7 +174,9 @@ func NewHandler(b Backend, opts ...HandlerOpt) http.Handler {
 		if !allowMethod(w, r, http.MethodGet) {
 			return
 		}
-		writeJSON(w, http.StatusOK, b.Health())
+		h := b.Health()
+		setGenHeader(w, h.Generation)
+		writeJSON(w, http.StatusOK, h)
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeErrorBody(w, http.StatusNotFound, CodeNotFound, "no such endpoint: "+r.URL.Path)
@@ -173,6 +201,13 @@ func handleSearch(w http.ResponseWriter, r *http.Request, b Backend) {
 	}
 	if batch != nil {
 		resp := &BatchSearchResponse{Results: searchBatch(b, batch)}
+		var maxGen uint64
+		for i := range resp.Results {
+			if sr := resp.Results[i].Response; sr != nil && sr.Generation > maxGen {
+				maxGen = sr.Generation
+			}
+		}
+		setGenHeader(w, maxGen)
 		writeData(w, r, resp, func() []byte { return wire.EncodeBatchSearchResponse(resp) })
 		return
 	}
@@ -181,6 +216,7 @@ func handleSearch(w http.ResponseWriter, r *http.Request, b Backend) {
 		writeError(w, err, CodeSearchFailed, http.StatusInternalServerError)
 		return
 	}
+	setGenHeader(w, resp.Generation)
 	writeData(w, r, resp, func() []byte { return wire.EncodeSearchResponse(resp) })
 }
 

@@ -86,7 +86,19 @@ const (
 	CodeUpdateFailed     = "update_failed"
 	CodeUnavailable      = "unavailable"
 	CodeInternal         = "internal"
+	// CodeFleetUnavailable: a fleet front end exhausted its replica
+	// backends without obtaining a generation-consistent answer
+	// (docs/FLEET.md).
+	CodeFleetUnavailable = "fleet_unavailable"
 )
+
+// GenerationHeader is the response header carrying the publication
+// generation of the state that produced a response (decimal uint64,
+// omitted on static deployments). It is an untrusted routing hint — the
+// fleet front end uses it to refuse generation regressions during swaps —
+// and is always cross-checked by clients against the signed generation
+// inside the verified payload.
+const GenerationHeader = "X-Authtext-Generation"
 
 // SearchRequest asks for the top-R documents matching Query. Algo and
 // Scheme select the query algorithm and authentication scheme; empty

@@ -33,6 +33,7 @@ import (
 
 	"authtext/internal/engine"
 	"authtext/internal/index"
+	"authtext/internal/sig"
 )
 
 // UpdateStats reports what one generation change cost.
@@ -260,6 +261,13 @@ func (c *Collection) Current() *engine.Collection { return c.cur.Load() }
 
 // Generation returns the latest published generation (≥ 1).
 func (c *Collection) Generation() uint64 { return c.gen.Load() }
+
+// Signer returns the collection's signer (the caching wrapper around the
+// owner's key, safe for concurrent Sign calls). The fleet equivocation
+// battery uses it to forge genuinely owner-signed divergent manifests —
+// the attack a stolen or coerced signing key enables — so detection is
+// exercised against real signatures rather than hand-rolled stand-ins.
+func (c *Collection) Signer() sig.Signer { return c.signer }
 
 // LastStats returns the cost report of the most recent generation change.
 func (c *Collection) LastStats() UpdateStats {

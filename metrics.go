@@ -44,6 +44,10 @@ type Metrics struct {
 	clientVerify *obs.Histogram
 	clientTamper *obs.Counter
 
+	fleetCrosschecks   *obs.Counter
+	fleetEquivocations *obs.Counter
+	fleetReplicaLag    *obs.Gauge
+
 	cacheOnce sync.Once
 }
 
@@ -106,6 +110,13 @@ func NewMetrics() *Metrics {
 		"Client-side result verification wall time (seconds).", obs.DefLatencyBuckets)
 	m.clientTamper = r.Counter("authtext_client_tamper_rejections_total",
 		"Results rejected by client verification as tampered.")
+
+	m.fleetCrosschecks = r.Counter("authtext_fleet_crosschecks_total",
+		"Cross-replica manifest cross-checks performed by fleet clients.")
+	m.fleetEquivocations = r.Counter("authtext_fleet_equivocations_total",
+		"Cross-checks that detected fleet equivocation (split views, forks, frozen replicas).")
+	m.fleetReplicaLag = r.Gauge("authtext_fleet_replica_lag_generations",
+		"Generations between the most and least advanced reachable replica at the last cross-check.")
 	return m
 }
 
@@ -274,4 +285,19 @@ func (m *Metrics) countTamper() {
 		return
 	}
 	m.clientTamper.Inc()
+}
+
+// recordCrossCheck observes one fleet cross-check: the generation spread
+// between the most and least advanced reachable replica, and whether the
+// check detected equivocation.
+func (m *Metrics) recordCrossCheck(lagGenerations uint64, equivocated bool) {
+	if m == nil {
+		return
+	}
+	m.fleetCrosschecks.Inc()
+	m.fleetReplicaLag.Set(float64(lagGenerations))
+	if equivocated {
+		m.fleetEquivocations.Inc()
+		m.clientTamper.Inc()
+	}
 }

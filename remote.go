@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -248,6 +249,16 @@ func (rc *RemoteClient) Search(ctx context.Context, query string, r int, algo Al
 	// verification as stale — re-asking gets a current-generation answer
 	// from an honest server, while a rolled-back server keeps answering
 	// old generations and still ends in ErrStaleGeneration.
+	//
+	// Behind a fleet front end the race has a second shape: the search
+	// answer and the manifest refresh can land on DIFFERENT replicas, and
+	// the manifest replica may lag the answering one mid-swap. Then the
+	// refresh leaves the client behind the answer (or reports staleness
+	// itself), still an honest race — so the retry condition compares the
+	// two generations in both directions, and a stale manifest fetch is
+	// retried rather than reported, as long as budget remains. A genuinely
+	// rolled-back or equivocating fleet keeps failing and still ends in
+	// ErrStaleGeneration after the budget.
 	for attempt := 0; ; attempt++ {
 		var sr httpapi.SearchResponse
 		err := httpDoNegotiated(rc.hc, &rc.noBinary, rc.metrics,
@@ -271,9 +282,12 @@ func (rc *RemoteClient) Search(ctx context.Context, query string, r int, algo Al
 			return nil, err
 		}
 		if err := rc.maybeAdvance(ctx, client, sr.Generation); err != nil {
+			if errors.Is(err, ErrStaleGeneration) && attempt < 2 {
+				continue
+			}
 			return nil, err
 		}
-		if sr.Generation < client.Generation() && attempt < 2 {
+		if sr.Generation != client.Generation() && attempt < 2 {
 			continue
 		}
 		return verifyWireResult(client, rc.metrics, &sr, query, r, algo, scheme)
@@ -386,9 +400,14 @@ func (rc *RemoteClient) SearchBatch(ctx context.Context, queries []BatchQuery) (
 			}
 		}
 		if err := rc.maybeAdvance(ctx, client, maxWireGen); err != nil {
+			// Same cross-replica race as in Search: a lagging replica's
+			// manifest is a retryable condition, not a verdict.
+			if errors.Is(err, ErrStaleGeneration) && attempt < 2 {
+				continue
+			}
 			return nil, err
 		}
-		if maxWireGen != 0 && maxWireGen < client.Generation() && attempt < 2 {
+		if maxWireGen != 0 && maxWireGen != client.Generation() && attempt < 2 {
 			continue
 		}
 		break

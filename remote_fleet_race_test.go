@@ -1,0 +1,80 @@
+package authtext_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"authtext"
+	"authtext/internal/httpapi"
+)
+
+// Regression for the fleet-shaped generation race: behind a front end a
+// search answer and the follow-up manifest refresh can land on DIFFERENT
+// replicas, and the manifest replica may lag the answering one mid-swap.
+// The refresh then "succeeds" without advancing (same-generation manifest
+// the client already holds) and the answer still names a newer
+// generation. The single-server race (update between answer and refresh)
+// always advances the client; only the cross-replica shape leaves it
+// behind — the retry loop must compare generations in BOTH directions.
+//
+// Deterministic reproduction: the real handler answers searches at
+// generation 2, while a wrapper serves a captured generation-1 export for
+// the first two /v1/manifest fetches (bootstrap + first refresh) before
+// delegating — exactly what a lagging manifest replica looks like.
+func TestRemoteSearchRetriesAcrossLaggingManifestReplica(t *testing.T) {
+	owner, _, err := authtext.NewLiveOwner(liveRemoteDocs(0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleExport, err := owner.ExportClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := owner.AddDocuments(liveRemoteDocs(10, 2)); err != nil {
+		t.Fatal(err)
+	}
+	handler, err := owner.HTTPHandler()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var manifestGets atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == httpapi.PathManifest {
+			if manifestGets.Add(1) <= 2 {
+				w.Header().Set("Content-Type", "application/json")
+				_ = json.NewEncoder(w).Encode(httpapi.ManifestResponse{
+					Format: httpapi.FormatATCX,
+					Export: staleExport,
+				})
+				return
+			}
+		}
+		handler.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	rc, err := authtext.NewRemoteClient(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rc.Search(context.Background(), "merkle tree", 5, authtext.TNRA, authtext.ChainMHT)
+	if err != nil {
+		t.Fatalf("search across the lagging manifest replica failed: %v", err)
+	}
+	if want := owner.Generation(); res.Generation != want {
+		t.Fatalf("verified generation %d, want %d", res.Generation, want)
+	}
+	// Bootstrap (stale), first refresh (stale, non-advancing), retry
+	// refresh (fresh): anything fewer means the race was not exercised.
+	if n := manifestGets.Load(); n < 3 {
+		t.Fatalf("only %d manifest fetches; the stale-refresh retry path did not run", n)
+	}
+	if rc.Generation() != owner.Generation() {
+		t.Fatalf("client generation %d after success, want %d", rc.Generation(), owner.Generation())
+	}
+}

@@ -237,6 +237,11 @@ func (b *liveHTTPBackend) Update(req *httpapi.UpdateRequest) (*httpapi.UpdateRes
 
 func (b *liveHTTPBackend) ClientExport() ([]byte, error) { return b.src.currentExport() }
 
+// CurrentGeneration implements httpapi.GenerationBackend: the handler
+// stamps it into the X-Authtext-Generation response header so a fleet
+// front end can route generation-consistently.
+func (b *liveHTTPBackend) CurrentGeneration() uint64 { return b.src.Generation() }
+
 func (b *liveHTTPBackend) Health() httpapi.Health {
 	srv := b.src.currentServer()
 	idx := srv.col.Index()
@@ -324,6 +329,9 @@ func (b *liveShardedHTTPBackend) ShardSearch(req *httpapi.SearchRequest) (*httpa
 }
 
 func (b *liveShardedHTTPBackend) ShardExport() ([]byte, error) { return b.owner.ExportClient() }
+
+// CurrentGeneration implements httpapi.GenerationBackend.
+func (b *liveShardedHTTPBackend) CurrentGeneration() uint64 { return b.srv.Generation() }
 
 func (b *liveShardedHTTPBackend) Update(req *httpapi.UpdateRequest) (*httpapi.UpdateResponse, error) {
 	inner := &liveHTTPBackend{update: b.owner.Update, opts: handlerOptions{}, cache: b.cache}
